@@ -1,0 +1,232 @@
+//! CMT (Castelluccia–Mykletun–Tsudik, MobiQuitous 2005): additively
+//! homomorphic encryption of sensor readings (paper §II-D).
+//!
+//! Each source shares a key `k_i` with the querier and sends
+//! `c_i = v_i + k_{i,t} mod n` for a public modulus `n`; aggregators add
+//! ciphertexts mod `n`; the querier subtracts `Σ k_{i,t}`.
+//!
+//! CMT provides confidentiality but **no integrity**: an adversary can add
+//! any integer to a ciphertext and shift the SUM undetected — the paper's
+//! motivating weakness, demonstrated by [`CmtDeployment::tamper`] plus the
+//! attack tests.
+//!
+//! Freshness handling follows the paper's cost model (§V): per-epoch keys
+//! `k_{i,t} = HM1(k_i, t)`, so a source costs `C_HM1 + C_A20`.
+
+use rand::RngCore;
+use sies_core::{Epoch, SourceId};
+use sies_crypto::prf;
+use sies_crypto::u256::U256;
+use sies_net::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
+
+/// CMT's modulus width: 20 bytes (160 bits), giving 20-byte ciphertexts
+/// (paper Table V).
+pub const CMT_MODULUS_BITS: usize = 160;
+
+/// Wire size of a CMT ciphertext.
+pub const CMT_PSR_BYTES: usize = 20;
+
+/// A CMT partial state record: one residue mod `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmtPsr {
+    ciphertext: U256,
+}
+
+impl CmtPsr {
+    /// The raw residue.
+    pub fn ciphertext(&self) -> &U256 {
+        &self.ciphertext
+    }
+
+    /// Builds from a raw residue (for attack simulations).
+    pub fn from_ciphertext(ciphertext: U256) -> Self {
+        CmtPsr { ciphertext }
+    }
+}
+
+/// A deployed CMT network: the shared modulus and every source's key.
+pub struct CmtDeployment {
+    /// Public modulus `n` (2^160: any 160-bit value works since keys are
+    /// uniform; we use the power of two like the original scheme's
+    /// `mod 2^b` arithmetic).
+    modulus: U256,
+    /// Long-term source keys, indexed by source id (querier's copy).
+    keys: Vec<[u8; 20]>,
+}
+
+impl CmtDeployment {
+    /// Sets up `n` sources with random 20-byte keys.
+    pub fn new(rng: &mut dyn RngCore, num_sources: u64) -> Self {
+        let modulus = U256::ONE.shl(CMT_MODULUS_BITS);
+        let mut keys = Vec::with_capacity(num_sources as usize);
+        for _ in 0..num_sources {
+            let mut k = [0u8; 20];
+            rng.fill_bytes(&mut k);
+            keys.push(k);
+        }
+        CmtDeployment { modulus, keys }
+    }
+
+    /// Number of sources.
+    pub fn num_sources(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    /// Derives the per-epoch key `k_{i,t} = HM1(k_i, t) mod n`.
+    fn epoch_key(&self, source: SourceId, epoch: Epoch) -> U256 {
+        let digest = prf::hm1_epoch(&self.keys[source as usize], epoch);
+        let mut bytes = [0u8; 32];
+        bytes[12..].copy_from_slice(&digest);
+        // A 160-bit digest is already < 2^160 = n.
+        U256::from_be_bytes(&bytes)
+    }
+}
+
+impl AggregationScheme for CmtDeployment {
+    type Psr = CmtPsr;
+
+    fn name(&self) -> &'static str {
+        "CMT"
+    }
+
+    fn source_init(&self, source: SourceId, epoch: Epoch, value: u64) -> CmtPsr {
+        let k = self.epoch_key(source, epoch);
+        let v = U256::from_u64(value);
+        CmtPsr { ciphertext: v.add_mod(&k, &self.modulus) }
+    }
+
+    fn merge(&self, psrs: &[CmtPsr]) -> CmtPsr {
+        let mut acc = psrs[0].ciphertext;
+        for p in &psrs[1..] {
+            acc = acc.add_mod(&p.ciphertext, &self.modulus);
+        }
+        CmtPsr { ciphertext: acc }
+    }
+
+    fn evaluate(
+        &self,
+        final_psr: &CmtPsr,
+        epoch: Epoch,
+        contributors: &[SourceId],
+    ) -> Result<EvaluatedSum, SchemeError> {
+        let mut acc = final_psr.ciphertext;
+        for &id in contributors {
+            if id as usize >= self.keys.len() {
+                return Err(SchemeError::Malformed(format!("unknown source {id}")));
+            }
+            let k = self.epoch_key(id, epoch);
+            acc = acc.sub_mod(&k, &self.modulus);
+        }
+        // CMT has no verification step: whatever comes out is accepted.
+        Ok(EvaluatedSum { sum: acc.as_u128() as f64, integrity_checked: false })
+    }
+
+    fn psr_wire_size(&self, _psr: &CmtPsr) -> usize {
+        CMT_PSR_BYTES
+    }
+
+    fn tamper(&self, psr: &mut CmtPsr) {
+        // The §II-D attack: inject an arbitrary integer v' into the SUM.
+        psr.ciphertext = psr.ciphertext.add_mod(&U256::from_u64(1_000_000), &self.modulus);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sies_net::engine::{Attack, Engine};
+    use sies_net::topology::Topology;
+    use std::collections::HashSet;
+
+    fn deployment(n: u64) -> CmtDeployment {
+        let mut rng = StdRng::seed_from_u64(5);
+        CmtDeployment::new(&mut rng, n)
+    }
+
+    #[test]
+    fn exact_sum_recovered() {
+        let dep = deployment(16);
+        let psrs: Vec<CmtPsr> = (0..16)
+            .map(|i| dep.source_init(i, 3, 100 + i as u64))
+            .collect();
+        let merged = dep.merge(&psrs);
+        let contributors: Vec<SourceId> = (0..16).collect();
+        let res = dep.evaluate(&merged, 3, &contributors).unwrap();
+        let expected: u64 = (0..16).map(|i| 100 + i).sum();
+        assert_eq!(res.sum, expected as f64);
+        assert!(!res.integrity_checked);
+    }
+
+    #[test]
+    fn ciphertext_hides_value() {
+        let dep = deployment(2);
+        let c = dep.source_init(0, 0, 42);
+        // The ciphertext is the value plus a 160-bit pseudo-random pad; it
+        // must not equal the raw value.
+        assert_ne!(c.ciphertext().as_u64(), 42);
+        // And must differ across epochs (fresh pads).
+        assert_ne!(dep.source_init(0, 1, 42), c);
+    }
+
+    #[test]
+    fn tamper_goes_undetected() {
+        // The paper's §II-D attack: CMT accepts a shifted sum as correct.
+        let dep = deployment(4);
+        let topo = Topology::complete_tree(4, 2);
+        let mut engine = Engine::new(&dep, &topo);
+        let node = topo.source_node(1).unwrap();
+        let out =
+            engine.run_epoch_with(0, &[10; 4], &HashSet::new(), &[Attack::TamperAtNode(node)]);
+        let res = out.result.unwrap();
+        assert_eq!(res.sum, 40.0 + 1_000_000.0, "tamper shifts the result silently");
+    }
+
+    #[test]
+    fn replay_goes_undetected_with_wrong_result() {
+        let dep = deployment(4);
+        let topo = Topology::complete_tree(4, 2);
+        let mut engine = Engine::new(&dep, &topo);
+        engine.run_epoch(0, &[5; 4]);
+        let out = engine.run_epoch_with(1, &[50; 4], &HashSet::new(), &[Attack::ReplayFinal]);
+        // Epoch-1 keys subtracted from epoch-0 ciphertext: garbage, and no
+        // way to notice — just not the right answer.
+        let res = out.result.unwrap();
+        assert_ne!(res.sum, 200.0);
+    }
+
+    #[test]
+    fn psr_is_20_bytes_on_every_edge() {
+        let dep = deployment(8);
+        let topo = Topology::complete_tree(8, 2);
+        let mut engine = Engine::new(&dep, &topo);
+        let out = engine.run_epoch(0, &[1; 8]);
+        assert!((out.stats.bytes.per_sa_edge() - 20.0).abs() < 1e-9);
+        assert!((out.stats.bytes.per_aa_edge() - 20.0).abs() < 1e-9);
+        assert_eq!(out.stats.bytes.agg_to_querier, 20);
+    }
+
+    #[test]
+    fn honest_failures_handled() {
+        let dep = deployment(8);
+        let topo = Topology::complete_tree(8, 2);
+        let mut engine = Engine::new(&dep, &topo);
+        let failed: HashSet<_> = [topo.source_node(0).unwrap()].into();
+        let out = engine.run_epoch_with(0, &[9; 8], &failed, &[]);
+        assert_eq!(out.result.unwrap().sum, 63.0);
+    }
+
+    #[test]
+    fn large_values_wrap_only_at_modulus() {
+        let dep = deployment(2);
+        let psrs = [
+            dep.source_init(0, 0, u64::MAX),
+            dep.source_init(1, 0, u64::MAX),
+        ];
+        let merged = dep.merge(&psrs);
+        let res = dep.evaluate(&merged, 0, &[0, 1]).unwrap();
+        // 2·(2^64−1) fits comfortably below 2^160.
+        assert_eq!(res.sum, 2.0 * (u64::MAX as f64));
+    }
+}

@@ -1,0 +1,177 @@
+//! Paillier-based in-network aggregation — the ODB-model approach of
+//! Ge–Zdonik (§II-C) transplanted to the sensor setting, as an extra
+//! comparison point.
+//!
+//! One public key encrypts every reading; aggregators multiply
+//! ciphertexts mod `n²`; the querier holds the private key. Exact and
+//! confidential like SIES, but:
+//!
+//! * **no integrity** — ciphertexts are malleable, exactly like CMT;
+//! * ciphertexts are `2·|n|` bytes (256 B at the paper-grade 1024-bit
+//!   modulus) versus SIES's 32 B;
+//! * each encryption costs a full `r^n mod n²` exponentiation — orders of
+//!   magnitude beyond SIES's two HMACs, on the *sensor*.
+//!
+//! Which is the paper's point: public-key homomorphic encryption does not
+//! fit resource-constrained sources, and single-key ODB schemes bring no
+//! integrity.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use sies_core::{Epoch, SourceId};
+use sies_crypto::biguint::BigUint;
+use sies_crypto::paillier::{PaillierCiphertext, PaillierKeyPair, PaillierPublicKey};
+use sies_crypto::prf;
+use sies_net::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
+
+/// A Paillier PSR: one ciphertext.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaillierPsr {
+    ciphertext: PaillierCiphertext,
+}
+
+impl PaillierPsr {
+    /// The ciphertext.
+    pub fn ciphertext(&self) -> &PaillierCiphertext {
+        &self.ciphertext
+    }
+}
+
+/// A deployed Paillier aggregation network.
+pub struct PaillierDeployment {
+    keypair: PaillierKeyPair,
+    /// Per-source PRF keys deriving encryption randomness (a DRBG stand-in
+    /// that keeps `source_init` deterministic per `(source, epoch)`).
+    randomness_keys: Vec<[u8; 20]>,
+}
+
+impl PaillierDeployment {
+    /// Sets up `num_sources` sources under a fresh `bits`-bit modulus.
+    pub fn new(rng: &mut dyn RngCore, num_sources: u64, bits: usize) -> Self {
+        let keypair = PaillierKeyPair::generate(rng, bits);
+        let mut randomness_keys = Vec::with_capacity(num_sources as usize);
+        for _ in 0..num_sources {
+            let mut k = [0u8; 20];
+            rng.fill_bytes(&mut k);
+            randomness_keys.push(k);
+        }
+        PaillierDeployment { keypair, randomness_keys }
+    }
+
+    /// The shared public key.
+    pub fn public(&self) -> &PaillierPublicKey {
+        self.keypair.public()
+    }
+
+    /// Deterministic per-(source, epoch) RNG for encryption randomness.
+    fn source_rng(&self, source: SourceId, epoch: Epoch) -> StdRng {
+        let digest = prf::hm1_epoch(&self.randomness_keys[source as usize], epoch);
+        StdRng::seed_from_u64(u64::from_be_bytes(digest[..8].try_into().unwrap()))
+    }
+}
+
+impl AggregationScheme for PaillierDeployment {
+    type Psr = PaillierPsr;
+
+    fn name(&self) -> &'static str {
+        "Paillier"
+    }
+
+    fn source_init(&self, source: SourceId, epoch: Epoch, value: u64) -> PaillierPsr {
+        let mut rng = self.source_rng(source, epoch);
+        let c = self.public().encrypt(&mut rng, &BigUint::from_u64(value));
+        PaillierPsr { ciphertext: c }
+    }
+
+    fn merge(&self, psrs: &[PaillierPsr]) -> PaillierPsr {
+        let pk = self.public();
+        let mut acc = psrs[0].ciphertext.clone();
+        for p in &psrs[1..] {
+            acc = pk.add(&acc, &p.ciphertext);
+        }
+        PaillierPsr { ciphertext: acc }
+    }
+
+    fn evaluate(
+        &self,
+        final_psr: &PaillierPsr,
+        _epoch: Epoch,
+        _contributors: &[SourceId],
+    ) -> Result<EvaluatedSum, SchemeError> {
+        let m = self.keypair.decrypt(&final_psr.ciphertext);
+        // No verification is possible: accept whatever decrypts.
+        Ok(EvaluatedSum { sum: m.as_u64() as f64, integrity_checked: false })
+    }
+
+    fn psr_wire_size(&self, _psr: &PaillierPsr) -> usize {
+        self.public().ciphertext_bytes()
+    }
+
+    fn tamper(&self, psr: &mut PaillierPsr) {
+        // Malleability: homomorphically add a spurious reading.
+        let mut rng = StdRng::seed_from_u64(0xE711);
+        let spurious = self.public().encrypt(&mut rng, &BigUint::from_u64(1_000_000));
+        psr.ciphertext = self.public().add(&psr.ciphertext, &spurious);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sies_net::engine::{Attack, Engine};
+    use sies_net::topology::Topology;
+    use std::collections::HashSet;
+
+    fn deployment(n: u64) -> PaillierDeployment {
+        let mut rng = StdRng::seed_from_u64(1);
+        PaillierDeployment::new(&mut rng, n, 256)
+    }
+
+    #[test]
+    fn exact_sum_over_engine() {
+        let dep = deployment(16);
+        let topo = Topology::complete_tree(16, 4);
+        let mut engine = Engine::new(&dep, &topo);
+        let values: Vec<u64> = (0..16).map(|i| 1000 + i).collect();
+        let out = engine.run_epoch(0, &values);
+        let res = out.result.unwrap();
+        assert_eq!(res.sum as u64, values.iter().sum::<u64>());
+        assert!(!res.integrity_checked);
+        // 256-bit n → 64-byte ciphertexts on every edge.
+        assert!((out.stats.bytes.per_sa_edge() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tamper_goes_undetected_like_cmt() {
+        let dep = deployment(4);
+        let topo = Topology::complete_tree(4, 2);
+        let mut engine = Engine::new(&dep, &topo);
+        let node = topo.source_node(0).unwrap();
+        let out =
+            engine.run_epoch_with(0, &[10; 4], &HashSet::new(), &[Attack::TamperAtNode(node)]);
+        assert_eq!(out.result.unwrap().sum as u64, 40 + 1_000_000);
+    }
+
+    #[test]
+    fn deterministic_randomness_is_epoch_separated() {
+        let dep = deployment(2);
+        let a = dep.source_init(0, 0, 5);
+        let b = dep.source_init(0, 1, 5);
+        let c = dep.source_init(1, 0, 5);
+        assert_ne!(a, b, "epochs share randomness");
+        assert_ne!(a, c, "sources share randomness");
+        assert_eq!(a, dep.source_init(0, 0, 5), "derivation must be deterministic");
+    }
+
+    #[test]
+    fn honest_failures_work_without_contributor_bookkeeping() {
+        // Paillier needs no per-source keys at decryption, so failures
+        // need no special handling — but also cannot be audited.
+        let dep = deployment(8);
+        let topo = Topology::complete_tree(8, 2);
+        let mut engine = Engine::new(&dep, &topo);
+        let failed: HashSet<_> = [topo.source_node(2).unwrap()].into();
+        let out = engine.run_epoch_with(0, &[7; 8], &failed, &[]);
+        assert_eq!(out.result.unwrap().sum as u64, 49);
+    }
+}

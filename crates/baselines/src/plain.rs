@@ -1,0 +1,115 @@
+//! TAG-style plain in-network aggregation (Madden et al., OSDI 2002 —
+//! the paper’s reference \[1\]): no security at all.
+//!
+//! This is the foundation every secure scheme builds on, included so the
+//! *price of security* is measurable: TAG transmits an 8-byte running
+//! sum per edge and does one integer addition per child. Comparing its
+//! rows against SIES in the `sim`/bench output shows SIES adds ~24 bytes
+//! per edge and a handful of hash/modular operations per party — and
+//! nothing else — to get confidentiality, integrity, authentication and
+//! freshness.
+
+use sies_core::{Epoch, SourceId};
+use sies_net::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
+
+/// A plain PSR: the running SUM in clear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlainPsr {
+    /// The partial sum.
+    pub sum: u64,
+}
+
+/// The TAG-style deployment (stateless — there are no keys).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainAggregation;
+
+/// Wire size of a plain PSR: one 8-byte integer.
+pub const PLAIN_PSR_BYTES: usize = 8;
+
+impl AggregationScheme for PlainAggregation {
+    type Psr = PlainPsr;
+
+    fn name(&self) -> &'static str {
+        "TAG"
+    }
+
+    fn source_init(&self, _source: SourceId, _epoch: Epoch, value: u64) -> PlainPsr {
+        PlainPsr { sum: value }
+    }
+
+    fn merge(&self, psrs: &[PlainPsr]) -> PlainPsr {
+        PlainPsr { sum: psrs.iter().map(|p| p.sum).sum() }
+    }
+
+    fn evaluate(
+        &self,
+        final_psr: &PlainPsr,
+        _epoch: Epoch,
+        _contributors: &[SourceId],
+    ) -> Result<EvaluatedSum, SchemeError> {
+        Ok(EvaluatedSum { sum: final_psr.sum as f64, integrity_checked: false })
+    }
+
+    fn psr_wire_size(&self, _psr: &PlainPsr) -> usize {
+        PLAIN_PSR_BYTES
+    }
+
+    fn tamper(&self, psr: &mut PlainPsr) {
+        psr.sum += 1_000_000;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sies_net::engine::{Attack, Engine};
+    use sies_net::topology::Topology;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sums_exactly_with_zero_overhead() {
+        let dep = PlainAggregation;
+        let topo = Topology::complete_tree(16, 4);
+        let mut engine = Engine::new(&dep, &topo);
+        let values: Vec<u64> = (1..=16).collect();
+        let out = engine.run_epoch(0, &values);
+        let res = out.result.unwrap();
+        assert_eq!(res.sum, 136.0);
+        assert!(!res.integrity_checked);
+        assert!((out.stats.bytes.per_sa_edge() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn everything_is_attackable() {
+        let dep = PlainAggregation;
+        let topo = Topology::complete_tree(8, 2);
+        let victim = topo.source_node(3).unwrap();
+        let mut engine = Engine::new(&dep, &topo);
+        // Values travel in clear (confidentiality: none), and tampering
+        // shifts the result silently (integrity: none).
+        let out =
+            engine.run_epoch_with(0, &[5; 8], &HashSet::new(), &[Attack::TamperAtNode(victim)]);
+        assert_eq!(out.result.unwrap().sum, 40.0 + 1_000_000.0);
+    }
+
+    #[test]
+    fn security_overhead_of_sies_is_bounded() {
+        // The quantified claim: SIES costs exactly 4x TAG's bandwidth.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sies_core::SystemParams;
+        use sies_net::SiesDeployment;
+        let topo = Topology::complete_tree(16, 4);
+        let plain_bytes = {
+            let mut engine = Engine::new(&PlainAggregation, &topo);
+            engine.run_epoch(0, &[100; 16]).stats.bytes.source_to_agg
+        };
+        let sies_bytes = {
+            let mut rng = StdRng::seed_from_u64(1);
+            let dep = SiesDeployment::new(&mut rng, SystemParams::new(16).unwrap());
+            let mut engine = Engine::new(&dep, &topo);
+            engine.run_epoch(0, &[100; 16]).stats.bytes.source_to_agg
+        };
+        assert_eq!(sies_bytes, 4 * plain_bytes);
+    }
+}

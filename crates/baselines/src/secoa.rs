@@ -1,0 +1,767 @@
+//! SECOA (Nath, Yu, Chan — SIGMOD 2009), as described in paper §II-D:
+//! integrity-protected in-network aggregation via one-way SEAL chains,
+//! providing **approximate** SUM answers and no confidentiality.
+//!
+//! * [`SecoaMax`] is SECOA_M, the MAX protocol: every source sends its
+//!   value, an HMAC *inflation certificate*, and a SEAL *deflation
+//!   certificate*; aggregators keep the max, roll the other SEALs up to
+//!   it, and fold.
+//! * [`SecoaSum`] is SECOA_S: each source expands its value `v` into `v`
+//!   distinct items inserted into `J` FM sketches and runs SECOA_M per
+//!   sketch; the querier estimates `SUM ≈ 2^x̄` over the `J` verified
+//!   sketch maxima.
+//!
+//! ## Wire-format note (recorded in DESIGN.md)
+//!
+//! In-memory PSRs carry each sketch's winning certificate individually;
+//! the *accounted* wire size follows the paper's cost model — `J` sketch
+//! bytes + SEALs + a single 20-byte aggregate certificate (`S_inf`),
+//! assuming the XOR aggregate-MAC optimization of Katz–Lindell the paper
+//! cites. All measured quantities (bytes, CPU shapes) match Equations
+//! 5, 8, 10 and 11.
+
+use crate::seal::{derive_seed, Seal};
+use crate::sketch::FmSketch;
+use rand::RngCore;
+use sies_core::{Epoch, SourceId};
+use sies_crypto::hmac::ct_eq;
+use sies_crypto::prf;
+use sies_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use sies_net::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
+
+/// Wire size of a sketch value (`S_sk`, Table II).
+pub const SKETCH_BYTES: usize = 1;
+/// Wire size of an inflation certificate (`S_inf`, Table II).
+pub const INFLATION_CERT_BYTES: usize = 20;
+
+/// The inflation-certificate message for sketch `j`, value `x`, epoch `t`.
+fn cert_message(x: u8, sketch_idx: u32, epoch: Epoch) -> [u8; 13] {
+    let mut msg = [0u8; 13];
+    msg[0] = x;
+    msg[1..5].copy_from_slice(&sketch_idx.to_be_bytes());
+    msg[5..13].copy_from_slice(&epoch.to_be_bytes());
+    msg
+}
+
+/// Per-sketch aggregation state: the current maximum, who owns it, and the
+/// owner's inflation certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchSlot {
+    /// The sketch value `x` (maximum rank so far).
+    pub x: u8,
+    /// The source owning the maximum.
+    pub owner: SourceId,
+    /// `HM1(K_owner, x ‖ j ‖ t)`.
+    pub cert: [u8; 20],
+}
+
+/// SEAL payload: per-sketch chains, or same-position-folded chains after
+/// the sink's pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SealBundle {
+    /// One SEAL per sketch, `seals[j].position == slots[j].x`.
+    PerSketch(Vec<Seal>),
+    /// Folded: one SEAL per distinct chain position.
+    Folded(Vec<Seal>),
+}
+
+/// A SECOA_S partial state record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecoaPsr {
+    /// The `J` sketch slots.
+    pub slots: Vec<SketchSlot>,
+    /// The deflation certificates.
+    pub seals: SealBundle,
+}
+
+/// A deployed SECOA_S network.
+pub struct SecoaSum {
+    j: usize,
+    rsa: RsaPublicKey,
+    /// `K_i`: inflation-certificate keys shared source ↔ querier.
+    mac_keys: Vec<[u8; 20]>,
+    /// Seed keys for the SEAL chains, shared source ↔ querier.
+    seed_keys: Vec<[u8; 20]>,
+}
+
+impl SecoaSum {
+    /// Sets up `num_sources` sources with `j` sketches and a fresh RSA
+    /// modulus of `modulus_bits` (1024 in the paper; tests use smaller).
+    pub fn new(rng: &mut dyn RngCore, num_sources: u64, j: usize, modulus_bits: usize) -> Self {
+        let rsa = RsaKeyPair::generate(rng, modulus_bits).public().clone();
+        Self::with_rsa(rng, num_sources, j, rsa)
+    }
+
+    /// Sets up with an existing RSA public key (lets experiments reuse one
+    /// expensive 1024-bit key generation).
+    pub fn with_rsa(
+        rng: &mut dyn RngCore,
+        num_sources: u64,
+        j: usize,
+        rsa: RsaPublicKey,
+    ) -> Self {
+        assert!(j >= 1);
+        let mut mac_keys = Vec::with_capacity(num_sources as usize);
+        let mut seed_keys = Vec::with_capacity(num_sources as usize);
+        for _ in 0..num_sources {
+            let mut a = [0u8; 20];
+            let mut b = [0u8; 20];
+            rng.fill_bytes(&mut a);
+            rng.fill_bytes(&mut b);
+            mac_keys.push(a);
+            seed_keys.push(b);
+        }
+        SecoaSum { j, rsa, mac_keys, seed_keys }
+    }
+
+    /// Number of sketches `J`.
+    pub fn num_sketches(&self) -> usize {
+        self.j
+    }
+
+    /// The RSA public key.
+    pub fn rsa(&self) -> &RsaPublicKey {
+        &self.rsa
+    }
+
+    /// Builds a source's PSR from already-chosen sketch values (shared by
+    /// the faithful and the sampled paths).
+    fn psr_from_sketch_values(&self, source: SourceId, epoch: Epoch, xs: &[u8]) -> SecoaPsr {
+        let mut slots = Vec::with_capacity(self.j);
+        let mut seals = Vec::with_capacity(self.j);
+        for (jj, &x) in xs.iter().enumerate() {
+            let cert = prf::hm1(
+                &self.mac_keys[source as usize],
+                &cert_message(x, jj as u32, epoch),
+            );
+            let seed = derive_seed(&self.seed_keys[source as usize], jj as u32, epoch, &self.rsa);
+            seals.push(Seal::new(&self.rsa, &seed, x as u64));
+            slots.push(SketchSlot { x, owner: source, cert });
+        }
+        SecoaPsr { slots, seals: SealBundle::PerSketch(seals) }
+    }
+
+    /// Synthesizes the *final* PSR the querier would receive for a network
+    /// whose contributing sources' values total `total_value`, without
+    /// running every source and aggregator.
+    ///
+    /// Distribution-faithful: each sketch maximum is drawn from the exact
+    /// distribution of the max rank over `total_value` distinct items
+    /// (max over sources of per-source maxima ≡ max over the union of
+    /// items), the owning source is sampled uniformly from the
+    /// contributors, and the aggregate SEAL is `E^{x_j}` of the product of
+    /// all contributors' seeds — exactly what honest merging produces.
+    /// Used by the querier-cost experiments (Figure 6) where running
+    /// `N·J·v` sketch insertions per epoch would dominate the harness
+    /// without affecting what is measured.
+    pub fn synthesize_final_psr(
+        &self,
+        rng: &mut dyn RngCore,
+        epoch: Epoch,
+        total_value: u64,
+        contributors: &[SourceId],
+    ) -> SecoaPsr {
+        use rand::Rng as _;
+        assert!(!contributors.is_empty());
+        let n_mod = self.rsa.modulus();
+        let mut slots = Vec::with_capacity(self.j);
+        let mut seals = Vec::with_capacity(self.j);
+        for jj in 0..self.j {
+            let x = FmSketch::sample(rng, total_value).value();
+            let owner = contributors[rng.random_range(0..contributors.len())];
+            let cert =
+                prf::hm1(&self.mac_keys[owner as usize], &cert_message(x, jj as u32, epoch));
+            // Product of every contributor's seed for this sketch.
+            let mut product = sies_crypto::biguint::BigUint::one();
+            for &i in contributors {
+                let sd = derive_seed(&self.seed_keys[i as usize], jj as u32, epoch, &self.rsa);
+                product = product.mul_mod(&sd, n_mod);
+            }
+            seals.push(Seal::new(&self.rsa, &product, x as u64));
+            slots.push(SketchSlot { x, owner, cert });
+        }
+        SecoaPsr { slots, seals: SealBundle::PerSketch(seals) }
+    }
+
+    /// Distribution-faithful fast path for huge `N`/`v` experiment setups:
+    /// sketch values are sampled from the exact max-rank distribution
+    /// instead of hashing `J·v` items (see [`FmSketch::sample`]).
+    pub fn source_init_sampled(
+        &self,
+        rng: &mut dyn RngCore,
+        source: SourceId,
+        epoch: Epoch,
+        value: u64,
+    ) -> SecoaPsr {
+        let xs: Vec<u8> = (0..self.j).map(|_| FmSketch::sample(rng, value).value()).collect();
+        self.psr_from_sketch_values(source, epoch, &xs)
+    }
+}
+
+impl AggregationScheme for SecoaSum {
+    type Psr = SecoaPsr;
+
+    fn name(&self) -> &'static str {
+        "SECOAS"
+    }
+
+    /// The faithful source path: `J·v` sketch insertions, `2J` HMACs
+    /// (certificate + seed), `Σ x_j` RSA encryptions (Equation 2).
+    fn source_init(&self, source: SourceId, epoch: Epoch, value: u64) -> SecoaPsr {
+        let xs: Vec<u8> = (0..self.j)
+            .map(|jj| {
+                let mut sk = FmSketch::new();
+                sk.insert_value(jj as u32, source, value);
+                sk.value()
+            })
+            .collect();
+        self.psr_from_sketch_values(source, epoch, &xs)
+    }
+
+    /// Per sketch: keep the max child, roll the others' SEALs to it, fold
+    /// (`J·(F−1)` modular multiplications plus `Σ rl_i` RSA encryptions,
+    /// Equation 5).
+    fn merge(&self, psrs: &[SecoaPsr]) -> SecoaPsr {
+        assert!(!psrs.is_empty());
+        let mut slots = Vec::with_capacity(self.j);
+        let mut seals = Vec::with_capacity(self.j);
+        for jj in 0..self.j {
+            // Winner: the child with the maximal sketch value.
+            let mut winner = 0usize;
+            for (c, psr) in psrs.iter().enumerate() {
+                if psr.slots[jj].x > psrs[winner].slots[jj].x {
+                    winner = c;
+                }
+            }
+            let target = psrs[winner].slots[jj].x as u64;
+            let mut agg_seal: Option<Seal> = None;
+            for psr in psrs {
+                let SealBundle::PerSketch(child_seals) = &psr.seals else {
+                    panic!("merge expects unfolded PSRs");
+                };
+                let mut s = child_seals[jj].clone();
+                s.roll_to(&self.rsa, target);
+                match &mut agg_seal {
+                    None => agg_seal = Some(s),
+                    Some(acc) => acc.fold_with(&self.rsa, &s),
+                }
+            }
+            slots.push(psrs[winner].slots[jj].clone());
+            seals.push(agg_seal.expect("non-empty children"));
+        }
+        SecoaPsr { slots, seals: SealBundle::PerSketch(seals) }
+    }
+
+    /// The sink folds SEALs at the same chain position (paper §II-D),
+    /// shrinking the aggregator→querier message from `J` SEALs to
+    /// `seals ≤ J` distinct-position SEALs.
+    fn sink_finalize(&self, psr: SecoaPsr) -> SecoaPsr {
+        let SealBundle::PerSketch(seals) = psr.seals else {
+            return psr; // already folded
+        };
+        let mut by_position: Vec<Seal> = Vec::new();
+        for s in seals {
+            match by_position.iter_mut().find(|f| f.position == s.position) {
+                Some(f) => f.fold_with(&self.rsa, &s),
+                None => by_position.push(s),
+            }
+        }
+        by_position.sort_by_key(|s| s.position);
+        SecoaPsr { slots: psr.slots, seals: SealBundle::Folded(by_position) }
+    }
+
+    /// Querier verification (Equation 8): checks every sketch's inflation
+    /// certificate, then recreates the reference SEAL — `J·N` seed
+    /// derivations, folding them all, rolling to `x_max` — and compares it
+    /// against the collected SEALs rolled to `x_max` and folded.
+    fn evaluate(
+        &self,
+        final_psr: &SecoaPsr,
+        epoch: Epoch,
+        contributors: &[SourceId],
+    ) -> Result<EvaluatedSum, SchemeError> {
+        if final_psr.slots.len() != self.j {
+            return Err(SchemeError::Malformed(format!(
+                "expected {} sketch slots, got {}",
+                self.j,
+                final_psr.slots.len()
+            )));
+        }
+        let contributor_set: std::collections::HashSet<SourceId> =
+            contributors.iter().copied().collect();
+
+        // 1. Inflation certificates.
+        for (jj, slot) in final_psr.slots.iter().enumerate() {
+            if !contributor_set.contains(&slot.owner) {
+                return Err(SchemeError::VerificationFailed(format!(
+                    "sketch {jj} claims non-contributing owner {}",
+                    slot.owner
+                )));
+            }
+            let expected = prf::hm1(
+                &self.mac_keys[slot.owner as usize],
+                &cert_message(slot.x, jj as u32, epoch),
+            );
+            if !ct_eq(&expected, &slot.cert) {
+                return Err(SchemeError::VerificationFailed(format!(
+                    "inflation certificate mismatch on sketch {jj}"
+                )));
+            }
+        }
+
+        let x_max = final_psr.slots.iter().map(|s| s.x).max().unwrap_or(0) as u64;
+
+        // 2. Collected SEALs → one value at x_max.
+        let collected = {
+            let seals: Vec<Seal> = match &final_psr.seals {
+                SealBundle::PerSketch(v) => {
+                    // Consistency: SEAL positions must match the claimed
+                    // sketch values.
+                    for (jj, s) in v.iter().enumerate() {
+                        if s.position != final_psr.slots[jj].x as u64 {
+                            return Err(SchemeError::VerificationFailed(format!(
+                                "SEAL position {} disagrees with sketch value {} (sketch {jj})",
+                                s.position, final_psr.slots[jj].x
+                            )));
+                        }
+                    }
+                    v.clone()
+                }
+                SealBundle::Folded(v) => {
+                    // Folded positions must cover exactly the multiset of
+                    // claimed sketch values' distinct positions.
+                    let mut claimed: Vec<u64> =
+                        final_psr.slots.iter().map(|s| s.x as u64).collect();
+                    claimed.sort_unstable();
+                    claimed.dedup();
+                    let mut got: Vec<u64> = v.iter().map(|s| s.position).collect();
+                    got.sort_unstable();
+                    if claimed != got {
+                        return Err(SchemeError::VerificationFailed(
+                            "folded SEAL positions disagree with sketch values".into(),
+                        ));
+                    }
+                    v.clone()
+                }
+            };
+            let mut acc: Option<Seal> = None;
+            for mut s in seals {
+                if s.position > x_max {
+                    return Err(SchemeError::VerificationFailed(
+                        "SEAL beyond the maximal sketch value".into(),
+                    ));
+                }
+                s.roll_to(&self.rsa, x_max);
+                match &mut acc {
+                    None => acc = Some(s),
+                    Some(a) => a.fold_with(&self.rsa, &s),
+                }
+            }
+            acc.ok_or_else(|| SchemeError::Malformed("no SEALs collected".into()))?
+        };
+
+        // 3. Reference SEAL from all contributors' seeds. For folded
+        // bundles, each distinct position contributed one SEAL per sketch
+        // at that position, so the reference is the product over all
+        // (contributor, sketch) seeds — identical in both representations.
+        let n_mod = self.rsa.modulus();
+        let mut product = sies_crypto::biguint::BigUint::one();
+        for &i in contributors {
+            if i as usize >= self.seed_keys.len() {
+                return Err(SchemeError::Malformed(format!("unknown source {i}")));
+            }
+            for jj in 0..self.j {
+                let sd = derive_seed(&self.seed_keys[i as usize], jj as u32, epoch, &self.rsa);
+                product = product.mul_mod(&sd, n_mod);
+            }
+        }
+        let reference = Seal::new(&self.rsa, &product, x_max);
+        if reference.value != collected.value {
+            return Err(SchemeError::VerificationFailed(
+                "aggregate SEAL mismatch (deflation or tampering)".into(),
+            ));
+        }
+
+        // 4. Estimate SUM ≈ 2^x̄ (with the FM correction).
+        let est = FmSketch::estimate(final_psr.slots.iter().map(|s| s.x));
+        Ok(EvaluatedSum { sum: est, integrity_checked: true })
+    }
+
+    /// Paper-accounted wire size: `J·S_sk + seals·S_SEAL + S_inf`
+    /// (Equations 10 and 11).
+    fn psr_wire_size(&self, psr: &SecoaPsr) -> usize {
+        let seal_count = match &psr.seals {
+            SealBundle::PerSketch(v) => v.len(),
+            SealBundle::Folded(v) => v.len(),
+        };
+        self.j * SKETCH_BYTES + seal_count * Seal::wire_size(&self.rsa) + INFLATION_CERT_BYTES
+    }
+
+    /// Inflation attempt: bump one sketch value without the owner's key.
+    /// The bump is large enough to beat the network-wide maximum — a
+    /// smaller inflation would be absorbed by some other child's larger
+    /// value and leave the result untouched. (The certificate check
+    /// catches it; deflation is impossible because the chain cannot be
+    /// rolled backward.)
+    fn tamper(&self, psr: &mut SecoaPsr) {
+        if let Some(slot) = psr.slots.first_mut() {
+            slot.x = slot.x.saturating_add(8).min(crate::sketch::MAX_RANK);
+        }
+        // Keep the SEAL consistent with the inflated claim — rolling
+        // forward is something any adversary can do.
+        if let SealBundle::PerSketch(seals) = &mut psr.seals {
+            if let Some(s) = seals.first_mut() {
+                let target = psr.slots[0].x as u64;
+                if s.position < target {
+                    s.roll_to(&self.rsa, target);
+                }
+            }
+        }
+    }
+}
+
+/// SECOA_M: the MAX protocol over raw values (no sketches). One value,
+/// one inflation certificate, one SEAL.
+pub struct SecoaMax {
+    inner: SecoaSum,
+}
+
+/// SECOA_M reuses the SECOA_S machinery with a single "sketch" whose value
+/// is the raw reading (capped to the one-byte chain representation the
+/// bundle uses? — no: MAX values use the full u64 chain positions, so the
+/// slot stores a claim and the PSR carries the position in the SEAL).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecoaMaxPsr {
+    /// Claimed maximum value.
+    pub value: u64,
+    /// Who owns it.
+    pub owner: SourceId,
+    /// `HM1(K_owner, value ‖ t)`.
+    pub cert: [u8; 20],
+    /// The aggregate SEAL at position `value`.
+    pub seal: Seal,
+}
+
+impl SecoaMax {
+    /// Sets up a MAX deployment.
+    pub fn new(rng: &mut dyn RngCore, num_sources: u64, modulus_bits: usize) -> Self {
+        SecoaMax { inner: SecoaSum::new(rng, num_sources, 1, modulus_bits) }
+    }
+
+    fn max_cert(&self, source: SourceId, epoch: Epoch, value: u64) -> [u8; 20] {
+        let mut msg = [0u8; 16];
+        msg[..8].copy_from_slice(&value.to_be_bytes());
+        msg[8..].copy_from_slice(&epoch.to_be_bytes());
+        prf::hm1(&self.inner.mac_keys[source as usize], &msg)
+    }
+
+    /// Source side: value + inflation certificate + SEAL.
+    pub fn source_init(&self, source: SourceId, epoch: Epoch, value: u64) -> SecoaMaxPsr {
+        let seed = derive_seed(&self.inner.seed_keys[source as usize], 0, epoch, &self.inner.rsa);
+        SecoaMaxPsr {
+            value,
+            owner: source,
+            cert: self.max_cert(source, epoch, value),
+            seal: Seal::new(&self.inner.rsa, &seed, value),
+        }
+    }
+
+    /// Aggregator: keep the max, roll the rest up to it, fold.
+    pub fn merge(&self, psrs: &[SecoaMaxPsr]) -> SecoaMaxPsr {
+        assert!(!psrs.is_empty());
+        let winner = psrs.iter().max_by_key(|p| p.value).unwrap();
+        let target = winner.value;
+        let mut agg: Option<Seal> = None;
+        for p in psrs {
+            let mut s = p.seal.clone();
+            s.roll_to(&self.inner.rsa, target);
+            match &mut agg {
+                None => agg = Some(s),
+                Some(a) => a.fold_with(&self.inner.rsa, &s),
+            }
+        }
+        SecoaMaxPsr {
+            value: winner.value,
+            owner: winner.owner,
+            cert: winner.cert,
+            seal: agg.expect("non-empty"),
+        }
+    }
+
+    /// Querier: verify the inflation certificate and the aggregate SEAL,
+    /// then accept the MAX.
+    pub fn evaluate(
+        &self,
+        psr: &SecoaMaxPsr,
+        epoch: Epoch,
+        contributors: &[SourceId],
+    ) -> Result<u64, SchemeError> {
+        if !contributors.contains(&psr.owner) {
+            return Err(SchemeError::VerificationFailed("non-contributing owner".into()));
+        }
+        let expected = self.max_cert(psr.owner, epoch, psr.value);
+        if !ct_eq(&expected, &psr.cert) {
+            return Err(SchemeError::VerificationFailed("inflation certificate mismatch".into()));
+        }
+        if psr.seal.position != psr.value {
+            return Err(SchemeError::VerificationFailed("SEAL position mismatch".into()));
+        }
+        let n_mod = self.inner.rsa.modulus();
+        let mut product = sies_crypto::biguint::BigUint::one();
+        for &i in contributors {
+            let sd = derive_seed(&self.inner.seed_keys[i as usize], 0, epoch, &self.inner.rsa);
+            product = product.mul_mod(&sd, n_mod);
+        }
+        let reference = Seal::new(&self.inner.rsa, &product, psr.value);
+        if reference.value != psr.seal.value {
+            return Err(SchemeError::VerificationFailed("aggregate SEAL mismatch".into()));
+        }
+        Ok(psr.value)
+    }
+}
+
+/// SECOA_MIN: MIN via the MAX protocol on reflected values — the paper
+/// notes SECOA "supports a wide range of aggregate queries"; MIN follows
+/// from MAX with the standard `v ↦ D_U − v` transform over a known upper
+/// domain bound.
+pub struct SecoaMin {
+    max: SecoaMax,
+    /// Upper bound `D_U` of the value domain.
+    domain_upper: u64,
+}
+
+impl SecoaMin {
+    /// Sets up a MIN deployment for values in `[0, domain_upper]`.
+    pub fn new(rng: &mut dyn RngCore, num_sources: u64, modulus_bits: usize, domain_upper: u64) -> Self {
+        SecoaMin { max: SecoaMax::new(rng, num_sources, modulus_bits), domain_upper }
+    }
+
+    /// Source side: runs MAX on the reflected value.
+    ///
+    /// # Panics
+    /// Panics when `value` exceeds the configured domain bound.
+    pub fn source_init(&self, source: SourceId, epoch: Epoch, value: u64) -> SecoaMaxPsr {
+        assert!(value <= self.domain_upper, "value above the domain bound");
+        self.max.source_init(source, epoch, self.domain_upper - value)
+    }
+
+    /// Aggregator side: identical to MAX.
+    pub fn merge(&self, psrs: &[SecoaMaxPsr]) -> SecoaMaxPsr {
+        self.max.merge(psrs)
+    }
+
+    /// Querier side: verifies the MAX of the reflected values and undoes
+    /// the transform.
+    pub fn evaluate(
+        &self,
+        psr: &SecoaMaxPsr,
+        epoch: Epoch,
+        contributors: &[SourceId],
+    ) -> Result<u64, SchemeError> {
+        let reflected_max = self.max.evaluate(psr, epoch, contributors)?;
+        Ok(self.domain_upper - reflected_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sies_net::engine::{Attack, Engine};
+    use sies_net::topology::Topology;
+    use std::collections::HashSet;
+
+    /// Small-modulus deployment for fast tests.
+    fn deployment(n: u64, j: usize) -> SecoaSum {
+        let mut rng = StdRng::seed_from_u64(31);
+        SecoaSum::new(&mut rng, n, j, 128)
+    }
+
+    #[test]
+    fn clean_run_verifies_and_estimates() {
+        let dep = deployment(8, 64);
+        let topo = Topology::complete_tree(8, 2);
+        let mut engine = Engine::new(&dep, &topo);
+        let values = [500u64; 8]; // true SUM = 4000
+        let out = engine.run_epoch(0, &values);
+        let res = out.result.expect("clean run must verify");
+        assert!(res.integrity_checked);
+        let rel = (res.sum - 4000.0).abs() / 4000.0;
+        assert!(rel < 0.6, "estimate {} too far from 4000", res.sum);
+    }
+
+    #[test]
+    fn estimate_is_approximate_not_exact() {
+        // The defining weakness vs SIES: answers are estimates.
+        let dep = deployment(4, 32);
+        let psrs: Vec<_> = (0..4).map(|i| dep.source_init(i, 0, 1000)).collect();
+        let merged = dep.merge(&psrs);
+        let finalized = dep.sink_finalize(merged);
+        let res = dep.evaluate(&finalized, 0, &[0, 1, 2, 3]).unwrap();
+        assert_ne!(res.sum, 4000.0);
+    }
+
+    #[test]
+    fn inflation_attack_detected() {
+        let dep = deployment(4, 8);
+        let topo = Topology::complete_tree(4, 2);
+        let node = topo.source_node(2).unwrap();
+        let mut engine = Engine::new(&dep, &topo);
+        let out = engine.run_epoch_with(0, &[300; 4], &HashSet::new(), &[Attack::TamperAtNode(node)]);
+        assert!(matches!(out.result, Err(SchemeError::VerificationFailed(_))));
+    }
+
+    #[test]
+    fn dropped_contribution_detected_via_seal() {
+        let dep = deployment(4, 8);
+        let topo = Topology::complete_tree(4, 2);
+        let node = topo.source_node(1).unwrap();
+        let mut engine = Engine::new(&dep, &topo);
+        let out = engine.run_epoch_with(0, &[300; 4], &HashSet::new(), &[Attack::DropAtNode(node)]);
+        assert!(matches!(out.result, Err(SchemeError::VerificationFailed(_))));
+    }
+
+    #[test]
+    fn replay_detected_via_epoch_keys() {
+        let dep = deployment(4, 8);
+        let topo = Topology::complete_tree(4, 2);
+        let mut engine = Engine::new(&dep, &topo);
+        assert!(engine.run_epoch(0, &[100; 4]).result.is_ok());
+        let out = engine.run_epoch_with(1, &[100; 4], &HashSet::new(), &[Attack::ReplayFinal]);
+        assert!(matches!(out.result, Err(SchemeError::VerificationFailed(_))));
+    }
+
+    #[test]
+    fn honest_failure_handled() {
+        let dep = deployment(8, 8);
+        let topo = Topology::complete_tree(8, 2);
+        let mut engine = Engine::new(&dep, &topo);
+        let failed: HashSet<_> = [topo.source_node(3).unwrap()].into();
+        let out = engine.run_epoch_with(0, &[200; 8], &failed, &[]);
+        assert!(out.result.is_ok(), "honest failure must still verify");
+    }
+
+    #[test]
+    fn sink_folding_reduces_seal_count_and_still_verifies() {
+        let dep = deployment(8, 64);
+        let psrs: Vec<_> = (0..8).map(|i| dep.source_init(i, 2, 2000)).collect();
+        let merged = dep.merge(&psrs);
+        let pre = dep.psr_wire_size(&merged);
+        let finalized = dep.sink_finalize(merged);
+        let post = dep.psr_wire_size(&finalized);
+        assert!(post < pre, "folding must shrink the A→Q message ({pre} -> {post})");
+        assert!(dep.evaluate(&finalized, 2, &(0..8).collect::<Vec<_>>()).is_ok());
+    }
+
+    #[test]
+    fn wire_size_matches_cost_model() {
+        // S-A edge: J·S_sk + J·S_SEAL + S_inf with a 16-byte test modulus.
+        let dep = deployment(2, 10);
+        let psr = dep.source_init(0, 0, 100);
+        let expected = 10 * SKETCH_BYTES + 10 * 16 + INFLATION_CERT_BYTES;
+        assert_eq!(dep.psr_wire_size(&psr), expected);
+    }
+
+    #[test]
+    fn sampled_sources_verify_like_hashed_sources() {
+        let dep = deployment(4, 16);
+        let mut rng = StdRng::seed_from_u64(8);
+        let psrs: Vec<_> = (0..4)
+            .map(|i| dep.source_init_sampled(&mut rng, i, 5, 3000))
+            .collect();
+        let merged = dep.merge(&psrs);
+        let finalized = dep.sink_finalize(merged);
+        assert!(dep.evaluate(&finalized, 5, &[0, 1, 2, 3]).is_ok());
+    }
+
+    #[test]
+    fn synthesized_final_psr_verifies() {
+        let dep = deployment(8, 16);
+        let mut rng = StdRng::seed_from_u64(99);
+        let contributors: Vec<SourceId> = (0..8).collect();
+        let psr = dep.synthesize_final_psr(&mut rng, 3, 8 * 2500, &contributors);
+        let finalized = dep.sink_finalize(psr);
+        let res = dep.evaluate(&finalized, 3, &contributors).unwrap();
+        assert!(res.integrity_checked);
+        let rel = (res.sum - 20_000.0).abs() / 20_000.0;
+        assert!(rel < 1.0, "estimate {} wildly off", res.sum);
+    }
+
+    #[test]
+    fn secoa_max_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dep = SecoaMax::new(&mut rng, 4, 128);
+        let values = [3u64, 9, 5, 7];
+        let psrs: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| dep.source_init(i as SourceId, 1, v))
+            .collect();
+        let merged = dep.merge(&psrs);
+        assert_eq!(dep.evaluate(&merged, 1, &[0, 1, 2, 3]).unwrap(), 9);
+    }
+
+    #[test]
+    fn secoa_min_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let d_u = 5000;
+        let dep = SecoaMin::new(&mut rng, 4, 128, d_u);
+        let values = [1900u64, 1843, 4200, 3000];
+        let psrs: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| dep.source_init(i as SourceId, 2, v))
+            .collect();
+        let merged = dep.merge(&psrs);
+        assert_eq!(dep.evaluate(&merged, 2, &[0, 1, 2, 3]).unwrap(), 1843);
+    }
+
+    #[test]
+    fn secoa_min_tamper_detected() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let dep = SecoaMin::new(&mut rng, 2, 128, 100);
+        let psrs = [dep.source_init(0, 0, 60), dep.source_init(1, 0, 40)];
+        let mut merged = dep.merge(&psrs);
+        // Claim a *smaller* minimum (= larger reflected max): the
+        // adversary can roll the SEAL forward but lacks the MAC key.
+        merged.value += 10;
+        merged.seal.roll_to(dep.max.inner.rsa(), merged.value);
+        assert!(dep.evaluate(&merged, 0, &[0, 1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "domain bound")]
+    fn secoa_min_rejects_out_of_domain() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let dep = SecoaMin::new(&mut rng, 2, 128, 100);
+        dep.source_init(0, 0, 101);
+    }
+
+    #[test]
+    fn secoa_max_inflation_detected() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let dep = SecoaMax::new(&mut rng, 2, 128);
+        let psrs = [dep.source_init(0, 0, 5), dep.source_init(1, 0, 3)];
+        let mut merged = dep.merge(&psrs);
+        // Claim a larger max (and roll the SEAL to match — anyone can).
+        merged.value = 8;
+        merged.seal.roll_to(dep.inner.rsa(), 8);
+        assert!(dep.evaluate(&merged, 0, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn secoa_max_deflation_detected() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let dep = SecoaMax::new(&mut rng, 2, 128);
+        let psrs = [dep.source_init(0, 0, 5), dep.source_init(1, 0, 9)];
+        let merged = dep.merge(&psrs);
+        // Claim a smaller max with a forged owner claim: the adversary can
+        // craft value/owner but cannot unroll the SEAL.
+        let mut forged = merged.clone();
+        forged.value = 5;
+        forged.owner = 0;
+        forged.cert = dep.max_cert(0, 0, 5); // pretend key compromise of 0
+        assert!(dep.evaluate(&forged, 0, &[0, 1]).is_err());
+    }
+}

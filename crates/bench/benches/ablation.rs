@@ -1,0 +1,108 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * modular inverse: Fermat exponentiation vs extended Euclid (the
+//!   querier's `K_t⁻¹`);
+//! * multiplication: schoolbook vs Karatsuba across operand sizes;
+//! * SIES message-field width: 4-byte vs 8-byte result fields;
+//! * SECOA sketch count `J`: the linear cost/accuracy knob;
+//! * hash throughput: SHA-1 vs SHA-256 compression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sies_baselines::secoa::SecoaSum;
+use sies_core::{ResultWidth, SystemParams};
+use sies_crypto::biguint::BigUint;
+use sies_crypto::hash::HashFunction;
+use sies_crypto::sha1::Sha1;
+use sies_crypto::sha256::Sha256;
+use sies_crypto::u256::U256;
+use sies_crypto::DEFAULT_PRIME_256;
+use sies_net::scheme::AggregationScheme;
+use sies_net::SiesDeployment;
+use std::hint::black_box;
+
+fn bench_modinv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_modinv");
+    let p = DEFAULT_PRIME_256;
+    let a = U256::from_be_bytes(&[0xA7; 32]).rem(&p);
+    group.bench_function("fermat (a^(p-2))", |b| b.iter(|| black_box(a.inv_mod_prime(&p))));
+    group.bench_function("extended euclid", |b| b.iter(|| black_box(a.inv_mod_euclid(&p))));
+    group.finish();
+}
+
+fn bench_multiplication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mul");
+    let mut rng = StdRng::seed_from_u64(1);
+    for limbs in [8usize, 16, 32, 64] {
+        let a = BigUint::random_bits(&mut rng, limbs * 64);
+        let b = BigUint::random_bits(&mut rng, limbs * 64);
+        group.bench_with_input(BenchmarkId::new("dispatching", limbs), &limbs, |bench, _| {
+            bench.iter(|| black_box(a.mul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_result_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_result_width");
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 1024;
+    let dep32 = SiesDeployment::new(
+        &mut rng,
+        SystemParams::with_prime(n, DEFAULT_PRIME_256, ResultWidth::U32).unwrap(),
+    );
+    let dep64 = SiesDeployment::new(
+        &mut rng,
+        SystemParams::with_prime(n, DEFAULT_PRIME_256, ResultWidth::U64).unwrap(),
+    );
+    let mut t = 0u64;
+    group.bench_function("u32 result field", |b| {
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            black_box(dep32.source_init(0, t, 3400))
+        })
+    });
+    group.bench_function("u64 result field", |b| {
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            black_box(dep64.source_init(0, t, 3400))
+        })
+    });
+    group.finish();
+}
+
+fn bench_secoa_j(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_secoa_j");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    for j in [30usize, 100, 300] {
+        let dep = SecoaSum::new(&mut rng, 16, j, 512);
+        let mut t = 0u64;
+        group.bench_with_input(BenchmarkId::new("source_init", j), &j, |b, _| {
+            b.iter(|| {
+                t = t.wrapping_add(1);
+                black_box(dep.source_init(0, t, 3400))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hash_throughput");
+    let data = vec![0xAB_u8; 4096];
+    group.bench_function("sha1 4KiB", |b| b.iter(|| black_box(Sha1::digest(&data))));
+    group.bench_function("sha256 4KiB", |b| b.iter(|| black_box(Sha256::digest(&data))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_modinv,
+    bench_multiplication,
+    bench_result_width,
+    bench_secoa_j,
+    bench_hashes
+);
+criterion_main!(benches);

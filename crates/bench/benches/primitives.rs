@@ -1,0 +1,81 @@
+//! Criterion microbenchmarks for the Table II primitives, measured with
+//! this repository's implementations. `cargo bench -p sies-bench --bench
+//! primitives` prints the statistically robust companion to
+//! `repro table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sies_baselines::sketch::FmSketch;
+use sies_crypto::biguint::BigUint;
+use sies_crypto::prf;
+use sies_crypto::rsa::RsaKeyPair;
+use sies_crypto::u256::U256;
+use sies_crypto::DEFAULT_PRIME_256;
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+
+    let key20 = [0x42u8; 20];
+    group.bench_function("C_HM1 (HMAC-SHA1)", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            black_box(prf::hm1_epoch(&key20, t))
+        })
+    });
+    group.bench_function("C_HM256 (HMAC-SHA256)", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            black_box(prf::hm256_epoch(&key20, t))
+        })
+    });
+
+    let p256 = DEFAULT_PRIME_256;
+    let a32 = U256::from_be_bytes(&[0xA7; 32]).rem(&p256);
+    let b32 = U256::from_be_bytes(&[0x5C; 32]).rem(&p256);
+    let n160 = U256::ONE.shl(160);
+    let a20 = a32.rem(&n160);
+    let b20 = b32.rem(&n160);
+
+    group.bench_function("C_A20 (20B modular add)", |b| {
+        b.iter(|| black_box(a20.add_mod(&b20, &n160)))
+    });
+    group.bench_function("C_A32 (32B modular add)", |b| {
+        b.iter(|| black_box(a32.add_mod(&b32, &p256)))
+    });
+    group.bench_function("C_M32 (32B modular mul)", |b| {
+        b.iter(|| black_box(a32.mul_mod(&b32, &p256)))
+    });
+    group.bench_function("C_MI32 (32B modular inverse)", |b| {
+        b.iter(|| black_box(a32.inv_mod_prime(&p256)))
+    });
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let rsa = RsaKeyPair::generate(&mut rng, 1024).public().clone();
+    let x128 = BigUint::from_be_bytes(&[0x31; 100]);
+    let y128 = BigUint::from_be_bytes(&[0x77; 120]).rem(rsa.modulus());
+    group.bench_function("C_M128 (128B modular mul)", |b| {
+        b.iter(|| black_box(x128.mul_mod(&y128, rsa.modulus())))
+    });
+    group.bench_function("C_RSA (1024-bit raw encrypt, e=3)", |b| {
+        b.iter(|| black_box(rsa.encrypt(&x128)))
+    });
+
+    group.bench_function("C_sk (sketch insertion)", |b| {
+        let mut item = 0u64;
+        b.iter(|| {
+            let mut s = FmSketch::new();
+            item = item.wrapping_add(1);
+            s.insert(1, 2, black_box(item));
+            black_box(s)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

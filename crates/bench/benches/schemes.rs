@@ -1,0 +1,111 @@
+//! Criterion benchmarks of the three schemes' per-party phases at the
+//! paper's default parameters (where feasible within a bench budget):
+//! source initialization, aggregator merging, and querier evaluation.
+//!
+//! SECOA runs with a reduced sketch count here (J = 30 instead of 300) so
+//! the bench suite completes quickly; the `repro` binary measures the full
+//! J = 300 configuration. Costs scale linearly in J, which the harness
+//! verifies against the cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sies_baselines::cmt::CmtDeployment;
+use sies_baselines::secoa::SecoaSum;
+use sies_core::{SourceId, SystemParams};
+use sies_net::scheme::AggregationScheme;
+use sies_net::SiesDeployment;
+use std::hint::black_box;
+
+const N: u64 = 1024;
+const F: usize = 4;
+const SECOA_J: usize = 30;
+const VALUE: u64 = 3400; // mid-domain reading at x10^2
+
+fn bench_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("source_init");
+    let mut rng = StdRng::seed_from_u64(1);
+    let sies = SiesDeployment::new(&mut rng, SystemParams::new(N).unwrap());
+    let cmt = CmtDeployment::new(&mut rng, N);
+    let secoa = SecoaSum::new(&mut rng, N, SECOA_J, 1024);
+
+    let mut t = 0u64;
+    group.bench_function("SIES", |b| {
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            black_box(sies.source_init(0, t, VALUE))
+        })
+    });
+    group.bench_function("CMT", |b| {
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            black_box(cmt.source_init(0, t, VALUE))
+        })
+    });
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("SECOAS", format!("J={SECOA_J}")), |b| {
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            black_box(secoa.source_init(0, t, VALUE))
+        })
+    });
+    group.finish();
+}
+
+fn bench_aggregator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregator_merge");
+    let mut rng = StdRng::seed_from_u64(2);
+    let sies = SiesDeployment::new(&mut rng, SystemParams::new(N).unwrap());
+    let cmt = CmtDeployment::new(&mut rng, N);
+    let secoa = SecoaSum::new(&mut rng, N, SECOA_J, 1024);
+
+    let ids: Vec<SourceId> = (0..F as SourceId).collect();
+    let sies_children: Vec<_> = ids.iter().map(|&i| sies.source_init(i, 0, VALUE)).collect();
+    let cmt_children: Vec<_> = ids.iter().map(|&i| cmt.source_init(i, 0, VALUE)).collect();
+    let secoa_children: Vec<_> = ids.iter().map(|&i| secoa.source_init(i, 0, VALUE)).collect();
+
+    group.bench_function("SIES", |b| b.iter(|| black_box(sies.merge(&sies_children))));
+    group.bench_function("CMT", |b| b.iter(|| black_box(cmt.merge(&cmt_children))));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("SECOAS", format!("J={SECOA_J}")), |b| {
+        b.iter(|| black_box(secoa.merge(&secoa_children)))
+    });
+    group.finish();
+}
+
+fn bench_querier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("querier_evaluate");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    let sies = SiesDeployment::new(&mut rng, SystemParams::new(N).unwrap());
+    let cmt = CmtDeployment::new(&mut rng, N);
+    let secoa = SecoaSum::new(&mut rng, N, SECOA_J, 1024);
+    let contributors: Vec<SourceId> = (0..N as SourceId).collect();
+
+    let sies_final = {
+        let psrs: Vec<_> = contributors.iter().map(|&i| sies.source_init(i, 0, VALUE)).collect();
+        sies.merge(&psrs)
+    };
+    let cmt_final = {
+        let psrs: Vec<_> = contributors.iter().map(|&i| cmt.source_init(i, 0, VALUE)).collect();
+        cmt.merge(&psrs)
+    };
+    let secoa_final = {
+        let psr = secoa.synthesize_final_psr(&mut rng, 0, N * VALUE, &contributors);
+        secoa.sink_finalize(psr)
+    };
+
+    group.bench_function("SIES", |b| {
+        b.iter(|| black_box(sies.evaluate(&sies_final, 0, &contributors).unwrap()))
+    });
+    group.bench_function("CMT", |b| {
+        b.iter(|| black_box(cmt.evaluate(&cmt_final, 0, &contributors).unwrap()))
+    });
+    group.bench_function(BenchmarkId::new("SECOAS", format!("J={SECOA_J}")), |b| {
+        b.iter(|| black_box(secoa.evaluate(&secoa_final, 0, &contributors).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_source, bench_aggregator, bench_querier);
+criterion_main!(benches);

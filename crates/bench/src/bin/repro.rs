@@ -1,0 +1,342 @@
+//! `repro`: regenerates every table and figure of the paper's evaluation
+//! (§VI) on the current host.
+//!
+//! ```text
+//! repro [--fast] [--epochs E] [--paper-costs] [--out DIR] <experiment>...
+//!
+//! experiments:
+//!   table2   primitive costs (calibrated vs paper)
+//!   table3   cost-model evaluation at the typical values
+//!   table5   communication cost per network edge
+//!   fig4     source CPU vs domain
+//!   fig5     aggregator CPU vs fanout
+//!   fig6a    querier CPU vs number of sources
+//!   fig6b    querier CPU vs domain
+//!   params   system parameter table (Table IV)
+//!   security attack-detection matrix (SIES vs CMT vs SECOA)
+//!   lifetime network-lifetime comparison (2 J battery, hottest node)
+//!   all      everything above
+//! ```
+
+use sies_bench::calibrate::PrimitiveCosts;
+use sies_bench::chart;
+use sies_bench::cost_model::CostModel;
+use sies_bench::experiments::{self, Options};
+use sies_bench::report::{fmt_bytes, fmt_ms, fmt_us, render_table, write_json};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut use_paper_costs = false;
+    let mut requested: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => opts = Options::fast(),
+            "--epochs" => {
+                opts.epochs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--epochs needs a number"));
+            }
+            "--secoa-epochs" => {
+                opts.secoa_epochs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--secoa-epochs needs a number"));
+            }
+            "--out" => {
+                out_dir = it
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--paper-costs" => use_paper_costs = true,
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return;
+            }
+            other if !other.starts_with('-') => requested.push(other.to_string()),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if requested.is_empty() {
+        println!("{HELP}");
+        return;
+    }
+    if requested.iter().any(|e| e == "all") {
+        requested = [
+            "table2", "table3", "params", "table5", "fig4", "fig5", "fig6a", "fig6b", "security",
+            "lifetime",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let costs = if use_paper_costs {
+        println!("using the paper's Table II primitive costs");
+        PrimitiveCosts::PAPER
+    } else {
+        println!("calibrating primitive costs on this host (Table II)...");
+        PrimitiveCosts::calibrate(false)
+    };
+
+    for exp in &requested {
+        match exp.as_str() {
+            "table2" => table2(&costs, &out_dir),
+            "table3" => table3(&costs, &out_dir),
+            "params" => params(),
+            "table5" => table5(&costs, &opts, &out_dir),
+            "fig4" => fig4(&costs, &opts, &out_dir),
+            "fig5" => fig5(&costs, &opts, &out_dir),
+            "fig6a" => fig6a(&costs, &opts, &out_dir),
+            "fig6b" => fig6b(&costs, &opts, &out_dir),
+            "security" => security(),
+            "lifetime" => lifetime(&opts, &out_dir),
+            other => eprintln!("skipping unknown experiment '{other}'"),
+        }
+    }
+}
+
+const HELP: &str = "repro - regenerate the SIES paper's tables and figures
+
+usage: repro [--fast] [--epochs E] [--secoa-epochs E] [--paper-costs] [--out DIR] <experiment>...
+
+experiments: table2 table3 table5 fig4 fig5 fig6a fig6b params security lifetime all";
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{HELP}");
+    std::process::exit(2);
+}
+
+fn table2(costs: &PrimitiveCosts, out: &Path) {
+    println!("\n== Table II: primitive costs ==");
+    let paper = PrimitiveCosts::PAPER;
+    let rows: Vec<Vec<String>> = costs
+        .rows()
+        .iter()
+        .zip(paper.rows())
+        .map(|((sym, ours), (_, theirs))| {
+            vec![sym.to_string(), format!("{ours:.4} us"), format!("{theirs:.4} us")]
+        })
+        .collect();
+    println!("{}", render_table(&["primitive", "this host", "paper (i7 2.66GHz)"], &rows));
+    let _ = write_json(out, "table2", costs);
+}
+
+fn table3(costs: &PrimitiveCosts, out: &Path) {
+    println!("\n== Table III: cost-model evaluation at typical values ==");
+    for (label, model) in [
+        (
+            "calibrated costs (this host)",
+            CostModel { costs: *costs, ..CostModel::paper_defaults() },
+        ),
+        ("paper costs", CostModel::paper_defaults()),
+    ] {
+        println!("-- {label} --");
+        let rows: Vec<Vec<String>> = model
+            .table3()
+            .into_iter()
+            .map(|(metric, cmt, secoa, sies)| {
+                let is_bytes = metric.contains("bytes");
+                let f = |v: f64| if is_bytes { fmt_bytes(v) } else { fmt_us(v) };
+                vec![
+                    metric.to_string(),
+                    f(cmt),
+                    format!("{} / {}", f(secoa.min), f(secoa.max)),
+                    f(sies),
+                ]
+            })
+            .collect();
+        println!("{}", render_table(&["metric", "CMT", "SECOAS (min/max)", "SIES"], &rows));
+    }
+    let model = CostModel { costs: *costs, ..CostModel::paper_defaults() };
+    let json_rows: Vec<serde_json::Value> = model
+        .table3()
+        .iter()
+        .map(|(m, c, s, v)| {
+            serde_json::json!({
+                "metric": m, "cmt": c, "secoa_min": s.min, "secoa_max": s.max, "sies": v
+            })
+        })
+        .collect();
+    let _ = write_json(out, "table3", &json_rows);
+}
+
+fn params() {
+    println!("\n== Table IV: system parameters ==");
+    let rows = vec![
+        vec!["Number of sources (N)".into(), "1024".into(), "64, 256, 1024, 4096, 16384".into()],
+        vec!["Fanout (F)".into(), "4".into(), "2, 3, 4, 5, 6".into()],
+        vec!["Domain (D=[18,50])".into(), "x10^2".into(), "x1, x10, x10^2, x10^3, x10^4".into()],
+    ];
+    println!("{}", render_table(&["parameter", "default", "range"], &rows));
+}
+
+fn table5(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
+    println!("\n== Table V: communication cost per edge (N=1024, F=4, D=[1800,5000]) ==");
+    let rows_data = experiments::table5_communication(costs, opts);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.edge.clone(),
+                fmt_bytes(r.cmt),
+                format!(
+                    "{} / {} / {}",
+                    fmt_bytes(r.secoa_actual),
+                    fmt_bytes(r.secoa_min),
+                    fmt_bytes(r.secoa_max)
+                ),
+                fmt_bytes(r.sies),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["edge", "CMT", "SECOAS (actual/min/max)", "SIES"], &rows));
+    let _ = write_json(out, "table5", &rows_data);
+}
+
+fn print_series(title: &str, x_label: &str, points: &[experiments::SeriesPoint]) {
+    println!("\n== {title} ==");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.x.clone(),
+                fmt_ms(p.sies_ms),
+                fmt_ms(p.cmt_ms),
+                fmt_ms(p.secoa_ms),
+                format!("{} / {}", fmt_ms(p.secoa_model_min_ms), fmt_ms(p.secoa_model_max_ms)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&[x_label, "SIES", "CMT", "SECOAS", "SECOAS model (min/max)"], &rows)
+    );
+
+    // The paper's figures are log-Y plots; render the same shape.
+    let xs: Vec<String> = points.iter().map(|p| p.x.clone()).collect();
+    let sies: Vec<f64> = points.iter().map(|p| p.sies_ms).collect();
+    let cmt: Vec<f64> = points.iter().map(|p| p.cmt_ms).collect();
+    let secoa: Vec<f64> = points.iter().map(|p| p.secoa_ms).collect();
+    println!(
+        "{}",
+        chart::render_log_chart(
+            "CPU time (ms, log scale)",
+            &xs,
+            &[
+                chart::Series { marker: 'S', name: "SIES", values: &sies },
+                chart::Series { marker: 'C', name: "CMT", values: &cmt },
+                chart::Series { marker: 'X', name: "SECOAS", values: &secoa },
+            ],
+        )
+    );
+}
+
+fn fig4(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
+    let points = experiments::fig4_source_vs_domain(costs, opts);
+    print_series("Figure 4: source CPU vs domain (N=1024, F=4)", "domain", &points);
+    let _ = write_json(out, "fig4", &points);
+}
+
+fn fig5(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
+    let points = experiments::fig5_aggregator_vs_fanout(costs, opts);
+    print_series(
+        "Figure 5: aggregator CPU vs fanout (N=1024, D=[1800,5000])",
+        "fanout",
+        &points,
+    );
+    let _ = write_json(out, "fig5", &points);
+}
+
+fn fig6a(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
+    let points = experiments::fig6a_querier_vs_n(costs, opts);
+    print_series("Figure 6(a): querier CPU vs N (F=4, D=[1800,5000])", "N", &points);
+    let _ = write_json(out, "fig6a", &points);
+}
+
+fn fig6b(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
+    let points = experiments::fig6b_querier_vs_domain(costs, opts);
+    print_series("Figure 6(b): querier CPU vs domain (N=1024, F=4)", "domain", &points);
+    let _ = write_json(out, "fig6b", &points);
+}
+
+fn lifetime(opts: &Options, out: &Path) {
+    println!("\n== Network lifetime: hottest first-level aggregator, 2 J battery, F=4 ==");
+    let rows_data = experiments::lifetime_table(opts);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                fmt_bytes(r.leaf_bytes as f64),
+                format!("{:.3e} J", r.hottest_drain_j),
+                format!("{:.0}", r.lifetime_epochs),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["scheme", "bytes/edge", "drain/epoch", "lifetime (epochs)"], &rows)
+    );
+    let _ = write_json(out, "lifetime", &rows_data);
+}
+
+/// Attack-detection matrix: which scheme detects which covert attack.
+fn security() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sies_baselines::cmt::CmtDeployment;
+    use sies_baselines::secoa::SecoaSum;
+    use sies_core::SystemParams;
+    use sies_net::engine::{Attack, Engine};
+    use sies_net::scheme::AggregationScheme;
+    use sies_net::{SiesDeployment, Topology};
+
+    println!("\n== Security: covert-attack detection matrix (N=16, F=4) ==");
+    let n = 16u64;
+    let topo = Topology::complete_tree(n, 4);
+    let victim = topo.source_node(5).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let sies = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
+    let cmt = CmtDeployment::new(&mut rng, n);
+    let secoa = SecoaSum::new(&mut rng, n, 32, 512);
+
+    fn run<S: AggregationScheme>(scheme: &S, topo: &Topology, attacks: &[Attack]) -> String {
+        let mut engine = Engine::new(scheme, topo);
+        let values = vec![100u64; topo.num_sources() as usize];
+        // Warm-up epoch so replay has something to replay.
+        let _ = engine.run_epoch(0, &values);
+        let out = engine.run_epoch_with(1, &values, &HashSet::new(), attacks);
+        match out.result {
+            Err(_) => "DETECTED".into(),
+            Ok(r) if !r.integrity_checked => "undetected (no integrity)".into(),
+            Ok(_) => "undetected".into(),
+        }
+    }
+
+    let attack_list: Vec<(&str, Vec<Attack>)> = vec![
+        ("tamper PSR in flight", vec![Attack::TamperAtNode(victim)]),
+        ("drop a contribution", vec![Attack::DropAtNode(victim)]),
+        ("inject duplicate", vec![Attack::DuplicateAtNode(victim)]),
+        ("replay previous epoch", vec![Attack::ReplayFinal]),
+    ];
+    let rows: Vec<Vec<String>> = attack_list
+        .iter()
+        .map(|(name, attacks)| {
+            vec![
+                name.to_string(),
+                run(&sies, &topo, attacks),
+                run(&cmt, &topo, attacks),
+                run(&secoa, &topo, attacks),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["attack", "SIES", "CMT", "SECOAS"], &rows));
+}

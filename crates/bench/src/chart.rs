@@ -1,0 +1,181 @@
+//! ASCII log-scale charts: the paper's figures are log-Y plots, and the
+//! `repro` binary renders the same visual next to each numeric table so
+//! the crossover structure is visible at a glance.
+
+/// One plotted series: a marker character and its Y values (one per X
+/// position). Non-positive values are skipped.
+pub struct Series<'a> {
+    /// Single-character marker used on the canvas.
+    pub marker: char,
+    /// Human-readable name for the legend.
+    pub name: &'a str,
+    /// Y values, one per X tick.
+    pub values: &'a [f64],
+}
+
+/// Renders a log₁₀-Y ASCII chart with one column per X tick.
+///
+/// The Y axis spans the decades covering every finite positive value.
+/// Returns a multi-line string ending in a newline. Panics when series
+/// lengths disagree with the tick count.
+pub fn render_log_chart(title: &str, x_labels: &[String], series: &[Series<'_>]) -> String {
+    assert!(!x_labels.is_empty(), "need at least one X tick");
+    for s in series {
+        assert_eq!(s.values.len(), x_labels.len(), "series '{}' length mismatch", s.name);
+    }
+
+    let positives: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    if positives.is_empty() {
+        return format!("{title}\n(no positive data)\n");
+    }
+    let lo_decade = positives.iter().fold(f64::INFINITY, |a, &b| a.min(b)).log10().floor() as i32;
+    let hi_decade = positives.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)).log10().ceil() as i32;
+    let hi_decade = hi_decade.max(lo_decade + 1);
+
+    // 2 rows per decade for readability.
+    let rows_per_decade = 2;
+    let n_rows = ((hi_decade - lo_decade) * rows_per_decade + 1) as usize;
+    let col_width = x_labels.iter().map(|l| l.len()).max().unwrap_or(1).max(3) + 2;
+    let y_label_width = 8;
+
+    let mut canvas = vec![vec![' '; x_labels.len() * col_width]; n_rows];
+    for s in series {
+        for (x, &v) in s.values.iter().enumerate() {
+            if !(v.is_finite() && v > 0.0) {
+                continue;
+            }
+            let frac = (v.log10() - lo_decade as f64) / (hi_decade - lo_decade) as f64;
+            let row_from_bottom = (frac * (n_rows - 1) as f64).round() as usize;
+            let row = n_rows - 1 - row_from_bottom.min(n_rows - 1);
+            let col = x * col_width + col_width / 2;
+            // Collisions: later series overwrite with a shared marker.
+            canvas[row][col] = if canvas[row][col] == ' ' { s.marker } else { '*' };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in canvas.iter().enumerate() {
+        let row_from_bottom = n_rows - 1 - i;
+        let label = if row_from_bottom % rows_per_decade as usize == 0 {
+            let decade = lo_decade + (row_from_bottom / rows_per_decade as usize) as i32;
+            format!("{:>width$} |", format!("1e{decade}"), width = y_label_width)
+        } else {
+            format!("{:>width$} |", "", width = y_label_width)
+        };
+        out.push_str(&label);
+        let line: String = row.iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    // X axis.
+    out.push_str(&format!(
+        "{:>width$} +{}\n",
+        "",
+        "-".repeat(x_labels.len() * col_width),
+        width = y_label_width
+    ));
+    out.push_str(&format!("{:>width$}  ", "", width = y_label_width));
+    for l in x_labels {
+        out.push_str(&format!("{l:^col_width$}"));
+    }
+    out.push('\n');
+    // Legend.
+    out.push_str(&format!("{:>width$}  ", "", width = y_label_width));
+    let legend: Vec<String> = series.iter().map(|s| format!("{} = {}", s.marker, s.name)).collect();
+    out.push_str(&legend.join(", "));
+    out.push_str(" (* = overlap)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("x{i}")).collect()
+    }
+
+    #[test]
+    fn renders_monotone_series() {
+        let xs = labels(4);
+        let chart = render_log_chart(
+            "test",
+            &xs,
+            &[Series { marker: 'S', name: "sies", values: &[1.0, 10.0, 100.0, 1000.0] }],
+        );
+        assert!(chart.contains("1e0"));
+        assert!(chart.contains("1e3"));
+        assert_eq!(chart.matches('S').count(), 5, "4 points + legend:\n{chart}");
+    }
+
+    #[test]
+    fn separated_series_get_distinct_rows() {
+        let xs = labels(2);
+        let chart = render_log_chart(
+            "t",
+            &xs,
+            &[
+                Series { marker: 'a', name: "low", values: &[1.0, 1.0] },
+                Series { marker: 'b', name: "high", values: &[1e6, 1e6] },
+            ],
+        );
+        // Find rows containing markers; they must differ.
+        let a_row = chart.lines().position(|l| l.contains('a') && l.contains('|'));
+        let b_row = chart.lines().position(|l| l.contains('b') && l.contains('|'));
+        assert_ne!(a_row, b_row, "{chart}");
+        // The high series must appear above the low one.
+        assert!(b_row < a_row, "{chart}");
+    }
+
+    #[test]
+    fn overlapping_points_become_stars() {
+        let xs = labels(1);
+        let chart = render_log_chart(
+            "t",
+            &xs,
+            &[
+                Series { marker: 'a', name: "one", values: &[5.0] },
+                Series { marker: 'b', name: "two", values: &[5.0] },
+            ],
+        );
+        assert!(chart.contains('*'), "{chart}");
+    }
+
+    #[test]
+    fn non_positive_values_skipped() {
+        let xs = labels(3);
+        let chart = render_log_chart(
+            "t",
+            &xs,
+            &[Series { marker: 'z', name: "skipped", values: &[0.0, -1.0, 10.0] }],
+        );
+        // Only the positive point plus the legend marker.
+        assert_eq!(chart.matches('z').count(), 2, "{chart}");
+    }
+
+    #[test]
+    fn empty_data_is_graceful() {
+        let chart = render_log_chart(
+            "t",
+            &labels(2),
+            &[Series { marker: 'q', name: "none", values: &[0.0, 0.0] }],
+        );
+        assert!(chart.contains("no positive data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        render_log_chart(
+            "t",
+            &labels(3),
+            &[Series { marker: 'x', name: "bad", values: &[1.0] }],
+        );
+    }
+}

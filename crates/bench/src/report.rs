@@ -1,0 +1,128 @@
+//! Plain-text table rendering and JSON export for the `repro` binary.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Formats a microsecond cost with adaptive units (µs/ms/s).
+pub fn fmt_us(us: f64) -> String {
+    if us < 1_000.0 {
+        format!("{us:.2} us")
+    } else if us < 1_000_000.0 {
+        format!("{:.2} ms", us / 1_000.0)
+    } else {
+        format!("{:.2} s", us / 1_000_000.0)
+    }
+}
+
+/// Formats a millisecond cost with adaptive units.
+pub fn fmt_ms(ms: f64) -> String {
+    fmt_us(ms * 1_000.0)
+}
+
+/// Formats a byte count with adaptive units (B/KB).
+pub fn fmt_bytes(b: f64) -> String {
+    if b < 1024.0 {
+        format!("{b:.0} B")
+    } else {
+        format!("{:.2} KB", b / 1024.0)
+    }
+}
+
+/// Renders an ASCII table: a header row plus data rows, padded per column.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let sep: String = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(&widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line
+    };
+    let mut out = String::new();
+    out.push_str(&sep);
+    out.push('\n');
+    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    out
+}
+
+/// Writes a serializable result as pretty JSON under `results/<name>.json`
+/// (creating the directory), so EXPERIMENTS.md entries are diffable.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    file.write_all(json.as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_us(0.45), "0.45 us");
+        assert_eq!(fmt_us(2280.0), "2.28 ms");
+        assert_eq!(fmt_us(568_460.0), "568.46 ms");
+        assert_eq!(fmt_us(5_360_000.0), "5.36 s");
+        assert_eq!(fmt_bytes(32.0), "32 B");
+        assert_eq!(fmt_bytes(38_720.0), "37.81 KB");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["metric", "value"],
+            &[
+                vec!["alpha".into(), "1".into()],
+                vec!["bb".into(), "22222".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 6);
+        let len = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == len), "misaligned table:\n{t}");
+        assert!(t.contains("alpha"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join("sies-report-test");
+        write_json(&dir, "probe", &vec![1, 2, 3]).unwrap();
+        let content = std::fs::read_to_string(dir.join("probe.json")).unwrap();
+        assert_eq!(serde_json::from_str::<Vec<i32>>(&content).unwrap(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Small timing helpers for the calibration pass and the experiment
+//! harness (wall-clock medians over repeated runs; Criterion handles the
+//! statistically rigorous microbenchmarks separately).
+
+use std::time::Instant;
+
+/// Times `op` executed `iters` times and returns the mean cost of one
+/// execution in microseconds. `op` should return a value that depends on
+/// its work; it is passed through [`std::hint::black_box`].
+pub fn time_mean_us<T, F: FnMut() -> T>(iters: usize, mut op: F) -> f64 {
+    assert!(iters > 0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(op());
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// Runs `op` `runs` times, timing each run once, and returns the median in
+/// microseconds — robust against scheduler noise for operations too slow
+/// to loop thousands of times.
+pub fn time_median_us<T, F: FnMut() -> T>(runs: usize, mut op: F) -> f64 {
+    assert!(runs > 0);
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(op());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Picks an iteration count so one measurement batch takes roughly
+/// `target_ms`, based on a quick probe of `op`.
+pub fn auto_iters<T, F: FnMut() -> T>(op: &mut F, target_ms: f64) -> usize {
+    let probe = {
+        let start = Instant::now();
+        std::hint::black_box(op());
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    if probe <= 0.0 {
+        return 10_000;
+    }
+    ((target_ms / probe).ceil() as usize).clamp(1, 1_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_is_positive_and_sane() {
+        let mut x = 0u64;
+        let us = time_mean_us(1000, || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert!(us > 0.0);
+        assert!(us < 1000.0, "a multiply took {us} µs?");
+    }
+
+    #[test]
+    fn median_is_positive() {
+        let us = time_median_us(5, || std::hint::black_box((0..1000).sum::<u64>()));
+        assert!(us > 0.0);
+    }
+
+    #[test]
+    fn auto_iters_bounded() {
+        let mut f = || 1u64;
+        let iters = auto_iters(&mut f, 1.0);
+        assert!((1..=1_000_000).contains(&iters));
+    }
+}

@@ -1,0 +1,167 @@
+//! The `m_{i,t}` plaintext codec (paper Figure 2) and final-message
+//! decomposition (paper Figure 3).
+//!
+//! A source's plaintext packs its reading and its secret share into one
+//! 256-bit integer:
+//!
+//! ```text
+//!   m_{i,t}  =  v_{i,t} · 2^(160 + pad)   +   ss_{i,t}
+//!              └─ result field ─┘ └ pad ┘ └── share field (160 bits) ──┘
+//! ```
+//!
+//! Plain integer addition of `N` such messages keeps the fields separate:
+//! the share sums carry into the `⌈log₂N⌉` zero padding but never reach
+//! the result field, and the result field accumulates the exact SUM.
+
+use crate::error::SiesError;
+use crate::params::SystemParams;
+use sies_crypto::u256::U256;
+
+/// A 20-byte secret share `ss_{i,t}` (output of `HM1(k_i, t)`).
+pub type SecretShare = [u8; 20];
+
+/// Encodes a source's reading and share into the plaintext message.
+///
+/// Fails when `value` exceeds the configured result-field width.
+pub fn encode_message(
+    params: &SystemParams,
+    value: u64,
+    share: &SecretShare,
+) -> Result<U256, SiesError> {
+    let max = params.result_width().max_value();
+    if value > max {
+        return Err(SiesError::ValueTooLarge { value, max });
+    }
+    let v = U256::from_u64(value).shl(params.result_shift());
+    let mut share_bytes = [0u8; 32];
+    share_bytes[12..].copy_from_slice(share);
+    let ss = U256::from_be_bytes(&share_bytes);
+    // Fields are disjoint, so addition == bitwise or here.
+    Ok(v.checked_add(&ss).expect("disjoint fields cannot carry"))
+}
+
+/// The decomposed final message `m_{f,t}` (paper Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedFinal {
+    /// The SUM result `res_t` (first field of `m_{f,t}`).
+    pub result: u64,
+    /// The aggregated secret `s_t = Σ ss_{i,t}`, as an integer occupying
+    /// the share field plus the overflow padding.
+    pub secret: U256,
+}
+
+/// Splits the decrypted final message into `(res_t, s_t)`.
+pub fn decode_final(params: &SystemParams, m_f: &U256) -> DecodedFinal {
+    let shift = params.result_shift();
+    let result = m_f.shr(shift).as_u64();
+    let secret = m_f.and(&U256::low_mask(shift));
+    DecodedFinal { result, secret }
+}
+
+/// Sums secret shares as plain integers (the querier-side reference value
+/// `Σ ss_{i,t}`). The sum occupies at most `160 + ⌈log₂N⌉` bits, which by
+/// construction fits the share-plus-padding region.
+pub fn sum_shares<'a>(shares: impl IntoIterator<Item = &'a SecretShare>) -> U256 {
+    let mut acc = U256::ZERO;
+    for share in shares {
+        let mut bytes = [0u8; 32];
+        bytes[12..].copy_from_slice(share);
+        let s = U256::from_be_bytes(&bytes);
+        acc = acc.checked_add(&s).expect("share sum cannot exceed 256 bits");
+    }
+    acc
+}
+
+/// Returns the share encoded by `share` as a [`U256`] (helper shared by
+/// tests and the evaluation phase).
+pub fn share_to_u256(share: &SecretShare) -> U256 {
+    let mut bytes = [0u8; 32];
+    bytes[12..].copy_from_slice(share);
+    U256::from_be_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ResultWidth, SHARE_BITS};
+    use sies_crypto::DEFAULT_PRIME_256;
+
+    fn params(n: u64) -> SystemParams {
+        SystemParams::new(n).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = params(1024);
+        let share: SecretShare = [0xAB; 20];
+        let m = encode_message(&p, 123_456, &share).unwrap();
+        let dec = decode_final(&p, &m);
+        assert_eq!(dec.result, 123_456);
+        assert_eq!(dec.secret, share_to_u256(&share));
+    }
+
+    #[test]
+    fn zero_value_and_zero_share() {
+        let p = params(4);
+        let m = encode_message(&p, 0, &[0; 20]).unwrap();
+        assert_eq!(m, U256::ZERO);
+        let dec = decode_final(&p, &m);
+        assert_eq!(dec.result, 0);
+        assert_eq!(dec.secret, U256::ZERO);
+    }
+
+    #[test]
+    fn value_too_large_rejected() {
+        let p = params(1024);
+        let err = encode_message(&p, u32::MAX as u64 + 1, &[0; 20]).unwrap_err();
+        assert!(matches!(err, SiesError::ValueTooLarge { .. }));
+        // But fine under an 8-byte result field.
+        let p64 =
+            SystemParams::with_prime(1024, DEFAULT_PRIME_256, ResultWidth::U64).unwrap();
+        assert!(encode_message(&p64, u32::MAX as u64 + 1, &[0; 20]).is_ok());
+    }
+
+    #[test]
+    fn max_value_accepted() {
+        let p = params(1024);
+        let m = encode_message(&p, u32::MAX as u64, &[0xFF; 20]).unwrap();
+        let dec = decode_final(&p, &m);
+        assert_eq!(dec.result, u32::MAX as u64);
+        assert_eq!(dec.secret, share_to_u256(&[0xFF; 20]));
+    }
+
+    #[test]
+    fn summed_messages_keep_fields_separate() {
+        // The core paper claim: adding N messages never lets the share sum
+        // spill into the result field, thanks to the padding.
+        let n = 8u64;
+        let p = params(n);
+        let share: SecretShare = [0xFF; 20]; // worst-case share
+        let mut acc = U256::ZERO;
+        for _ in 0..n {
+            let m = encode_message(&p, 1000, &share).unwrap();
+            acc = acc.checked_add(&m).unwrap();
+        }
+        let dec = decode_final(&p, &acc);
+        assert_eq!(dec.result, 8000);
+        assert_eq!(dec.secret, sum_shares(std::iter::repeat_n(&share, n as usize)));
+    }
+
+    #[test]
+    fn share_sum_overflow_confined_to_padding() {
+        // With N = 2 and maximal shares the sum needs exactly 161 bits:
+        // bit 160 is the first padding bit.
+        let s = sum_shares([&[0xFF; 20], &[0xFF; 20]]);
+        assert_eq!(s.bit_len(), SHARE_BITS + 1);
+    }
+
+    #[test]
+    fn different_n_shifts_result_differently() {
+        let share = [0x01; 20];
+        let m_small = encode_message(&params(2), 7, &share).unwrap();
+        let m_large = encode_message(&params(65536), 7, &share).unwrap();
+        assert_ne!(m_small, m_large);
+        assert_eq!(decode_final(&params(2), &m_small).result, 7);
+        assert_eq!(decode_final(&params(65536), &m_large).result, 7);
+    }
+}

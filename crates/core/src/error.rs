@@ -1,0 +1,57 @@
+//! Error types for the SIES scheme.
+
+use core::fmt;
+
+/// Identifier of a source sensor (`𝒮_i` in the paper).
+pub type SourceId = u32;
+
+/// A time epoch `t` (paper §III-B: all parties are loosely synchronized in
+/// epochs of duration `T`).
+pub type Epoch = u64;
+
+/// Errors raised by SIES setup, initialization, and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SiesError {
+    /// The extracted secret `s_t` did not match `Σ ss_{i,t}`: the PSR was
+    /// tampered with, a contribution was dropped, a spurious contribution
+    /// was injected, or the PSR is a replay from another epoch
+    /// (Theorems 2 and 4).
+    IntegrityViolation {
+        /// The epoch being evaluated.
+        epoch: Epoch,
+    },
+    /// A source value exceeds the configured result-field width.
+    ValueTooLarge {
+        /// Offending value.
+        value: u64,
+        /// Maximum representable value for the configured field width.
+        max: u64,
+    },
+    /// The parameters are inconsistent (e.g. the message layout exceeds
+    /// 256 bits, or `N` does not fit the padding).
+    InvalidParams(String),
+    /// An evaluation referenced a source id unknown to the querier.
+    UnknownSource(SourceId),
+    /// A μTesla packet failed authentication.
+    BroadcastAuthFailure(String),
+}
+
+impl fmt::Display for SiesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiesError::IntegrityViolation { epoch } => {
+                write!(f, "integrity/freshness verification failed at epoch {epoch}")
+            }
+            SiesError::ValueTooLarge { value, max } => {
+                write!(f, "source value {value} exceeds the result field maximum {max}")
+            }
+            SiesError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            SiesError::UnknownSource(id) => write!(f, "unknown source id {id}"),
+            SiesError::BroadcastAuthFailure(msg) => {
+                write!(f, "broadcast authentication failure: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SiesError {}

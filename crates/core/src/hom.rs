@@ -1,0 +1,114 @@
+//! The additively homomorphic one-time cipher of paper §III-D.
+//!
+//! Encryption: `c = ℰ(m, K, k, p) = K·m + k mod p`.
+//! Decryption: `m = 𝒟(c, K, k, p) = (c − k)·K⁻¹ mod p`.
+//!
+//! With per-message keys drawn pseudo-randomly and used once, the scheme is
+//! information-theoretically confidential: lacking `k`, the ciphertext
+//! carries no information about `m` for *any* value of `K` and `p`.
+//! Its additive homomorphism — `ℰ(m₁,K,k₁) + ℰ(m₂,K,k₂) =
+//! ℰ(m₁+m₂, K, k₁+k₂)` — is what lets aggregators fuse PSRs without keys.
+
+use sies_crypto::u256::U256;
+
+/// Encrypts `m` under global multiplier `k_global` (`K_t`) and blinding key
+/// `k_blind` (`k_{i,t}`) modulo the prime `p`.
+///
+/// All inputs must be reduced mod `p`; `k_global` must be non-zero so that
+/// decryption can invert it.
+pub fn encrypt(m: &U256, k_global: &U256, k_blind: &U256, p: &U256) -> U256 {
+    debug_assert!(!k_global.is_zero(), "K_t must be invertible");
+    k_global.mul_mod(m, p).add_mod(k_blind, p)
+}
+
+/// Decrypts `c` given the same keys. `k_blind` is the *sum* of all blinding
+/// keys when `c` aggregates several ciphertexts.
+pub fn decrypt(c: &U256, k_global: &U256, k_blind: &U256, p: &U256) -> U256 {
+    // Extended-Euclid inverse: the paper's `C_MI32` measures GMP's
+    // Euclid-based mpz_invert; the Fermat path exists for primes too but
+    // is an order of magnitude slower (see the ablation bench).
+    let inv = k_global
+        .inv_mod_euclid(p)
+        .expect("K_t is non-zero and p is prime");
+    c.sub_mod(&k_blind.rem(p), p).mul_mod(&inv, p)
+}
+
+/// The aggregator's merge: plain modular addition of ciphertexts
+/// (paper §IV-A, merging phase). Aggregators possess only `p`.
+pub fn merge(c1: &U256, c2: &U256, p: &U256) -> U256 {
+    c1.add_mod(c2, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sies_crypto::DEFAULT_PRIME_256;
+
+    fn u(v: u128) -> U256 {
+        U256::from_u128(v)
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = DEFAULT_PRIME_256;
+        let k_global = u(0xdead_beef_1234);
+        let k_blind = u(0x9999_8888_7777);
+        let m = u(424_242);
+        let c = encrypt(&m, &k_global, &k_blind, &p);
+        assert_ne!(c, m, "ciphertext must differ from plaintext");
+        assert_eq!(decrypt(&c, &k_global, &k_blind, &p), m);
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let p = DEFAULT_PRIME_256;
+        let k_global = u(77_777);
+        let (k1, k2) = (u(1010), u(2020));
+        let (m1, m2) = (u(300), u(500));
+        let c = merge(
+            &encrypt(&m1, &k_global, &k1, &p),
+            &encrypt(&m2, &k_global, &k2, &p),
+            &p,
+        );
+        let ksum = k1.add_mod(&k2, &p);
+        assert_eq!(decrypt(&c, &k_global, &ksum, &p), u(800));
+    }
+
+    #[test]
+    fn many_way_homomorphism() {
+        let p = DEFAULT_PRIME_256;
+        let k_global = u(31337);
+        let mut c_acc = U256::ZERO;
+        let mut k_acc = U256::ZERO;
+        let mut m_sum: u128 = 0;
+        for i in 1..=100u128 {
+            let k = u(i * 7919);
+            let m = u(i * i);
+            c_acc = merge(&c_acc, &encrypt(&m, &k_global, &k, &p), &p);
+            k_acc = k_acc.add_mod(&k, &p);
+            m_sum += i * i;
+        }
+        assert_eq!(decrypt(&c_acc, &k_global, &k_acc, &p), u(m_sum));
+    }
+
+    #[test]
+    fn wrong_blinding_key_decrypts_garbage() {
+        let p = DEFAULT_PRIME_256;
+        let c = encrypt(&u(5), &u(3), &u(100), &p);
+        assert_ne!(decrypt(&c, &u(3), &u(101), &p), u(5));
+    }
+
+    #[test]
+    fn wrong_global_key_decrypts_garbage() {
+        let p = DEFAULT_PRIME_256;
+        let c = encrypt(&u(5), &u(3), &u(100), &p);
+        assert_ne!(decrypt(&c, &u(4), &u(100), &p), u(5));
+    }
+
+    #[test]
+    fn encryption_of_zero_is_blinding_key() {
+        let p = DEFAULT_PRIME_256;
+        let k_blind = u(0xabcdef);
+        assert_eq!(encrypt(&U256::ZERO, &u(5), &k_blind, &p), k_blind);
+    }
+}

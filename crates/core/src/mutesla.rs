@@ -1,0 +1,282 @@
+//! A μTesla-style authenticated broadcast (Perrig et al., SPINS) used by
+//! the querier to disseminate queries (paper §IV-A setup phase and
+//! Theorem 3: querier-impersonation resistance).
+//!
+//! The broadcaster commits to a one-way hash chain `K_0 ← H(K_1) ← … ←
+//! H(K_n)`. During interval `i` it MACs packets with a key derived from
+//! `K_i`, and discloses `K_i` only `d` intervals later. Receivers buffer
+//! packets and verify them once the key arrives, checking that the
+//! disclosed key hashes back to the last authenticated chain element.
+//!
+//! This module is an in-memory simulation: loose time synchronization is
+//! modelled by the receiver tracking the current interval and enforcing
+//! the *security condition* — a packet is accepted into the buffer only if
+//! its key cannot have been disclosed yet.
+
+use crate::error::SiesError;
+use sies_crypto::hash::HashFunction;
+use sies_crypto::hmac::{ct_eq, hmac};
+use sies_crypto::sha256::Sha256;
+use rand::RngCore;
+
+/// A chain key (SHA-256 output).
+pub type ChainKey = [u8; 32];
+
+/// A broadcast packet: payload, MAC, and the interval whose key MACed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The broadcast payload (e.g. a serialized query).
+    pub payload: Vec<u8>,
+    /// `HMAC-SHA256(K'_i, payload)`.
+    pub mac: [u8; 32],
+    /// The sending interval `i`.
+    pub interval: u64,
+}
+
+/// A key-disclosure message for interval `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disclosure {
+    /// The interval whose key is being disclosed.
+    pub interval: u64,
+    /// The chain key `K_i`.
+    pub key: ChainKey,
+}
+
+/// Derives the per-interval MAC key `K'_i` from the chain key `K_i`,
+/// keeping MAC use domain-separated from chain hashing.
+fn mac_key(chain_key: &ChainKey) -> [u8; 32] {
+    hmac::<Sha256>(chain_key, b"mutesla-mac")
+        .try_into()
+        .expect("SHA-256 output is 32 bytes")
+}
+
+/// One application of the chain function `H`.
+fn chain_step(key: &ChainKey) -> ChainKey {
+    Sha256::digest(key).try_into().expect("SHA-256 output is 32 bytes")
+}
+
+/// The broadcaster (the querier in SIES).
+pub struct Broadcaster {
+    /// `chain[i]` is `K_i`; `chain[0]` is the public commitment `K_0`.
+    chain: Vec<ChainKey>,
+    /// Disclosure lag `d` in intervals.
+    delay: u64,
+}
+
+impl Broadcaster {
+    /// Generates a chain supporting intervals `1..=intervals`, with
+    /// disclosure delay `d ≥ 1`.
+    pub fn new(rng: &mut dyn RngCore, intervals: u64, delay: u64) -> Self {
+        assert!(delay >= 1, "disclosure delay must be at least 1 interval");
+        let n = intervals as usize + 1;
+        let mut chain = vec![[0u8; 32]; n];
+        rng.fill_bytes(&mut chain[n - 1]);
+        for i in (0..n - 1).rev() {
+            chain[i] = chain_step(&chain[i + 1]);
+        }
+        Broadcaster { chain, delay }
+    }
+
+    /// The public commitment `K_0`, distributed authentically at bootstrap.
+    pub fn commitment(&self) -> ChainKey {
+        self.chain[0]
+    }
+
+    /// The disclosure delay.
+    pub fn delay(&self) -> u64 {
+        self.delay
+    }
+
+    /// MACs a payload with interval `i`'s key. Panics when the chain is
+    /// exhausted or `interval` is 0 (interval 0 is the commitment).
+    pub fn broadcast(&self, interval: u64, payload: &[u8]) -> Packet {
+        let key = &self.chain[interval as usize];
+        let mac = hmac::<Sha256>(&mac_key(key), payload)
+            .try_into()
+            .expect("32 bytes");
+        Packet { payload: payload.to_vec(), mac, interval }
+    }
+
+    /// Discloses interval `i`'s key (sent during interval `i + d`).
+    pub fn disclose(&self, interval: u64) -> Disclosure {
+        Disclosure { interval, key: self.chain[interval as usize] }
+    }
+}
+
+/// A receiver (a source sensor in SIES).
+pub struct Receiver {
+    /// Last authenticated chain element and its interval.
+    auth_key: ChainKey,
+    auth_interval: u64,
+    /// Disclosure delay `d` (known system parameter).
+    delay: u64,
+    /// Buffered, not-yet-verifiable packets.
+    pending: Vec<Packet>,
+}
+
+impl Receiver {
+    /// Bootstraps from the authentic commitment `K_0`.
+    pub fn new(commitment: ChainKey, delay: u64) -> Self {
+        Receiver { auth_key: commitment, auth_interval: 0, delay, pending: Vec::new() }
+    }
+
+    /// Accepts a packet into the buffer if the security condition holds:
+    /// at local time `now`, the key for `packet.interval` must not have
+    /// been disclosed yet (`now < interval + d`). Late packets are
+    /// rejected because a forger could already know the key.
+    pub fn receive(&mut self, now: u64, packet: Packet) -> Result<(), SiesError> {
+        if now >= packet.interval + self.delay {
+            return Err(SiesError::BroadcastAuthFailure(format!(
+                "security condition violated: packet for interval {} arrived at {now}",
+                packet.interval
+            )));
+        }
+        if packet.interval <= self.auth_interval {
+            return Err(SiesError::BroadcastAuthFailure(
+                "packet interval already disclosed".into(),
+            ));
+        }
+        self.pending.push(packet);
+        Ok(())
+    }
+
+    /// Processes a key disclosure: authenticates the key against the
+    /// chain, then verifies and returns all buffered payloads MACed under
+    /// it. Invalid disclosures are rejected; packets failing MAC
+    /// verification are dropped (and reported in the error count).
+    pub fn on_disclosure(&mut self, disclosure: Disclosure) -> Result<Vec<Vec<u8>>, SiesError> {
+        if disclosure.interval <= self.auth_interval {
+            return Err(SiesError::BroadcastAuthFailure(
+                "stale key disclosure".into(),
+            ));
+        }
+        // Authenticate: hashing forward (interval - auth_interval) times
+        // must reach the last authenticated element.
+        let steps = disclosure.interval - self.auth_interval;
+        let mut k = disclosure.key;
+        for _ in 0..steps {
+            k = chain_step(&k);
+        }
+        if !ct_eq(&k, &self.auth_key) {
+            return Err(SiesError::BroadcastAuthFailure(
+                "disclosed key does not extend the authenticated chain".into(),
+            ));
+        }
+        self.auth_key = disclosure.key;
+        self.auth_interval = disclosure.interval;
+
+        // Verify buffered packets for this interval.
+        let mkey = mac_key(&disclosure.key);
+        let mut verified = Vec::new();
+        let mut remaining = Vec::new();
+        for packet in self.pending.drain(..) {
+            if packet.interval != disclosure.interval {
+                if packet.interval > disclosure.interval {
+                    remaining.push(packet);
+                }
+                // Packets for already-disclosed intervals can never verify
+                // safely; drop them.
+                continue;
+            }
+            let expected = hmac::<Sha256>(&mkey, &packet.payload);
+            if ct_eq(&expected, &packet.mac) {
+                verified.push(packet.payload);
+            }
+        }
+        self.pending = remaining;
+        Ok(verified)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(intervals: u64, delay: u64) -> (Broadcaster, Receiver) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let b = Broadcaster::new(&mut rng, intervals, delay);
+        let r = Receiver::new(b.commitment(), delay);
+        (b, r)
+    }
+
+    #[test]
+    fn broadcast_verifies_after_disclosure() {
+        let (b, mut r) = setup(10, 2);
+        let pkt = b.broadcast(1, b"SELECT SUM(temp)");
+        r.receive(1, pkt).unwrap();
+        let msgs = r.on_disclosure(b.disclose(1)).unwrap();
+        assert_eq!(msgs, vec![b"SELECT SUM(temp)".to_vec()]);
+    }
+
+    #[test]
+    fn forged_mac_rejected() {
+        let (b, mut r) = setup(10, 2);
+        let mut pkt = b.broadcast(1, b"legit query");
+        pkt.payload = b"evil query".to_vec(); // adversary alters payload
+        r.receive(1, pkt).unwrap();
+        let msgs = r.on_disclosure(b.disclose(1)).unwrap();
+        assert!(msgs.is_empty(), "forged packet must not verify");
+    }
+
+    #[test]
+    fn forged_key_rejected() {
+        let (b, mut r) = setup(10, 2);
+        let pkt = b.broadcast(1, b"q");
+        r.receive(1, pkt).unwrap();
+        let bogus = Disclosure { interval: 1, key: [0xEE; 32] };
+        assert!(r.on_disclosure(bogus).is_err());
+        // The real key still works afterwards.
+        assert_eq!(r.on_disclosure(b.disclose(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn security_condition_rejects_late_packets() {
+        let (b, mut r) = setup(10, 2);
+        let pkt = b.broadcast(1, b"q");
+        // Arrives at time 3 = 1 + delay: key may already be public.
+        assert!(r.receive(3, pkt).is_err());
+    }
+
+    #[test]
+    fn stale_disclosure_rejected() {
+        let (b, mut r) = setup(10, 1);
+        r.receive(1, b.broadcast(1, b"a")).unwrap();
+        r.on_disclosure(b.disclose(1)).unwrap();
+        assert!(r.on_disclosure(b.disclose(1)).is_err());
+    }
+
+    #[test]
+    fn skipped_intervals_still_authenticate() {
+        // Receiver misses disclosures 1..4; key 5 must still chain back to
+        // the commitment.
+        let (b, mut r) = setup(10, 2);
+        r.receive(5, b.broadcast(5, b"late query")).unwrap();
+        let msgs = r.on_disclosure(b.disclose(5)).unwrap();
+        assert_eq!(msgs.len(), 1);
+    }
+
+    #[test]
+    fn packets_for_future_intervals_stay_buffered() {
+        let (b, mut r) = setup(10, 3);
+        r.receive(1, b.broadcast(1, b"one")).unwrap();
+        r.receive(2, b.broadcast(2, b"two")).unwrap();
+        let first = r.on_disclosure(b.disclose(1)).unwrap();
+        assert_eq!(first, vec![b"one".to_vec()]);
+        let second = r.on_disclosure(b.disclose(2)).unwrap();
+        assert_eq!(second, vec![b"two".to_vec()]);
+    }
+
+    #[test]
+    fn chain_commitment_is_deterministic_chain_head() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = Broadcaster::new(&mut rng, 5, 1);
+        // Hashing K_5 five times yields K_0.
+        let mut k = b.disclose(5).key;
+        for _ in 0..5 {
+            k = chain_step(&k);
+        }
+        assert_eq!(k, b.commitment());
+    }
+}

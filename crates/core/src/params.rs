@@ -1,0 +1,185 @@
+//! System parameters: the prime modulus and the `m_{i,t}` message layout.
+//!
+//! Paper §IV-A, Figure 2: the plaintext is `[ v | ⌈log₂N⌉ zero bits | ss ]`
+//! where `v` is 4 bytes (or 8 bytes for applications whose SUM may exceed
+//! `2^32 − 1`, footnote 1) and `ss` is a 20-byte secret share. The zero
+//! padding absorbs the carry produced when up to `N` shares are summed, so
+//! the share field never pollutes the result field.
+
+use crate::error::SiesError;
+use sies_crypto::u256::U256;
+use sies_crypto::DEFAULT_PRIME_256;
+
+/// Secret-share width in bits: SHA-1 HMAC output, 20 bytes.
+pub const SHARE_BITS: usize = 160;
+
+/// Width of the SUM result field in the plaintext message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultWidth {
+    /// 4-byte result field: final SUM must stay below `2^32` (the paper's
+    /// default).
+    U32,
+    /// 8-byte result field for larger sums (paper footnote 1); limits the
+    /// padding to 32 bits and therefore `N ≤ 2^32`.
+    U64,
+}
+
+impl ResultWidth {
+    /// Field width in bits.
+    pub const fn bits(self) -> usize {
+        match self {
+            ResultWidth::U32 => 32,
+            ResultWidth::U64 => 64,
+        }
+    }
+
+    /// Largest representable per-source value / final result.
+    pub const fn max_value(self) -> u64 {
+        match self {
+            ResultWidth::U32 => u32::MAX as u64,
+            ResultWidth::U64 => u64::MAX,
+        }
+    }
+}
+
+/// Public system parameters shared by the querier, sources, and
+/// aggregators. Aggregators only ever use [`Self::prime`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemParams {
+    prime: U256,
+    num_sources: u64,
+    pad_bits: usize,
+    result_width: ResultWidth,
+}
+
+impl SystemParams {
+    /// Builds parameters for `num_sources` sources with the default
+    /// 256-bit prime and a 4-byte result field.
+    pub fn new(num_sources: u64) -> Result<Self, SiesError> {
+        Self::with_prime(num_sources, DEFAULT_PRIME_256, ResultWidth::U32)
+    }
+
+    /// Builds parameters with an explicit prime and result width.
+    ///
+    /// Validates the Figure-2 layout: `result_bits + ⌈log₂N⌉ + 160` must
+    /// not exceed the prime's bit length.
+    pub fn with_prime(
+        num_sources: u64,
+        prime: U256,
+        result_width: ResultWidth,
+    ) -> Result<Self, SiesError> {
+        if num_sources == 0 {
+            return Err(SiesError::InvalidParams("at least one source required".into()));
+        }
+        // ⌈log₂ N⌉ without overflow for N near 2^64.
+        let pad_bits = (64 - (num_sources - 1).leading_zeros()) as usize;
+        let total = result_width.bits() + pad_bits + SHARE_BITS;
+        let prime_bits = prime.bit_len();
+        if total > prime_bits {
+            return Err(SiesError::InvalidParams(format!(
+                "message layout needs {total} bits but the modulus has only {prime_bits}"
+            )));
+        }
+        // The homomorphic sum must stay below p: the largest possible
+        // aggregate message is < 2^total <= 2^(prime_bits) — require strict
+        // room of one bit unless the prime is full-width and larger than
+        // any message (checked by comparing against 2^total when it fits).
+        if total == prime_bits {
+            // p must exceed every possible aggregate, i.e. p > 2^total - 1
+            // is impossible; demand one spare bit instead.
+            return Err(SiesError::InvalidParams(format!(
+                "message layout of {total} bits leaves no headroom below the {prime_bits}-bit modulus"
+            )));
+        }
+        Ok(SystemParams { prime, num_sources, pad_bits, result_width })
+    }
+
+    /// The public prime modulus `p`.
+    pub fn prime(&self) -> &U256 {
+        &self.prime
+    }
+
+    /// Number of sources `N`.
+    pub fn num_sources(&self) -> u64 {
+        self.num_sources
+    }
+
+    /// Overflow-padding width `⌈log₂ N⌉` in bits.
+    pub fn pad_bits(&self) -> usize {
+        self.pad_bits
+    }
+
+    /// The result-field configuration.
+    pub fn result_width(&self) -> ResultWidth {
+        self.result_width
+    }
+
+    /// Bit offset of the result field inside the 256-bit message:
+    /// `share_bits + pad_bits`.
+    pub fn result_shift(&self) -> usize {
+        SHARE_BITS + self.pad_bits
+    }
+
+    /// Wire size of a PSR in bytes (always 32 in this implementation,
+    /// matching the paper: the ciphertext is one residue mod a 32-byte
+    /// prime).
+    pub fn psr_size_bytes(&self) -> usize {
+        32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sies_crypto::generate_prime_u256;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_params_for_paper_sizes() {
+        for n in [64u64, 256, 1024, 4096, 16384] {
+            let p = SystemParams::new(n).unwrap();
+            assert_eq!(p.pad_bits(), (n as f64).log2() as usize);
+            assert_eq!(p.result_shift(), 160 + p.pad_bits());
+            assert_eq!(p.psr_size_bytes(), 32);
+        }
+    }
+
+    #[test]
+    fn pad_bits_rounds_up_for_non_powers() {
+        let p = SystemParams::new(1000).unwrap();
+        assert_eq!(p.pad_bits(), 10);
+        let p = SystemParams::new(1).unwrap();
+        assert_eq!(p.pad_bits(), 0);
+        let p = SystemParams::new(3).unwrap();
+        assert_eq!(p.pad_bits(), 2);
+    }
+
+    #[test]
+    fn u32_width_supports_up_to_2_pow_63_sources() {
+        // 32 + 63 + 160 = 255 < 256: fine.
+        assert!(SystemParams::with_prime(1u64 << 63, DEFAULT_PRIME_256, ResultWidth::U32).is_ok());
+        // 32 + 64 + 160 = 256: no headroom.
+        assert!(SystemParams::with_prime(u64::MAX, DEFAULT_PRIME_256, ResultWidth::U32).is_err());
+    }
+
+    #[test]
+    fn u64_width_limits_sources() {
+        // 64 + 31 + 160 = 255: ok.
+        assert!(SystemParams::with_prime(1u64 << 30, DEFAULT_PRIME_256, ResultWidth::U64).is_ok());
+        // 64 + 32 + 160 = 256: rejected.
+        assert!(SystemParams::with_prime(1u64 << 32, DEFAULT_PRIME_256, ResultWidth::U64).is_err());
+    }
+
+    #[test]
+    fn zero_sources_rejected() {
+        assert!(SystemParams::new(0).is_err());
+    }
+
+    #[test]
+    fn small_prime_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = generate_prime_u256(&mut rng, 128);
+        assert!(SystemParams::with_prime(1024, small, ResultWidth::U32).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Forward-secure key evolution for long-lived deployments.
+//!
+//! The paper's setup phase registers long-term keys `K, k_i` once and the
+//! threat model accepts that a compromised source leaks *its own* future
+//! readings. What a careful deployment can still protect is the **past**:
+//! if keys evolve through a one-way function per generation, a node
+//! captured in generation `g` yields `K^{(g)}` but not `K^{(g-1)}` — every
+//! epoch already reported remains confidential and unforgeable.
+//!
+//! `K^{(g+1)} = HM256(K^{(g)}, "sies-keygen-evolve")`, truncated to the
+//! 20-byte long-term key size. Both end-points evolve in lock-step on a
+//! fixed epoch schedule, so no messages are exchanged.
+
+use crate::error::Epoch;
+use crate::scheme::{LongTermKey, KEY_BYTES};
+use sies_crypto::prf;
+
+/// Domain-separation label for the evolution step.
+const EVOLVE_LABEL: &[u8] = b"sies-keygen-evolve";
+
+/// A long-term key that evolves one-way across generations.
+#[derive(Clone)]
+pub struct EvolvingKey {
+    key: LongTermKey,
+    generation: u64,
+}
+
+impl EvolvingKey {
+    /// Wraps a freshly registered generation-0 key.
+    pub fn new(key: LongTermKey) -> Self {
+        EvolvingKey { key, generation: 0 }
+    }
+
+    /// Current generation number.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The current key material.
+    pub fn key(&self) -> &LongTermKey {
+        &self.key
+    }
+
+    /// Advances one generation in place (destroying the old key, which is
+    /// the point: it can no longer be extracted from this state).
+    pub fn evolve(&mut self) {
+        let digest = prf::hm256(&self.key, EVOLVE_LABEL);
+        self.key.copy_from_slice(&digest[..KEY_BYTES]);
+        self.generation += 1;
+    }
+
+    /// Advances to `generation` (must not go backward — that is exactly
+    /// what the one-way function forbids).
+    pub fn evolve_to(&mut self, generation: u64) {
+        assert!(
+            generation >= self.generation,
+            "cannot evolve backward from {} to {generation}",
+            self.generation
+        );
+        while self.generation < generation {
+            self.evolve();
+        }
+    }
+}
+
+/// Maps epochs to key generations: a new generation every
+/// `epochs_per_generation` epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotationSchedule {
+    /// Window length in epochs (≥ 1).
+    pub epochs_per_generation: u64,
+}
+
+impl RotationSchedule {
+    /// Creates a schedule. Panics for a zero window.
+    pub fn new(epochs_per_generation: u64) -> Self {
+        assert!(epochs_per_generation >= 1, "window must be at least one epoch");
+        RotationSchedule { epochs_per_generation }
+    }
+
+    /// The generation governing `epoch`.
+    pub fn generation_for(&self, epoch: Epoch) -> u64 {
+        epoch / self.epochs_per_generation
+    }
+
+    /// Brings a key up to date for `epoch` and returns the key material
+    /// to use (a convenience combining schedule and evolution).
+    pub fn key_for<'k>(&self, key: &'k mut EvolvingKey, epoch: Epoch) -> &'k LongTermKey {
+        key.evolve_to(self.generation_for(epoch));
+        key.key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> LongTermKey {
+        [0x5A; KEY_BYTES]
+    }
+
+    #[test]
+    fn evolution_is_deterministic_and_changes_key() {
+        let mut a = EvolvingKey::new(base());
+        let mut b = EvolvingKey::new(base());
+        a.evolve();
+        b.evolve();
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.key(), &base());
+        assert_eq!(a.generation(), 1);
+    }
+
+    #[test]
+    fn distinct_generations_have_distinct_keys() {
+        let mut k = EvolvingKey::new(base());
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(*k.key());
+        for _ in 0..100 {
+            k.evolve();
+            assert!(seen.insert(*k.key()), "generation collision at {}", k.generation());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward")]
+    fn backward_evolution_rejected() {
+        let mut k = EvolvingKey::new(base());
+        k.evolve_to(5);
+        k.evolve_to(3);
+    }
+
+    #[test]
+    fn schedule_maps_epochs_to_generations() {
+        let s = RotationSchedule::new(10);
+        assert_eq!(s.generation_for(0), 0);
+        assert_eq!(s.generation_for(9), 0);
+        assert_eq!(s.generation_for(10), 1);
+        assert_eq!(s.generation_for(105), 10);
+    }
+
+    #[test]
+    fn key_for_advances_lazily() {
+        let s = RotationSchedule::new(4);
+        let mut k = EvolvingKey::new(base());
+        let g0 = *s.key_for(&mut k, 3);
+        assert_eq!(k.generation(), 0);
+        let g1 = *s.key_for(&mut k, 4);
+        assert_eq!(k.generation(), 1);
+        assert_ne!(g0, g1);
+        // Same window, same key.
+        assert_eq!(s.key_for(&mut k, 7), &g1);
+    }
+
+    #[test]
+    fn both_endpoints_stay_in_sync_through_sies() {
+        // Source and querier evolve independently yet agree: run SIES
+        // with generation-g keys on both sides.
+        use crate::params::SystemParams;
+        use crate::scheme::{setup, Source};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let schedule = RotationSchedule::new(5);
+        // Model rotation by re-running setup with evolved master entropy:
+        // both sides derive the same generation-g deployment.
+        for generation in 0..3u64 {
+            let mut master = EvolvingKey::new([9; KEY_BYTES]);
+            master.evolve_to(generation);
+            let seed = u64::from_be_bytes(master.key()[..8].try_into().unwrap());
+            let mut gen_rng = StdRng::seed_from_u64(seed);
+            let params = SystemParams::new(4).unwrap();
+            let (querier, creds, aggregator) = setup(&mut gen_rng, params);
+            let sources: Vec<Source> = creds.into_iter().map(Source::new).collect();
+            let epoch = generation * schedule.epochs_per_generation;
+            let psrs: Vec<_> =
+                sources.iter().map(|s| s.initialize(epoch, 10).unwrap()).collect();
+            let final_psr = aggregator.merge(&psrs).unwrap();
+            assert_eq!(querier.evaluate(&final_psr, epoch).unwrap().sum, 40);
+        }
+        let _ = schedule;
+    }
+
+    #[test]
+    fn forward_security_property() {
+        // Knowing generation g's key lets you compute g+1 (and the node is
+        // compromised going forward anyway) but the *previous* key is not
+        // recoverable: verify there is no shortcut by checking that
+        // evolving the captured key never reproduces an earlier one.
+        let mut timeline = Vec::new();
+        let mut k = EvolvingKey::new(base());
+        for _ in 0..20 {
+            timeline.push(*k.key());
+            k.evolve();
+        }
+        // "Capture" at generation 10 and roll forward 50 steps: none of
+        // the earlier keys may reappear.
+        let mut captured = EvolvingKey::new(timeline[10]);
+        for _ in 0..50 {
+            captured.evolve();
+            assert!(
+                !timeline[..10].contains(captured.key()),
+                "one-way chain looped back into the past"
+            );
+        }
+    }
+}

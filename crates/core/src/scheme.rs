@@ -1,0 +1,444 @@
+//! The four SIES phases (paper §IV-A): setup, initialization (source),
+//! merging (aggregator), and evaluation (querier).
+//!
+//! Role separation follows the paper's Figure 1: *sources* generate
+//! readings at the leaves, *aggregators* fuse partial state records (PSRs)
+//! at internal nodes, and the *querier* decrypts and verifies the single
+//! final PSR received from the sink.
+
+use crate::codec::{self, SecretShare};
+use crate::error::{Epoch, SiesError, SourceId};
+use crate::hom;
+use crate::params::SystemParams;
+use rand::RngCore;
+use sies_crypto::prf;
+use sies_crypto::u256::U256;
+
+/// Length of the long-term keys `K` and `k_i` in bytes (paper §IV-A: "in
+/// our implementation we set this size to 20 bytes").
+pub const KEY_BYTES: usize = 20;
+
+/// A long-term 20-byte secret key.
+pub type LongTermKey = [u8; KEY_BYTES];
+
+/// A partial state record: the 32-byte ciphertext flowing along network
+/// edges. This is the *only* thing transmitted by SIES, which is why its
+/// per-edge communication cost is a constant 32 bytes (paper Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Psr {
+    ciphertext: U256,
+}
+
+impl Psr {
+    /// The raw ciphertext residue.
+    pub fn ciphertext(&self) -> &U256 {
+        &self.ciphertext
+    }
+
+    /// Constructs from a raw ciphertext (used by adversary simulations to
+    /// inject tampered PSRs).
+    pub fn from_ciphertext(ciphertext: U256) -> Self {
+        Psr { ciphertext }
+    }
+
+    /// Serializes to the 32-byte wire format.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.ciphertext.to_be_bytes()
+    }
+
+    /// Deserializes from the 32-byte wire format.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        Psr { ciphertext: U256::from_be_bytes(bytes) }
+    }
+
+    /// Wire size in bytes.
+    pub const fn wire_size() -> usize {
+        32
+    }
+}
+
+/// The credentials the querier manually registers at source `𝒮_i` during
+/// setup: `(K, k_i, p)`.
+#[derive(Clone)]
+pub struct SourceCredentials {
+    id: SourceId,
+    global_key: LongTermKey,
+    source_key: LongTermKey,
+    params: SystemParams,
+}
+
+/// A source sensor: runs the initialization phase each epoch.
+pub struct Source {
+    creds: SourceCredentials,
+}
+
+/// An aggregator sensor: holds only the public prime `p` (it has no keys —
+/// compromising it is no worse than eavesdropping, paper §IV-B).
+#[derive(Clone)]
+pub struct Aggregator {
+    prime: U256,
+}
+
+/// The querier: holds `K` and every `k_i`, runs the evaluation phase.
+pub struct Querier {
+    global_key: LongTermKey,
+    source_keys: Vec<LongTermKey>,
+    params: SystemParams,
+}
+
+/// A successfully verified SUM result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifiedSum {
+    /// The exact SUM `res_t`.
+    pub sum: u64,
+    /// The epoch the result was verified for.
+    pub epoch: Epoch,
+    /// How many sources contributed.
+    pub contributors: u64,
+}
+
+/// Runs the setup phase: generates `K`, `k_1..k_N` and distributes the
+/// credentials. Returns the querier together with the per-source
+/// credentials and the aggregator configuration.
+pub fn setup(
+    rng: &mut dyn RngCore,
+    params: SystemParams,
+) -> (Querier, Vec<SourceCredentials>, Aggregator) {
+    let mut global_key = [0u8; KEY_BYTES];
+    rng.fill_bytes(&mut global_key);
+    let n = params.num_sources();
+    let mut source_keys = Vec::with_capacity(n as usize);
+    let mut creds = Vec::with_capacity(n as usize);
+    for id in 0..n {
+        let mut k_i = [0u8; KEY_BYTES];
+        rng.fill_bytes(&mut k_i);
+        source_keys.push(k_i);
+        creds.push(SourceCredentials {
+            id: id as SourceId,
+            global_key,
+            source_key: k_i,
+            params: params.clone(),
+        });
+    }
+    let aggregator = Aggregator { prime: *params.prime() };
+    let querier = Querier { global_key, source_keys, params };
+    (querier, creds, aggregator)
+}
+
+impl SourceCredentials {
+    /// The source's identifier.
+    pub fn id(&self) -> SourceId {
+        self.id
+    }
+
+    /// The shared system parameters.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+}
+
+impl Source {
+    /// Instantiates a source from its registered credentials.
+    pub fn new(creds: SourceCredentials) -> Self {
+        Source { creds }
+    }
+
+    /// The source's identifier.
+    pub fn id(&self) -> SourceId {
+        self.creds.id
+    }
+
+    /// The initialization phase `I`: derives the epoch keys and share,
+    /// encodes the reading, and encrypts it into a PSR.
+    ///
+    /// Per paper §IV-A this costs two `HM256` calls, one `HM1` call, one
+    /// 32-byte modular multiplication and one modular addition (`C^𝒮_SIES`,
+    /// Equation 3).
+    pub fn initialize(&self, epoch: Epoch, value: u64) -> Result<Psr, SiesError> {
+        let p = self.creds.params.prime();
+        // K_t = HM256(K, t), shared by all sources.
+        let k_t = prf::derive_mod_nonzero(&self.creds.global_key, epoch, p);
+        // k_{i,t} = HM256(k_i, t), known only to S_i (and the querier).
+        let k_it = prf::derive_mod(&self.creds.source_key, epoch, p);
+        // ss_{i,t} = HM1(k_i, t).
+        let ss: SecretShare = prf::hm1_epoch(&self.creds.source_key, epoch);
+        let m = codec::encode_message(&self.creds.params, value, &ss)?;
+        Ok(Psr { ciphertext: hom::encrypt(&m, &k_t, &k_it, p) })
+    }
+}
+
+impl Aggregator {
+    /// Instantiates an aggregator holding the public prime.
+    pub fn new(prime: U256) -> Self {
+        Aggregator { prime }
+    }
+
+    /// The merging phase `M`: fuses the children's PSRs into one by
+    /// modular addition (`F − 1` additions for fanout `F`, Equation 6).
+    ///
+    /// Returns `None` for an empty child list (a failed subtree).
+    pub fn merge(&self, psrs: &[Psr]) -> Option<Psr> {
+        let mut iter = psrs.iter();
+        let first = *iter.next()?;
+        Some(iter.fold(first, |acc, psr| Psr {
+            ciphertext: hom::merge(&acc.ciphertext, &psr.ciphertext, &self.prime),
+        }))
+    }
+
+    /// Merges one more PSR into an accumulator (streaming form used by the
+    /// network simulator).
+    pub fn merge_into(&self, acc: &mut Psr, psr: &Psr) {
+        acc.ciphertext = hom::merge(&acc.ciphertext, &psr.ciphertext, &self.prime);
+    }
+}
+
+impl Querier {
+    /// The shared system parameters.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// The evaluation phase `E`, assuming **all** `N` sources contributed.
+    pub fn evaluate(&self, final_psr: &Psr, epoch: Epoch) -> Result<VerifiedSum, SiesError> {
+        let all: Vec<SourceId> = (0..self.source_keys.len() as SourceId).collect();
+        self.evaluate_with_contributors(final_psr, epoch, &all)
+    }
+
+    /// The evaluation phase with an explicit contributor set (paper §IV-B,
+    /// Discussion: on node failures the querier sums only the shares of
+    /// the sources that contributed).
+    ///
+    /// Decrypts `m_{f,t} = 𝒟(PSR_{f,t}, K_t, Σ k_{i,t}, p)`, splits it into
+    /// `(res_t, s_t)`, recomputes `Σ ss_{i,t}`, and accepts iff they match
+    /// (Theorems 2 and 4: integrity and freshness).
+    pub fn evaluate_with_contributors(
+        &self,
+        final_psr: &Psr,
+        epoch: Epoch,
+        contributors: &[SourceId],
+    ) -> Result<VerifiedSum, SiesError> {
+        let p = self.params.prime();
+        let k_t = prf::derive_mod_nonzero(&self.global_key, epoch, p);
+
+        // Σ k_{i,t} mod p and Σ ss_{i,t} (plain integer) over contributors.
+        let mut k_sum = U256::ZERO;
+        let mut expected_secret = U256::ZERO;
+        for &id in contributors {
+            let key = self
+                .source_keys
+                .get(id as usize)
+                .ok_or(SiesError::UnknownSource(id))?;
+            let k_it = prf::derive_mod(key, epoch, p);
+            k_sum = k_sum.add_mod(&k_it, p);
+            let ss = prf::hm1_epoch(key, epoch);
+            expected_secret = expected_secret
+                .checked_add(&codec::share_to_u256(&ss))
+                .expect("share sum fits 256 bits");
+        }
+
+        let m_f = hom::decrypt(final_psr.ciphertext(), &k_t, &k_sum, p);
+        let decoded = codec::decode_final(&self.params, &m_f);
+        if decoded.secret != expected_secret {
+            return Err(SiesError::IntegrityViolation { epoch });
+        }
+        Ok(VerifiedSum {
+            sum: decoded.result,
+            epoch,
+            contributors: contributors.len() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn full_setup(n: u64, seed: u64) -> (Querier, Vec<Source>, Aggregator) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = SystemParams::new(n).unwrap();
+        let (querier, creds, agg) = setup(&mut rng, params);
+        let sources = creds.into_iter().map(Source::new).collect();
+        (querier, sources, agg)
+    }
+
+    fn run_epoch(
+        sources: &[Source],
+        agg: &Aggregator,
+        values: &[u64],
+        epoch: Epoch,
+    ) -> Psr {
+        let psrs: Vec<Psr> = sources
+            .iter()
+            .zip(values)
+            .map(|(s, &v)| s.initialize(epoch, v).unwrap())
+            .collect();
+        agg.merge(&psrs).unwrap()
+    }
+
+    #[test]
+    fn exact_sum_end_to_end() {
+        let (querier, sources, agg) = full_setup(16, 1);
+        let values: Vec<u64> = (0..16).map(|i| 100 + i * 7).collect();
+        let expected: u64 = values.iter().sum();
+        let final_psr = run_epoch(&sources, &agg, &values, 5);
+        let res = querier.evaluate(&final_psr, 5).unwrap();
+        assert_eq!(res.sum, expected);
+        assert_eq!(res.epoch, 5);
+        assert_eq!(res.contributors, 16);
+    }
+
+    #[test]
+    fn sum_of_zeros_verifies() {
+        // Sources failing the WHERE predicate transmit 0 (paper §III-B).
+        let (querier, sources, agg) = full_setup(8, 2);
+        let final_psr = run_epoch(&sources, &agg, &[0; 8], 1);
+        assert_eq!(querier.evaluate(&final_psr, 1).unwrap().sum, 0);
+    }
+
+    #[test]
+    fn hierarchical_merge_matches_flat_merge() {
+        // Figure 1 topology: two level-1 aggregators under one sink.
+        let (querier, sources, agg) = full_setup(4, 3);
+        let values = [10u64, 20, 30, 40];
+        let psrs: Vec<Psr> = sources
+            .iter()
+            .zip(&values)
+            .map(|(s, &v)| s.initialize(9, v).unwrap())
+            .collect();
+        let left = agg.merge(&psrs[..2]).unwrap();
+        let right = agg.merge(&psrs[2..]).unwrap();
+        let sink = agg.merge(&[left, right]).unwrap();
+        let flat = agg.merge(&psrs).unwrap();
+        assert_eq!(sink, flat);
+        assert_eq!(querier.evaluate(&sink, 9).unwrap().sum, 100);
+    }
+
+    #[test]
+    fn tampered_psr_detected() {
+        let (querier, sources, agg) = full_setup(8, 4);
+        let final_psr = run_epoch(&sources, &agg, &[5; 8], 0);
+        // Adversary adds an arbitrary integer to the ciphertext — this is
+        // exactly the attack that breaks CMT (paper §II-D).
+        let tampered = Psr::from_ciphertext(
+            final_psr
+                .ciphertext()
+                .add_mod(&U256::from_u64(1), querier.params().prime()),
+        );
+        assert!(matches!(
+            querier.evaluate(&tampered, 0),
+            Err(SiesError::IntegrityViolation { epoch: 0 })
+        ));
+    }
+
+    #[test]
+    fn dropped_contribution_detected() {
+        let (querier, sources, agg) = full_setup(8, 5);
+        let psrs: Vec<Psr> = sources
+            .iter()
+            .map(|s| s.initialize(3, 7).unwrap())
+            .collect();
+        // A compromised aggregator silently drops one child's PSR.
+        let partial = agg.merge(&psrs[..7]).unwrap();
+        assert!(querier.evaluate(&partial, 3).is_err());
+    }
+
+    #[test]
+    fn spurious_injection_detected() {
+        let (querier, sources, agg) = full_setup(4, 6);
+        let mut psrs: Vec<Psr> = sources
+            .iter()
+            .map(|s| s.initialize(2, 10).unwrap())
+            .collect();
+        // Inject a duplicate of source 0's PSR.
+        psrs.push(psrs[0]);
+        let merged = agg.merge(&psrs).unwrap();
+        assert!(querier.evaluate(&merged, 2).is_err());
+    }
+
+    #[test]
+    fn replayed_epoch_detected() {
+        let (querier, sources, agg) = full_setup(8, 7);
+        let old = run_epoch(&sources, &agg, &[9; 8], 1);
+        // Fresh epoch result exists, but adversary replays epoch 1's PSR.
+        let _fresh = run_epoch(&sources, &agg, &[9; 8], 2);
+        assert!(querier.evaluate(&old, 2).is_err());
+        // The same PSR still verifies for its own epoch.
+        assert!(querier.evaluate(&old, 1).is_ok());
+    }
+
+    #[test]
+    fn node_failure_subset_verification() {
+        let (querier, sources, agg) = full_setup(8, 8);
+        // Sources 3 and 6 fail; their PSRs never reach the network.
+        let contributing: Vec<SourceId> = [0u32, 1, 2, 4, 5, 7].to_vec();
+        let psrs: Vec<Psr> = contributing
+            .iter()
+            .map(|&id| sources[id as usize].initialize(4, 50).unwrap())
+            .collect();
+        let merged = agg.merge(&psrs).unwrap();
+        // Verifying against the full set fails...
+        assert!(querier.evaluate(&merged, 4).is_err());
+        // ...but succeeds against the reported contributor set.
+        let res = querier
+            .evaluate_with_contributors(&merged, 4, &contributing)
+            .unwrap();
+        assert_eq!(res.sum, 300);
+        assert_eq!(res.contributors, 6);
+    }
+
+    #[test]
+    fn unknown_contributor_rejected() {
+        let (querier, sources, agg) = full_setup(2, 9);
+        let merged = run_epoch(&sources, &agg, &[1, 2], 0);
+        assert!(matches!(
+            querier.evaluate_with_contributors(&merged, 0, &[0, 5]),
+            Err(SiesError::UnknownSource(5))
+        ));
+    }
+
+    #[test]
+    fn psr_wire_round_trip() {
+        let (_, sources, _) = full_setup(2, 10);
+        let psr = sources[0].initialize(1, 999).unwrap();
+        assert_eq!(Psr::from_bytes(&psr.to_bytes()), psr);
+        assert_eq!(Psr::wire_size(), 32);
+    }
+
+    #[test]
+    fn ciphertexts_differ_across_epochs_and_sources() {
+        // Freshness and key separation at the ciphertext level.
+        let (_, sources, _) = full_setup(2, 11);
+        let a = sources[0].initialize(1, 42).unwrap();
+        let b = sources[0].initialize(2, 42).unwrap();
+        let c = sources[1].initialize(1, 42).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn merge_empty_is_none() {
+        let (_, _, agg) = full_setup(2, 12);
+        assert!(agg.merge(&[]).is_none());
+    }
+
+    #[test]
+    fn result_overflow_is_detected_not_silent() {
+        // 2 sources × u32::MAX overflows the 4-byte result field; the share
+        // check must catch the corruption rather than return a wrong sum.
+        let (querier, sources, agg) = full_setup(2, 13);
+        let psrs: Vec<Psr> = sources
+            .iter()
+            .map(|s| s.initialize(0, u32::MAX as u64).unwrap())
+            .collect();
+        let merged = agg.merge(&psrs).unwrap();
+        match querier.evaluate(&merged, 0) {
+            // Either the padding absorbed it into an integrity failure…
+            Err(SiesError::IntegrityViolation { .. }) => {}
+            // …or (if it still verified) the sum must be exact anyway.
+            Ok(v) => assert_eq!(v.sum, 2 * (u32::MAX as u64)),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+}

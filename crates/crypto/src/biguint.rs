@@ -1,0 +1,729 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Used by the SECOA baseline's 1024-bit RSA SEAL chains (the paper's
+//! Table II prices SEALs at 128 bytes) and by setup-time prime generation.
+//! The hot SIES path uses the fixed-width [`crate::u256::U256`] instead.
+//!
+//! Multiplication switches from schoolbook to Karatsuba above a limb-count
+//! threshold; division is Knuth Algorithm D (shared with the fixed-width
+//! types through [`crate::limbs`]).
+
+use crate::limbs;
+use crate::u256::U256;
+use core::cmp::Ordering;
+use core::fmt;
+use rand::RngCore;
+
+/// Limb count at or above which multiplication uses Karatsuba.
+const KARATSUBA_THRESHOLD: usize = 24;
+
+/// An arbitrary-precision unsigned integer (little-endian `u64` limbs,
+/// normalized so the top limb is non-zero; zero is the empty limb vector).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Constructs from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let mut limbs = vec![v as u64, (v >> 64) as u64];
+        limbs::trim(&mut limbs);
+        BigUint { limbs }
+    }
+
+    /// Constructs from little-endian limbs (normalizing).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        limbs::trim(&mut limbs);
+        BigUint { limbs }
+    }
+
+    /// The little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Constructs from big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        limbs::trim(&mut limbs);
+        BigUint { limbs }
+    }
+
+    /// Serializes to big-endian bytes without leading zeros (zero encodes
+    /// as an empty vector).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let bits = self.bit_len();
+        let nbytes = bits.div_ceil(8);
+        let mut out = vec![0u8; nbytes];
+        for (i, byte) in out.iter_mut().rev().enumerate() {
+            let limb = self.limbs[i / 8];
+            *byte = (limb >> ((i % 8) * 8)) as u8;
+        }
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes, zero-padded on the
+    /// left. Panics if the value does not fit.
+    pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_be_bytes();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len];
+        out[len - raw.len()..].copy_from_slice(&raw);
+        out
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Whether the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        !self.is_odd()
+    }
+
+    /// Number of significant bits.
+    pub fn bit_len(&self) -> usize {
+        limbs::bit_len(&self.limbs)
+    }
+
+    /// Value of bit `i`.
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Truncates to the low 64 bits.
+    pub fn as_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Addition.
+    pub fn add(&self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (&self.limbs, &rhs.limbs)
+        } else {
+            (&rhs.limbs, &self.limbs)
+        };
+        let mut out = long.clone();
+        let carry = limbs::add_assign(&mut out, short);
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// Checked subtraction; `None` when `rhs > self`.
+    pub fn checked_sub(&self, rhs: &BigUint) -> Option<BigUint> {
+        if self.cmp(rhs) == Ordering::Less {
+            return None;
+        }
+        let mut out = self.limbs.clone();
+        let borrow = limbs::sub_assign(&mut out, &rhs.limbs);
+        debug_assert_eq!(borrow, 0);
+        limbs::trim(&mut out);
+        Some(BigUint { limbs: out })
+    }
+
+    /// Subtraction. Panics when `rhs > self`.
+    pub fn sub(&self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+
+    /// Multiplication (schoolbook below the Karatsuba threshold,
+    /// Karatsuba above).
+    pub fn mul(&self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let limbs = mul_impl(&self.limbs, &rhs.limbs);
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Division with remainder; returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics when `rhs` is zero.
+    pub fn div_rem(&self, rhs: &BigUint) -> (BigUint, BigUint) {
+        let (q, r) = limbs::div_rem(&self.limbs, &rhs.limbs);
+        (BigUint { limbs: q }, BigUint { limbs: r })
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+
+    /// Left shift by `sh` bits.
+    pub fn shl(&self, sh: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_sh = sh / 64;
+        let bit_sh = (sh % 64) as u32;
+        let mut out = vec![0u64; self.limbs.len() + limb_sh + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_sh] |= l << bit_sh;
+            if bit_sh > 0 {
+                out[i + limb_sh + 1] |= l >> (64 - bit_sh);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Logical right shift by `sh` bits.
+    pub fn shr(&self, sh: usize) -> BigUint {
+        let limb_sh = sh / 64;
+        if limb_sh >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_sh = (sh % 64) as u32;
+        let mut out = self.limbs[limb_sh..].to_vec();
+        if bit_sh > 0 {
+            let n = out.len();
+            for i in 0..n {
+                let hi = if i + 1 < n { out[i + 1] } else { 0 };
+                out[i] = (out[i] >> bit_sh) | (hi << (64 - bit_sh));
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Modular addition with reduced operands.
+    pub fn add_mod(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        let s = self.add(rhs);
+        if s.cmp(m) == Ordering::Less {
+            s
+        } else {
+            s.sub(m)
+        }
+    }
+
+    /// Modular multiplication.
+    pub fn mul_mod(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(rhs).rem(m)
+    }
+
+    /// Modular exponentiation with a fixed 4-bit window; this is the RSA
+    /// encryption primitive (`C_RSA` in Table II when `e` is small).
+    pub fn pow_mod(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "zero modulus");
+        if m.bit_len() == 1 {
+            return BigUint::zero(); // mod 1
+        }
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let base = self.rem(m);
+        // Short exponents (e.g. RSA's e = 3): plain square-and-multiply —
+        // a window table would cost more than the exponentiation itself.
+        if exp.bit_len() <= 16 {
+            let mut acc = BigUint::one();
+            for i in (0..exp.bit_len()).rev() {
+                acc = acc.mul_mod(&acc, m);
+                if exp.bit(i) {
+                    acc = acc.mul_mod(&base, m);
+                }
+            }
+            return acc;
+        }
+        // Precompute base^0 .. base^15.
+        let mut table = Vec::with_capacity(16);
+        table.push(BigUint::one());
+        for i in 1..16 {
+            let prev: &BigUint = &table[i - 1];
+            table.push(prev.mul_mod(&base, m));
+        }
+        let bits = exp.bit_len();
+        let nwindows = bits.div_ceil(4);
+        let mut acc = BigUint::one();
+        for w in (0..nwindows).rev() {
+            for _ in 0..4 {
+                acc = acc.mul_mod(&acc, m);
+            }
+            let mut nibble = 0usize;
+            for b in 0..4 {
+                if exp.bit(w * 4 + (3 - b)) {
+                    nibble |= 1 << (3 - b);
+                }
+            }
+            if nibble != 0 {
+                acc = acc.mul_mod(&table[nibble], m);
+            }
+        }
+        acc
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, rhs: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = rhs.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let az = a.trailing_zeros();
+        let bz = b.trailing_zeros();
+        let common = az.min(bz);
+        a = a.shr(az);
+        b = b.shr(bz);
+        loop {
+            if a.cmp(&b) == Ordering::Greater {
+                core::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(&a);
+            if b.is_zero() {
+                return a.shl(common);
+            }
+            b = b.shr(b.trailing_zeros());
+        }
+    }
+
+    /// Number of trailing zero bits (undefined for zero; returns 0).
+    pub fn trailing_zeros(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i * 64 + l.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// Modular inverse: `self^{-1} mod m` when `gcd(self, m) = 1`, else
+    /// `None`. Extended Euclid with signed coefficient tracking; this is
+    /// what RSA key generation uses to derive `d` from `e` and `φ(n)`.
+    pub fn mod_inverse(&self, m: &BigUint) -> Option<BigUint> {
+        if m.is_zero() {
+            return None;
+        }
+        // Invariants: old_r = |old_s|·a ∓ ..., standard extended Euclid on
+        // (a mod m, m) keeping only the coefficient of a.
+        let a = self.rem(m);
+        if a.is_zero() {
+            return if m.bit_len() == 1 { Some(BigUint::zero()) } else { None };
+        }
+        let (mut old_r, mut r) = (a, m.clone());
+        // Coefficients as (magnitude, negative?) pairs.
+        let (mut old_s, mut s) = ((BigUint::one(), false), (BigUint::zero(), false));
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = core::mem::replace(&mut r, rem);
+            // new_s = old_s - q * s (signed)
+            let qs = q.mul(&s.0);
+            let new_s = signed_sub(&old_s, &(qs, s.1));
+            old_s = core::mem::replace(&mut s, new_s);
+        }
+        if old_r.bit_len() != 1 {
+            return None; // gcd != 1
+        }
+        // Normalize the coefficient into [0, m).
+        let (mag, neg) = old_s;
+        let mag = mag.rem(m);
+        Some(if neg && !mag.is_zero() { m.sub(&mag) } else { mag })
+    }
+
+    /// Uniformly random value in `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    /// Panics when `bound` is zero.
+    pub fn random_below(rng: &mut dyn RngCore, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bit_len();
+        let nlimbs = bits.div_ceil(64);
+        let top_mask = if bits.is_multiple_of(64) { u64::MAX } else { (1u64 << (bits % 64)) - 1 };
+        loop {
+            let mut limbs = vec![0u64; nlimbs];
+            for l in limbs.iter_mut() {
+                *l = rng.next_u64();
+            }
+            *limbs.last_mut().unwrap() &= top_mask;
+            let candidate = BigUint::from_limbs(limbs);
+            if candidate.cmp(bound) == Ordering::Less {
+                return candidate;
+            }
+        }
+    }
+
+    /// Random integer with exactly `bits` significant bits (top bit set).
+    pub fn random_bits(rng: &mut dyn RngCore, bits: usize) -> BigUint {
+        assert!(bits > 0);
+        let nlimbs = bits.div_ceil(64);
+        let mut limbs = vec![0u64; nlimbs];
+        for l in limbs.iter_mut() {
+            *l = rng.next_u64();
+        }
+        let top_bit = (bits - 1) % 64;
+        let last = limbs.last_mut().unwrap();
+        *last &= if top_bit == 63 { u64::MAX } else { (1u64 << (top_bit + 1)) - 1 };
+        *last |= 1u64 << top_bit;
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases
+    /// (error probability ≤ 4^-rounds for odd composites).
+    pub fn is_probable_prime(&self, rng: &mut dyn RngCore, rounds: usize) -> bool {
+        let n = self;
+        if n.bit_len() <= 6 {
+            // Exhaustive for tiny values.
+            let v = n.as_u64();
+            if v < 2 {
+                return false;
+            }
+            for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61] {
+                if v == p {
+                    return true;
+                }
+                if v.is_multiple_of(p) {
+                    return false;
+                }
+            }
+            return true;
+        }
+        if n.is_even() {
+            return false;
+        }
+        // Quick trial division by small primes (n may *be* one of them).
+        for p in SMALL_PRIMES {
+            let p = BigUint::from_u64(p);
+            if n.rem(&p).is_zero() {
+                return *n == p;
+            }
+        }
+        let one = BigUint::one();
+        let n_minus_1 = n.sub(&one);
+        let s = n_minus_1.trailing_zeros();
+        let d = n_minus_1.shr(s);
+        let two = BigUint::from_u64(2);
+        let n_minus_2 = n.sub(&two);
+        'witness: for _ in 0..rounds {
+            // a in [2, n-2]
+            let a = BigUint::random_below(rng, &n_minus_2.sub(&one)).add(&two);
+            let mut x = a.pow_mod(&d, n);
+            if x == one || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..s - 1 {
+                x = x.mul_mod(&x, n);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generates a random prime with exactly `bits` bits (top bit set,
+    /// odd), testing candidates with `rounds` Miller–Rabin rounds.
+    pub fn random_prime(rng: &mut dyn RngCore, bits: usize, rounds: usize) -> BigUint {
+        assert!(bits >= 2);
+        loop {
+            let mut candidate = BigUint::random_bits(rng, bits);
+            if candidate.is_even() {
+                candidate = candidate.add(&BigUint::one());
+                if candidate.bit_len() != bits {
+                    continue;
+                }
+            }
+            if candidate.is_probable_prime(rng, rounds) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Small primes for trial division inside Miller–Rabin.
+const SMALL_PRIMES: [u64; 25] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101,
+];
+
+/// Signed subtraction on (magnitude, negative?) pairs: `a - b`.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b with both non-negative
+        (false, false) => match a.0.cmp(&b.0) {
+            Ordering::Less => (b.0.sub(&a.0), true),
+            _ => (a.0.sub(&b.0), false),
+        },
+        // (-a) - (-b) = b - a
+        (true, true) => match b.0.cmp(&a.0) {
+            Ordering::Less => (a.0.sub(&b.0), true),
+            _ => (b.0.sub(&a.0), false),
+        },
+        // a - (-b) = a + b
+        (false, true) => (a.0.add(&b.0), false),
+        // (-a) - b = -(a + b)
+        (true, false) => (a.0.add(&b.0), true),
+    }
+}
+
+/// Multiplication dispatch: schoolbook for small operands, Karatsuba above
+/// the threshold.
+fn mul_impl(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        let mut out = vec![0u64; a.len() + b.len()];
+        limbs::mul(&mut out, a, b);
+        out
+    } else {
+        karatsuba(a, b)
+    }
+}
+
+/// Karatsuba multiplication: splits at half the shorter operand and
+/// recombines with three recursive products.
+fn karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let half = a.len().min(b.len()) / 2;
+    let (a0, a1) = a.split_at(half);
+    let (b0, b1) = b.split_at(half);
+    let a0 = BigUint::from_limbs(a0.to_vec());
+    let a1 = BigUint::from_limbs(a1.to_vec());
+    let b0 = BigUint::from_limbs(b0.to_vec());
+    let b1 = BigUint::from_limbs(b1.to_vec());
+
+    let z0 = BigUint::from_limbs(mul_impl(a0.limbs(), b0.limbs()));
+    let z2 = BigUint::from_limbs(mul_impl(a1.limbs(), b1.limbs()));
+    let sa = a0.add(&a1);
+    let sb = b0.add(&b1);
+    let z1 = BigUint::from_limbs(mul_impl(sa.limbs(), sb.limbs()))
+        .sub(&z0)
+        .sub(&z2);
+
+    let result = z2.shl(half * 128).add(&z1.shl(half * 64)).add(&z0);
+    result.limbs
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        limbs::cmp(&self.limbs, &other.limbs)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x")?;
+        if self.is_zero() {
+            write!(f, "0")?;
+        }
+        for b in self.to_be_bytes() {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<&U256> for BigUint {
+    fn from(v: &U256) -> Self {
+        BigUint::from_limbs(v.limbs().to_vec())
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl BigUint {
+    /// Converts to a [`U256`]. Panics when the value exceeds 256 bits.
+    pub fn to_u256(&self) -> U256 {
+        assert!(self.bit_len() <= 256, "value exceeds 256 bits");
+        let mut limbs = [0u64; 4];
+        limbs[..self.limbs.len()].copy_from_slice(&self.limbs);
+        U256::from_limbs(limbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn normalization() {
+        assert!(BigUint::from_limbs(vec![0, 0, 0]).is_zero());
+        assert_eq!(BigUint::from_limbs(vec![5, 0]).limbs(), &[5]);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let v = BigUint::from_be_bytes(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(v.to_be_bytes(), vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(BigUint::zero().to_be_bytes(), Vec::<u8>::new());
+        assert_eq!(big(0xabcd).to_be_bytes_padded(4), vec![0, 0, 0xab, 0xcd]);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = big(u128::MAX);
+        let b = big(12345);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(b.checked_sub(&a), None);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 0xdead_beef_u64 as u128;
+        let b = 0x1234_5678_9abc_def0_u128;
+        assert_eq!(big(a).mul(&big(b)), big(a * b));
+        assert_eq!(big(a).mul(&BigUint::zero()), BigUint::zero());
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        let a = u128::MAX - 5;
+        let b = 0xffff_ffff_u128;
+        let (q, r) = big(a).div_rem(&big(b));
+        assert_eq!(q, big(a / b));
+        assert_eq!(r, big(a % b));
+    }
+
+    #[test]
+    fn shifts_round_trip() {
+        let a = big(0x1234_5678_9abc_def0_1122_3344);
+        assert_eq!(a.shl(77).shr(77), a);
+        assert!(big(1).shl(200).bit(200));
+        assert_eq!(big(0).shl(10), BigUint::zero());
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        let m = big(1_000_000_007);
+        let base = big(31337);
+        let mut naive = BigUint::one();
+        for e in 0..40u32 {
+            assert_eq!(base.pow_mod(&big(e as u128), &m), naive, "exp {e}");
+            naive = naive.mul_mod(&base, &m);
+        }
+    }
+
+    #[test]
+    fn pow_mod_large_exponent() {
+        // Fermat's little theorem with a 61-bit prime.
+        let p = big(2_305_843_009_213_693_951); // 2^61 - 1, Mersenne prime
+        let a = big(123_456_789);
+        assert_eq!(a.pow_mod(&p.sub(&BigUint::one()), &p), BigUint::one());
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(31)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&big(0)), big(5));
+        assert_eq!(big(48).gcd(&big(180)), big(12));
+    }
+
+    #[test]
+    fn mod_inverse_cases() {
+        let m = big(97);
+        for a in 1..97u128 {
+            let inv = big(a).mod_inverse(&m).unwrap();
+            assert_eq!(big(a).mul_mod(&inv, &m), BigUint::one(), "a = {a}");
+        }
+        // Non-invertible.
+        assert_eq!(big(6).mod_inverse(&big(12)), None);
+    }
+
+    #[test]
+    fn miller_rabin_known_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let primes: &[u128] = &[2, 3, 5, 61, 97, 1_000_000_007, 2_305_843_009_213_693_951];
+        for &p in primes {
+            assert!(big(p).is_probable_prime(&mut rng, 20), "{p} should be prime");
+        }
+        let composites: &[u128] = &[
+            0, 1, 4, 100, 561,          // Carmichael
+            1_000_000_007u128 * 3,       // semiprime
+            6_601, 8_911,                // more Carmichael numbers
+        ];
+        for &c in composites {
+            assert!(!big(c).is_probable_prime(&mut rng, 20), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn random_prime_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let p = BigUint::random_prime(&mut rng, 128, 16);
+        assert_eq!(p.bit_len(), 128);
+        assert!(p.is_odd());
+    }
+
+    #[test]
+    fn random_below_is_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = big(1000);
+        for _ in 0..200 {
+            let v = BigUint::random_below(&mut rng, &bound);
+            assert!(v.cmp(&bound) == Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(42);
+        // Operands big enough to trigger Karatsuba.
+        let a = BigUint::random_bits(&mut rng, KARATSUBA_THRESHOLD * 64 * 2);
+        let b = BigUint::random_bits(&mut rng, KARATSUBA_THRESHOLD * 64 * 2 + 13);
+        let mut school = vec![0u64; a.limbs().len() + b.limbs().len()];
+        limbs::mul(&mut school, a.limbs(), b.limbs());
+        assert_eq!(a.mul(&b), BigUint::from_limbs(school));
+    }
+
+    #[test]
+    fn u256_conversion() {
+        let x = U256::from_u128(0xdeadbeef_cafebabe);
+        let b = BigUint::from(&x);
+        assert_eq!(b.to_u256(), x);
+    }
+}

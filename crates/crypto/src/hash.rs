@@ -1,0 +1,32 @@
+//! The hash-function abstraction shared by SHA-1, SHA-256 and the generic
+//! HMAC construction.
+
+/// A Merkle–Damgård hash function with a fixed block and output size.
+///
+/// Both SIES and the baselines only need incremental hashing over short
+/// inputs (keys, epoch counters, sensor values), so the interface is the
+/// minimal update/finalize pair.
+pub trait HashFunction: Clone {
+    /// Internal block size in bytes (64 for both SHA-1 and SHA-256).
+    const BLOCK_SIZE: usize;
+    /// Digest size in bytes (20 for SHA-1, 32 for SHA-256).
+    const OUTPUT_SIZE: usize;
+    /// Human-readable algorithm name (for diagnostics).
+    const NAME: &'static str;
+
+    /// Fresh hasher state.
+    fn new() -> Self;
+
+    /// Absorbs `data`.
+    fn update(&mut self, data: &[u8]);
+
+    /// Pads, finishes, and returns the digest (`OUTPUT_SIZE` bytes).
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience digest.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}

@@ -1,0 +1,167 @@
+//! HMAC (RFC 2104) generic over the hash function.
+//!
+//! The paper uses two instances: `HM1(K, m)` (HMAC-SHA-1, 20-byte output,
+//! cost `C_HM1`) and `HM256(K, m)` (HMAC-SHA-256, 32-byte output, cost
+//! `C_HM256`). Both are used as PRFs keyed by long-term secrets and applied
+//! to the epoch counter.
+
+use crate::hash::HashFunction;
+
+/// Computes `HMAC_H(key, message)`.
+///
+/// Keys longer than the hash block size are first hashed, per RFC 2104.
+pub fn hmac<H: HashFunction>(key: &[u8], message: &[u8]) -> Vec<u8> {
+    let mut mac = HmacState::<H>::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Incremental HMAC state, for callers that assemble the message from
+/// several parts (e.g. `value || epoch` in the SECOA inflation certificate).
+#[derive(Clone)]
+pub struct HmacState<H: HashFunction> {
+    inner: H,
+    /// Outer-pad key block, kept so `finalize` can run the outer hash.
+    opad_block: Vec<u8>,
+}
+
+impl<H: HashFunction> HmacState<H> {
+    /// Prepares the inner hash with `key ⊕ ipad`.
+    pub fn new(key: &[u8]) -> Self {
+        let block_size = H::BLOCK_SIZE;
+        let mut key_block = vec![0u8; block_size];
+        if key.len() > block_size {
+            let digest = H::digest(key);
+            key_block[..digest.len()].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_block = key_block.clone();
+        let mut opad_block = key_block;
+        for b in ipad_block.iter_mut() {
+            *b ^= 0x36;
+        }
+        for b in opad_block.iter_mut() {
+            *b ^= 0x5c;
+        }
+
+        let mut inner = H::new();
+        inner.update(&ipad_block);
+        HmacState { inner, opad_block }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Completes the MAC: `H(key ⊕ opad || H(key ⊕ ipad || message))`.
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize();
+        let mut outer = H::new();
+        outer.update(&self.opad_block);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// Constant-time byte-slice equality, for MAC verification.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::Sha1;
+    use crate::sha256::Sha256;
+
+    fn hex(digest: &[u8]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 2202 HMAC-SHA-1 test vectors.
+    #[test]
+    fn rfc2202_sha1() {
+        assert_eq!(
+            hex(&hmac::<Sha1>(&[0x0b; 20], b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+        assert_eq!(
+            hex(&hmac::<Sha1>(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+        assert_eq!(
+            hex(&hmac::<Sha1>(&[0xaa; 20], &[0xdd; 50])),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
+        // Key longer than the block size.
+        assert_eq!(
+            hex(&hmac::<Sha1>(
+                &[0xaa; 80],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    /// RFC 4231 HMAC-SHA-256 test vectors.
+    #[test]
+    fn rfc4231_sha256() {
+        assert_eq!(
+            hex(&hmac::<Sha256>(&[0x0b; 20], b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hex(&hmac::<Sha256>(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        assert_eq!(
+            hex(&hmac::<Sha256>(&[0xaa; 20], &[0xdd; 50])),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+        // 131-byte key (> block size).
+        assert_eq!(
+            hex(&hmac::<Sha256>(
+                &[0xaa; 131],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"secret key";
+        let msg = b"part one | part two | part three";
+        let oneshot = hmac::<Sha256>(key, msg);
+        let mut mac = HmacState::<Sha256>::new(key);
+        mac.update(b"part one | ");
+        mac.update(b"part two | ");
+        mac.update(b"part three");
+        assert_eq!(mac.finalize(), oneshot);
+    }
+
+    #[test]
+    fn ct_eq_behaviour() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_macs() {
+        let m1 = hmac::<Sha1>(b"key-1", b"message");
+        let m2 = hmac::<Sha1>(b"key-2", b"message");
+        assert_ne!(m1, m2);
+    }
+}

@@ -1,0 +1,352 @@
+//! Low-level multi-precision limb arithmetic shared by [`crate::u256`] and
+//! [`crate::biguint`].
+//!
+//! Numbers are little-endian slices of `u64` limbs. All routines here are
+//! allocation-free except [`div_rem`], which returns owned quotient and
+//! remainder vectors. The division routine is Knuth's Algorithm D (TAOCP
+//! vol. 2, §4.3.1) with the usual normalization and add-back steps.
+
+/// Add with carry: returns `a + b + carry` as `(sum, carry_out)`.
+#[inline(always)]
+pub fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let wide = (a as u128) + (b as u128) + (carry as u128);
+    (wide as u64, (wide >> 64) as u64)
+}
+
+/// Subtract with borrow: returns `a - b - borrow` as `(diff, borrow_out)`,
+/// where `borrow_out` is 1 when the subtraction wrapped.
+#[inline(always)]
+pub fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let wide = (a as u128).wrapping_sub(b as u128).wrapping_sub(borrow as u128);
+    (wide as u64, ((wide >> 64) as u64) & 1)
+}
+
+/// Multiply-accumulate: computes `acc + a * b + carry`, returning the low
+/// limb and the new carry.
+#[inline(always)]
+pub fn mac(acc: u64, a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let wide = (acc as u128) + (a as u128) * (b as u128) + (carry as u128);
+    (wide as u64, (wide >> 64) as u64)
+}
+
+/// Compares two limb slices as little-endian integers. Slices may have
+/// different lengths; higher limbs missing from the shorter slice are
+/// treated as zero.
+pub fn cmp(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
+    use core::cmp::Ordering;
+    let n = a.len().max(b.len());
+    for i in (0..n).rev() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        match x.cmp(&y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Number of significant limbs (index of the highest non-zero limb plus one).
+pub fn significant_limbs(a: &[u64]) -> usize {
+    let mut n = a.len();
+    while n > 0 && a[n - 1] == 0 {
+        n -= 1;
+    }
+    n
+}
+
+/// Number of significant bits.
+pub fn bit_len(a: &[u64]) -> usize {
+    let n = significant_limbs(a);
+    if n == 0 {
+        0
+    } else {
+        n * 64 - a[n - 1].leading_zeros() as usize
+    }
+}
+
+/// In-place addition `a += b`, returning the final carry. `b` may be shorter
+/// than `a`; the carry propagates through the remaining limbs of `a`.
+pub fn add_assign(a: &mut [u64], b: &[u64]) -> u64 {
+    debug_assert!(a.len() >= b.len());
+    let mut carry = 0;
+    for (i, ai) in a.iter_mut().enumerate() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        if i >= b.len() && carry == 0 {
+            break;
+        }
+        let (s, c) = adc(*ai, bi, carry);
+        *ai = s;
+        carry = c;
+    }
+    carry
+}
+
+/// In-place subtraction `a -= b`, returning the final borrow (1 when
+/// `b > a`, in which case `a` holds the wrapped value).
+pub fn sub_assign(a: &mut [u64], b: &[u64]) -> u64 {
+    debug_assert!(a.len() >= b.len());
+    let mut borrow = 0;
+    for (i, ai) in a.iter_mut().enumerate() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        if i >= b.len() && borrow == 0 {
+            break;
+        }
+        let (d, br) = sbb(*ai, bi, borrow);
+        *ai = d;
+        borrow = br;
+    }
+    borrow
+}
+
+/// Schoolbook multiplication: `out = a * b`. `out` must have length at least
+/// `a.len() + b.len()` and is fully overwritten.
+pub fn mul(out: &mut [u64], a: &[u64], b: &[u64]) {
+    debug_assert!(out.len() >= a.len() + b.len());
+    for limb in out.iter_mut() {
+        *limb = 0;
+    }
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let (lo, c) = mac(out[i + j], ai, bj, carry);
+            out[i + j] = lo;
+            carry = c;
+        }
+        out[i + b.len()] = carry;
+    }
+}
+
+/// Left shift by `sh` bits (`sh < 64`) into `out`, which must have
+/// `a.len() + 1` limbs. Returns nothing; the extra top limb receives the
+/// shifted-out bits.
+fn shl_small(out: &mut [u64], a: &[u64], sh: u32) {
+    debug_assert_eq!(out.len(), a.len() + 1);
+    if sh == 0 {
+        out[..a.len()].copy_from_slice(a);
+        out[a.len()] = 0;
+        return;
+    }
+    let mut prev = 0u64;
+    for (i, &ai) in a.iter().enumerate() {
+        out[i] = (ai << sh) | (prev >> (64 - sh));
+        prev = ai;
+    }
+    out[a.len()] = prev >> (64 - sh);
+}
+
+/// Right shift by `sh` bits (`sh < 64`) in place.
+fn shr_small(a: &mut [u64], sh: u32) {
+    if sh == 0 {
+        return;
+    }
+    let n = a.len();
+    for i in 0..n {
+        let hi = if i + 1 < n { a[i + 1] } else { 0 };
+        a[i] = (a[i] >> sh) | (hi << (64 - sh));
+    }
+}
+
+/// Divides `u` by `v`, returning `(quotient, remainder)` as little-endian
+/// limb vectors trimmed of leading zeros (the zero value is an empty vec).
+///
+/// # Panics
+///
+/// Panics if `v` is zero.
+pub fn div_rem(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let un = significant_limbs(u);
+    let vn = significant_limbs(v);
+    assert!(vn > 0, "division by zero");
+
+    if cmp(u, v) == core::cmp::Ordering::Less {
+        return (Vec::new(), u[..un].to_vec());
+    }
+
+    // Single-limb divisor: simple short division.
+    if vn == 1 {
+        let d = v[0];
+        let mut q = vec![0u64; un];
+        let mut rem: u64 = 0;
+        for i in (0..un).rev() {
+            let cur = ((rem as u128) << 64) | u[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = (cur % d as u128) as u64;
+        }
+        trim(&mut q);
+        let r = if rem == 0 { Vec::new() } else { vec![rem] };
+        return (q, r);
+    }
+
+    // Knuth Algorithm D. Normalize so the divisor's top limb has its most
+    // significant bit set; this guarantees the trial quotient is off by at
+    // most 2 and the add-back step runs with probability ~2/2^64.
+    let sh = v[vn - 1].leading_zeros();
+    let mut vnorm = vec![0u64; vn + 1];
+    shl_small(&mut vnorm, &v[..vn], sh);
+    vnorm.truncate(vn); // top limb of the shift is zero by construction
+    let mut unorm = vec![0u64; un + 1];
+    shl_small(&mut unorm, &u[..un], sh);
+
+    let m = un - vn; // quotient has at most m + 1 limbs
+    let mut q = vec![0u64; m + 1];
+    let vtop = vnorm[vn - 1];
+    let vsecond = vnorm[vn - 2];
+
+    for j in (0..=m).rev() {
+        // Estimate q̂ from the top two limbs of the current remainder window
+        // against the top limb of the divisor.
+        let numer = ((unorm[j + vn] as u128) << 64) | unorm[j + vn - 1] as u128;
+        let mut qhat = numer / vtop as u128;
+        let mut rhat = numer % vtop as u128;
+        // Correct q̂ downward using the second divisor limb.
+        while qhat >> 64 != 0
+            || qhat * vsecond as u128 > ((rhat << 64) | unorm[j + vn - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += vtop as u128;
+            if rhat >> 64 != 0 {
+                break;
+            }
+        }
+        let mut qhat = qhat as u64;
+
+        // Multiply-subtract: window -= q̂ * v.
+        let mut borrow: u64 = 0;
+        let mut carry: u64 = 0;
+        for i in 0..vn {
+            let (p_lo, p_hi) = {
+                let wide = (qhat as u128) * (vnorm[i] as u128) + carry as u128;
+                (wide as u64, (wide >> 64) as u64)
+            };
+            carry = p_hi;
+            let (d, br) = sbb(unorm[j + i], p_lo, borrow);
+            unorm[j + i] = d;
+            borrow = br;
+        }
+        let (d, br) = sbb(unorm[j + vn], carry, borrow);
+        unorm[j + vn] = d;
+
+        // Add-back: the estimate was one too large.
+        if br != 0 {
+            qhat -= 1;
+            let mut c = 0u64;
+            for i in 0..vn {
+                let (s, cc) = adc(unorm[j + i], vnorm[i], c);
+                unorm[j + i] = s;
+                c = cc;
+            }
+            unorm[j + vn] = unorm[j + vn].wrapping_add(c);
+        }
+        q[j] = qhat;
+    }
+
+    // Denormalize the remainder.
+    unorm.truncate(vn);
+    shr_small(&mut unorm, sh);
+    trim(&mut q);
+    trim(&mut unorm);
+    (q, unorm)
+}
+
+/// Removes leading zero limbs in place.
+pub fn trim(a: &mut Vec<u64>) {
+    while a.last() == Some(&0) {
+        a.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_u128(limbs: &[u64]) -> u128 {
+        match limbs.len() {
+            0 => 0,
+            1 => limbs[0] as u128,
+            2 => (limbs[1] as u128) << 64 | limbs[0] as u128,
+            _ => panic!("too wide for u128"),
+        }
+    }
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(5, 3, 1), (1, 0));
+        assert_eq!(sbb(0, 0, 1), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn mul_small() {
+        let mut out = [0u64; 4];
+        mul(&mut out, &[3, 0], &[4, 0]);
+        assert_eq!(out, [12, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mul_carries_across_limbs() {
+        let mut out = [0u64; 2];
+        mul(&mut out, &[u64::MAX], &[u64::MAX]);
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(to_u128(&out), (u64::MAX as u128) * (u64::MAX as u128));
+    }
+
+    #[test]
+    fn div_rem_u128_cases() {
+        let cases: &[(u128, u128)] = &[
+            (0, 1),
+            (1, 1),
+            (100, 7),
+            (u128::MAX, 3),
+            (u128::MAX, u64::MAX as u128),
+            (u128::MAX, (u64::MAX as u128) + 1),
+            (1 << 127, (1 << 64) + 12345),
+        ];
+        for &(a, b) in cases {
+            let u = [a as u64, (a >> 64) as u64];
+            let v = [b as u64, (b >> 64) as u64];
+            let (q, r) = div_rem(&u, &v);
+            assert_eq!(to_u128(&q), a / b, "quotient for {a}/{b}");
+            assert_eq!(to_u128(&r), a % b, "remainder for {a}/{b}");
+        }
+    }
+
+    #[test]
+    fn div_rem_triggers_addback_region() {
+        // A divisor with max top limb and a dividend shaped to stress the
+        // qhat correction loop.
+        let u = [0, 0, 1, u64::MAX, u64::MAX];
+        let v = [u64::MAX, u64::MAX, u64::MAX >> 1];
+        let (q, r) = div_rem(&u, &v);
+        // Verify u = q*v + r and r < v.
+        let mut check = vec![0u64; q.len() + v.len()];
+        mul(&mut check, &q, &v);
+        let carry = add_assign(&mut check, &r);
+        assert_eq!(carry, 0);
+        assert_eq!(cmp(&check, &u), core::cmp::Ordering::Equal);
+        assert_eq!(cmp(&r, &v), core::cmp::Ordering::Less);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        div_rem(&[1], &[0]);
+    }
+
+    #[test]
+    fn bit_len_and_significant() {
+        assert_eq!(bit_len(&[0, 0]), 0);
+        assert_eq!(bit_len(&[1]), 1);
+        assert_eq!(bit_len(&[0, 1]), 65);
+        assert_eq!(significant_limbs(&[0, 5, 0]), 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! The Paillier cryptosystem (EUROCRYPT 1999): public-key additively
+//! homomorphic encryption.
+//!
+//! The paper's related work (§II-C) discusses Ge–Zdonik's outsourced
+//! aggregation, which encrypts a database under Paillier so the provider
+//! can answer SUM queries on ciphertexts. We implement it as an extra
+//! comparison point for the in-network setting: exact and confidential
+//! like SIES, but with no integrity, 2·|n|-bit ciphertexts, and
+//! public-key-grade CPU cost per reading — which is precisely why the
+//! paper's lightweight symmetric construction matters for sensors.
+//!
+//! Standard simplifications: `g = n + 1`, so `g^m = 1 + m·n (mod n²)`,
+//! and `μ = λ⁻¹ mod n`.
+
+use crate::biguint::BigUint;
+use rand::RngCore;
+
+/// A Paillier public key `(n, n²)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PaillierPublicKey {
+    n: BigUint,
+    n_squared: BigUint,
+}
+
+/// A Paillier key pair.
+#[derive(Clone, Debug)]
+pub struct PaillierKeyPair {
+    public: PaillierPublicKey,
+    /// `λ = lcm(p−1, q−1)`.
+    lambda: BigUint,
+    /// `μ = λ⁻¹ mod n`.
+    mu: BigUint,
+}
+
+/// A Paillier ciphertext (an element of `Z*_{n²}`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PaillierCiphertext(BigUint);
+
+impl PaillierPublicKey {
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Ciphertext wire size in bytes (`2·|n|`).
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.n_squared.bit_len().div_ceil(8)
+    }
+
+    /// Encrypts `m < n` with fresh randomness from `rng`:
+    /// `c = (1 + m·n) · r^n mod n²`.
+    pub fn encrypt(&self, rng: &mut dyn RngCore, m: &BigUint) -> PaillierCiphertext {
+        assert!(m < &self.n, "plaintext must be below the modulus");
+        // r uniform in [1, n) — gcd(r, n) = 1 w.o.p. for an RSA modulus.
+        let r = loop {
+            let candidate = BigUint::random_below(rng, &self.n);
+            if !candidate.is_zero() {
+                break candidate;
+            }
+        };
+        let g_m = BigUint::one().add(&m.mul(&self.n)).rem(&self.n_squared);
+        let r_n = r.pow_mod(&self.n, &self.n_squared);
+        PaillierCiphertext(g_m.mul_mod(&r_n, &self.n_squared))
+    }
+
+    /// Homomorphic addition: `E(m₁) ⊕ E(m₂) = E(m₁ + m₂ mod n)`.
+    pub fn add(&self, a: &PaillierCiphertext, b: &PaillierCiphertext) -> PaillierCiphertext {
+        PaillierCiphertext(a.0.mul_mod(&b.0, &self.n_squared))
+    }
+
+    /// Homomorphic scalar multiplication: `E(m)^k = E(k·m mod n)`.
+    pub fn scale(&self, c: &PaillierCiphertext, k: &BigUint) -> PaillierCiphertext {
+        PaillierCiphertext(c.0.pow_mod(k, &self.n_squared))
+    }
+}
+
+impl PaillierCiphertext {
+    /// The raw group element.
+    pub fn raw(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Builds from a raw group element (attack simulation / wire decode).
+    pub fn from_raw(v: BigUint) -> Self {
+        PaillierCiphertext(v)
+    }
+}
+
+impl PaillierKeyPair {
+    /// Generates a key pair with a `bits`-bit modulus.
+    pub fn generate(rng: &mut dyn RngCore, bits: usize) -> Self {
+        assert!(bits >= 32, "modulus too small");
+        let half = bits / 2;
+        loop {
+            let p = BigUint::random_prime(rng, half, 24);
+            let q = BigUint::random_prime(rng, bits - half, 24);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            if n.bit_len() != bits {
+                continue;
+            }
+            let one = BigUint::one();
+            let p1 = p.sub(&one);
+            let q1 = q.sub(&one);
+            // λ = lcm(p−1, q−1) = (p−1)(q−1) / gcd(p−1, q−1)
+            let gcd = p1.gcd(&q1);
+            let lambda = p1.mul(&q1).div_rem(&gcd).0;
+            let Some(mu) = lambda.mod_inverse(&n) else { continue };
+            let n_squared = n.mul(&n);
+            return PaillierKeyPair {
+                public: PaillierPublicKey { n, n_squared },
+                lambda,
+                mu,
+            };
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PaillierPublicKey {
+        &self.public
+    }
+
+    /// Decrypts: `m = L(c^λ mod n²) · μ mod n`, `L(x) = (x − 1)/n`.
+    pub fn decrypt(&self, c: &PaillierCiphertext) -> BigUint {
+        let n = &self.public.n;
+        let x = c.0.pow_mod(&self.lambda, &self.public.n_squared);
+        let l = x.sub(&BigUint::one()).div_rem(n).0;
+        l.mul_mod(&self.mu, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair() -> (PaillierKeyPair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let kp = PaillierKeyPair::generate(&mut rng, 256);
+        (kp, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let (kp, mut rng) = keypair();
+        for m in [0u64, 1, 42, 1_000_000, u32::MAX as u64] {
+            let m = BigUint::from_u64(m);
+            let c = kp.public().encrypt(&mut rng, &m);
+            assert_eq!(kp.decrypt(&c), m);
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let (kp, mut rng) = keypair();
+        let m = BigUint::from_u64(7);
+        let c1 = kp.public().encrypt(&mut rng, &m);
+        let c2 = kp.public().encrypt(&mut rng, &m);
+        assert_ne!(c1, c2, "same plaintext must yield distinct ciphertexts");
+        assert_eq!(kp.decrypt(&c1), kp.decrypt(&c2));
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let (kp, mut rng) = keypair();
+        let pk = kp.public();
+        let a = pk.encrypt(&mut rng, &BigUint::from_u64(1234));
+        let b = pk.encrypt(&mut rng, &BigUint::from_u64(8766));
+        assert_eq!(kp.decrypt(&pk.add(&a, &b)), BigUint::from_u64(10_000));
+    }
+
+    #[test]
+    fn many_way_sum() {
+        let (kp, mut rng) = keypair();
+        let pk = kp.public();
+        let mut acc = pk.encrypt(&mut rng, &BigUint::zero());
+        let mut expected = 0u64;
+        for i in 1..=50u64 {
+            acc = pk.add(&acc, &pk.encrypt(&mut rng, &BigUint::from_u64(i * 11)));
+            expected += i * 11;
+        }
+        assert_eq!(kp.decrypt(&acc), BigUint::from_u64(expected));
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let (kp, mut rng) = keypair();
+        let pk = kp.public();
+        let c = pk.encrypt(&mut rng, &BigUint::from_u64(30));
+        let scaled = pk.scale(&c, &BigUint::from_u64(9));
+        assert_eq!(kp.decrypt(&scaled), BigUint::from_u64(270));
+    }
+
+    #[test]
+    fn ciphertext_size_is_double_modulus() {
+        let (kp, _) = keypair();
+        assert_eq!(kp.public().ciphertext_bytes(), 64); // 256-bit n → 512-bit n²
+    }
+
+    #[test]
+    fn malleability_means_no_integrity() {
+        // The §II-C caveat: the provider can shift the SUM undetected.
+        let (kp, mut rng) = keypair();
+        let pk = kp.public();
+        let honest = pk.encrypt(&mut rng, &BigUint::from_u64(100));
+        let spurious = pk.encrypt(&mut rng, &BigUint::from_u64(999));
+        let tampered = pk.add(&honest, &spurious);
+        assert_eq!(kp.decrypt(&tampered), BigUint::from_u64(1099));
+    }
+}

@@ -1,0 +1,167 @@
+//! The paper's two PRF instances and derive-to-range helpers.
+//!
+//! §II-A: "we assume that the PRFs are implemented as HMACs". `HM1` is
+//! HMAC-SHA-1 (20-byte output) and `HM256` is HMAC-SHA-256 (32-byte
+//! output). Epoch counters are encoded as 8-byte big-endian integers.
+
+use crate::biguint::BigUint;
+use crate::hmac::hmac;
+use crate::sha1::Sha1;
+use crate::sha256::Sha256;
+use crate::u256::U256;
+
+/// `HM1(key, t)`: the 20-byte PRF used for secret shares `ss_{i,t}` and the
+/// CMT per-epoch keys.
+pub fn hm1_epoch(key: &[u8], epoch: u64) -> [u8; 20] {
+    let digest = hmac::<Sha1>(key, &epoch.to_be_bytes());
+    digest.try_into().expect("SHA-1 digest is 20 bytes")
+}
+
+/// `HM256(key, t)`: the 32-byte PRF used for `K_t` and `k_{i,t}`.
+pub fn hm256_epoch(key: &[u8], epoch: u64) -> [u8; 32] {
+    let digest = hmac::<Sha256>(key, &epoch.to_be_bytes());
+    digest.try_into().expect("SHA-256 digest is 32 bytes")
+}
+
+/// `HM1` over an arbitrary message (used for SECOA inflation certificates).
+pub fn hm1(key: &[u8], message: &[u8]) -> [u8; 20] {
+    hmac::<Sha1>(key, message).try_into().expect("SHA-1 digest is 20 bytes")
+}
+
+/// `HM256` over an arbitrary message.
+pub fn hm256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    hmac::<Sha256>(key, message).try_into().expect("SHA-256 digest is 32 bytes")
+}
+
+/// Derives a value in `[0, p)` from `HM256(key, t)`: the 32-byte output is
+/// masked down to `p`'s bit length and rejected (re-hashing with a counter
+/// suffix) until it lands below `p`. Masking keeps the expected number of
+/// draws below 2 for any modulus while preserving uniformity.
+pub fn derive_mod(key: &[u8], epoch: u64, p: &U256) -> U256 {
+    let mask = U256::low_mask(p.bit_len());
+    let mut counter: u32 = 0;
+    loop {
+        let mut msg = Vec::with_capacity(12);
+        msg.extend_from_slice(&epoch.to_be_bytes());
+        if counter > 0 {
+            msg.extend_from_slice(&counter.to_be_bytes());
+        }
+        let digest = hmac::<Sha256>(key, &msg);
+        let candidate = U256::from_be_bytes(&digest.try_into().expect("32 bytes")).and(&mask);
+        if &candidate < p {
+            return candidate;
+        }
+        counter += 1;
+    }
+}
+
+/// Like [`derive_mod`] but additionally rejects zero — used for the global
+/// epoch key `K_t`, which must be invertible mod `p` (paper §III-D requires
+/// `K ≠ 0`).
+pub fn derive_mod_nonzero(key: &[u8], epoch: u64, p: &U256) -> U256 {
+    let mask = U256::low_mask(p.bit_len());
+    let mut counter: u32 = 0;
+    loop {
+        let mut msg = Vec::with_capacity(16);
+        msg.extend_from_slice(&epoch.to_be_bytes());
+        msg.extend_from_slice(b"nz");
+        if counter > 0 {
+            msg.extend_from_slice(&counter.to_be_bytes());
+        }
+        let digest = hmac::<Sha256>(key, &msg);
+        let candidate = U256::from_be_bytes(&digest.try_into().expect("32 bytes")).and(&mask);
+        if !candidate.is_zero() && &candidate < p {
+            return candidate;
+        }
+        counter += 1;
+    }
+}
+
+/// Derives a [`BigUint`] below an arbitrary modulus from `HM1(key, t)` with
+/// counter-mode extension — used for SECOA seeds, which must lie in `Z_n`
+/// for a 1024-bit RSA modulus `n`.
+pub fn derive_biguint_mod(key: &[u8], epoch: u64, modulus: &BigUint) -> BigUint {
+    let nbytes = modulus.bit_len().div_ceil(8);
+    let mut counter: u32 = 0;
+    loop {
+        // Expand enough HMAC blocks to cover the modulus width.
+        let mut material = Vec::with_capacity(nbytes + 20);
+        let mut block: u32 = 0;
+        while material.len() < nbytes {
+            let mut msg = Vec::with_capacity(16);
+            msg.extend_from_slice(&epoch.to_be_bytes());
+            msg.extend_from_slice(&counter.to_be_bytes());
+            msg.extend_from_slice(&block.to_be_bytes());
+            material.extend_from_slice(&hm1(key, &msg));
+            block += 1;
+        }
+        material.truncate(nbytes);
+        // Mask surplus top bits so the rejection rate stays below 1/2.
+        let extra_bits = nbytes * 8 - modulus.bit_len();
+        if extra_bits > 0 {
+            material[0] &= 0xff >> extra_bits;
+        }
+        let candidate = BigUint::from_be_bytes(&material);
+        if candidate < *modulus {
+            return candidate;
+        }
+        counter += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_prfs_are_deterministic_and_epoch_sensitive() {
+        let k = b"a 20-byte secret key";
+        assert_eq!(hm1_epoch(k, 7), hm1_epoch(k, 7));
+        assert_ne!(hm1_epoch(k, 7), hm1_epoch(k, 8));
+        assert_eq!(hm256_epoch(k, 7), hm256_epoch(k, 7));
+        assert_ne!(hm256_epoch(k, 7), hm256_epoch(k, 8));
+    }
+
+    #[test]
+    fn key_separation() {
+        assert_ne!(hm1_epoch(b"key-a", 1), hm1_epoch(b"key-b", 1));
+        assert_ne!(hm256_epoch(b"key-a", 1), hm256_epoch(b"key-b", 1));
+    }
+
+    #[test]
+    fn derive_mod_is_below_modulus() {
+        // A deliberately small 128-bit prime forces many rejections,
+        // exercising the counter path.
+        let p = U256::from_u128(340_282_366_920_938_463_463_374_607_431_768_211_297);
+        for t in 0..50u64 {
+            let v = derive_mod(b"key", t, &p);
+            assert!(v < p, "epoch {t}");
+        }
+    }
+
+    #[test]
+    fn derive_mod_nonzero_never_zero() {
+        let p = U256::from_u64(2); // only {0, 1}; forces rejection of 0s
+        for t in 0..20u64 {
+            let v = derive_mod_nonzero(b"key", t, &p);
+            assert_eq!(v, U256::ONE, "epoch {t}");
+        }
+    }
+
+    #[test]
+    fn derive_mod_differs_from_nonzero_variant() {
+        let p = U256::MAX;
+        assert_ne!(derive_mod(b"key", 3, &p), derive_mod_nonzero(b"key", 3, &p));
+    }
+
+    #[test]
+    fn derive_biguint_covers_wide_moduli() {
+        let modulus = BigUint::from_u128(1).shl(1023).add(&BigUint::from_u64(12345));
+        for t in 0..5u64 {
+            let v = derive_biguint_mod(b"seed-key", t, &modulus);
+            assert!(v < modulus);
+            // With a 1024-bit modulus the value should be wide w.h.p.
+            assert!(v.bit_len() > 900, "suspiciously small derived value");
+        }
+    }
+}

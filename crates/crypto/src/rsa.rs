@@ -1,0 +1,197 @@
+//! Textbook RSA over [`crate::biguint::BigUint`].
+//!
+//! Used exclusively by the SECOA baseline (paper §II-D): a SEAL is the seed
+//! encrypted `v` times with the *raw* RSA permutation, i.e. a one-way
+//! chain. No padding is involved — SEALs rely on RSA being a trapdoor
+//! permutation on `Z_n`, and on its multiplicative homomorphism
+//! (`E(x)·E(y) mod n = E(x·y)`) for the folding step.
+//!
+//! SIES itself never touches RSA; that is exactly the paper's point about
+//! sensor-side cost.
+
+use crate::biguint::BigUint;
+use rand::RngCore;
+
+/// Default SECOA modulus size: 1024 bits = 128-byte SEALs (Table II).
+pub const DEFAULT_MODULUS_BITS: usize = 1024;
+
+/// Public exponent used for SEAL chains. SECOA picks a small exponent so
+/// that one rolling step is cheap; `e = 3` needs `p, q ≢ 1 (mod 3)`.
+pub const SEAL_EXPONENT: u64 = 3;
+
+/// An RSA public key `(e, n)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+/// An RSA key pair. The private exponent is unused by SEAL chains but kept
+/// for completeness and testing.
+#[derive(Clone, Debug)]
+pub struct RsaKeyPair {
+    public: RsaPublicKey,
+    d: BigUint,
+}
+
+impl RsaPublicKey {
+    /// Constructs from raw components.
+    pub fn new(n: BigUint, e: BigUint) -> Self {
+        RsaPublicKey { n, e }
+    }
+
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The public exponent `e`.
+    pub fn exponent(&self) -> &BigUint {
+        &self.e
+    }
+
+    /// Modulus size in bytes (= SEAL wire size).
+    pub fn modulus_bytes(&self) -> usize {
+        self.n.bit_len().div_ceil(8)
+    }
+
+    /// Raw RSA encryption: `m^e mod n`.
+    pub fn encrypt(&self, m: &BigUint) -> BigUint {
+        m.pow_mod(&self.e, &self.n)
+    }
+
+    /// Applies the RSA permutation `times` times — the SECOA *rolling*
+    /// operation: `E^times(m)`.
+    pub fn encrypt_repeated(&self, m: &BigUint, times: u64) -> BigUint {
+        let mut acc = m.rem(&self.n);
+        for _ in 0..times {
+            acc = self.encrypt(&acc);
+        }
+        acc
+    }
+
+    /// Multiplies two ciphertexts mod `n` — the SECOA *folding* operation.
+    /// By multiplicative homomorphism, folding commutes with rolling.
+    pub fn fold(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.mul_mod(b, &self.n)
+    }
+}
+
+impl RsaKeyPair {
+    /// Generates a fresh key pair with an `bits`-bit modulus and public
+    /// exponent [`SEAL_EXPONENT`]. Primes are drawn with `p, q ≡ 2 (mod 3)`
+    /// so that `gcd(e, φ(n)) = 1` holds by construction.
+    pub fn generate(rng: &mut dyn RngCore, bits: usize) -> Self {
+        assert!(bits >= 32, "modulus too small");
+        let e = BigUint::from_u64(SEAL_EXPONENT);
+        let half = bits / 2;
+        loop {
+            let p = prime_2_mod_3(rng, half);
+            let q = prime_2_mod_3(rng, bits - half);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            if n.bit_len() != bits {
+                continue;
+            }
+            let one = BigUint::one();
+            let phi = p.sub(&one).mul(&q.sub(&one));
+            let Some(d) = e.mod_inverse(&phi) else { continue };
+            return RsaKeyPair { public: RsaPublicKey { n, e }, d };
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Raw RSA decryption: `c^d mod n`.
+    pub fn decrypt(&self, c: &BigUint) -> BigUint {
+        c.pow_mod(&self.d, &self.public.n)
+    }
+}
+
+/// Draws a random prime of the requested size with `p ≡ 2 (mod 3)`.
+fn prime_2_mod_3(rng: &mut dyn RngCore, bits: usize) -> BigUint {
+    let three = BigUint::from_u64(3);
+    loop {
+        let p = BigUint::random_prime(rng, bits, 24);
+        if p.rem(&three).as_u64() == 2 {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_keypair() -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(11);
+        RsaKeyPair::generate(&mut rng, 128)
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let kp = small_keypair();
+        for m in [0u64, 1, 2, 12345, 0xdead_beef] {
+            let m = BigUint::from_u64(m);
+            let c = kp.public().encrypt(&m);
+            assert_eq!(kp.decrypt(&c), m);
+        }
+    }
+
+    #[test]
+    fn multiplicative_homomorphism() {
+        let kp = small_keypair();
+        let pk = kp.public();
+        let a = BigUint::from_u64(1234);
+        let b = BigUint::from_u64(5678);
+        let folded = pk.fold(&pk.encrypt(&a), &pk.encrypt(&b));
+        let direct = pk.encrypt(&a.mul_mod(&b, pk.modulus()));
+        assert_eq!(folded, direct);
+    }
+
+    #[test]
+    fn rolling_then_folding_commutes() {
+        // E^k(x) · E^k(y) = E^k(x·y): the identity SECOA verification
+        // depends on.
+        let kp = small_keypair();
+        let pk = kp.public();
+        let x = BigUint::from_u64(31337);
+        let y = BigUint::from_u64(4242);
+        let k = 5;
+        let lhs = pk.fold(&pk.encrypt_repeated(&x, k), &pk.encrypt_repeated(&y, k));
+        let rhs = pk.encrypt_repeated(&x.mul_mod(&y, pk.modulus()), k);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn chain_is_consistent() {
+        // E^{a+b}(x) = E^b(E^a(x)): rolling composes additively.
+        let kp = small_keypair();
+        let pk = kp.public();
+        let x = BigUint::from_u64(999);
+        let ea = pk.encrypt_repeated(&x, 3);
+        assert_eq!(pk.encrypt_repeated(&ea, 4), pk.encrypt_repeated(&x, 7));
+        assert_eq!(pk.encrypt_repeated(&x, 0), x);
+    }
+
+    #[test]
+    fn generated_modulus_has_requested_bits() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let kp = RsaKeyPair::generate(&mut rng, 192);
+        assert_eq!(kp.public().modulus().bit_len(), 192);
+        assert_eq!(kp.public().modulus_bytes(), 24);
+    }
+
+    #[test]
+    fn exponent_is_three() {
+        let kp = small_keypair();
+        assert_eq!(kp.public().exponent().as_u64(), 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the arithmetic core of `sies-crypto`.
+//!
+//! These pin down the ring axioms and division invariants that the SIES
+//! homomorphic scheme and the SECOA RSA chains rely on.
+
+use proptest::prelude::*;
+use sies_crypto::biguint::BigUint;
+use sies_crypto::u256::U256;
+use sies_crypto::DEFAULT_PRIME_256;
+
+/// Strategy: an arbitrary 256-bit value.
+fn any_u256() -> impl Strategy<Value = U256> {
+    any::<[u64; 4]>().prop_map(U256::from_limbs)
+}
+
+/// Strategy: an arbitrary BigUint up to ~320 bits.
+fn any_biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..=5).prop_map(BigUint::from_limbs)
+}
+
+/// Strategy: a non-zero BigUint.
+fn nonzero_biguint() -> impl Strategy<Value = BigUint> {
+    any_biguint().prop_filter("non-zero", |v| !v.is_zero())
+}
+
+proptest! {
+    // ---- BigUint ring axioms -------------------------------------------
+
+    #[test]
+    fn add_commutes(a in any_biguint(), b in any_biguint()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_associates(a in any_biguint(), b in any_biguint(), c in any_biguint()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn mul_commutes(a in any_biguint(), b in any_biguint()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_associates(a in any_biguint(), b in any_biguint(), c in any_biguint()) {
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn mul_distributes(a in any_biguint(), b in any_biguint(), c in any_biguint()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in any_biguint(), b in any_biguint()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    // ---- Division invariant --------------------------------------------
+
+    #[test]
+    fn div_rem_invariant(a in any_biguint(), b in nonzero_biguint()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn shl_shr_round_trip(a in any_biguint(), sh in 0usize..300) {
+        prop_assert_eq!(a.shl(sh).shr(sh), a);
+    }
+
+    #[test]
+    fn byte_round_trip(a in any_biguint()) {
+        prop_assert_eq!(BigUint::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    // ---- Modular arithmetic --------------------------------------------
+
+    #[test]
+    fn pow_mod_matches_repeated_mul(base in any_biguint(), e in 0u64..64, m in nonzero_biguint()) {
+        let mut naive = if m.bit_len() == 1 { BigUint::zero() } else { BigUint::one() };
+        for _ in 0..e {
+            naive = naive.mul_mod(&base, &m);
+        }
+        prop_assert_eq!(base.pow_mod(&BigUint::from_u64(e), &m), naive);
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in nonzero_biguint(), m in nonzero_biguint()) {
+        if let Some(inv) = a.mod_inverse(&m) {
+            if m.bit_len() > 1 {
+                prop_assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
+            }
+        } else {
+            // No inverse means gcd(a, m) != 1.
+            prop_assert!(a.gcd(&m).bit_len() != 1);
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in any_biguint(), b in nonzero_biguint()) {
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_zero());
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    // ---- U256 <-> BigUint agreement ------------------------------------
+
+    #[test]
+    fn u256_add_mod_matches_biguint(a in any_u256(), b in any_u256()) {
+        let p = DEFAULT_PRIME_256;
+        let ar = a.rem(&p);
+        let br = b.rem(&p);
+        let fixed = ar.add_mod(&br, &p);
+        let big = BigUint::from(&ar).add_mod(&BigUint::from(&br), &BigUint::from(&p));
+        prop_assert_eq!(BigUint::from(&fixed), big);
+    }
+
+    #[test]
+    fn u256_mul_mod_matches_biguint(a in any_u256(), b in any_u256()) {
+        let p = DEFAULT_PRIME_256;
+        let fixed = a.mul_mod(&b, &p);
+        let big = BigUint::from(&a).mul_mod(&BigUint::from(&b), &BigUint::from(&p));
+        prop_assert_eq!(BigUint::from(&fixed), big);
+    }
+
+    #[test]
+    fn u256_sub_mod_matches_biguint(a in any_u256(), b in any_u256()) {
+        let p = DEFAULT_PRIME_256;
+        let pb = BigUint::from(&p);
+        let ar = a.rem(&p);
+        let br = b.rem(&p);
+        let fixed = ar.sub_mod(&br, &p);
+        // (a - b) mod p computed as a + (p - b) mod p in BigUint.
+        let big = BigUint::from(&ar).add_mod(&pb.sub(&BigUint::from(&br)).rem(&pb), &pb);
+        prop_assert_eq!(BigUint::from(&fixed), big);
+    }
+
+    #[test]
+    fn u256_inverse_round_trip(a in any_u256()) {
+        let p = DEFAULT_PRIME_256;
+        let ar = a.rem(&p);
+        if let Some(inv) = ar.inv_mod_prime(&p) {
+            prop_assert_eq!(ar.mul_mod(&inv, &p), U256::ONE);
+        } else {
+            prop_assert!(ar.is_zero());
+        }
+    }
+
+    #[test]
+    fn u256_byte_round_trip(a in any_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn u256_shifts_consistent_with_biguint(a in any_u256(), sh in 0usize..256) {
+        let shifted = a.shr(sh);
+        let big = BigUint::from(&a).shr(sh);
+        prop_assert_eq!(BigUint::from(&shifted), big);
+    }
+
+    // ---- The one-time-pad homomorphism (paper §III-D) ------------------
+
+    #[test]
+    fn homomorphic_sum_of_two(m1 in any::<u64>(), m2 in any::<u64>(), kt_seed in any::<u64>(), k1 in any_u256(), k2 in any_u256()) {
+        let p = DEFAULT_PRIME_256;
+        let kt = U256::from_u64(kt_seed | 1); // non-zero
+        let k1 = k1.rem(&p);
+        let k2 = k2.rem(&p);
+        let m1 = U256::from_u64(m1);
+        let m2 = U256::from_u64(m2);
+        // E(m) = K_t * m + k mod p
+        let c1 = kt.mul_mod(&m1, &p).add_mod(&k1, &p);
+        let c2 = kt.mul_mod(&m2, &p).add_mod(&k2, &p);
+        let c = c1.add_mod(&c2, &p);
+        // D(c, K_t, k1+k2)
+        let ksum = k1.add_mod(&k2, &p);
+        let dec = c.sub_mod(&ksum, &p).mul_mod(&kt.inv_mod_prime(&p).unwrap(), &p);
+        let expected = m1.add_mod(&m2, &p);
+        prop_assert_eq!(dec, expected);
+    }
+}

@@ -1,0 +1,2 @@
+//! Integration-test and example host crate for the SIES reproduction.
+//! All substance lives in `tests/` and the workspace-level `examples/`.

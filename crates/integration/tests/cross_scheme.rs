@@ -1,0 +1,153 @@
+//! Cross-scheme comparisons under identical instrumentation: exactness,
+//! approximation quality, per-edge bytes against the §V cost models, and
+//! energy ordering — the qualitative content of Tables III and V.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sies_baselines::cmt::CmtDeployment;
+use sies_baselines::secoa::SecoaSum;
+use sies_core::SystemParams;
+use sies_net::engine::Engine;
+use sies_net::{SiesDeployment, Topology};
+use sies_workload::intel_lab::{DomainScale, IntelLabGenerator};
+
+const N: u64 = 64;
+const F: usize = 4;
+const J: usize = 64;
+
+struct Fixture {
+    topo: Topology,
+    values: Vec<u64>,
+    true_sum: u64,
+}
+
+fn fixture() -> Fixture {
+    let topo = Topology::complete_tree(N, F);
+    let mut workload = IntelLabGenerator::new(77, N as usize);
+    let values = workload.epoch_values(0, DomainScale::DEFAULT);
+    let true_sum = values.iter().sum();
+    Fixture { topo, values, true_sum }
+}
+
+#[test]
+fn sies_and_cmt_are_exact_secoa_is_approximate() {
+    let fx = fixture();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let sies = SiesDeployment::new(&mut rng, SystemParams::new(N).unwrap());
+    let out = Engine::new(&sies, &fx.topo).run_epoch(0, &fx.values);
+    assert_eq!(out.result.unwrap().sum as u64, fx.true_sum);
+
+    let cmt = CmtDeployment::new(&mut rng, N);
+    let out = Engine::new(&cmt, &fx.topo).run_epoch(0, &fx.values);
+    assert_eq!(out.result.unwrap().sum as u64, fx.true_sum);
+
+    let secoa = SecoaSum::new(&mut rng, N, J, 256);
+    let out = Engine::new(&secoa, &fx.topo).run_epoch(0, &fx.values);
+    let est = out.result.unwrap().sum;
+    assert_ne!(est as u64, fx.true_sum, "sketches almost surely miss the exact value");
+    let rel = (est - fx.true_sum as f64).abs() / fx.true_sum as f64;
+    assert!(rel < 0.5, "estimate {est} too far from {}", fx.true_sum);
+}
+
+#[test]
+fn byte_accounting_matches_cost_models() {
+    let fx = fixture();
+    let mut rng = StdRng::seed_from_u64(2);
+
+    // SIES: 32 bytes on every edge (Table V).
+    let sies = SiesDeployment::new(&mut rng, SystemParams::new(N).unwrap());
+    let out = Engine::new(&sies, &fx.topo).run_epoch(0, &fx.values);
+    let b = out.stats.bytes;
+    assert_eq!(b.source_to_agg, 32 * N);
+    assert!((b.per_aa_edge() - 32.0).abs() < 1e-9);
+    assert_eq!(b.agg_to_querier, 32);
+
+    // CMT: 20 bytes everywhere.
+    let cmt = CmtDeployment::new(&mut rng, N);
+    let out = Engine::new(&cmt, &fx.topo).run_epoch(0, &fx.values);
+    assert_eq!(out.stats.bytes.source_to_agg, 20 * N);
+    assert_eq!(out.stats.bytes.agg_to_querier, 20);
+
+    // SECOA with a 32-byte test modulus: J·S_sk + J·32 + 20 per S-A edge
+    // (Equation 10), and a folded A-Q message (Equation 11).
+    let secoa = SecoaSum::new(&mut rng, N, J, 256);
+    let out = Engine::new(&secoa, &fx.topo).run_epoch(0, &fx.values);
+    let b = out.stats.bytes;
+    let expected_sa = (J + J * 32 + 20) as f64;
+    assert!((b.per_sa_edge() - expected_sa).abs() < 1e-9);
+    // The sink folds same-position SEALs: strictly smaller than S-A.
+    assert!((b.agg_to_querier as f64) < expected_sa);
+    assert!(b.agg_to_querier as usize >= J + 32 + 20);
+}
+
+#[test]
+fn energy_ordering_follows_bytes() {
+    let fx = fixture();
+    let mut rng = StdRng::seed_from_u64(3);
+    let sies = SiesDeployment::new(&mut rng, SystemParams::new(N).unwrap());
+    let cmt = CmtDeployment::new(&mut rng, N);
+    let secoa = SecoaSum::new(&mut rng, N, J, 256);
+
+    let e_sies = Engine::new(&sies, &fx.topo).run_epoch(0, &fx.values).stats.energy_tx;
+    let e_cmt = Engine::new(&cmt, &fx.topo).run_epoch(0, &fx.values).stats.energy_tx;
+    let e_secoa = Engine::new(&secoa, &fx.topo).run_epoch(0, &fx.values).stats.energy_tx;
+
+    assert!(e_cmt < e_sies, "20-byte PSRs beat 32-byte PSRs");
+    assert!(e_sies * 10.0 < e_secoa, "SECOA energy must dwarf SIES");
+    // SIES/CMT ratio equals the byte ratio 32/20.
+    assert!((e_sies / e_cmt - 1.6).abs() < 1e-6);
+}
+
+#[test]
+fn secoa_estimate_improves_with_more_sketches() {
+    // The J-accuracy trade-off the paper describes (J=300 bounds error
+    // within 10% with probability 90%): error should shrink with J on
+    // average. Use several epochs to smooth the comparison.
+    let fx = fixture();
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut mean_rel = Vec::new();
+    for j in [8usize, 128] {
+        let secoa = SecoaSum::new(&mut rng, N, j, 256);
+        let mut engine = Engine::new(&secoa, &fx.topo);
+        let mut rels = Vec::new();
+        for epoch in 0..6u64 {
+            let out = engine.run_epoch(epoch, &fx.values);
+            let est = out.result.unwrap().sum;
+            rels.push((est - fx.true_sum as f64).abs() / fx.true_sum as f64);
+        }
+        mean_rel.push(rels.iter().sum::<f64>() / rels.len() as f64);
+    }
+    assert!(
+        mean_rel[1] < mean_rel[0],
+        "J=128 error {} should beat J=8 error {}",
+        mean_rel[1],
+        mean_rel[0]
+    );
+}
+
+#[test]
+fn per_party_cpu_ordering_holds() {
+    // Table III's qualitative ordering on this host: SECOA source and
+    // querier costs dominate SIES and CMT by a wide margin.
+    let fx = fixture();
+    let mut rng = StdRng::seed_from_u64(5);
+    let sies = SiesDeployment::new(&mut rng, SystemParams::new(N).unwrap());
+    let cmt = CmtDeployment::new(&mut rng, N);
+    let secoa = SecoaSum::new(&mut rng, N, J, 256);
+
+    let s_sies = Engine::new(&sies, &fx.topo).run_epoch(0, &fx.values).stats;
+    let s_cmt = Engine::new(&cmt, &fx.topo).run_epoch(0, &fx.values).stats;
+    let s_secoa = Engine::new(&secoa, &fx.topo).run_epoch(0, &fx.values).stats;
+
+    assert!(s_secoa.per_source_cpu() > 10 * s_sies.per_source_cpu());
+    assert!(s_secoa.per_aggregator_cpu() > 10 * s_sies.per_aggregator_cpu());
+    assert!(s_secoa.querier_cpu > s_sies.querier_cpu);
+    // CMT and SIES are within roughly an order of magnitude of each
+    // other. The bound is deliberately loose: this test runs under a
+    // debug build with the rest of the suite hammering every core, so
+    // per-call wall times carry heavy scheduler noise.
+    let ratio = s_sies.per_source_cpu().as_nanos() as f64
+        / s_cmt.per_source_cpu().as_nanos().max(1) as f64;
+    assert!(ratio < 200.0, "SIES/CMT source ratio {ratio} too large");
+}

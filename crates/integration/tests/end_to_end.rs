@@ -1,0 +1,205 @@
+//! Full-stack integration tests: workload → query plan → SIES network →
+//! verified results, checked against plaintext recomputation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sies_core::query::{Aggregate, CmpOp, Predicate, Query, QueryResult};
+use sies_core::{setup, Attribute, ResultWidth, Source, SourceId, SystemParams};
+use sies_crypto::DEFAULT_PRIME_256;
+use sies_net::engine::Engine;
+use sies_net::{SiesDeployment, Topology};
+use sies_workload::intel_lab::{DomainScale, IntelLabGenerator};
+use sies_workload::ReadingGenerator;
+
+/// Runs one SUM sub-query through a real tree and returns the verified sum.
+fn run_sum_epoch(
+    sources: &[Source],
+    aggregator: &sies_core::Aggregator,
+    querier: &sies_core::Querier,
+    epoch: u64,
+    values: &[u64],
+) -> u64 {
+    let psrs: Vec<_> = sources
+        .iter()
+        .zip(values)
+        .map(|(s, &v)| s.initialize(epoch, v).unwrap())
+        .collect();
+    let final_psr = aggregator.merge(&psrs).unwrap();
+    querier.evaluate(&final_psr, epoch).unwrap().sum
+}
+
+#[test]
+fn twenty_epochs_of_exact_sums_over_the_engine() {
+    // The paper's experimental procedure: a SUM query over 20 epochs.
+    let n = 256u64;
+    let mut rng = StdRng::seed_from_u64(1);
+    let deployment = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
+    let topology = Topology::complete_tree(n, 4);
+    let mut engine = Engine::new(&deployment, &topology);
+    let mut workload = IntelLabGenerator::new(5, n as usize);
+    for epoch in 0..20u64 {
+        let values = workload.epoch_values(epoch, DomainScale::DEFAULT);
+        let expected: u64 = values.iter().sum();
+        let out = engine.run_epoch(epoch, &values);
+        let res = out.result.expect("honest epoch verifies");
+        assert_eq!(res.sum as u64, expected, "epoch {epoch}");
+        assert!(res.integrity_checked);
+    }
+}
+
+#[test]
+fn every_aggregate_matches_plaintext_recomputation() {
+    let n = 64u64;
+    let scale = DomainScale::DEFAULT;
+    let mut rng = StdRng::seed_from_u64(2);
+    let params =
+        SystemParams::with_prime(n, DEFAULT_PRIME_256, ResultWidth::U64).unwrap();
+    let (querier, creds, aggregator) = setup(&mut rng, params);
+    let sources: Vec<Source> = creds.into_iter().map(Source::new).collect();
+    let mut workload = ReadingGenerator::new(9, n as usize, scale);
+    let readings = workload.epoch_readings(0);
+
+    let hot = Predicate::Cmp(Attribute::Temperature, CmpOp::Gt, scale.scale(28.0));
+    let cases = vec![
+        Query { aggregate: Aggregate::Sum(Attribute::Temperature), predicate: Predicate::True, epoch_duration_ms: 1000 },
+        Query { aggregate: Aggregate::Sum(Attribute::Light), predicate: hot.clone(), epoch_duration_ms: 1000 },
+        Query { aggregate: Aggregate::Count, predicate: hot.clone(), epoch_duration_ms: 1000 },
+        Query { aggregate: Aggregate::Avg(Attribute::Temperature), predicate: Predicate::True, epoch_duration_ms: 1000 },
+        Query { aggregate: Aggregate::Variance(Attribute::Temperature), predicate: Predicate::True, epoch_duration_ms: 1000 },
+        Query { aggregate: Aggregate::StdDev(Attribute::Voltage), predicate: hot, epoch_duration_ms: 1000 },
+    ];
+
+    for (qi, query) in cases.into_iter().enumerate() {
+        let plan = query.plan();
+        // Run one SIES instance per sub-query term.
+        let mut sums = Vec::new();
+        for term_idx in 0..plan.terms().len() {
+            let epoch = (qi * 8 + term_idx) as u64;
+            let values: Vec<u64> = readings
+                .iter()
+                .map(|r| plan.source_values(r)[term_idx])
+                .collect();
+            sums.push(run_sum_epoch(&sources, &aggregator, &querier, epoch, &values));
+        }
+        let secured = plan.finalize(&sums).unwrap();
+
+        // Plaintext reference.
+        let reference = {
+            let matching: Vec<_> = readings.iter().filter(|r| query.predicate.eval(r)).collect();
+            let count = matching.len() as f64;
+            match query.aggregate {
+                Aggregate::Sum(a) => {
+                    QueryResult::Exact(matching.iter().map(|r| r.get(a)).sum::<u64>())
+                }
+                Aggregate::Count => QueryResult::Exact(matching.len() as u64),
+                Aggregate::Avg(a) => QueryResult::Real(
+                    matching.iter().map(|r| r.get(a) as f64).sum::<f64>() / count,
+                ),
+                Aggregate::Variance(a) | Aggregate::StdDev(a) => {
+                    let mean = matching.iter().map(|r| r.get(a) as f64).sum::<f64>() / count;
+                    let var = matching
+                        .iter()
+                        .map(|r| (r.get(a) as f64 - mean).powi(2))
+                        .sum::<f64>()
+                        / count;
+                    match query.aggregate {
+                        Aggregate::StdDev(_) => QueryResult::Real(var.sqrt()),
+                        _ => QueryResult::Real(var),
+                    }
+                }
+            }
+        };
+
+        match (secured, reference) {
+            (QueryResult::Exact(a), QueryResult::Exact(b)) => {
+                assert_eq!(a, b, "query {qi}")
+            }
+            (QueryResult::Real(a), QueryResult::Real(b)) => {
+                assert!(
+                    (a - b).abs() <= 1e-6 * b.abs().max(1.0),
+                    "query {qi}: secured {a} vs plaintext {b}"
+                )
+            }
+            other => panic!("query {qi}: result kind mismatch {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn arbitrary_topologies_are_equivalent() {
+    // The tree shape must never affect the verified SUM (merging is
+    // associative and commutative).
+    let n = 40u64;
+    let mut rng = StdRng::seed_from_u64(3);
+    let deployment = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
+    let values: Vec<u64> = (0..n).map(|i| 1800 + i * 37).collect();
+    let expected: u64 = values.iter().sum();
+
+    let mut sums = Vec::new();
+    for fanout in [2usize, 3, 7] {
+        let topo = Topology::complete_tree(n, fanout);
+        let mut engine = Engine::new(&deployment, &topo);
+        sums.push(engine.run_epoch(0, &values).result.unwrap().sum as u64);
+    }
+    for seed in 0..3u64 {
+        let mut trng = StdRng::seed_from_u64(seed);
+        let topo = Topology::random_tree(&mut trng, n, 5);
+        let mut engine = Engine::new(&deployment, &topo);
+        sums.push(engine.run_epoch(0, &values).result.unwrap().sum as u64);
+    }
+    assert!(sums.iter().all(|&s| s == expected), "sums {sums:?} != {expected}");
+}
+
+#[test]
+fn progressive_node_failures_degrade_gracefully() {
+    let n = 64u64;
+    let mut rng = StdRng::seed_from_u64(4);
+    let deployment = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
+    let topology = Topology::complete_tree(n, 4);
+    let values = vec![100u64; n as usize];
+
+    // Fail more and more sources; the verified sum must track the
+    // surviving set exactly.
+    let mut failed = std::collections::HashSet::new();
+    for (round, &victim) in [3u32, 17, 31, 42, 55].iter().enumerate() {
+        failed.insert(topology.source_node(victim).unwrap());
+        let mut engine = Engine::new(&deployment, &topology);
+        let out = engine.run_epoch_with(round as u64, &values, &failed, &[]);
+        let res = out.result.expect("honest failures must verify");
+        assert_eq!(res.sum as u64, 100 * (n - 1 - round as u64));
+        assert_eq!(out.stats.contributors.len() as u64, n - 1 - round as u64);
+    }
+}
+
+#[test]
+fn u64_width_supports_large_values() {
+    let n = 16u64;
+    let mut rng = StdRng::seed_from_u64(5);
+    let params = SystemParams::with_prime(n, DEFAULT_PRIME_256, ResultWidth::U64).unwrap();
+    let (querier, creds, aggregator) = setup(&mut rng, params);
+    let sources: Vec<Source> = creds.into_iter().map(Source::new).collect();
+    // Values far above the 4-byte field.
+    let values: Vec<u64> = (0..n).map(|i| (1u64 << 40) + i).collect();
+    let expected: u64 = values.iter().sum();
+    assert_eq!(run_sum_epoch(&sources, &aggregator, &querier, 0, &values), expected);
+}
+
+#[test]
+fn contributor_sets_are_order_insensitive() {
+    let n = 8u64;
+    let mut rng = StdRng::seed_from_u64(6);
+    let deployment = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
+    let psrs: Vec<_> = (0..n as SourceId)
+        .map(|i| deployment.source(i).initialize(1, 50).unwrap())
+        .collect();
+    let merged = {
+        use sies_net::scheme::AggregationScheme;
+        deployment.merge(&psrs)
+    };
+    let forward: Vec<SourceId> = (0..n as SourceId).collect();
+    let mut backward = forward.clone();
+    backward.reverse();
+    let a = deployment.querier().evaluate_with_contributors(&merged, 1, &forward).unwrap();
+    let b = deployment.querier().evaluate_with_contributors(&merged, 1, &backward).unwrap();
+    assert_eq!(a.sum, b.sum);
+}

@@ -1,0 +1,141 @@
+//! Property-based end-to-end tests: random topologies, random values,
+//! random failure sets and random attacks, asserting the SIES invariants
+//! the paper proves (exactness, failure-robust verification, attack
+//! detection).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sies_core::{SourceId, SystemParams};
+use sies_net::engine::{Attack, Engine};
+use sies_net::{SiesDeployment, Topology};
+use std::collections::HashSet;
+
+/// Builds a deployment + random topology from a seed.
+fn build(n: u64, fanout: usize, seed: u64) -> (SiesDeployment, Topology) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let deployment = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
+    let topo = Topology::random_tree(&mut rng, n, fanout.max(2));
+    (deployment, topo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exactness over arbitrary trees and values (Theorem-level claim:
+    /// the verified SUM equals the plain sum, always).
+    #[test]
+    fn sums_are_exact(
+        seed in 0u64..1000,
+        fanout in 2usize..8,
+        values in proptest::collection::vec(0u64..100_000, 2..40),
+    ) {
+        let n = values.len() as u64;
+        let (deployment, topo) = build(n, fanout, seed);
+        let mut engine = Engine::new(&deployment, &topo);
+        let out = engine.run_epoch(seed, &values);
+        let res = out.result.expect("honest epoch verifies");
+        prop_assert_eq!(res.sum as u64, values.iter().sum::<u64>());
+    }
+
+    /// Verification under arbitrary honest failure sets: the sum over the
+    /// surviving contributors is exact and verifies.
+    #[test]
+    fn failures_never_break_verification(
+        seed in 0u64..1000,
+        values in proptest::collection::vec(1u64..10_000, 4..24),
+        failure_bits in 0u32..0xFFFF,
+    ) {
+        let n = values.len() as u64;
+        let (deployment, topo) = build(n, 4, seed);
+        // Fail any subset of sources except all of them.
+        let mut failed = HashSet::new();
+        let mut surviving = 0u64;
+        let mut expected = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            if failure_bits >> (i % 16) & 1 == 1 && i % 3 != 0 {
+                failed.insert(topo.source_node(i as SourceId).unwrap());
+            } else {
+                surviving += 1;
+                expected += v;
+            }
+        }
+        prop_assume!(surviving > 0);
+        let mut engine = Engine::new(&deployment, &topo);
+        let out = engine.run_epoch_with(seed, &values, &failed, &[]);
+        let res = out.result.expect("honest failures verify");
+        prop_assert_eq!(res.sum as u64, expected);
+        prop_assert_eq!(out.stats.contributors.len() as u64, surviving);
+    }
+
+    /// Any single covert attack on any node is detected.
+    #[test]
+    fn any_single_attack_is_detected(
+        seed in 0u64..1000,
+        values in proptest::collection::vec(1u64..10_000, 4..20),
+        victim_idx in 0usize..20,
+        kind in 0u8..3,
+    ) {
+        let n = values.len() as u64;
+        let (deployment, topo) = build(n, 3, seed);
+        let victim = topo.source_node((victim_idx % values.len()) as SourceId).unwrap();
+        let attack = match kind {
+            0 => Attack::TamperAtNode(victim),
+            1 => Attack::DropAtNode(victim),
+            _ => Attack::DuplicateAtNode(victim),
+        };
+        let mut engine = Engine::new(&deployment, &topo);
+        let out = engine.run_epoch_with(seed, &values, &HashSet::new(), &[attack]);
+        prop_assert!(out.result.is_err(), "attack {:?} went undetected", attack);
+    }
+
+    /// Replay of any earlier epoch's final PSR is rejected for all later
+    /// epochs.
+    #[test]
+    fn replays_always_rejected(
+        seed in 0u64..1000,
+        values in proptest::collection::vec(1u64..10_000, 4..16),
+        gap in 1u64..5,
+    ) {
+        let n = values.len() as u64;
+        let (deployment, topo) = build(n, 4, seed);
+        let mut engine = Engine::new(&deployment, &topo);
+        prop_assert!(engine.run_epoch(0, &values).result.is_ok());
+        for e in 1..gap {
+            prop_assert!(engine.run_epoch(e, &values).result.is_ok());
+        }
+        let out = engine.run_epoch_with(gap, &values, &HashSet::new(), &[Attack::ReplayFinal]);
+        prop_assert!(out.result.is_err(), "replay accepted at epoch {gap}");
+    }
+
+    /// Ciphertext malleability in the *value* direction is caught: adding
+    /// K_t·δ to a ciphertext would shift the sum without touching the
+    /// share field — but the adversary doesn't know K_t, and adding any
+    /// *known* constant δ disturbs the share field.
+    #[test]
+    fn constant_injection_is_detected(
+        seed in 0u64..1000,
+        delta in 1u64..u64::MAX,
+        values in proptest::collection::vec(1u64..10_000, 2..10),
+    ) {
+        use sies_crypto::u256::U256;
+        use sies_net::scheme::AggregationScheme;
+        let n = values.len() as u64;
+        let (deployment, _) = build(n, 4, seed);
+        let psrs: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| deployment.source_init(i as SourceId, 7, v))
+            .collect();
+        let merged = deployment.merge(&psrs);
+        let p = *deployment.querier().params().prime();
+        let forged = sies_core::Psr::from_ciphertext(
+            merged.ciphertext().add_mod(&U256::from_u64(delta).rem(&p), &p),
+        );
+        let contributors: Vec<SourceId> = (0..n as SourceId).collect();
+        let res = deployment
+            .querier()
+            .evaluate_with_contributors(&forged, 7, &contributors);
+        prop_assert!(res.is_err(), "injected constant {delta} accepted");
+    }
+}

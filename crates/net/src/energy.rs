@@ -1,0 +1,92 @@
+//! First-order radio energy model (Heinzelman et al.), quantifying the
+//! paper's motivation: transmission dominates a sensor's battery budget,
+//! so bytes-per-edge translate directly into network lifetime.
+//!
+//! `E_tx(k, d) = E_elec·k + ε_amp·k·d²` and `E_rx(k) = E_elec·k` for `k`
+//! bits over distance `d` metres.
+
+/// Radio energy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioModel {
+    /// Electronics energy per bit, joules (default 50 nJ/bit).
+    pub e_elec: f64,
+    /// Amplifier energy per bit per m², joules (default 100 pJ/bit/m²).
+    pub e_amp: f64,
+    /// Inter-node distance in metres (default 50 m).
+    pub distance_m: f64,
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        RadioModel { e_elec: 50e-9, e_amp: 100e-12, distance_m: 50.0 }
+    }
+}
+
+impl RadioModel {
+    /// Energy to transmit `bytes` over one hop, in joules.
+    pub fn tx_energy(&self, bytes: usize) -> f64 {
+        let bits = (bytes * 8) as f64;
+        self.e_elec * bits + self.e_amp * bits * self.distance_m * self.distance_m
+    }
+
+    /// Energy to receive `bytes`, in joules.
+    pub fn rx_energy(&self, bytes: usize) -> f64 {
+        let bits = (bytes * 8) as f64;
+        self.e_elec * bits
+    }
+
+    /// Epochs a node can sustain transmitting `bytes_per_epoch`, given a
+    /// battery budget in joules (a coarse lifetime estimate that ignores
+    /// sensing and CPU draw, which transmission dominates).
+    pub fn lifetime_epochs(&self, battery_joules: f64, bytes_per_epoch: usize) -> f64 {
+        if bytes_per_epoch == 0 {
+            return f64::INFINITY;
+        }
+        battery_joules / self.tx_energy(bytes_per_epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_exceeds_rx() {
+        let m = RadioModel::default();
+        assert!(m.tx_energy(32) > m.rx_energy(32));
+    }
+
+    #[test]
+    fn energy_scales_linearly_in_bytes() {
+        let m = RadioModel::default();
+        let one = m.tx_energy(1);
+        let hundred = m.tx_energy(100);
+        assert!((hundred / one - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_grows_with_distance() {
+        let near = RadioModel { distance_m: 10.0, ..Default::default() };
+        let far = RadioModel { distance_m: 100.0, ..Default::default() };
+        assert!(far.tx_energy(32) > near.tx_energy(32));
+        assert_eq!(near.rx_energy(32), far.rx_energy(32));
+    }
+
+    #[test]
+    fn sies_vs_secoa_lifetime_gap() {
+        // 32-byte PSRs (SIES) vs ~38 KB payloads (SECOA): the lifetime gap
+        // should be about 3 orders of magnitude (Table V).
+        let m = RadioModel::default();
+        let battery = 2.0; // joules
+        let sies = m.lifetime_epochs(battery, 32);
+        let secoa = m.lifetime_epochs(battery, 38_720);
+        assert!(sies / secoa > 1000.0);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let m = RadioModel::default();
+        assert_eq!(m.tx_energy(0), 0.0);
+        assert!(m.lifetime_epochs(1.0, 0).is_infinite());
+    }
+}

@@ -1,0 +1,505 @@
+//! The epoch-driven aggregation engine: plays every role in-process,
+//! walking the tree bottom-up each epoch, with timing, byte, and energy
+//! accounting plus failure and attack injection.
+
+use crate::energy::RadioModel;
+use crate::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
+use crate::topology::{NodeId, Role, Topology};
+use sies_core::{Epoch, SourceId};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// An adversarial action injected into one epoch. All attacks are *covert*:
+/// contributor reporting is unchanged, so an honest querier cannot tell a
+/// priori that anything happened — detection must come from the scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attack {
+    /// Modify the PSR leaving `node` (scheme-specific tamper).
+    TamperAtNode(NodeId),
+    /// Silently discard the PSR leaving `node`.
+    DropAtNode(NodeId),
+    /// Deliver the PSR leaving `node` twice to its parent.
+    DuplicateAtNode(NodeId),
+    /// Replace the final PSR with the previous epoch's final PSR (replay).
+    ReplayFinal,
+}
+
+/// Per-edge-class byte totals for one epoch (paper Table V's three rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeBytes {
+    /// Total bytes on source→aggregator edges.
+    pub source_to_agg: u64,
+    /// Number of source→aggregator transmissions.
+    pub source_to_agg_edges: u64,
+    /// Total bytes on aggregator→aggregator edges.
+    pub agg_to_agg: u64,
+    /// Number of aggregator→aggregator transmissions.
+    pub agg_to_agg_edges: u64,
+    /// Bytes on the single aggregator→querier edge.
+    pub agg_to_querier: u64,
+}
+
+impl EdgeBytes {
+    /// Mean bytes per source→aggregator edge.
+    pub fn per_sa_edge(&self) -> f64 {
+        if self.source_to_agg_edges == 0 {
+            0.0
+        } else {
+            self.source_to_agg as f64 / self.source_to_agg_edges as f64
+        }
+    }
+
+    /// Mean bytes per aggregator→aggregator edge.
+    pub fn per_aa_edge(&self) -> f64 {
+        if self.agg_to_agg_edges == 0 {
+            0.0
+        } else {
+            self.agg_to_agg as f64 / self.agg_to_agg_edges as f64
+        }
+    }
+}
+
+/// Measurements collected over one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// The epoch.
+    pub epoch: Epoch,
+    /// Total CPU time spent in source initialization.
+    pub source_cpu: Duration,
+    /// Number of sources that ran initialization.
+    pub sources_run: u64,
+    /// Total CPU time spent merging at aggregators.
+    pub aggregator_cpu: Duration,
+    /// Number of aggregators that merged at least one PSR.
+    pub aggregators_run: u64,
+    /// CPU time of the querier's evaluation phase.
+    pub querier_cpu: Duration,
+    /// Byte totals per edge class.
+    pub bytes: EdgeBytes,
+    /// Total radio transmit energy across the network (joules).
+    pub energy_tx: f64,
+    /// Total radio receive energy across the network (joules).
+    pub energy_rx: f64,
+    /// Sources reported as contributing (honest failures excluded).
+    pub contributors: Vec<SourceId>,
+}
+
+impl EpochStats {
+    /// Mean initialization time per source.
+    pub fn per_source_cpu(&self) -> Duration {
+        if self.sources_run == 0 {
+            Duration::ZERO
+        } else {
+            self.source_cpu / self.sources_run as u32
+        }
+    }
+
+    /// Mean merge time per aggregator.
+    pub fn per_aggregator_cpu(&self) -> Duration {
+        if self.aggregators_run == 0 {
+            Duration::ZERO
+        } else {
+            self.aggregator_cpu / self.aggregators_run as u32
+        }
+    }
+}
+
+/// The outcome of one epoch: the querier's verdict plus measurements.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// The evaluation result (an integrity error is an *outcome*, not an
+    /// engine failure).
+    pub result: Result<EvaluatedSum, SchemeError>,
+    /// Measurements.
+    pub stats: EpochStats,
+}
+
+/// The simulation engine for one deployed scheme on one topology.
+pub struct Engine<'a, S: AggregationScheme> {
+    scheme: &'a S,
+    topology: &'a Topology,
+    radio: RadioModel,
+    /// Cached final PSR of the previous epoch, for replay attacks.
+    prev_final: Option<S::Psr>,
+}
+
+impl<'a, S: AggregationScheme> Engine<'a, S> {
+    /// Creates an engine with the default radio model.
+    pub fn new(scheme: &'a S, topology: &'a Topology) -> Self {
+        Engine { scheme, topology, radio: RadioModel::default(), prev_final: None }
+    }
+
+    /// Overrides the radio model.
+    pub fn with_radio(mut self, radio: RadioModel) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// Runs a clean epoch: no failures, no attacks.
+    pub fn run_epoch(&mut self, epoch: Epoch, values: &[u64]) -> EpochOutcome {
+        self.run_epoch_with(epoch, values, &HashSet::new(), &[])
+    }
+
+    /// Runs one epoch with `failed` nodes (honest failures, reported to
+    /// the querier and excluded from the contributor set) and adversarial
+    /// `attacks` (covert).
+    ///
+    /// `values[i]` is source `i`'s reading this epoch.
+    pub fn run_epoch_with(
+        &mut self,
+        epoch: Epoch,
+        values: &[u64],
+        failed: &HashSet<NodeId>,
+        attacks: &[Attack],
+    ) -> EpochOutcome {
+        assert_eq!(
+            values.len() as u64,
+            self.topology.num_sources(),
+            "one value per source required"
+        );
+
+        let mut stats = EpochStats {
+            epoch,
+            source_cpu: Duration::ZERO,
+            sources_run: 0,
+            aggregator_cpu: Duration::ZERO,
+            aggregators_run: 0,
+            querier_cpu: Duration::ZERO,
+            bytes: EdgeBytes::default(),
+            energy_tx: 0.0,
+            energy_rx: 0.0,
+            contributors: Vec::new(),
+        };
+
+        // Honest failures remove whole subtrees from the contributor set.
+        let mut excluded: HashSet<SourceId> = HashSet::new();
+        for &node in failed {
+            for s in self.topology.sources_under(node) {
+                excluded.insert(s);
+            }
+        }
+        stats.contributors = (0..self.topology.num_sources() as SourceId)
+            .filter(|s| !excluded.contains(s))
+            .collect();
+
+        // Per-node output PSRs (duplicated entries model the duplicate
+        // attack).
+        let n_nodes = self.topology.nodes().len();
+        let mut outputs: Vec<Vec<S::Psr>> = (0..n_nodes).map(|_| Vec::new()).collect();
+
+        for id in self.topology.post_order() {
+            if failed.contains(&id) {
+                continue;
+            }
+            let node = self.topology.node(id);
+            let produced: Option<S::Psr> = match node.role {
+                Role::Source(sid) => {
+                    let t0 = Instant::now();
+                    let psr = self.scheme.source_init(sid, epoch, values[sid as usize]);
+                    stats.source_cpu += t0.elapsed();
+                    stats.sources_run += 1;
+                    Some(psr)
+                }
+                Role::Aggregator => {
+                    let inputs: Vec<S::Psr> = node
+                        .children
+                        .iter()
+                        .flat_map(|&c| outputs[c].drain(..).collect::<Vec<_>>())
+                        .collect();
+                    if inputs.is_empty() {
+                        None
+                    } else {
+                        let t0 = Instant::now();
+                        let merged = self.scheme.merge(&inputs);
+                        stats.aggregator_cpu += t0.elapsed();
+                        stats.aggregators_run += 1;
+                        Some(merged)
+                    }
+                }
+            };
+
+            let Some(mut psr) = produced else { continue };
+
+            // The sink's extra pass (e.g. SECOA same-position SEAL
+            // folding) happens before the aggregator→querier edge and is
+            // charged to aggregator CPU.
+            if node.parent.is_none() {
+                let t0 = Instant::now();
+                psr = self.scheme.sink_finalize(psr);
+                stats.aggregator_cpu += t0.elapsed();
+            }
+
+            // Apply covert attacks on this node's outgoing PSR.
+            let mut copies = 1usize;
+            let mut dropped = false;
+            for attack in attacks {
+                match *attack {
+                    Attack::TamperAtNode(n) if n == id => self.scheme.tamper(&mut psr),
+                    Attack::DropAtNode(n) if n == id => dropped = true,
+                    Attack::DuplicateAtNode(n) if n == id => copies += 1,
+                    _ => {}
+                }
+            }
+            if dropped {
+                continue;
+            }
+
+            // Account the transmission to the parent (or querier). Each
+            // node deposits its outgoing PSR(s) in its own slot; the
+            // parent drains its children's slots when it runs.
+            let size = self.scheme.psr_wire_size(&psr) * copies;
+            match node.parent {
+                Some(_) => {
+                    match node.role {
+                        Role::Source(_) => {
+                            stats.bytes.source_to_agg += size as u64;
+                            stats.bytes.source_to_agg_edges += 1;
+                        }
+                        Role::Aggregator => {
+                            stats.bytes.agg_to_agg += size as u64;
+                            stats.bytes.agg_to_agg_edges += 1;
+                        }
+                    }
+                    stats.energy_tx += self.radio.tx_energy(size);
+                    stats.energy_rx += self.radio.rx_energy(size);
+                }
+                None => {
+                    // The sink transmits the final PSR to the querier.
+                    stats.bytes.agg_to_querier += size as u64;
+                    stats.energy_tx += self.radio.tx_energy(size);
+                }
+            }
+            for _ in 0..copies {
+                outputs[id].push(psr.clone());
+            }
+        }
+
+        // Collect the final PSR at the root.
+        let root = self.topology.root();
+        let mut final_psr = match outputs[root].pop() {
+            Some(p) => p,
+            None => {
+                return EpochOutcome {
+                    result: Err(SchemeError::Malformed(
+                        "no PSR reached the querier (all subtrees failed)".into(),
+                    )),
+                    stats,
+                };
+            }
+        };
+
+        // Replay attack: substitute the previous epoch's final PSR.
+        if attacks.contains(&Attack::ReplayFinal) {
+            if let Some(prev) = &self.prev_final {
+                final_psr = prev.clone();
+            }
+        }
+        self.prev_final = Some(final_psr.clone());
+
+        let t0 = Instant::now();
+        let result = self
+            .scheme
+            .evaluate(&final_psr, epoch, &stats.contributors);
+        stats.querier_cpu = t0.elapsed();
+
+        EpochOutcome { result, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A transparent scheme for engine-level tests: the PSR is the plain
+    /// sum plus a contribution count, so every engine behaviour is
+    /// observable without cryptography.
+    struct PlainSum;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct PlainPsr {
+        sum: u64,
+        count: u64,
+    }
+
+    impl AggregationScheme for PlainSum {
+        type Psr = PlainPsr;
+
+        fn name(&self) -> &'static str {
+            "plain"
+        }
+
+        fn source_init(&self, _s: SourceId, _e: Epoch, value: u64) -> PlainPsr {
+            PlainPsr { sum: value, count: 1 }
+        }
+
+        fn merge(&self, psrs: &[PlainPsr]) -> PlainPsr {
+            PlainPsr {
+                sum: psrs.iter().map(|p| p.sum).sum(),
+                count: psrs.iter().map(|p| p.count).sum(),
+            }
+        }
+
+        fn evaluate(
+            &self,
+            f: &PlainPsr,
+            _epoch: Epoch,
+            contributors: &[SourceId],
+        ) -> Result<EvaluatedSum, SchemeError> {
+            // "Verification": the number of fused PSRs must equal the
+            // reported contributor count.
+            if f.count != contributors.len() as u64 {
+                return Err(SchemeError::VerificationFailed(format!(
+                    "{} contributions, {} contributors",
+                    f.count,
+                    contributors.len()
+                )));
+            }
+            Ok(EvaluatedSum { sum: f.sum as f64, integrity_checked: true })
+        }
+
+        fn psr_wire_size(&self, _p: &PlainPsr) -> usize {
+            16
+        }
+
+        fn tamper(&self, psr: &mut PlainPsr) {
+            psr.sum += 1_000_000;
+        }
+    }
+
+    fn engine_fixture(n: u64, f: usize) -> (Topology, PlainSum) {
+        (Topology::complete_tree(n, f), PlainSum)
+    }
+
+    #[test]
+    fn clean_epoch_sums_exactly() {
+        let (topo, scheme) = engine_fixture(16, 4);
+        let mut engine = Engine::new(&scheme, &topo);
+        let values: Vec<u64> = (1..=16).collect();
+        let out = engine.run_epoch(0, &values);
+        let res = out.result.unwrap();
+        assert_eq!(res.sum, 136.0);
+        assert_eq!(out.stats.sources_run, 16);
+        assert_eq!(out.stats.contributors.len(), 16);
+    }
+
+    #[test]
+    fn byte_accounting_matches_topology() {
+        let (topo, scheme) = engine_fixture(16, 4);
+        let mut engine = Engine::new(&scheme, &topo);
+        let out = engine.run_epoch(0, &[1; 16]);
+        let b = out.stats.bytes;
+        // 16 source edges, (4 aggregators → sink) agg edges, 1 querier edge.
+        assert_eq!(b.source_to_agg_edges, 16);
+        assert_eq!(b.source_to_agg, 16 * 16);
+        assert_eq!(b.agg_to_agg_edges, 4);
+        assert_eq!(b.agg_to_agg, 4 * 16);
+        assert_eq!(b.agg_to_querier, 16);
+        assert!((b.per_sa_edge() - 16.0).abs() < 1e-9);
+        assert!((b.per_aa_edge() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_accounting_positive_and_consistent() {
+        let (topo, scheme) = engine_fixture(8, 2);
+        let mut engine = Engine::new(&scheme, &topo);
+        let out = engine.run_epoch(0, &[1; 8]);
+        assert!(out.stats.energy_tx > 0.0);
+        assert!(out.stats.energy_rx > 0.0);
+        // Every transmission except sink→querier is also received.
+        assert!(out.stats.energy_tx > out.stats.energy_rx);
+    }
+
+    #[test]
+    fn honest_source_failure_excluded_and_verifies() {
+        let (topo, scheme) = engine_fixture(8, 2);
+        let mut engine = Engine::new(&scheme, &topo);
+        let node = topo.source_node(3).unwrap();
+        let failed: HashSet<NodeId> = [node].into();
+        let out = engine.run_epoch_with(0, &[10; 8], &failed, &[]);
+        let res = out.result.unwrap();
+        assert_eq!(res.sum, 70.0);
+        assert_eq!(out.stats.contributors.len(), 7);
+        assert!(!out.stats.contributors.contains(&3));
+    }
+
+    #[test]
+    fn honest_aggregator_failure_excludes_subtree() {
+        let (topo, scheme) = engine_fixture(16, 4);
+        let mut engine = Engine::new(&scheme, &topo);
+        // Fail the first level-1 aggregator: 4 sources vanish.
+        let agg = topo.node(topo.root()).children[0];
+        let failed: HashSet<NodeId> = [agg].into();
+        let out = engine.run_epoch_with(0, &[5; 16], &failed, &[]);
+        let res = out.result.unwrap();
+        assert_eq!(res.sum, 60.0);
+        assert_eq!(out.stats.contributors.len(), 12);
+    }
+
+    #[test]
+    fn covert_drop_detected_by_verifying_scheme() {
+        let (topo, scheme) = engine_fixture(8, 2);
+        let mut engine = Engine::new(&scheme, &topo);
+        let node = topo.source_node(2).unwrap();
+        let out = engine.run_epoch_with(0, &[1; 8], &HashSet::new(), &[Attack::DropAtNode(node)]);
+        assert!(matches!(out.result, Err(SchemeError::VerificationFailed(_))));
+    }
+
+    #[test]
+    fn covert_duplicate_detected() {
+        let (topo, scheme) = engine_fixture(8, 2);
+        let mut engine = Engine::new(&scheme, &topo);
+        let node = topo.source_node(0).unwrap();
+        let out =
+            engine.run_epoch_with(0, &[1; 8], &HashSet::new(), &[Attack::DuplicateAtNode(node)]);
+        assert!(out.result.is_err());
+    }
+
+    #[test]
+    fn tamper_changes_result() {
+        let (topo, scheme) = engine_fixture(4, 2);
+        let mut engine = Engine::new(&scheme, &topo);
+        let node = topo.source_node(1).unwrap();
+        let out =
+            engine.run_epoch_with(0, &[1; 4], &HashSet::new(), &[Attack::TamperAtNode(node)]);
+        // PlainSum's "verification" doesn't cover tampering with the sum,
+        // so the attack slips through — exactly why SIES embeds shares.
+        let res = out.result.unwrap();
+        assert_eq!(res.sum, 1_000_004.0);
+    }
+
+    #[test]
+    fn replay_uses_previous_epoch_final() {
+        let (topo, scheme) = engine_fixture(4, 2);
+        let mut engine = Engine::new(&scheme, &topo);
+        let first = engine.run_epoch(0, &[1; 4]).result.unwrap();
+        assert_eq!(first.sum, 4.0);
+        let replayed = engine
+            .run_epoch_with(1, &[100; 4], &HashSet::new(), &[Attack::ReplayFinal])
+            .result
+            .unwrap();
+        // PlainSum cannot detect it; the replayed sum is epoch 0's.
+        assert_eq!(replayed.sum, 4.0);
+    }
+
+    #[test]
+    fn total_network_failure_reported() {
+        let (topo, scheme) = engine_fixture(4, 2);
+        let mut engine = Engine::new(&scheme, &topo);
+        let failed: HashSet<NodeId> = [topo.root()].into();
+        let out = engine.run_epoch_with(0, &[1; 4], &failed, &[]);
+        assert!(matches!(out.result, Err(SchemeError::Malformed(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per source")]
+    fn wrong_value_count_panics() {
+        let (topo, scheme) = engine_fixture(4, 2);
+        let mut engine = Engine::new(&scheme, &topo);
+        engine.run_epoch(0, &[1; 3]);
+    }
+}

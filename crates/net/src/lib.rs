@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # sies-net
+//!
+//! The sensor-network substrate for the SIES reproduction: aggregation
+//! trees (paper §III-A), an epoch-driven engine that plays all roles
+//! in-process with CPU/byte/energy accounting, honest node-failure
+//! handling, and a covert-attack harness.
+//!
+//! The [`scheme::AggregationScheme`] trait captures the three in-network
+//! phases, so SIES ([`deploy::SiesDeployment`]) and the baselines from
+//! `sies-baselines` all run under the same engine and are measured
+//! identically — the setup the paper's §VI experiments need.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use sies_core::SystemParams;
+//! use sies_net::deploy::SiesDeployment;
+//! use sies_net::engine::Engine;
+//! use sies_net::topology::Topology;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let deployment = SiesDeployment::new(&mut rng, SystemParams::new(16).unwrap());
+//! let topology = Topology::complete_tree(16, 4);
+//! let mut engine = Engine::new(&deployment, &topology);
+//! let outcome = engine.run_epoch(0, &[3; 16]);
+//! assert_eq!(outcome.result.unwrap().sum, 48.0);
+//! ```
+
+pub mod deploy;
+pub mod energy;
+pub mod engine;
+pub mod query_engine;
+pub mod radio;
+pub mod scheme;
+pub mod topology;
+pub mod wire;
+
+pub use deploy::SiesDeployment;
+pub use query_engine::{QueryEngine, QueryOutcome};
+pub use energy::RadioModel;
+pub use engine::{Attack, EdgeBytes, Engine, EpochOutcome, EpochStats};
+pub use scheme::{AggregationScheme, EvaluatedSum, SchemeError};
+pub use topology::{Node, NodeId, Role, Topology};

@@ -1,0 +1,83 @@
+//! The [`AggregationScheme`] abstraction: the three in-network phases
+//! (initialization `I`, merging `M`, evaluation `E` — paper §III-A) as a
+//! trait, so the same epoch engine, adversary harness, and accounting run
+//! SIES and both baselines.
+
+use sies_core::{Epoch, SourceId};
+
+/// Why an evaluation was rejected (or, for non-verifying schemes like CMT,
+/// why it *would* have been).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeError {
+    /// Integrity/freshness verification failed.
+    VerificationFailed(String),
+    /// The scheme received malformed inputs.
+    Malformed(String),
+}
+
+impl core::fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SchemeError::VerificationFailed(m) => write!(f, "verification failed: {m}"),
+            SchemeError::Malformed(m) => write!(f, "malformed input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+/// An evaluated (and, where the scheme supports it, verified) SUM result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluatedSum {
+    /// The SUM value reported to the querier. Exact for SIES and CMT;
+    /// approximate (`2^x̄`) for SECOA.
+    pub sum: f64,
+    /// Whether the scheme cryptographically verified integrity and
+    /// freshness (true for SIES and SECOA; false for CMT, which cannot).
+    pub integrity_checked: bool,
+}
+
+/// A deployed secure in-network aggregation scheme covering all `N`
+/// sources. Implementors carry the key material for every party, because
+/// the epoch engine plays all roles in-process.
+pub trait AggregationScheme {
+    /// The partial state record flowing along edges.
+    type Psr: Clone;
+
+    /// Scheme name for reports ("SIES", "CMT", "SECOAS").
+    fn name(&self) -> &'static str;
+
+    /// Initialization phase `I` at source `source`: encode + encrypt the
+    /// epoch's value into a PSR.
+    fn source_init(&self, source: SourceId, epoch: Epoch, value: u64) -> Self::Psr;
+
+    /// Merging phase `M` at an aggregator: fuse children's PSRs.
+    /// `psrs` is non-empty.
+    fn merge(&self, psrs: &[Self::Psr]) -> Self::Psr;
+
+    /// Evaluation phase `E` at the querier. `contributors` lists the
+    /// sources whose PSRs reached the sink (paper §IV-B Discussion).
+    fn evaluate(
+        &self,
+        final_psr: &Self::Psr,
+        epoch: Epoch,
+        contributors: &[SourceId],
+    ) -> Result<EvaluatedSum, SchemeError>;
+
+    /// Extra processing at the sink (root aggregator) before the PSR is
+    /// sent to the querier. Identity for SIES and CMT; SECOA folds SEALs
+    /// that sit at the same chain position to shrink the
+    /// aggregator→querier message (paper §II-D).
+    fn sink_finalize(&self, psr: Self::Psr) -> Self::Psr {
+        psr
+    }
+
+    /// Wire size of a PSR in bytes — drives the per-edge communication
+    /// accounting (paper Table V).
+    fn psr_wire_size(&self, psr: &Self::Psr) -> usize;
+
+    /// An in-flight adversarial modification of a PSR (used by the attack
+    /// harness). Each scheme defines its own notion of "tamper": SIES/CMT
+    /// add a constant to the ciphertext; SECOA inflates a sketch.
+    fn tamper(&self, psr: &mut Self::Psr);
+}

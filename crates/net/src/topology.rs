@@ -1,0 +1,398 @@
+//! Aggregation-tree topologies (paper §III-A, Figure 1).
+//!
+//! Sources are the leaves; aggregators are internal nodes; the root
+//! aggregator is the network sink, which alone talks to the querier. The
+//! paper's experiments use a *complete tree* with aggregator fanout `F`;
+//! [`Topology::random_tree`] additionally builds irregular trees for
+//! robustness testing, since "the tree topology can be arbitrary".
+
+use rand::Rng;
+use rand::RngCore;
+use sies_core::SourceId;
+
+/// Index of a node within a [`Topology`].
+pub type NodeId = usize;
+
+/// The role a node plays in the aggregation tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A leaf that generates data (`𝒮_i`).
+    Source(SourceId),
+    /// An internal node that fuses PSRs (`𝒜_j`).
+    Aggregator,
+}
+
+/// One node of the aggregation tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Parent node (`None` for the sink).
+    pub parent: Option<NodeId>,
+    /// Children, empty for sources.
+    pub children: Vec<NodeId>,
+    /// Source or aggregator.
+    pub role: Role,
+    /// Hop distance from the sink (sink = 0).
+    pub depth: usize,
+}
+
+/// An aggregation tree.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    root: NodeId,
+    num_sources: u64,
+}
+
+impl Topology {
+    /// Builds the paper's experimental topology: `num_sources` leaves under
+    /// a complete tree of aggregators with fanout `fanout`.
+    ///
+    /// Construction is bottom-up: every group of up to `fanout` nodes at
+    /// one level is adopted by a fresh aggregator at the next level, until
+    /// a single sink remains. With `num_sources = 1` a single aggregator
+    /// (the sink) still exists so the querier always talks to an
+    /// aggregator.
+    pub fn complete_tree(num_sources: u64, fanout: usize) -> Self {
+        assert!(num_sources >= 1, "need at least one source");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut level: Vec<NodeId> = (0..num_sources)
+            .map(|i| {
+                let id = nodes.len();
+                nodes.push(Node {
+                    id,
+                    parent: None,
+                    children: Vec::new(),
+                    role: Role::Source(i as SourceId),
+                    depth: 0,
+                });
+                id
+            })
+            .collect();
+
+        // Keep adding aggregator levels until one node remains — and make
+        // sure that node is an aggregator (the sink), not a lone source.
+        while level.len() > 1 || matches!(nodes[level[0]].role, Role::Source(_)) {
+            let mut next: Vec<NodeId> = Vec::new();
+            for group in level.chunks(fanout) {
+                let id = nodes.len();
+                nodes.push(Node {
+                    id,
+                    parent: None,
+                    children: group.to_vec(),
+                    role: Role::Aggregator,
+                    depth: 0,
+                });
+                for &child in group {
+                    nodes[child].parent = Some(id);
+                }
+                next.push(id);
+            }
+            level = next;
+        }
+        let root = level[0];
+        let mut topo = Topology { nodes, root, num_sources };
+        topo.recompute_depths();
+        topo
+    }
+
+    /// Builds a random irregular tree: aggregators get between 1 and
+    /// `max_fanout` children, sampled with `rng`.
+    pub fn random_tree(rng: &mut dyn RngCore, num_sources: u64, max_fanout: usize) -> Self {
+        assert!(num_sources >= 1);
+        assert!(max_fanout >= 2);
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut level: Vec<NodeId> = (0..num_sources)
+            .map(|i| {
+                let id = nodes.len();
+                nodes.push(Node {
+                    id,
+                    parent: None,
+                    children: Vec::new(),
+                    role: Role::Source(i as SourceId),
+                    depth: 0,
+                });
+                id
+            })
+            .collect();
+        while level.len() > 1 || matches!(nodes[level[0]].role, Role::Source(_)) {
+            let mut next: Vec<NodeId> = Vec::new();
+            let mut i = 0;
+            while i < level.len() {
+                let take = rng.random_range(1..=max_fanout).min(level.len() - i);
+                let group = &level[i..i + take];
+                let id = nodes.len();
+                nodes.push(Node {
+                    id,
+                    parent: None,
+                    children: group.to_vec(),
+                    role: Role::Aggregator,
+                    depth: 0,
+                });
+                for &child in group {
+                    nodes[child].parent = Some(id);
+                }
+                next.push(id);
+                i += take;
+            }
+            level = next;
+        }
+        let root = level[0];
+        let mut topo = Topology { nodes, root, num_sources };
+        topo.recompute_depths();
+        topo
+    }
+
+    fn recompute_depths(&mut self) {
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some((id, depth)) = stack.pop() {
+            self.nodes[id].depth = depth;
+            let children = self.nodes[id].children.clone();
+            for c in children {
+                stack.push((c, depth + 1));
+            }
+        }
+    }
+
+    /// The sink (root aggregator).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of source leaves.
+    pub fn num_sources(&self) -> u64 {
+        self.num_sources
+    }
+
+    /// Number of aggregator nodes.
+    pub fn num_aggregators(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.role, Role::Aggregator))
+            .count()
+    }
+
+    /// Post-order traversal (children before parents), the order the
+    /// epoch engine processes nodes in.
+    pub fn post_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(self.root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                order.push(id);
+            } else {
+                stack.push((id, true));
+                for &c in &self.nodes[id].children {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// The node id hosting a given source.
+    pub fn source_node(&self, source: SourceId) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .find(|n| n.role == Role::Source(source))
+            .map(|n| n.id)
+    }
+
+    /// All source ids in the subtree rooted at `id`.
+    pub fn sources_under(&self, id: NodeId) -> Vec<SourceId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            match self.nodes[n].role {
+                Role::Source(s) => out.push(s),
+                Role::Aggregator => stack.extend(&self.nodes[n].children),
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Tree height (max depth over nodes).
+    pub fn height(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Renders the tree in Graphviz DOT format (sources as boxes,
+    /// aggregators as circles, the sink double-circled) for debugging and
+    /// documentation.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph aggregation_tree {\n  rankdir=BT;\n");
+        for node in &self.nodes {
+            match node.role {
+                Role::Source(s) => {
+                    out.push_str(&format!("  n{} [shape=box, label=\"S{}\"];\n", node.id, s));
+                }
+                Role::Aggregator => {
+                    let shape = if node.id == self.root { "doublecircle" } else { "circle" };
+                    out.push_str(&format!("  n{} [shape={shape}, label=\"A\"];\n", node.id));
+                }
+            }
+        }
+        for node in &self.nodes {
+            if let Some(parent) = node.parent {
+                out.push_str(&format!("  n{} -> n{};\n", node.id, parent));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Checks structural invariants (parent/child symmetry, one root,
+    /// every source reachable). Used by property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut roots = 0;
+        for n in &self.nodes {
+            match n.parent {
+                None => roots += 1,
+                Some(p) => {
+                    if !self.nodes[p].children.contains(&n.id) {
+                        return Err(format!("node {} missing from parent {}'s children", n.id, p));
+                    }
+                }
+            }
+            for &c in &n.children {
+                if self.nodes[c].parent != Some(n.id) {
+                    return Err(format!("child {c} does not point back to {}", n.id));
+                }
+            }
+            if matches!(n.role, Role::Source(_)) && !n.children.is_empty() {
+                return Err(format!("source node {} has children", n.id));
+            }
+        }
+        if roots != 1 {
+            return Err(format!("expected exactly one root, found {roots}"));
+        }
+        let reach = self.sources_under(self.root);
+        if reach.len() as u64 != self.num_sources {
+            return Err(format!(
+                "only {} of {} sources reachable from the root",
+                reach.len(),
+                self.num_sources
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_default_topology() {
+        // N = 1024, F = 4: a complete 4-ary tree of aggregators.
+        let t = Topology::complete_tree(1024, 4);
+        t.validate().unwrap();
+        assert_eq!(t.num_sources(), 1024);
+        // 256 + 64 + 16 + 4 + 1 aggregators.
+        assert_eq!(t.num_aggregators(), 256 + 64 + 16 + 4 + 1);
+        assert_eq!(t.height(), 5);
+        assert!(matches!(t.node(t.root()).role, Role::Aggregator));
+    }
+
+    #[test]
+    fn single_source_still_has_sink() {
+        let t = Topology::complete_tree(1, 4);
+        t.validate().unwrap();
+        assert_eq!(t.num_aggregators(), 1);
+        assert!(matches!(t.node(t.root()).role, Role::Aggregator));
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn non_divisible_source_count() {
+        let t = Topology::complete_tree(10, 4);
+        t.validate().unwrap();
+        // level1: ceil(10/4)=3 aggs, level2: 1 agg.
+        assert_eq!(t.num_aggregators(), 4);
+    }
+
+    #[test]
+    fn post_order_visits_children_first() {
+        let t = Topology::complete_tree(16, 4);
+        let order = t.post_order();
+        assert_eq!(order.len(), t.nodes().len());
+        let mut seen = vec![false; t.nodes().len()];
+        for id in order {
+            for &c in &t.node(id).children {
+                assert!(seen[c], "child {c} visited after parent {id}");
+            }
+            seen[id] = true;
+        }
+    }
+
+    #[test]
+    fn sources_under_root_is_everything() {
+        let t = Topology::complete_tree(64, 2);
+        let s = t.sources_under(t.root());
+        assert_eq!(s, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sources_under_subtree_is_partial() {
+        let t = Topology::complete_tree(16, 4);
+        let first_agg = t.node(t.root()).children[0];
+        let s = t.sources_under(first_agg);
+        assert!(!s.is_empty() && s.len() < 16);
+    }
+
+    #[test]
+    fn source_node_lookup() {
+        let t = Topology::complete_tree(8, 2);
+        let id = t.source_node(3).unwrap();
+        assert_eq!(t.node(id).role, Role::Source(3));
+        assert!(t.source_node(99).is_none());
+    }
+
+    #[test]
+    fn dot_export_is_well_formed() {
+        let t = Topology::complete_tree(4, 2);
+        let dot = t.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        // 4 source boxes, 1 double-circled sink, and one edge per
+        // non-root node.
+        assert_eq!(dot.matches("shape=box").count(), 4);
+        assert_eq!(dot.matches("doublecircle").count(), 1);
+        assert_eq!(dot.matches("->").count(), t.nodes().len() - 1);
+    }
+
+    #[test]
+    fn random_trees_are_valid() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [1u64, 2, 7, 33, 100] {
+            for fan in [2usize, 3, 6] {
+                let t = Topology::random_tree(&mut rng, n, fan);
+                t.validate().unwrap();
+                assert_eq!(t.num_sources(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_bounds_respected() {
+        let t = Topology::complete_tree(100, 5);
+        for n in t.nodes() {
+            assert!(n.children.len() <= 5);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Intel-Lab-like synthetic sensor stream.
+//!
+//! The paper experiments on the Intel Lab dataset: sensor temperatures "in
+//! degrees Celsius represented as float numbers with precision of four
+//! decimal digits", with drawn values falling in `[18, 50]`. We reproduce
+//! the *distributional* properties the experiments depend on — bounded
+//! range, 4-decimal quantization, smooth temporal evolution — with a
+//! seeded process: a diurnal sinusoid, a per-sensor bias, and AR(1) noise.
+//! DESIGN.md §4 records this substitution; the schemes' costs depend only
+//! on the value range (SECOA) or not on the data at all (SIES, CMT).
+
+use rand::Rng;
+use rand::RngCore;
+use rand::SeedableRng;
+
+/// Temperature bounds of the drawn values (°C), matching the paper.
+pub const TEMP_MIN: f64 = 18.0;
+/// Upper temperature bound.
+pub const TEMP_MAX: f64 = 50.0;
+
+/// Number of epochs in a simulated "day" for the diurnal cycle.
+const EPOCHS_PER_DAY: f64 = 288.0; // 5-minute epochs
+
+/// Domain scaling `×10^power` (paper §VI: "each source multiplies its
+/// drawn value with powers of 10, and then truncates it"), which sweeps
+/// the integer domain `D` from `[18, 50]` up to `[180000, 500000]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainScale {
+    /// The exponent `k` in `×10^k`.
+    pub power: u32,
+}
+
+impl DomainScale {
+    /// The paper's default domain: `×10²`, i.e. `D = [1800, 5000]`.
+    pub const DEFAULT: DomainScale = DomainScale { power: 2 };
+
+    /// All scales used in Figure 4 / Figure 6(b): `×1 .. ×10⁴`.
+    pub fn paper_range() -> [DomainScale; 5] {
+        [0, 1, 2, 3, 4].map(|power| DomainScale { power })
+    }
+
+    /// Scales and truncates a float reading to its integer encoding.
+    pub fn scale(&self, value: f64) -> u64 {
+        (value * 10f64.powi(self.power as i32)).trunc() as u64
+    }
+
+    /// Converts an integer SUM result back to the float domain (the
+    /// querier divides by the same power of 10).
+    pub fn unscale(&self, value: u64) -> f64 {
+        value as f64 / 10f64.powi(self.power as i32)
+    }
+
+    /// The integer domain bounds `[D_L, D_U]` this scale induces.
+    pub fn domain(&self) -> (u64, u64) {
+        (self.scale(TEMP_MIN), self.scale(TEMP_MAX))
+    }
+}
+
+/// Quantizes to four decimal digits, like the Intel Lab readings.
+fn quantize4(v: f64) -> f64 {
+    (v * 10_000.0).round() / 10_000.0
+}
+
+/// Seeded synthetic temperature stream for `N` sensors.
+pub struct IntelLabGenerator {
+    /// Per-sensor static bias (placement effect), °C.
+    bias: Vec<f64>,
+    /// Per-sensor AR(1) noise state.
+    ar_state: Vec<f64>,
+    rng: rand::rngs::StdRng,
+}
+
+impl IntelLabGenerator {
+    /// Creates a generator for `num_sensors` sensors.
+    pub fn new(seed: u64, num_sensors: usize) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bias = (0..num_sensors)
+            .map(|_| rng.random_range(-4.0..4.0))
+            .collect();
+        let ar_state = vec![0.0; num_sensors];
+        IntelLabGenerator { bias, ar_state, rng }
+    }
+
+    /// Number of sensors.
+    pub fn num_sensors(&self) -> usize {
+        self.bias.len()
+    }
+
+    /// Float temperatures (°C, 4-decimal, in `[18, 50]`) for one epoch.
+    pub fn epoch_temperatures(&mut self, epoch: u64) -> Vec<f64> {
+        let phase = 2.0 * std::f64::consts::PI * (epoch as f64) / EPOCHS_PER_DAY;
+        // Mid-range diurnal baseline that keeps headroom for bias + noise.
+        let base = 30.0 + 8.0 * phase.sin();
+        let n = self.bias.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            // AR(1): x' = 0.9x + ε, ε ~ U(-0.5, 0.5).
+            let eps: f64 = self.rng.random_range(-0.5..0.5);
+            self.ar_state[i] = 0.9 * self.ar_state[i] + eps;
+            let v = (base + self.bias[i] + self.ar_state[i]).clamp(TEMP_MIN, TEMP_MAX);
+            out.push(quantize4(v));
+        }
+        out
+    }
+
+    /// Integer-encoded readings for one epoch under a domain scale.
+    pub fn epoch_values(&mut self, epoch: u64, scale: DomainScale) -> Vec<u64> {
+        self.epoch_temperatures(epoch)
+            .into_iter()
+            .map(|t| scale.scale(t))
+            .collect()
+    }
+}
+
+/// A plain uniform value generator over an integer domain `[lo, hi]` —
+/// handy for worst-case experiments and property tests.
+pub struct UniformGenerator {
+    lo: u64,
+    hi: u64,
+    rng: rand::rngs::StdRng,
+}
+
+impl UniformGenerator {
+    /// Uniform over `[lo, hi]` (inclusive).
+    pub fn new(seed: u64, lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi);
+        UniformGenerator { lo, hi, rng: rand::rngs::StdRng::seed_from_u64(seed) }
+    }
+
+    /// One epoch of values for `n` sources.
+    pub fn epoch_values(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.rng.random_range(self.lo..=self.hi)).collect()
+    }
+
+    /// A single draw.
+    pub fn draw(&mut self) -> u64 {
+        self.rng.random_range(self.lo..=self.hi)
+    }
+}
+
+/// Deterministically fills a byte seed from a `u64` (helper for tests that
+/// need an `RngCore`).
+pub fn seeded_rng(seed: u64) -> impl RngCore {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperatures_stay_in_paper_range() {
+        let mut generator = IntelLabGenerator::new(42, 100);
+        for epoch in 0..500 {
+            for t in generator.epoch_temperatures(epoch) {
+                assert!((TEMP_MIN..=TEMP_MAX).contains(&t), "t = {t} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn temperatures_are_4_decimal_quantized() {
+        let mut generator = IntelLabGenerator::new(1, 10);
+        for t in generator.epoch_temperatures(3) {
+            let scaled = t * 10_000.0;
+            assert!((scaled - scaled.round()).abs() < 1e-6, "t = {t} not quantized");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = IntelLabGenerator::new(7, 20);
+        let mut b = IntelLabGenerator::new(7, 20);
+        assert_eq!(a.epoch_temperatures(0), b.epoch_temperatures(0));
+        assert_eq!(a.epoch_temperatures(1), b.epoch_temperatures(1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = IntelLabGenerator::new(7, 20);
+        let mut b = IntelLabGenerator::new(8, 20);
+        assert_ne!(a.epoch_temperatures(0), b.epoch_temperatures(0));
+    }
+
+    #[test]
+    fn default_scale_yields_paper_domain() {
+        let (lo, hi) = DomainScale::DEFAULT.domain();
+        assert_eq!((lo, hi), (1800, 5000));
+        let (lo, hi) = DomainScale { power: 0 }.domain();
+        assert_eq!((lo, hi), (18, 50));
+        let (lo, hi) = DomainScale { power: 4 }.domain();
+        assert_eq!((lo, hi), (180_000, 500_000));
+    }
+
+    #[test]
+    fn scale_truncates_like_the_paper() {
+        let s = DomainScale { power: 2 };
+        assert_eq!(s.scale(23.4567), 2345);
+        assert_eq!(s.scale(23.999), 2399);
+        assert!((s.unscale(2345) - 23.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_values_respect_domain() {
+        let mut generator = IntelLabGenerator::new(3, 50);
+        for scale in DomainScale::paper_range() {
+            let (lo, hi) = scale.domain();
+            for v in generator.epoch_values(9, scale) {
+                assert!(v >= lo && v <= hi, "v = {v} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_generator_bounds() {
+        let mut u = UniformGenerator::new(5, 1800, 5000);
+        for v in u.epoch_values(1000) {
+            assert!((1800..=5000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn temporal_smoothness() {
+        // Consecutive epochs should not jump wildly (AR(1) + sinusoid).
+        let mut generator = IntelLabGenerator::new(11, 5);
+        let a = generator.epoch_temperatures(100);
+        let b = generator.epoch_temperatures(101);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 2.0, "jump from {x} to {y}");
+        }
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! # sies-workload
+//!
+//! Workload generation for the SIES reproduction: a seeded Intel-Lab-like
+//! temperature stream (the paper's dataset substitute — see DESIGN.md §4),
+//! multi-attribute readings for WHERE-predicate queries, domain scaling
+//! `×10^k`, and the Table-IV parameter sweeps.
+
+pub mod intel_lab;
+pub mod readings;
+pub mod sweep;
+
+pub use intel_lab::{DomainScale, IntelLabGenerator, UniformGenerator, TEMP_MAX, TEMP_MIN};
+pub use readings::ReadingGenerator;
+pub use sweep::Config;

@@ -1,0 +1,112 @@
+//! Multi-attribute readings for the query model: temperature plus
+//! humidity, light and voltage channels, mirroring the Intel Lab dataset's
+//! schema so WHERE-predicate queries have something to filter on.
+
+use crate::intel_lab::{DomainScale, IntelLabGenerator};
+use rand::Rng;
+use rand::SeedableRng;
+use sies_core::query::SensorReading;
+
+/// Generates full [`SensorReading`]s per epoch. Humidity anti-correlates
+/// with temperature, light follows the same diurnal phase, and voltage
+/// declines slowly as batteries drain.
+pub struct ReadingGenerator {
+    temps: IntelLabGenerator,
+    scale: DomainScale,
+    rng: rand::rngs::StdRng,
+}
+
+impl ReadingGenerator {
+    /// Creates a generator for `num_sensors` sensors at a domain scale.
+    pub fn new(seed: u64, num_sensors: usize, scale: DomainScale) -> Self {
+        ReadingGenerator {
+            temps: IntelLabGenerator::new(seed, num_sensors),
+            scale,
+            rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// One epoch of readings, one per sensor.
+    pub fn epoch_readings(&mut self, epoch: u64) -> Vec<SensorReading> {
+        let temps = self.temps.epoch_temperatures(epoch);
+        temps
+            .into_iter()
+            .map(|t| {
+                // Humidity (%, scaled ×10): anti-correlated with temp.
+                let humidity = (90.0 - 1.5 * (t - 18.0) + self.rng.random_range(-3.0..3.0))
+                    .clamp(15.0, 95.0);
+                // Light (lux): brighter when hotter, noisy.
+                let light = (40.0 * (t - 15.0) + self.rng.random_range(0.0..200.0)).max(0.0);
+                // Voltage (mV): 2.2–2.9 V band.
+                let voltage = self.rng.random_range(2200..2900u64);
+                SensorReading::new(
+                    self.scale.scale(t),
+                    (humidity * 10.0) as u64,
+                    light as u64,
+                    voltage,
+                )
+            })
+            .collect()
+    }
+
+    /// The domain scale in use.
+    pub fn scale(&self) -> DomainScale {
+        self.scale
+    }
+
+    /// Number of sensors.
+    pub fn num_sensors(&self) -> usize {
+        self.temps.num_sensors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sies_core::query::Attribute;
+
+    #[test]
+    fn readings_have_plausible_channels() {
+        let mut generator = ReadingGenerator::new(2, 64, DomainScale::DEFAULT);
+        let readings = generator.epoch_readings(0);
+        assert_eq!(readings.len(), 64);
+        for r in &readings {
+            let t = r.get(Attribute::Temperature);
+            assert!((1800..=5000).contains(&t));
+            let h = r.get(Attribute::Humidity);
+            assert!((150..=950).contains(&h));
+            let v = r.get(Attribute::Voltage);
+            assert!((2200..2900).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ReadingGenerator::new(5, 8, DomainScale::DEFAULT);
+        let mut b = ReadingGenerator::new(5, 8, DomainScale::DEFAULT);
+        assert_eq!(a.epoch_readings(3), b.epoch_readings(3));
+    }
+
+    #[test]
+    fn humidity_anticorrelates_with_temperature() {
+        let mut generator = ReadingGenerator::new(9, 200, DomainScale::DEFAULT);
+        let readings = generator.epoch_readings(0);
+        // Pearson correlation between temp and humidity should be negative.
+        let n = readings.len() as f64;
+        let (mut st, mut sh, mut stt, mut shh, mut sth) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for r in &readings {
+            let t = r.get(Attribute::Temperature) as f64;
+            let h = r.get(Attribute::Humidity) as f64;
+            st += t;
+            sh += h;
+            stt += t * t;
+            shh += h * h;
+            sth += t * h;
+        }
+        let cov = sth / n - (st / n) * (sh / n);
+        let var_t = stt / n - (st / n) * (st / n);
+        let var_h = shh / n - (sh / n) * (sh / n);
+        let corr = cov / (var_t.sqrt() * var_h.sqrt());
+        assert!(corr < -0.5, "correlation {corr} not strongly negative");
+    }
+}

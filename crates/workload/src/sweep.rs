@@ -1,0 +1,113 @@
+//! Parameter sweeps of the paper's Table IV.
+//!
+//! | Parameter | Default | Range |
+//! |---|---|---|
+//! | Number of sources `N` | 1024 | 64, 256, 1024, 4096, 16384 |
+//! | Fanout `F` | 4 | 2, 3, 4, 5, 6 |
+//! | Domain `D = [18,50]×10^k` | ×10² | ×1, ×10, ×10², ×10³, ×10⁴ |
+
+use crate::intel_lab::DomainScale;
+
+/// Default number of sources.
+pub const DEFAULT_N: u64 = 1024;
+/// Default aggregator fanout.
+pub const DEFAULT_F: usize = 4;
+/// Default domain scale (×10² → `[1800, 5000]`).
+pub const DEFAULT_SCALE: DomainScale = DomainScale::DEFAULT;
+/// Default number of sketches `J` for SECOA (bounds the relative error
+/// within 10% with probability 90%, following the paper's choice).
+pub const DEFAULT_J: usize = 300;
+/// Number of epochs each experiment averages over.
+pub const DEFAULT_EPOCHS: u64 = 20;
+
+/// The `N` sweep of Figure 6(a).
+pub const N_RANGE: [u64; 5] = [64, 256, 1024, 4096, 16384];
+
+/// The fanout sweep of Figure 5.
+pub const F_RANGE: [usize; 5] = [2, 3, 4, 5, 6];
+
+/// One experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of sources `N`.
+    pub n: u64,
+    /// Aggregator fanout `F`.
+    pub f: usize,
+    /// Domain scale.
+    pub scale: DomainScale,
+    /// SECOA sketch count `J`.
+    pub j: usize,
+    /// Epochs to average over.
+    pub epochs: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: DEFAULT_N,
+            f: DEFAULT_F,
+            scale: DEFAULT_SCALE,
+            j: DEFAULT_J,
+            epochs: DEFAULT_EPOCHS,
+        }
+    }
+}
+
+impl Config {
+    /// Configurations for the Figure 4 / 6(b) domain sweep: vary `D`, fix
+    /// `N` and `F` at defaults.
+    pub fn domain_sweep() -> Vec<Config> {
+        DomainScale::paper_range()
+            .into_iter()
+            .map(|scale| Config { scale, ..Default::default() })
+            .collect()
+    }
+
+    /// Configurations for the Figure 5 fanout sweep.
+    pub fn fanout_sweep() -> Vec<Config> {
+        F_RANGE.into_iter().map(|f| Config { f, ..Default::default() }).collect()
+    }
+
+    /// Configurations for the Figure 6(a) source-count sweep.
+    pub fn n_sweep() -> Vec<Config> {
+        N_RANGE.into_iter().map(|n| Config { n, ..Default::default() }).collect()
+    }
+
+    /// The integer value domain `[D_L, D_U]` of this configuration.
+    pub fn domain(&self) -> (u64, u64) {
+        self.scale.domain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iv() {
+        let c = Config::default();
+        assert_eq!(c.n, 1024);
+        assert_eq!(c.f, 4);
+        assert_eq!(c.domain(), (1800, 5000));
+        assert_eq!(c.j, 300);
+        assert_eq!(c.epochs, 20);
+    }
+
+    #[test]
+    fn sweeps_have_paper_cardinality() {
+        assert_eq!(Config::domain_sweep().len(), 5);
+        assert_eq!(Config::fanout_sweep().len(), 5);
+        assert_eq!(Config::n_sweep().len(), 5);
+    }
+
+    #[test]
+    fn sweeps_vary_only_their_parameter() {
+        for c in Config::fanout_sweep() {
+            assert_eq!(c.n, DEFAULT_N);
+            assert_eq!(c.scale, DEFAULT_SCALE);
+        }
+        for c in Config::n_sweep() {
+            assert_eq!(c.f, DEFAULT_F);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: set up a SIES network, run a few epochs of an exact SUM
+//! query over encrypted readings, and verify the results.
+//!
+//! ```text
+//! cargo run -p sies-integration --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sies_core::{SystemParams, setup, Source};
+use sies_workload::intel_lab::{DomainScale, IntelLabGenerator};
+
+fn main() {
+    // 64 temperature sensors reporting scaled readings in [1800, 5000].
+    let num_sources = 64u64;
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    // Setup phase: the querier generates K, k_1..k_N and the prime p, and
+    // registers credentials at every source.
+    let params = SystemParams::new(num_sources).expect("valid parameters");
+    let (querier, credentials, aggregator) = setup(&mut rng, params);
+    let sources: Vec<Source> = credentials.into_iter().map(Source::new).collect();
+
+    let mut workload = IntelLabGenerator::new(7, num_sources as usize);
+    let scale = DomainScale::DEFAULT;
+
+    println!("epoch | verified SUM (scaled) | SUM in deg C");
+    for epoch in 0..5u64 {
+        let values = workload.epoch_values(epoch, scale);
+        let true_sum: u64 = values.iter().sum();
+
+        // Initialization phase at each source: encrypt reading + share.
+        let psrs: Vec<_> = sources
+            .iter()
+            .zip(&values)
+            .map(|(s, &v)| s.initialize(epoch, v).expect("value in range"))
+            .collect();
+
+        // Merging phase in-network: aggregators add ciphertexts mod p.
+        // (Here one aggregator stands in for the whole tree — merging is
+        // associative, so the tree shape does not affect the result.)
+        let final_psr = aggregator.merge(&psrs).expect("non-empty");
+
+        // Evaluation phase at the querier: decrypt, verify, extract.
+        let verified = querier.evaluate(&final_psr, epoch).expect("integrity holds");
+        assert_eq!(verified.sum, true_sum, "SIES sums are exact");
+        println!(
+            "{epoch:>5} | {:>21} | {:>10.2}",
+            verified.sum,
+            scale.unscale(verified.sum)
+        );
+    }
+
+    println!("\nall epochs verified: confidentiality + integrity + freshness held");
+}
