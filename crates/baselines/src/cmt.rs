@@ -92,7 +92,9 @@ impl AggregationScheme for CmtDeployment {
     fn source_init(&self, source: SourceId, epoch: Epoch, value: u64) -> CmtPsr {
         let k = self.epoch_key(source, epoch);
         let v = U256::from_u64(value);
-        CmtPsr { ciphertext: v.add_mod(&k, &self.modulus) }
+        CmtPsr {
+            ciphertext: v.add_mod(&k, &self.modulus),
+        }
     }
 
     fn merge(&self, psrs: &[CmtPsr]) -> CmtPsr {
@@ -118,7 +120,10 @@ impl AggregationScheme for CmtDeployment {
             acc = acc.sub_mod(&k, &self.modulus);
         }
         // CMT has no verification step: whatever comes out is accepted.
-        Ok(EvaluatedSum { sum: acc.as_u128() as f64, integrity_checked: false })
+        Ok(EvaluatedSum {
+            sum: acc.as_u128() as f64,
+            integrity_checked: false,
+        })
     }
 
     fn psr_wire_size(&self, _psr: &CmtPsr) -> usize {
@@ -127,7 +132,9 @@ impl AggregationScheme for CmtDeployment {
 
     fn tamper(&self, psr: &mut CmtPsr) {
         // The §II-D attack: inject an arbitrary integer v' into the SUM.
-        psr.ciphertext = psr.ciphertext.add_mod(&U256::from_u64(1_000_000), &self.modulus);
+        psr.ciphertext = psr
+            .ciphertext
+            .add_mod(&U256::from_u64(1_000_000), &self.modulus);
     }
 }
 
@@ -180,7 +187,11 @@ mod tests {
         let out =
             engine.run_epoch_with(0, &[10; 4], &HashSet::new(), &[Attack::TamperAtNode(node)]);
         let res = out.result.unwrap();
-        assert_eq!(res.sum, 40.0 + 1_000_000.0, "tamper shifts the result silently");
+        assert_eq!(
+            res.sum,
+            40.0 + 1_000_000.0,
+            "tamper shifts the result silently"
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl PaillierDeployment {
             rng.fill_bytes(&mut k);
             randomness_keys.push(k);
         }
-        PaillierDeployment { keypair, randomness_keys }
+        PaillierDeployment {
+            keypair,
+            randomness_keys,
+        }
     }
 
     /// The shared public key.
@@ -100,7 +103,10 @@ impl AggregationScheme for PaillierDeployment {
     ) -> Result<EvaluatedSum, SchemeError> {
         let m = self.keypair.decrypt(&final_psr.ciphertext);
         // No verification is possible: accept whatever decrypts.
-        Ok(EvaluatedSum { sum: m.as_u64() as f64, integrity_checked: false })
+        Ok(EvaluatedSum {
+            sum: m.as_u64() as f64,
+            integrity_checked: false,
+        })
     }
 
     fn psr_wire_size(&self, _psr: &PaillierPsr) -> usize {
@@ -110,7 +116,9 @@ impl AggregationScheme for PaillierDeployment {
     fn tamper(&self, psr: &mut PaillierPsr) {
         // Malleability: homomorphically add a spurious reading.
         let mut rng = StdRng::seed_from_u64(0xE711);
-        let spurious = self.public().encrypt(&mut rng, &BigUint::from_u64(1_000_000));
+        let spurious = self
+            .public()
+            .encrypt(&mut rng, &BigUint::from_u64(1_000_000));
         psr.ciphertext = self.public().add(&psr.ciphertext, &spurious);
     }
 }
@@ -160,7 +168,11 @@ mod tests {
         let c = dep.source_init(1, 0, 5);
         assert_ne!(a, b, "epochs share randomness");
         assert_ne!(a, c, "sources share randomness");
-        assert_eq!(a, dep.source_init(0, 0, 5), "derivation must be deterministic");
+        assert_eq!(
+            a,
+            dep.source_init(0, 0, 5),
+            "derivation must be deterministic"
+        );
     }
 
     #[test]

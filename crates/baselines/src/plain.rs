@@ -38,7 +38,9 @@ impl AggregationScheme for PlainAggregation {
     }
 
     fn merge(&self, psrs: &[PlainPsr]) -> PlainPsr {
-        PlainPsr { sum: psrs.iter().map(|p| p.sum).sum() }
+        PlainPsr {
+            sum: psrs.iter().map(|p| p.sum).sum(),
+        }
     }
 
     fn evaluate(
@@ -47,7 +49,10 @@ impl AggregationScheme for PlainAggregation {
         _epoch: Epoch,
         _contributors: &[SourceId],
     ) -> Result<EvaluatedSum, SchemeError> {
-        Ok(EvaluatedSum { sum: final_psr.sum as f64, integrity_checked: false })
+        Ok(EvaluatedSum {
+            sum: final_psr.sum as f64,
+            integrity_checked: false,
+        })
     }
 
     fn psr_wire_size(&self, _psr: &PlainPsr) -> usize {

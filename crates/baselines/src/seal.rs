@@ -24,7 +24,10 @@ impl Seal {
     /// Creates the SEAL for a seed at chain position `x` (the source-side
     /// operation: `x` RSA encryptions).
     pub fn new(pk: &RsaPublicKey, seed: &BigUint, x: u64) -> Self {
-        Seal { position: x, value: pk.encrypt_repeated(seed, x) }
+        Seal {
+            position: x,
+            value: pk.encrypt_repeated(seed, x),
+        }
     }
 
     /// Rolls the SEAL forward to `target` (≥ current position).
@@ -47,7 +50,10 @@ impl Seal {
     /// # Panics
     /// Panics on position mismatch.
     pub fn fold_with(&mut self, pk: &RsaPublicKey, other: &Seal) {
-        assert_eq!(self.position, other.position, "folding requires equal positions");
+        assert_eq!(
+            self.position, other.position,
+            "folding requires equal positions"
+        );
         self.value = pk.fold(&self.value, &other.value);
     }
 

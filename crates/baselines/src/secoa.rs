@@ -94,12 +94,7 @@ impl SecoaSum {
 
     /// Sets up with an existing RSA public key (lets experiments reuse one
     /// expensive 1024-bit key generation).
-    pub fn with_rsa(
-        rng: &mut dyn RngCore,
-        num_sources: u64,
-        j: usize,
-        rsa: RsaPublicKey,
-    ) -> Self {
+    pub fn with_rsa(rng: &mut dyn RngCore, num_sources: u64, j: usize, rsa: RsaPublicKey) -> Self {
         assert!(j >= 1);
         let mut mac_keys = Vec::with_capacity(num_sources as usize);
         let mut seed_keys = Vec::with_capacity(num_sources as usize);
@@ -111,7 +106,12 @@ impl SecoaSum {
             mac_keys.push(a);
             seed_keys.push(b);
         }
-        SecoaSum { j, rsa, mac_keys, seed_keys }
+        SecoaSum {
+            j,
+            rsa,
+            mac_keys,
+            seed_keys,
+        }
     }
 
     /// Number of sketches `J`.
@@ -134,11 +134,23 @@ impl SecoaSum {
                 &self.mac_keys[source as usize],
                 &cert_message(x, jj as u32, epoch),
             );
-            let seed = derive_seed(&self.seed_keys[source as usize], jj as u32, epoch, &self.rsa);
+            let seed = derive_seed(
+                &self.seed_keys[source as usize],
+                jj as u32,
+                epoch,
+                &self.rsa,
+            );
             seals.push(Seal::new(&self.rsa, &seed, x as u64));
-            slots.push(SketchSlot { x, owner: source, cert });
+            slots.push(SketchSlot {
+                x,
+                owner: source,
+                cert,
+            });
         }
-        SecoaPsr { slots, seals: SealBundle::PerSketch(seals) }
+        SecoaPsr {
+            slots,
+            seals: SealBundle::PerSketch(seals),
+        }
     }
 
     /// Synthesizes the *final* PSR the querier would receive for a network
@@ -169,8 +181,10 @@ impl SecoaSum {
         for jj in 0..self.j {
             let x = FmSketch::sample(rng, total_value).value();
             let owner = contributors[rng.random_range(0..contributors.len())];
-            let cert =
-                prf::hm1(&self.mac_keys[owner as usize], &cert_message(x, jj as u32, epoch));
+            let cert = prf::hm1(
+                &self.mac_keys[owner as usize],
+                &cert_message(x, jj as u32, epoch),
+            );
             // Product of every contributor's seed for this sketch.
             let mut product = sies_crypto::biguint::BigUint::one();
             for &i in contributors {
@@ -180,7 +194,10 @@ impl SecoaSum {
             seals.push(Seal::new(&self.rsa, &product, x as u64));
             slots.push(SketchSlot { x, owner, cert });
         }
-        SecoaPsr { slots, seals: SealBundle::PerSketch(seals) }
+        SecoaPsr {
+            slots,
+            seals: SealBundle::PerSketch(seals),
+        }
     }
 
     /// Distribution-faithful fast path for huge `N`/`v` experiment setups:
@@ -193,7 +210,9 @@ impl SecoaSum {
         epoch: Epoch,
         value: u64,
     ) -> SecoaPsr {
-        let xs: Vec<u8> = (0..self.j).map(|_| FmSketch::sample(rng, value).value()).collect();
+        let xs: Vec<u8> = (0..self.j)
+            .map(|_| FmSketch::sample(rng, value).value())
+            .collect();
         self.psr_from_sketch_values(source, epoch, &xs)
     }
 }
@@ -249,7 +268,10 @@ impl AggregationScheme for SecoaSum {
             slots.push(psrs[winner].slots[jj].clone());
             seals.push(agg_seal.expect("non-empty children"));
         }
-        SecoaPsr { slots, seals: SealBundle::PerSketch(seals) }
+        SecoaPsr {
+            slots,
+            seals: SealBundle::PerSketch(seals),
+        }
     }
 
     /// The sink folds SEALs at the same chain position (paper §II-D),
@@ -267,7 +289,10 @@ impl AggregationScheme for SecoaSum {
             }
         }
         by_position.sort_by_key(|s| s.position);
-        SecoaPsr { slots: psr.slots, seals: SealBundle::Folded(by_position) }
+        SecoaPsr {
+            slots: psr.slots,
+            seals: SealBundle::Folded(by_position),
+        }
     }
 
     /// Querier verification (Equation 8): checks every sketch's inflation
@@ -384,7 +409,10 @@ impl AggregationScheme for SecoaSum {
 
         // 4. Estimate SUM ≈ 2^x̄ (with the FM correction).
         let est = FmSketch::estimate(final_psr.slots.iter().map(|s| s.x));
-        Ok(EvaluatedSum { sum: est, integrity_checked: true })
+        Ok(EvaluatedSum {
+            sum: est,
+            integrity_checked: true,
+        })
     }
 
     /// Paper-accounted wire size: `J·S_sk + seals·S_SEAL + S_inf`
@@ -405,7 +433,17 @@ impl AggregationScheme for SecoaSum {
     /// rolled backward.)
     fn tamper(&self, psr: &mut SecoaPsr) {
         if let Some(slot) = psr.slots.first_mut() {
-            slot.x = slot.x.saturating_add(8).min(crate::sketch::MAX_RANK);
+            // Inflate to the maximum rank so the forged slot wins the
+            // max-fold at every merge up to the root; a small additive
+            // bump can be absorbed by a sibling subtree with a larger
+            // honest rank, leaving the final aggregate untouched.
+            if slot.x == crate::sketch::MAX_RANK {
+                // Already saturated (vanishingly unlikely): forge the
+                // inflation certificate instead so the PSR still mutates.
+                slot.cert[0] ^= 0xA5;
+            } else {
+                slot.x = crate::sketch::MAX_RANK;
+            }
         }
         // Keep the SEAL consistent with the inflated claim — rolling
         // forward is something any adversary can do.
@@ -445,7 +483,9 @@ pub struct SecoaMaxPsr {
 impl SecoaMax {
     /// Sets up a MAX deployment.
     pub fn new(rng: &mut dyn RngCore, num_sources: u64, modulus_bits: usize) -> Self {
-        SecoaMax { inner: SecoaSum::new(rng, num_sources, 1, modulus_bits) }
+        SecoaMax {
+            inner: SecoaSum::new(rng, num_sources, 1, modulus_bits),
+        }
     }
 
     fn max_cert(&self, source: SourceId, epoch: Epoch, value: u64) -> [u8; 20] {
@@ -457,7 +497,12 @@ impl SecoaMax {
 
     /// Source side: value + inflation certificate + SEAL.
     pub fn source_init(&self, source: SourceId, epoch: Epoch, value: u64) -> SecoaMaxPsr {
-        let seed = derive_seed(&self.inner.seed_keys[source as usize], 0, epoch, &self.inner.rsa);
+        let seed = derive_seed(
+            &self.inner.seed_keys[source as usize],
+            0,
+            epoch,
+            &self.inner.rsa,
+        );
         SecoaMaxPsr {
             value,
             owner: source,
@@ -497,14 +542,20 @@ impl SecoaMax {
         contributors: &[SourceId],
     ) -> Result<u64, SchemeError> {
         if !contributors.contains(&psr.owner) {
-            return Err(SchemeError::VerificationFailed("non-contributing owner".into()));
+            return Err(SchemeError::VerificationFailed(
+                "non-contributing owner".into(),
+            ));
         }
         let expected = self.max_cert(psr.owner, epoch, psr.value);
         if !ct_eq(&expected, &psr.cert) {
-            return Err(SchemeError::VerificationFailed("inflation certificate mismatch".into()));
+            return Err(SchemeError::VerificationFailed(
+                "inflation certificate mismatch".into(),
+            ));
         }
         if psr.seal.position != psr.value {
-            return Err(SchemeError::VerificationFailed("SEAL position mismatch".into()));
+            return Err(SchemeError::VerificationFailed(
+                "SEAL position mismatch".into(),
+            ));
         }
         let n_mod = self.inner.rsa.modulus();
         let mut product = sies_crypto::biguint::BigUint::one();
@@ -514,7 +565,9 @@ impl SecoaMax {
         }
         let reference = Seal::new(&self.inner.rsa, &product, psr.value);
         if reference.value != psr.seal.value {
-            return Err(SchemeError::VerificationFailed("aggregate SEAL mismatch".into()));
+            return Err(SchemeError::VerificationFailed(
+                "aggregate SEAL mismatch".into(),
+            ));
         }
         Ok(psr.value)
     }
@@ -532,8 +585,16 @@ pub struct SecoaMin {
 
 impl SecoaMin {
     /// Sets up a MIN deployment for values in `[0, domain_upper]`.
-    pub fn new(rng: &mut dyn RngCore, num_sources: u64, modulus_bits: usize, domain_upper: u64) -> Self {
-        SecoaMin { max: SecoaMax::new(rng, num_sources, modulus_bits), domain_upper }
+    pub fn new(
+        rng: &mut dyn RngCore,
+        num_sources: u64,
+        modulus_bits: usize,
+        domain_upper: u64,
+    ) -> Self {
+        SecoaMin {
+            max: SecoaMax::new(rng, num_sources, modulus_bits),
+            domain_upper,
+        }
     }
 
     /// Source side: runs MAX on the reflected value.
@@ -542,7 +603,8 @@ impl SecoaMin {
     /// Panics when `value` exceeds the configured domain bound.
     pub fn source_init(&self, source: SourceId, epoch: Epoch, value: u64) -> SecoaMaxPsr {
         assert!(value <= self.domain_upper, "value above the domain bound");
-        self.max.source_init(source, epoch, self.domain_upper - value)
+        self.max
+            .source_init(source, epoch, self.domain_upper - value)
     }
 
     /// Aggregator side: identical to MAX.
@@ -608,8 +670,12 @@ mod tests {
         let topo = Topology::complete_tree(4, 2);
         let node = topo.source_node(2).unwrap();
         let mut engine = Engine::new(&dep, &topo);
-        let out = engine.run_epoch_with(0, &[300; 4], &HashSet::new(), &[Attack::TamperAtNode(node)]);
-        assert!(matches!(out.result, Err(SchemeError::VerificationFailed(_))));
+        let out =
+            engine.run_epoch_with(0, &[300; 4], &HashSet::new(), &[Attack::TamperAtNode(node)]);
+        assert!(matches!(
+            out.result,
+            Err(SchemeError::VerificationFailed(_))
+        ));
     }
 
     #[test]
@@ -619,7 +685,10 @@ mod tests {
         let node = topo.source_node(1).unwrap();
         let mut engine = Engine::new(&dep, &topo);
         let out = engine.run_epoch_with(0, &[300; 4], &HashSet::new(), &[Attack::DropAtNode(node)]);
-        assert!(matches!(out.result, Err(SchemeError::VerificationFailed(_))));
+        assert!(matches!(
+            out.result,
+            Err(SchemeError::VerificationFailed(_))
+        ));
     }
 
     #[test]
@@ -629,7 +698,10 @@ mod tests {
         let mut engine = Engine::new(&dep, &topo);
         assert!(engine.run_epoch(0, &[100; 4]).result.is_ok());
         let out = engine.run_epoch_with(1, &[100; 4], &HashSet::new(), &[Attack::ReplayFinal]);
-        assert!(matches!(out.result, Err(SchemeError::VerificationFailed(_))));
+        assert!(matches!(
+            out.result,
+            Err(SchemeError::VerificationFailed(_))
+        ));
     }
 
     #[test]
@@ -650,8 +722,13 @@ mod tests {
         let pre = dep.psr_wire_size(&merged);
         let finalized = dep.sink_finalize(merged);
         let post = dep.psr_wire_size(&finalized);
-        assert!(post < pre, "folding must shrink the A→Q message ({pre} -> {post})");
-        assert!(dep.evaluate(&finalized, 2, &(0..8).collect::<Vec<_>>()).is_ok());
+        assert!(
+            post < pre,
+            "folding must shrink the A→Q message ({pre} -> {post})"
+        );
+        assert!(dep
+            .evaluate(&finalized, 2, &(0..8).collect::<Vec<_>>())
+            .is_ok());
     }
 
     #[test]

@@ -36,7 +36,8 @@ fn mix64(mut z: u64) -> u64 {
 /// hash function.
 #[inline]
 fn rank(sketch_idx: u32, source: u32, item: u64) -> u8 {
-    let h = mix64((sketch_idx as u64) << 32 ^ source as u64).wrapping_add(mix64(item) ^ item.rotate_left(17));
+    let h = mix64((sketch_idx as u64) << 32 ^ source as u64)
+        .wrapping_add(mix64(item) ^ item.rotate_left(17));
     let h = mix64(h);
     (h.trailing_zeros() as u8).min(MAX_RANK)
 }
@@ -60,7 +61,9 @@ impl FmSketch {
 
     /// Constructs from a raw value (deserialization / attack simulation).
     pub fn from_value(x: u8) -> Self {
-        FmSketch { max_rank: x.min(MAX_RANK) }
+        FmSketch {
+            max_rank: x.min(MAX_RANK),
+        }
     }
 
     /// Inserts one item.

@@ -26,8 +26,12 @@ fn bench_modinv(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_modinv");
     let p = DEFAULT_PRIME_256;
     let a = U256::from_be_bytes(&[0xA7; 32]).rem(&p);
-    group.bench_function("fermat (a^(p-2))", |b| b.iter(|| black_box(a.inv_mod_prime(&p))));
-    group.bench_function("extended euclid", |b| b.iter(|| black_box(a.inv_mod_euclid(&p))));
+    group.bench_function("fermat (a^(p-2))", |b| {
+        b.iter(|| black_box(a.inv_mod_prime(&p)))
+    });
+    group.bench_function("extended euclid", |b| {
+        b.iter(|| black_box(a.inv_mod_euclid(&p)))
+    });
     group.finish();
 }
 
@@ -37,9 +41,11 @@ fn bench_multiplication(c: &mut Criterion) {
     for limbs in [8usize, 16, 32, 64] {
         let a = BigUint::random_bits(&mut rng, limbs * 64);
         let b = BigUint::random_bits(&mut rng, limbs * 64);
-        group.bench_with_input(BenchmarkId::new("dispatching", limbs), &limbs, |bench, _| {
-            bench.iter(|| black_box(a.mul(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dispatching", limbs),
+            &limbs,
+            |bench, _| bench.iter(|| black_box(a.mul(&b))),
+        );
     }
     group.finish();
 }
@@ -93,7 +99,9 @@ fn bench_hashes(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_hash_throughput");
     let data = vec![0xAB_u8; 4096];
     group.bench_function("sha1 4KiB", |b| b.iter(|| black_box(Sha1::digest(&data))));
-    group.bench_function("sha256 4KiB", |b| b.iter(|| black_box(Sha256::digest(&data))));
+    group.bench_function("sha256 4KiB", |b| {
+        b.iter(|| black_box(Sha256::digest(&data)))
+    });
     group.finish();
 }
 

@@ -62,7 +62,10 @@ fn bench_aggregator(c: &mut Criterion) {
     let ids: Vec<SourceId> = (0..F as SourceId).collect();
     let sies_children: Vec<_> = ids.iter().map(|&i| sies.source_init(i, 0, VALUE)).collect();
     let cmt_children: Vec<_> = ids.iter().map(|&i| cmt.source_init(i, 0, VALUE)).collect();
-    let secoa_children: Vec<_> = ids.iter().map(|&i| secoa.source_init(i, 0, VALUE)).collect();
+    let secoa_children: Vec<_> = ids
+        .iter()
+        .map(|&i| secoa.source_init(i, 0, VALUE))
+        .collect();
 
     group.bench_function("SIES", |b| b.iter(|| black_box(sies.merge(&sies_children))));
     group.bench_function("CMT", |b| b.iter(|| black_box(cmt.merge(&cmt_children))));
@@ -83,11 +86,17 @@ fn bench_querier(c: &mut Criterion) {
     let contributors: Vec<SourceId> = (0..N as SourceId).collect();
 
     let sies_final = {
-        let psrs: Vec<_> = contributors.iter().map(|&i| sies.source_init(i, 0, VALUE)).collect();
+        let psrs: Vec<_> = contributors
+            .iter()
+            .map(|&i| sies.source_init(i, 0, VALUE))
+            .collect();
         sies.merge(&psrs)
     };
     let cmt_final = {
-        let psrs: Vec<_> = contributors.iter().map(|&i| cmt.source_init(i, 0, VALUE)).collect();
+        let psrs: Vec<_> = contributors
+            .iter()
+            .map(|&i| cmt.source_init(i, 0, VALUE))
+            .collect();
         cmt.merge(&psrs)
     };
     let secoa_final = {

@@ -15,6 +15,8 @@
 //!   params   system parameter table (Table IV)
 //!   security attack-detection matrix (SIES vs CMT vs SECOA)
 //!   lifetime network-lifetime comparison (2 J battery, hottest node)
+//!   reliability  seeded chaos harness: availability, detection rate,
+//!                recovery overhead (also writes BENCH_reliability.json)
 //!   all      everything above
 //! ```
 
@@ -22,7 +24,7 @@ use sies_bench::calibrate::PrimitiveCosts;
 use sies_bench::chart;
 use sies_bench::cost_model::CostModel;
 use sies_bench::experiments::{self, Options};
-use sies_bench::report::{fmt_bytes, fmt_ms, fmt_us, render_table, write_json};
+use sies_bench::report::{fmt_bytes, fmt_ms, fmt_us, render_table, write_json_seeded};
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
@@ -31,6 +33,7 @@ fn main() {
     let mut opts = Options::default();
     let mut out_dir = PathBuf::from("results");
     let mut use_paper_costs = false;
+    let mut chaos_epochs = 2_000u64;
     let mut requested: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -48,6 +51,18 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--secoa-epochs needs a number"));
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--chaos-epochs" => {
+                chaos_epochs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--chaos-epochs needs a number"));
             }
             "--out" => {
                 out_dir = it
@@ -70,8 +85,17 @@ fn main() {
     }
     if requested.iter().any(|e| e == "all") {
         requested = [
-            "table2", "table3", "params", "table5", "fig4", "fig5", "fig6a", "fig6b", "security",
+            "table2",
+            "table3",
+            "params",
+            "table5",
+            "fig4",
+            "fig5",
+            "fig6a",
+            "fig6b",
+            "security",
             "lifetime",
+            "reliability",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -88,8 +112,8 @@ fn main() {
 
     for exp in &requested {
         match exp.as_str() {
-            "table2" => table2(&costs, &out_dir),
-            "table3" => table3(&costs, &out_dir),
+            "table2" => table2(&costs, &opts, &out_dir),
+            "table3" => table3(&costs, &opts, &out_dir),
             "params" => params(),
             "table5" => table5(&costs, &opts, &out_dir),
             "fig4" => fig4(&costs, &opts, &out_dir),
@@ -98,6 +122,7 @@ fn main() {
             "fig6b" => fig6b(&costs, &opts, &out_dir),
             "security" => security(),
             "lifetime" => lifetime(&opts, &out_dir),
+            "reliability" => reliability(&opts, chaos_epochs, &out_dir),
             other => eprintln!("skipping unknown experiment '{other}'"),
         }
     }
@@ -105,16 +130,18 @@ fn main() {
 
 const HELP: &str = "repro - regenerate the SIES paper's tables and figures
 
-usage: repro [--fast] [--epochs E] [--secoa-epochs E] [--paper-costs] [--out DIR] <experiment>...
+usage: repro [--fast] [--epochs E] [--secoa-epochs E] [--seed S] [--chaos-epochs E]
+             [--paper-costs] [--out DIR] <experiment>...
 
-experiments: table2 table3 table5 fig4 fig5 fig6a fig6b params security lifetime all";
+experiments: table2 table3 table5 fig4 fig5 fig6a fig6b params security lifetime
+             reliability all";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n\n{HELP}");
     std::process::exit(2);
 }
 
-fn table2(costs: &PrimitiveCosts, out: &Path) {
+fn table2(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
     println!("\n== Table II: primitive costs ==");
     let paper = PrimitiveCosts::PAPER;
     let rows: Vec<Vec<String>> = costs
@@ -122,19 +149,29 @@ fn table2(costs: &PrimitiveCosts, out: &Path) {
         .iter()
         .zip(paper.rows())
         .map(|((sym, ours), (_, theirs))| {
-            vec![sym.to_string(), format!("{ours:.4} us"), format!("{theirs:.4} us")]
+            vec![
+                sym.to_string(),
+                format!("{ours:.4} us"),
+                format!("{theirs:.4} us"),
+            ]
         })
         .collect();
-    println!("{}", render_table(&["primitive", "this host", "paper (i7 2.66GHz)"], &rows));
-    let _ = write_json(out, "table2", costs);
+    println!(
+        "{}",
+        render_table(&["primitive", "this host", "paper (i7 2.66GHz)"], &rows)
+    );
+    let _ = write_json_seeded(out, "table2", opts.seed, costs);
 }
 
-fn table3(costs: &PrimitiveCosts, out: &Path) {
+fn table3(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
     println!("\n== Table III: cost-model evaluation at typical values ==");
     for (label, model) in [
         (
             "calibrated costs (this host)",
-            CostModel { costs: *costs, ..CostModel::paper_defaults() },
+            CostModel {
+                costs: *costs,
+                ..CostModel::paper_defaults()
+            },
         ),
         ("paper costs", CostModel::paper_defaults()),
     ] {
@@ -153,9 +190,15 @@ fn table3(costs: &PrimitiveCosts, out: &Path) {
                 ]
             })
             .collect();
-        println!("{}", render_table(&["metric", "CMT", "SECOAS (min/max)", "SIES"], &rows));
+        println!(
+            "{}",
+            render_table(&["metric", "CMT", "SECOAS (min/max)", "SIES"], &rows)
+        );
     }
-    let model = CostModel { costs: *costs, ..CostModel::paper_defaults() };
+    let model = CostModel {
+        costs: *costs,
+        ..CostModel::paper_defaults()
+    };
     let json_rows: Vec<serde_json::Value> = model
         .table3()
         .iter()
@@ -165,17 +208,28 @@ fn table3(costs: &PrimitiveCosts, out: &Path) {
             })
         })
         .collect();
-    let _ = write_json(out, "table3", &json_rows);
+    let _ = write_json_seeded(out, "table3", opts.seed, &json_rows);
 }
 
 fn params() {
     println!("\n== Table IV: system parameters ==");
     let rows = vec![
-        vec!["Number of sources (N)".into(), "1024".into(), "64, 256, 1024, 4096, 16384".into()],
+        vec![
+            "Number of sources (N)".into(),
+            "1024".into(),
+            "64, 256, 1024, 4096, 16384".into(),
+        ],
         vec!["Fanout (F)".into(), "4".into(), "2, 3, 4, 5, 6".into()],
-        vec!["Domain (D=[18,50])".into(), "x10^2".into(), "x1, x10, x10^2, x10^3, x10^4".into()],
+        vec![
+            "Domain (D=[18,50])".into(),
+            "x10^2".into(),
+            "x1, x10, x10^2, x10^3, x10^4".into(),
+        ],
     ];
-    println!("{}", render_table(&["parameter", "default", "range"], &rows));
+    println!(
+        "{}",
+        render_table(&["parameter", "default", "range"], &rows)
+    );
 }
 
 fn table5(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
@@ -197,8 +251,11 @@ fn table5(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
             ]
         })
         .collect();
-    println!("{}", render_table(&["edge", "CMT", "SECOAS (actual/min/max)", "SIES"], &rows));
-    let _ = write_json(out, "table5", &rows_data);
+    println!(
+        "{}",
+        render_table(&["edge", "CMT", "SECOAS (actual/min/max)", "SIES"], &rows)
+    );
+    let _ = write_json_seeded(out, "table5", opts.seed, &rows_data);
 }
 
 fn print_series(title: &str, x_label: &str, points: &[experiments::SeriesPoint]) {
@@ -211,13 +268,20 @@ fn print_series(title: &str, x_label: &str, points: &[experiments::SeriesPoint])
                 fmt_ms(p.sies_ms),
                 fmt_ms(p.cmt_ms),
                 fmt_ms(p.secoa_ms),
-                format!("{} / {}", fmt_ms(p.secoa_model_min_ms), fmt_ms(p.secoa_model_max_ms)),
+                format!(
+                    "{} / {}",
+                    fmt_ms(p.secoa_model_min_ms),
+                    fmt_ms(p.secoa_model_max_ms)
+                ),
             ]
         })
         .collect();
     println!(
         "{}",
-        render_table(&[x_label, "SIES", "CMT", "SECOAS", "SECOAS model (min/max)"], &rows)
+        render_table(
+            &[x_label, "SIES", "CMT", "SECOAS", "SECOAS model (min/max)"],
+            &rows
+        )
     );
 
     // The paper's figures are log-Y plots; render the same shape.
@@ -231,9 +295,21 @@ fn print_series(title: &str, x_label: &str, points: &[experiments::SeriesPoint])
             "CPU time (ms, log scale)",
             &xs,
             &[
-                chart::Series { marker: 'S', name: "SIES", values: &sies },
-                chart::Series { marker: 'C', name: "CMT", values: &cmt },
-                chart::Series { marker: 'X', name: "SECOAS", values: &secoa },
+                chart::Series {
+                    marker: 'S',
+                    name: "SIES",
+                    values: &sies
+                },
+                chart::Series {
+                    marker: 'C',
+                    name: "CMT",
+                    values: &cmt
+                },
+                chart::Series {
+                    marker: 'X',
+                    name: "SECOAS",
+                    values: &secoa
+                },
             ],
         )
     );
@@ -241,8 +317,12 @@ fn print_series(title: &str, x_label: &str, points: &[experiments::SeriesPoint])
 
 fn fig4(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
     let points = experiments::fig4_source_vs_domain(costs, opts);
-    print_series("Figure 4: source CPU vs domain (N=1024, F=4)", "domain", &points);
-    let _ = write_json(out, "fig4", &points);
+    print_series(
+        "Figure 4: source CPU vs domain (N=1024, F=4)",
+        "domain",
+        &points,
+    );
+    let _ = write_json_seeded(out, "fig4", opts.seed, &points);
 }
 
 fn fig5(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
@@ -252,19 +332,27 @@ fn fig5(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
         "fanout",
         &points,
     );
-    let _ = write_json(out, "fig5", &points);
+    let _ = write_json_seeded(out, "fig5", opts.seed, &points);
 }
 
 fn fig6a(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
     let points = experiments::fig6a_querier_vs_n(costs, opts);
-    print_series("Figure 6(a): querier CPU vs N (F=4, D=[1800,5000])", "N", &points);
-    let _ = write_json(out, "fig6a", &points);
+    print_series(
+        "Figure 6(a): querier CPU vs N (F=4, D=[1800,5000])",
+        "N",
+        &points,
+    );
+    let _ = write_json_seeded(out, "fig6a", opts.seed, &points);
 }
 
 fn fig6b(costs: &PrimitiveCosts, opts: &Options, out: &Path) {
     let points = experiments::fig6b_querier_vs_domain(costs, opts);
-    print_series("Figure 6(b): querier CPU vs domain (N=1024, F=4)", "domain", &points);
-    let _ = write_json(out, "fig6b", &points);
+    print_series(
+        "Figure 6(b): querier CPU vs domain (N=1024, F=4)",
+        "domain",
+        &points,
+    );
+    let _ = write_json_seeded(out, "fig6b", opts.seed, &points);
 }
 
 fn lifetime(opts: &Options, out: &Path) {
@@ -283,9 +371,55 @@ fn lifetime(opts: &Options, out: &Path) {
         .collect();
     println!(
         "{}",
-        render_table(&["scheme", "bytes/edge", "drain/epoch", "lifetime (epochs)"], &rows)
+        render_table(
+            &["scheme", "bytes/edge", "drain/epoch", "lifetime (epochs)"],
+            &rows
+        )
     );
-    let _ = write_json(out, "lifetime", &rows_data);
+    let _ = write_json_seeded(out, "lifetime", opts.seed, &rows_data);
+}
+
+fn reliability(opts: &Options, chaos_epochs: u64, out: &Path) {
+    println!(
+        "\n== Reliability: seeded chaos harness (SIES, N=64, F=4, seed {}, {} epochs total) ==",
+        opts.seed, chaos_epochs
+    );
+    let points = experiments::reliability(opts.seed, chaos_epochs);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.scenario.clone(),
+                format!("{:.0}%", p.loss_rate * 100.0),
+                format!("{:.0}%", p.crash_prob * 100.0),
+                format!("{:.0}%", p.attack_prob * 100.0),
+                format!("{:.1}%", p.availability * 100.0),
+                format!("{}/{}", p.detected_corruptions, p.corrupted_epochs),
+                format!("{:.2}x", p.overhead_factor),
+                format!("{}", p.false_accepts + p.false_rejects + p.sum_mismatches),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "loss",
+                "crash",
+                "attack",
+                "availability",
+                "detected",
+                "overhead",
+                "unsound"
+            ],
+            &rows
+        )
+    );
+    println!("zero false accepts, zero false rejects across every scenario (asserted)");
+    let _ = write_json_seeded(out, "reliability", opts.seed, &points);
+    // The canonical artifact lives at the repo root for the paper repro.
+    let _ = write_json_seeded(Path::new("."), "BENCH_reliability", opts.seed, &points);
 }
 
 /// Attack-detection matrix: which scheme detects which covert attack.
@@ -338,5 +472,8 @@ fn security() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["attack", "SIES", "CMT", "SECOAS"], &rows));
+    println!(
+        "{}",
+        render_table(&["attack", "SIES", "CMT", "SECOAS"], &rows)
+    );
 }

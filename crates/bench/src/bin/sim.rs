@@ -4,8 +4,11 @@
 //! ```text
 //! sim [--scheme sies|cmt|secoa|paillier|tag] [--sources N] [--fanout F]
 //!     [--epochs E] [--loss P] [--retries R] [--attack tamper|drop|duplicate|replay]
-//!     [--attack-epoch E] [--seed S] [--domain-power K]
+//!     [--attack-epoch E] [--seed S] [--domain-power K] [--json FILE]
 //! ```
+//!
+//! `--json FILE` writes a machine-readable run summary (including the
+//! seed, so the run can be replayed exactly).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,6 +35,7 @@ struct Args {
     attack_epoch: u64,
     seed: u64,
     domain_power: u32,
+    json_out: Option<String>,
 }
 
 impl Default for Args {
@@ -47,6 +51,7 @@ impl Default for Args {
             attack_epoch: 5,
             seed: 42,
             domain_power: 2,
+            json_out: None,
         }
     }
 }
@@ -56,7 +61,7 @@ const HELP: &str = "sim - run a secure in-network aggregation simulation
 usage: sim [--scheme sies|cmt|secoa|paillier|tag] [--sources N] [--fanout F]
            [--epochs E] [--loss P] [--retries R]
            [--attack tamper|drop|duplicate|replay] [--attack-epoch E]
-           [--seed S] [--domain-power K]";
+           [--seed S] [--domain-power K] [--json FILE]";
 
 fn parse_args() -> Args {
     let mut args = Args::default();
@@ -64,10 +69,12 @@ fn parse_args() -> Args {
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
-            it.next().unwrap_or_else(|| {
-                eprintln!("error: {name} needs a value\n\n{HELP}");
-                std::process::exit(2);
-            }).clone()
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("error: {name} needs a value\n\n{HELP}");
+                    std::process::exit(2);
+                })
+                .clone()
         };
         match flag.as_str() {
             "--scheme" => args.scheme = value("--scheme"),
@@ -77,9 +84,14 @@ fn parse_args() -> Args {
             "--loss" => args.loss = value("--loss").parse().expect("probability"),
             "--retries" => args.retries = value("--retries").parse().expect("number"),
             "--attack" => args.attack = Some(value("--attack")),
-            "--attack-epoch" => args.attack_epoch = value("--attack-epoch").parse().expect("number"),
+            "--attack-epoch" => {
+                args.attack_epoch = value("--attack-epoch").parse().expect("number")
+            }
             "--seed" => args.seed = value("--seed").parse().expect("number"),
-            "--domain-power" => args.domain_power = value("--domain-power").parse().expect("number"),
+            "--domain-power" => {
+                args.domain_power = value("--domain-power").parse().expect("number")
+            }
+            "--json" => args.json_out = Some(value("--json")),
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
@@ -97,7 +109,9 @@ fn run<S: AggregationScheme>(scheme: &S, args: &Args) {
     let topo = Topology::complete_tree(args.sources, args.fanout);
     let mut engine = Engine::new(scheme, &topo);
     let mut workload = IntelLabGenerator::new(args.seed, args.sources as usize);
-    let scale = DomainScale { power: args.domain_power };
+    let scale = DomainScale {
+        power: args.domain_power,
+    };
     let radio = LossyRadio::new(args.loss, args.retries);
     let mut loss_rng = StdRng::seed_from_u64(args.seed ^ 0xBAD);
 
@@ -141,7 +155,11 @@ fn run<S: AggregationScheme>(scheme: &S, args: &Args) {
         }
 
         let out = engine.run_epoch_with(epoch, &values, &failed, &attacks);
-        let tag = if attacks.is_empty() { "" } else { "  << ATTACK" };
+        let tag = if attacks.is_empty() {
+            ""
+        } else {
+            "  << ATTACK"
+        };
         match out.result {
             Ok(res) => {
                 accepted += 1;
@@ -173,7 +191,31 @@ fn run<S: AggregationScheme>(scheme: &S, args: &Args) {
             );
         }
     }
-    println!("\n{accepted} accepted, {rejected} rejected over {} epochs", args.epochs);
+    println!(
+        "\n{accepted} accepted, {rejected} rejected over {} epochs",
+        args.epochs
+    );
+
+    if let Some(path) = &args.json_out {
+        let summary = serde_json::json!({
+            "seed": args.seed,
+            "scheme": scheme.name(),
+            "sources": args.sources,
+            "fanout": args.fanout,
+            "epochs": args.epochs,
+            "loss": args.loss,
+            "retries": args.retries,
+            "attack": args.attack.clone().unwrap_or_default(),
+            "accepted": accepted,
+            "rejected": rejected
+        });
+        let body = serde_json::to_string_pretty(&summary).expect("serializable");
+        std::fs::write(path, body + "\n").unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("summary written to {path}");
+    }
 }
 
 fn main() {

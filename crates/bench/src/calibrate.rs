@@ -52,7 +52,11 @@ pub struct WireSizes {
 
 impl WireSizes {
     /// The paper's sizes: 1 B sketches, 20 B certificates, 128 B SEALs.
-    pub const PAPER: WireSizes = WireSizes { s_sk: 1, s_inf: 20, s_seal: 128 };
+    pub const PAPER: WireSizes = WireSizes {
+        s_sk: 1,
+        s_inf: 20,
+        s_seal: 128,
+    };
 }
 
 impl PrimitiveCosts {
@@ -116,17 +120,32 @@ impl PrimitiveCosts {
         // black_box the operands (not just the result) so LLVM cannot
         // hoist the loop-invariant computation out of the timing loop.
         use std::hint::black_box;
-        let c_a20 = time_mean_us(iters * 4, || black_box(&a20).add_mod(black_box(&b20), &n160));
-        let c_a32 = time_mean_us(iters * 4, || black_box(&a32).add_mod(black_box(&b32), &p256));
-        let c_m32 = time_mean_us(iters * 2, || black_box(&a32).mul_mod(black_box(&b32), &p256));
+        let c_a20 = time_mean_us(iters * 4, || {
+            black_box(&a20).add_mod(black_box(&b20), &n160)
+        });
+        let c_a32 = time_mean_us(iters * 4, || {
+            black_box(&a32).add_mod(black_box(&b32), &p256)
+        });
+        let c_m32 = time_mean_us(iters * 2, || {
+            black_box(&a32).mul_mod(black_box(&b32), &p256)
+        });
         let c_m128 = time_mean_us(iters, || black_box(&x128).mul_mod(black_box(&y128), &n128));
         // Euclid-based inverse, matching how the paper's C_MI32 was
         // measured (GMP mpz_invert); the Fermat path is benchmarked
         // separately in the ablation suite.
-        let c_mi32 =
-            time_mean_us(iters / 10 + 1, || black_box(&a32).inv_mod_euclid(&p256));
+        let c_mi32 = time_mean_us(iters / 10 + 1, || black_box(&a32).inv_mod_euclid(&p256));
 
-        PrimitiveCosts { c_sk, c_rsa, c_hm1, c_hm256, c_a20, c_a32, c_m32, c_m128, c_mi32 }
+        PrimitiveCosts {
+            c_sk,
+            c_rsa,
+            c_hm1,
+            c_hm256,
+            c_a20,
+            c_a32,
+            c_m32,
+            c_m128,
+            c_mi32,
+        }
     }
 
     /// All costs as (symbol, value) pairs for reporting.
@@ -157,11 +176,17 @@ mod tests {
             assert!(v < 10_000.0, "{name} implausibly slow: {v} µs");
         }
         // Structural orderings that must hold on any host:
-        assert!(c.c_rsa > c.c_m128, "RSA(e=3) is at least two 128-byte modmuls");
+        assert!(
+            c.c_rsa > c.c_m128,
+            "RSA(e=3) is at least two 128-byte modmuls"
+        );
         assert!(c.c_m128 > c.c_m32, "1024-bit modmul slower than 256-bit");
         assert!(c.c_mi32 > c.c_m32, "inverse slower than one multiplication");
         assert!(c.c_sk < c.c_hm1, "sketch insertion cheaper than an HMAC");
-        assert!(c.c_a32 < c.c_m32, "modular addition cheaper than multiplication");
+        assert!(
+            c.c_a32 < c.c_m32,
+            "modular addition cheaper than multiplication"
+        );
     }
 
     #[test]

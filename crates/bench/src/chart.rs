@@ -21,7 +21,12 @@ pub struct Series<'a> {
 pub fn render_log_chart(title: &str, x_labels: &[String], series: &[Series<'_>]) -> String {
     assert!(!x_labels.is_empty(), "need at least one X tick");
     for s in series {
-        assert_eq!(s.values.len(), x_labels.len(), "series '{}' length mismatch", s.name);
+        assert_eq!(
+            s.values.len(),
+            x_labels.len(),
+            "series '{}' length mismatch",
+            s.name
+        );
     }
 
     let positives: Vec<f64> = series
@@ -32,8 +37,16 @@ pub fn render_log_chart(title: &str, x_labels: &[String], series: &[Series<'_>])
     if positives.is_empty() {
         return format!("{title}\n(no positive data)\n");
     }
-    let lo_decade = positives.iter().fold(f64::INFINITY, |a, &b| a.min(b)).log10().floor() as i32;
-    let hi_decade = positives.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)).log10().ceil() as i32;
+    let lo_decade = positives
+        .iter()
+        .fold(f64::INFINITY, |a, &b| a.min(b))
+        .log10()
+        .floor() as i32;
+    let hi_decade = positives
+        .iter()
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        .log10()
+        .ceil() as i32;
     let hi_decade = hi_decade.max(lo_decade + 1);
 
     // 2 rows per decade for readability.
@@ -53,7 +66,11 @@ pub fn render_log_chart(title: &str, x_labels: &[String], series: &[Series<'_>])
             let row = n_rows - 1 - row_from_bottom.min(n_rows - 1);
             let col = x * col_width + col_width / 2;
             // Collisions: later series overwrite with a shared marker.
-            canvas[row][col] = if canvas[row][col] == ' ' { s.marker } else { '*' };
+            canvas[row][col] = if canvas[row][col] == ' ' {
+                s.marker
+            } else {
+                '*'
+            };
         }
     }
 
@@ -62,7 +79,7 @@ pub fn render_log_chart(title: &str, x_labels: &[String], series: &[Series<'_>])
     out.push('\n');
     for (i, row) in canvas.iter().enumerate() {
         let row_from_bottom = n_rows - 1 - i;
-        let label = if row_from_bottom % rows_per_decade as usize == 0 {
+        let label = if row_from_bottom.is_multiple_of(rows_per_decade as usize) {
             let decade = lo_decade + (row_from_bottom / rows_per_decade as usize) as i32;
             format!("{:>width$} |", format!("1e{decade}"), width = y_label_width)
         } else {
@@ -87,7 +104,10 @@ pub fn render_log_chart(title: &str, x_labels: &[String], series: &[Series<'_>])
     out.push('\n');
     // Legend.
     out.push_str(&format!("{:>width$}  ", "", width = y_label_width));
-    let legend: Vec<String> = series.iter().map(|s| format!("{} = {}", s.marker, s.name)).collect();
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} = {}", s.marker, s.name))
+        .collect();
     out.push_str(&legend.join(", "));
     out.push_str(" (* = overlap)\n");
     out
@@ -107,7 +127,11 @@ mod tests {
         let chart = render_log_chart(
             "test",
             &xs,
-            &[Series { marker: 'S', name: "sies", values: &[1.0, 10.0, 100.0, 1000.0] }],
+            &[Series {
+                marker: 'S',
+                name: "sies",
+                values: &[1.0, 10.0, 100.0, 1000.0],
+            }],
         );
         assert!(chart.contains("1e0"));
         assert!(chart.contains("1e3"));
@@ -121,13 +145,25 @@ mod tests {
             "t",
             &xs,
             &[
-                Series { marker: 'a', name: "low", values: &[1.0, 1.0] },
-                Series { marker: 'b', name: "high", values: &[1e6, 1e6] },
+                Series {
+                    marker: 'a',
+                    name: "low",
+                    values: &[1.0, 1.0],
+                },
+                Series {
+                    marker: 'b',
+                    name: "high",
+                    values: &[1e6, 1e6],
+                },
             ],
         );
         // Find rows containing markers; they must differ.
-        let a_row = chart.lines().position(|l| l.contains('a') && l.contains('|'));
-        let b_row = chart.lines().position(|l| l.contains('b') && l.contains('|'));
+        let a_row = chart
+            .lines()
+            .position(|l| l.contains('a') && l.contains('|'));
+        let b_row = chart
+            .lines()
+            .position(|l| l.contains('b') && l.contains('|'));
         assert_ne!(a_row, b_row, "{chart}");
         // The high series must appear above the low one.
         assert!(b_row < a_row, "{chart}");
@@ -140,8 +176,16 @@ mod tests {
             "t",
             &xs,
             &[
-                Series { marker: 'a', name: "one", values: &[5.0] },
-                Series { marker: 'b', name: "two", values: &[5.0] },
+                Series {
+                    marker: 'a',
+                    name: "one",
+                    values: &[5.0],
+                },
+                Series {
+                    marker: 'b',
+                    name: "two",
+                    values: &[5.0],
+                },
             ],
         );
         assert!(chart.contains('*'), "{chart}");
@@ -153,7 +197,11 @@ mod tests {
         let chart = render_log_chart(
             "t",
             &xs,
-            &[Series { marker: 'z', name: "skipped", values: &[0.0, -1.0, 10.0] }],
+            &[Series {
+                marker: 'z',
+                name: "skipped",
+                values: &[0.0, -1.0, 10.0],
+            }],
         );
         // Only the positive point plus the legend marker.
         assert_eq!(chart.matches('z').count(), 2, "{chart}");
@@ -164,7 +212,11 @@ mod tests {
         let chart = render_log_chart(
             "t",
             &labels(2),
-            &[Series { marker: 'q', name: "none", values: &[0.0, 0.0] }],
+            &[Series {
+                marker: 'q',
+                name: "none",
+                values: &[0.0, 0.0],
+            }],
         );
         assert!(chart.contains("no positive data"));
     }
@@ -175,7 +227,11 @@ mod tests {
         render_log_chart(
             "t",
             &labels(3),
-            &[Series { marker: 'x', name: "bad", values: &[1.0] }],
+            &[Series {
+                marker: 'x',
+                name: "bad",
+                values: &[1.0],
+            }],
         );
     }
 }

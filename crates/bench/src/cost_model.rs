@@ -24,7 +24,13 @@ pub struct ModelParams {
 
 impl ModelParams {
     /// The paper's defaults: `N=1024, J=300, F=4, D=[1800,5000]`.
-    pub const DEFAULTS: ModelParams = ModelParams { n: 1024, j: 300, f: 4, d_l: 1800, d_u: 5000 };
+    pub const DEFAULTS: ModelParams = ModelParams {
+        n: 1024,
+        j: 300,
+        f: 4,
+        d_l: 1800,
+        d_u: 5000,
+    };
 
     /// The sketch-value bound `⌈log₂(N·D_U)⌉` — `x_i ∈ [0, 23]` for the
     /// defaults (Table II).
@@ -90,7 +96,10 @@ impl CostModel {
             (j as f64) * (v as f64 * self.costs.c_sk + 2.0 * self.costs.c_hm1)
                 + (j as f64) * (x as f64) * self.costs.c_rsa
         };
-        Range { min: fixed(d_l, 0), max: fixed(d_u, self.params.x_bound()) }
+        Range {
+            min: fixed(d_l, 0),
+            max: fixed(d_u, self.params.x_bound()),
+        }
     }
 
     /// Equation 3: `C^𝒮_SIES = 2·C_HM256 + C_HM1 + C_M32 + C_A32`.
@@ -192,12 +201,42 @@ impl CostModel {
     /// and communication in bytes.
     pub fn table3(&self) -> Vec<(&'static str, f64, Range, f64)> {
         vec![
-            ("Comput. cost at S (us)", self.cmt_source(), self.secoa_source(), self.sies_source()),
-            ("Comput. cost at A (us)", self.cmt_aggregator(), self.secoa_aggregator(), self.sies_aggregator()),
-            ("Comput. cost at Q (us)", self.cmt_querier(), self.secoa_querier(), self.sies_querier()),
-            ("Commun. cost S-A (bytes)", self.cmt_comm(), Range::flat(self.secoa_comm_sa()), self.sies_comm()),
-            ("Commun. cost A-A (bytes)", self.cmt_comm(), Range::flat(self.secoa_comm_sa()), self.sies_comm()),
-            ("Commun. cost A-Q (bytes)", self.cmt_comm(), self.secoa_comm_aq(), self.sies_comm()),
+            (
+                "Comput. cost at S (us)",
+                self.cmt_source(),
+                self.secoa_source(),
+                self.sies_source(),
+            ),
+            (
+                "Comput. cost at A (us)",
+                self.cmt_aggregator(),
+                self.secoa_aggregator(),
+                self.sies_aggregator(),
+            ),
+            (
+                "Comput. cost at Q (us)",
+                self.cmt_querier(),
+                self.secoa_querier(),
+                self.sies_querier(),
+            ),
+            (
+                "Commun. cost S-A (bytes)",
+                self.cmt_comm(),
+                Range::flat(self.secoa_comm_sa()),
+                self.sies_comm(),
+            ),
+            (
+                "Commun. cost A-A (bytes)",
+                self.cmt_comm(),
+                Range::flat(self.secoa_comm_sa()),
+                self.sies_comm(),
+            ),
+            (
+                "Commun. cost A-Q (bytes)",
+                self.cmt_comm(),
+                self.secoa_comm_aq(),
+                self.sies_comm(),
+            ),
         ]
     }
 }
@@ -243,14 +282,30 @@ mod tests {
     fn table3_secoa_column() {
         let m = model();
         let src = m.secoa_source();
-        assert!((src.min / 1000.0 - 20.26).abs() < 0.05, "min {}", src.min / 1000.0);
-        assert!((src.max / 1000.0 - 92.75).abs() < 0.1, "max {}", src.max / 1000.0);
+        assert!(
+            (src.min / 1000.0 - 20.26).abs() < 0.05,
+            "min {}",
+            src.min / 1000.0
+        );
+        assert!(
+            (src.max / 1000.0 - 92.75).abs() < 0.1,
+            "max {}",
+            src.max / 1000.0
+        );
         let agg = m.secoa_aggregator();
         assert!((agg.min / 1000.0 - 1.25).abs() < 0.01);
         assert!((agg.max / 1000.0 - 36.63).abs() < 0.1);
         let q = m.secoa_querier();
-        assert!((q.min / 1000.0 - 568.46).abs() < 0.5, "min {}", q.min / 1000.0);
-        assert!((q.max / 1000.0 - 568.63).abs() < 0.5, "max {}", q.max / 1000.0);
+        assert!(
+            (q.min / 1000.0 - 568.46).abs() < 0.5,
+            "min {}",
+            q.min / 1000.0
+        );
+        assert!(
+            (q.max / 1000.0 - 568.63).abs() < 0.5,
+            "max {}",
+            q.max / 1000.0
+        );
     }
 
     /// Table V model values.
@@ -263,7 +318,11 @@ mod tests {
         let aq = m.secoa_comm_aq();
         assert_eq!(aq.min, 448.0);
         // Worst case ~3.0–3.3 KB (paper rounds to 3.25 KB).
-        assert!(aq.max / 1024.0 > 2.9 && aq.max / 1024.0 < 3.4, "max {}", aq.max);
+        assert!(
+            aq.max / 1024.0 > 2.9 && aq.max / 1024.0 < 3.4,
+            "max {}",
+            aq.max
+        );
     }
 
     /// The headline claim: SIES beats SECOA's best case by ≥ 2 orders of

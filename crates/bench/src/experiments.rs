@@ -52,11 +52,21 @@ pub struct Options {
     pub j: usize,
     /// RSA modulus bits for SECOA (paper: 1024).
     pub rsa_bits: usize,
+    /// Master seed: every deployment and workload RNG in the experiment
+    /// suite derives from it, and it is recorded in every results JSON
+    /// so a run can be replayed exactly.
+    pub seed: u64,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { epochs: sweep::DEFAULT_EPOCHS, secoa_epochs: 3, j: sweep::DEFAULT_J, rsa_bits: 1024 }
+        Options {
+            epochs: sweep::DEFAULT_EPOCHS,
+            secoa_epochs: 3,
+            j: sweep::DEFAULT_J,
+            rsa_bits: 1024,
+            seed: 42,
+        }
     }
 }
 
@@ -64,7 +74,13 @@ impl Options {
     /// A fast configuration for smoke tests: few epochs, few sketches,
     /// small RSA modulus.
     pub fn fast() -> Self {
-        Options { epochs: 3, secoa_epochs: 1, j: 20, rsa_bits: 256 }
+        Options {
+            epochs: 3,
+            secoa_epochs: 1,
+            j: 20,
+            rsa_bits: 256,
+            seed: 42,
+        }
     }
 }
 
@@ -73,15 +89,23 @@ fn model_for(costs: &PrimitiveCosts, n: u64, f: u64, scale: DomainScale, j: usiz
     CostModel {
         costs: *costs,
         sizes: crate::calibrate::WireSizes::PAPER,
-        params: ModelParams { n, j: j as u64, f, d_l, d_u },
+        params: ModelParams {
+            n,
+            j: j as u64,
+            f,
+            d_l,
+            d_u,
+        },
     }
 }
 
 /// Generates one shared RSA key for all SECOA deployments in a run (key
 /// generation is setup-time and not part of any measured phase).
 pub fn shared_rsa(opts: &Options) -> RsaPublicKey {
-    let mut rng = StdRng::seed_from_u64(0x5EC0A);
-    RsaKeyPair::generate(&mut rng, opts.rsa_bits).public().clone()
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5EC0A);
+    RsaKeyPair::generate(&mut rng, opts.rsa_bits)
+        .public()
+        .clone()
 }
 
 /// Measures the mean per-epoch cost in ms of `op(epoch) `over `epochs`.
@@ -100,7 +124,7 @@ fn mean_ms_over_epochs<F: FnMut(u64)>(epochs: u64, mut op: F) -> f64 {
 /// Figure 4: source CPU vs domain scale, `N = 1024`, `F = 4`.
 pub fn fig4_source_vs_domain(costs: &PrimitiveCosts, opts: &Options) -> Vec<SeriesPoint> {
     let n = sweep::DEFAULT_N;
-    let mut rng = StdRng::seed_from_u64(4);
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 4);
     let sies = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
     let cmt = CmtDeployment::new(&mut rng, n);
     let rsa = shared_rsa(opts);
@@ -109,7 +133,7 @@ pub fn fig4_source_vs_domain(costs: &PrimitiveCosts, opts: &Options) -> Vec<Seri
     DomainScale::paper_range()
         .into_iter()
         .map(|scale| {
-            let mut generator = IntelLabGenerator::new(7, 1);
+            let mut generator = IntelLabGenerator::new(opts.seed ^ 7, 1);
             let mut values: Vec<u64> = (0..opts.epochs.max(opts.secoa_epochs))
                 .map(|t| generator.epoch_values(t, scale)[0])
                 .collect();
@@ -149,12 +173,13 @@ pub fn fig4_source_vs_domain(costs: &PrimitiveCosts, opts: &Options) -> Vec<Seri
 pub fn fig5_aggregator_vs_fanout(costs: &PrimitiveCosts, opts: &Options) -> Vec<SeriesPoint> {
     let n = sweep::DEFAULT_N;
     let scale = DomainScale::DEFAULT;
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 5);
     let sies = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
     let cmt = CmtDeployment::new(&mut rng, n);
     let rsa = shared_rsa(opts);
     let secoa = SecoaSum::with_rsa(&mut rng, n, opts.j, rsa);
-    let mut generator = IntelLabGenerator::new(8, sweep::F_RANGE[sweep::F_RANGE.len() - 1]);
+    let mut generator =
+        IntelLabGenerator::new(opts.seed ^ 8, sweep::F_RANGE[sweep::F_RANGE.len() - 1]);
 
     sweep::F_RANGE
         .into_iter()
@@ -165,15 +190,19 @@ pub fn fig5_aggregator_vs_fanout(costs: &PrimitiveCosts, opts: &Options) -> Vec<
             let mut sies_children = Vec::new();
             let mut cmt_children = Vec::new();
             let mut secoa_children = Vec::new();
-            let mut sample_rng = StdRng::seed_from_u64(55);
+            let mut sample_rng = StdRng::seed_from_u64(opts.seed ^ 55);
             for t in 0..epochs {
                 let values = generator.epoch_values(t, scale);
                 let ids: Vec<SourceId> = (0..f as SourceId).collect();
                 sies_children.push(
-                    ids.iter().map(|&i| sies.source_init(i, t, values[i as usize])).collect::<Vec<_>>(),
+                    ids.iter()
+                        .map(|&i| sies.source_init(i, t, values[i as usize]))
+                        .collect::<Vec<_>>(),
                 );
                 cmt_children.push(
-                    ids.iter().map(|&i| cmt.source_init(i, t, values[i as usize])).collect::<Vec<_>>(),
+                    ids.iter()
+                        .map(|&i| cmt.source_init(i, t, values[i as usize]))
+                        .collect::<Vec<_>>(),
                 );
                 secoa_children.push(
                     ids.iter()
@@ -221,12 +250,12 @@ fn querier_point(
     scale: DomainScale,
     label: String,
 ) -> SeriesPoint {
-    let mut rng = StdRng::seed_from_u64(6 ^ n ^ (scale.power as u64) << 32);
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 6 ^ n ^ (scale.power as u64) << 32);
     let sies = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
     let cmt = CmtDeployment::new(&mut rng, n);
     let secoa = SecoaSum::with_rsa(&mut rng, n, opts.j, rsa.clone());
     let contributors: Vec<SourceId> = (0..n as SourceId).collect();
-    let mut generator = IntelLabGenerator::new(17, n as usize);
+    let mut generator = IntelLabGenerator::new(opts.seed ^ 17, n as usize);
 
     // Pre-build the final PSRs per epoch (network-side work, not querier).
     let epochs = opts.epochs.max(opts.secoa_epochs);
@@ -256,10 +285,12 @@ fn querier_point(
     sies.evaluate(&sies_finals[0], 0, &contributors).unwrap();
     cmt.evaluate(&cmt_finals[0], 0, &contributors).unwrap();
     let sies_ms = mean_ms_over_epochs(opts.epochs, |t| {
-        sies.evaluate(&sies_finals[t as usize], t, &contributors).unwrap();
+        sies.evaluate(&sies_finals[t as usize], t, &contributors)
+            .unwrap();
     });
     let cmt_ms = mean_ms_over_epochs(opts.epochs, |t| {
-        cmt.evaluate(&cmt_finals[t as usize], t, &contributors).unwrap();
+        cmt.evaluate(&cmt_finals[t as usize], t, &contributors)
+            .unwrap();
     });
     let secoa_ms = mean_ms_over_epochs(opts.secoa_epochs, |t| {
         secoa
@@ -331,13 +362,13 @@ pub fn table5_communication(costs: &PrimitiveCosts, opts: &Options) -> Vec<CommR
     let n = sweep::DEFAULT_N;
     let f = sweep::DEFAULT_F;
     let scale = DomainScale::DEFAULT;
-    let mut rng = StdRng::seed_from_u64(55);
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x550);
     let topo = Topology::complete_tree(n, f);
 
     // SIES and CMT: one engine epoch suffices (sizes are constant).
     let sies = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
     let cmt = CmtDeployment::new(&mut rng, n);
-    let mut generator = IntelLabGenerator::new(23, n as usize);
+    let mut generator = IntelLabGenerator::new(opts.seed ^ 23, n as usize);
     let values = generator.epoch_values(0, scale);
     let sies_bytes = {
         let mut engine = Engine::new(&sies, &topo);
@@ -422,31 +453,165 @@ pub fn lifetime_table(opts: &Options) -> Vec<LifetimeRow> {
 
     // SECOA's per-edge bytes from a real sampled source PSR.
     let secoa_bytes = {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ 9);
         let rsa = shared_rsa(opts);
         let secoa = SecoaSum::with_rsa(&mut rng, 4, opts.j, rsa);
         let psr = secoa.source_init_sampled(&mut rng, 0, 0, 3400);
         secoa.psr_wire_size(&psr)
     };
 
-    [("TAG", PLAIN_PSR_BYTES), ("CMT", 20), ("SIES", 32), ("SECOAS", secoa_bytes)]
-        .into_iter()
-        .map(|(scheme, bytes)| {
-            let drain = radio.rx_energy(bytes * f) + radio.tx_energy(bytes);
-            LifetimeRow {
-                scheme: scheme.into(),
-                leaf_bytes: bytes,
-                hottest_drain_j: drain,
-                lifetime_epochs: battery / drain,
-            }
-        })
-        .collect()
+    [
+        ("TAG", PLAIN_PSR_BYTES),
+        ("CMT", 20),
+        ("SIES", 32),
+        ("SECOAS", secoa_bytes),
+    ]
+    .into_iter()
+    .map(|(scheme, bytes)| {
+        let drain = radio.rx_energy(bytes * f) + radio.tx_energy(bytes);
+        LifetimeRow {
+            scheme: scheme.into(),
+            leaf_bytes: bytes,
+            hottest_drain_j: drain,
+            lifetime_epochs: battery / drain,
+        }
+    })
+    .collect()
 }
 
 /// SECOA's analytic bounds exposed for reports.
-pub fn secoa_bounds(costs: &PrimitiveCosts, n: u64, f: u64, scale: DomainScale, j: usize) -> (Range, Range, Range) {
+pub fn secoa_bounds(
+    costs: &PrimitiveCosts,
+    n: u64,
+    f: u64,
+    scale: DomainScale,
+    j: usize,
+) -> (Range, Range, Range) {
     let m = model_for(costs, n, f, scale, j);
     (m.secoa_source(), m.secoa_aggregator(), m.secoa_querier())
+}
+
+// ---------------------------------------------------------------------
+// Reliability: the chaos harness, measured
+// ---------------------------------------------------------------------
+
+/// One chaos scenario's outcome, ready for `BENCH_reliability.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReliabilityPoint {
+    /// Scenario label.
+    pub scenario: String,
+    /// Seed this scenario ran with (replay: same seed ⇒ same numbers).
+    pub seed: u64,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Per-frame loss probability.
+    pub loss_rate: f64,
+    /// Per-epoch crash probability.
+    pub crash_prob: f64,
+    /// Per-epoch covert-attack probability.
+    pub attack_prob: f64,
+    /// Fraction of epochs returning a verified sum.
+    pub availability: f64,
+    /// Fraction of actually-corrupted epochs the scheme rejected.
+    pub detection_rate: f64,
+    /// (data + retransmit + control) / data bytes.
+    pub overhead_factor: f64,
+    /// Corrupted aggregates accepted — must be 0.
+    pub false_accepts: u64,
+    /// Clean epochs rejected — must be 0.
+    pub false_rejects: u64,
+    /// Accepted sums differing from ground truth — must be 0.
+    pub sum_mismatches: u64,
+    /// Epochs a covert attack actually corrupted.
+    pub corrupted_epochs: u64,
+    /// Corrupted epochs rejected by SIES verification.
+    pub detected_corruptions: u64,
+    /// Epochs lost to availability.
+    pub unavailable_epochs: u64,
+    /// Orphans re-homed by topology repair.
+    pub adoptions: u64,
+    /// Uplinks delivered under the recovery protocol.
+    pub delivered_links: u64,
+    /// Uplinks lost after every re-solicitation round.
+    pub lost_links: u64,
+    /// Uplinks saved by a re-solicited phase.
+    pub recovered_by_resolicit: u64,
+    /// First-copy data bytes.
+    pub data_bytes: u64,
+    /// Retransmitted data bytes.
+    pub retransmit_bytes: u64,
+    /// ACK/NACK/re-solicit/re-attach/failure-report bytes.
+    pub control_bytes: u64,
+}
+
+/// The fault mixes the reliability experiment sweeps.
+pub const RELIABILITY_SCENARIOS: [(&str, f64, f64, f64); 5] = [
+    ("calm", 0.0, 0.0, 0.0),
+    ("lossy", 0.15, 0.0, 0.0),
+    ("churn", 0.10, 0.30, 0.0),
+    ("adversarial", 0.10, 0.20, 0.30),
+    ("extreme", 0.30, 0.30, 0.30),
+];
+
+/// Runs the seeded chaos harness on a SIES deployment (`N = 64, F = 4`)
+/// across the scenario sweep, splitting `total_epochs` evenly. Panics if
+/// any scenario produces a false accept, false reject, or wrong accepted
+/// sum — the experiment doubles as the paper-level soundness check.
+pub fn reliability(seed: u64, total_epochs: u64) -> Vec<ReliabilityPoint> {
+    use sies_net::chaos::{run_chaos, ChaosConfig};
+
+    let n = 64u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dep = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
+    let topo = Topology::complete_tree(n, 4);
+    let per_scenario = (total_epochs / RELIABILITY_SCENARIOS.len() as u64).max(1);
+
+    RELIABILITY_SCENARIOS
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, loss_rate, crash_prob, attack_prob))| {
+            let cfg = ChaosConfig {
+                seed: seed.wrapping_add(i as u64),
+                epochs: per_scenario,
+                loss_rate,
+                crash_prob,
+                attack_prob,
+                ..ChaosConfig::default()
+            };
+            let m = run_chaos(&dep, &topo, &cfg);
+            assert!(
+                m.sound(),
+                "scenario '{name}' unsound: {} false accepts, {} false rejects, {} mismatches",
+                m.false_accepts,
+                m.false_rejects,
+                m.sum_mismatches
+            );
+            ReliabilityPoint {
+                scenario: name.into(),
+                seed: cfg.seed,
+                epochs: m.epochs,
+                loss_rate,
+                crash_prob,
+                attack_prob,
+                availability: m.availability(),
+                detection_rate: m.detection_rate(),
+                overhead_factor: m.overhead_factor(),
+                false_accepts: m.false_accepts,
+                false_rejects: m.false_rejects,
+                sum_mismatches: m.sum_mismatches,
+                corrupted_epochs: m.corrupted_epochs,
+                detected_corruptions: m.detected_corruptions,
+                unavailable_epochs: m.unavailable_epochs,
+                adoptions: m.adoptions,
+                delivered_links: m.delivered_links,
+                lost_links: m.lost_links,
+                recovered_by_resolicit: m.recovered_by_resolicit,
+                data_bytes: m.data_bytes,
+                retransmit_bytes: m.retransmit_bytes,
+                control_bytes: m.control_bytes,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -465,7 +630,13 @@ mod tests {
         for p in &fig4 {
             assert!(p.sies_ms >= 0.0 && p.cmt_ms >= 0.0 && p.secoa_ms > 0.0);
             // The headline shape: SECOA well above SIES everywhere.
-            assert!(p.secoa_ms > p.sies_ms, "at {}: secoa {} vs sies {}", p.x, p.secoa_ms, p.sies_ms);
+            assert!(
+                p.secoa_ms > p.sies_ms,
+                "at {}: secoa {} vs sies {}",
+                p.x,
+                p.secoa_ms,
+                p.sies_ms
+            );
         }
         // SECOA source cost grows with the domain.
         assert!(fig4[4].secoa_ms > fig4[0].secoa_ms * 10.0);
@@ -481,7 +652,11 @@ mod tests {
         for row in &t5 {
             assert_eq!(row.sies, 32.0);
             assert_eq!(row.cmt, 20.0);
-            assert!(row.secoa_actual > row.sies, "SECOA must be heavier on {}", row.edge);
+            assert!(
+                row.secoa_actual > row.sies,
+                "SECOA must be heavier on {}",
+                row.edge
+            );
         }
         // A-Q folded message is smaller than the S-A message.
         assert!(t5[2].secoa_actual < t5[0].secoa_actual);
@@ -495,8 +670,38 @@ mod tests {
         assert!(rows[0].hottest_drain_j < rows[1].hottest_drain_j);
         assert!(rows[1].hottest_drain_j < rows[2].hottest_drain_j);
         assert!(rows[2].hottest_drain_j * 10.0 < rows[3].hottest_drain_j);
-        assert!(rows[2].lifetime_epochs > 1000.0, "SIES lifetime should be long");
+        assert!(
+            rows[2].lifetime_epochs > 1000.0,
+            "SIES lifetime should be long"
+        );
         assert!(rows[3].lifetime_epochs < rows[2].lifetime_epochs / 10.0);
+    }
+
+    #[test]
+    fn reliability_scenarios_are_sound_at_small_scale() {
+        // `reliability` asserts soundness internally; 100 epochs across
+        // the five scenarios keeps the test quick. The full ≥2000-epoch
+        // run happens in `repro reliability`.
+        let points = reliability(7, 100);
+        assert_eq!(points.len(), RELIABILITY_SCENARIOS.len());
+        for p in &points {
+            assert_eq!(p.false_accepts, 0);
+            assert_eq!(p.false_rejects, 0);
+            assert_eq!(p.sum_mismatches, 0);
+            assert!(p.availability > 0.0);
+        }
+        let calm = &points[0];
+        assert_eq!(calm.availability, 1.0);
+        assert_eq!(calm.overhead_factor, calm.overhead_factor); // not NaN
+        let adversarial = &points[3];
+        assert!(adversarial.corrupted_epochs > 0, "attack mix never landed");
+        assert_eq!(
+            adversarial.detected_corruptions,
+            adversarial.corrupted_epochs
+        );
+        // Recovery traffic exists whenever the radio is lossy.
+        assert!(points[1].retransmit_bytes > 0);
+        assert!(points[1].overhead_factor > 1.0);
     }
 
     #[test]

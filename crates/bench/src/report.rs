@@ -57,7 +57,9 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     out.push_str(&sep);
     out.push('\n');
-    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&sep);
     out.push('\n');
@@ -80,6 +82,22 @@ pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::R
     file.write_all(json.as_bytes())?;
     file.write_all(b"\n")?;
     Ok(())
+}
+
+/// Like [`write_json`], but wraps the data with the seed that produced
+/// it (`{"seed": ..., "data": ...}`), so every results JSON is
+/// replayable.
+pub fn write_json_seeded<T: Serialize>(
+    dir: &Path,
+    name: &str,
+    seed: u64,
+    value: &T,
+) -> std::io::Result<()> {
+    write_json(
+        dir,
+        name,
+        &serde_json::json!({ "seed": seed, "data": value }),
+    )
 }
 
 #[cfg(test)]
@@ -108,7 +126,10 @@ mod tests {
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 6);
         let len = lines[0].len();
-        assert!(lines.iter().all(|l| l.len() == len), "misaligned table:\n{t}");
+        assert!(
+            lines.iter().all(|l| l.len() == len),
+            "misaligned table:\n{t}"
+        );
         assert!(t.contains("alpha"));
     }
 
@@ -123,6 +144,21 @@ mod tests {
         let dir = std::env::temp_dir().join("sies-report-test");
         write_json(&dir, "probe", &vec![1, 2, 3]).unwrap();
         let content = std::fs::read_to_string(dir.join("probe.json")).unwrap();
-        assert_eq!(serde_json::from_str::<Vec<i32>>(&content).unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            serde_json::from_str::<Vec<i32>>(&content).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn seeded_json_records_the_seed() {
+        let dir = std::env::temp_dir().join("sies-report-test");
+        write_json_seeded(&dir, "seeded-probe", 1234, &vec![7, 8]).unwrap();
+        let content = std::fs::read_to_string(dir.join("seeded-probe.json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&content).unwrap();
+        assert!(content.contains("\"seed\""));
+        assert!(content.contains("1234"));
+        let rendered = serde_json::to_string(&v).unwrap();
+        assert!(rendered.contains("1234") && rendered.contains('7'));
     }
 }

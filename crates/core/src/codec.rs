@@ -67,7 +67,9 @@ pub fn sum_shares<'a>(shares: impl IntoIterator<Item = &'a SecretShare>) -> U256
         let mut bytes = [0u8; 32];
         bytes[12..].copy_from_slice(share);
         let s = U256::from_be_bytes(&bytes);
-        acc = acc.checked_add(&s).expect("share sum cannot exceed 256 bits");
+        acc = acc
+            .checked_add(&s)
+            .expect("share sum cannot exceed 256 bits");
     }
     acc
 }
@@ -116,8 +118,7 @@ mod tests {
         let err = encode_message(&p, u32::MAX as u64 + 1, &[0; 20]).unwrap_err();
         assert!(matches!(err, SiesError::ValueTooLarge { .. }));
         // But fine under an 8-byte result field.
-        let p64 =
-            SystemParams::with_prime(1024, DEFAULT_PRIME_256, ResultWidth::U64).unwrap();
+        let p64 = SystemParams::with_prime(1024, DEFAULT_PRIME_256, ResultWidth::U64).unwrap();
         assert!(encode_message(&p64, u32::MAX as u64 + 1, &[0; 20]).is_ok());
     }
 
@@ -144,7 +145,10 @@ mod tests {
         }
         let dec = decode_final(&p, &acc);
         assert_eq!(dec.result, 8000);
-        assert_eq!(dec.secret, sum_shares(std::iter::repeat_n(&share, n as usize)));
+        assert_eq!(
+            dec.secret,
+            sum_shares(std::iter::repeat_n(&share, n as usize))
+        );
     }
 
     #[test]

@@ -40,10 +40,16 @@ impl fmt::Display for SiesError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SiesError::IntegrityViolation { epoch } => {
-                write!(f, "integrity/freshness verification failed at epoch {epoch}")
+                write!(
+                    f,
+                    "integrity/freshness verification failed at epoch {epoch}"
+                )
             }
             SiesError::ValueTooLarge { value, max } => {
-                write!(f, "source value {value} exceeds the result field maximum {max}")
+                write!(
+                    f,
+                    "source value {value} exceeds the result field maximum {max}"
+                )
             }
             SiesError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
             SiesError::UnknownSource(id) => write!(f, "unknown source id {id}"),

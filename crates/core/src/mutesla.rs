@@ -14,10 +14,10 @@
 //! its key cannot have been disclosed yet.
 
 use crate::error::SiesError;
+use rand::RngCore;
 use sies_crypto::hash::HashFunction;
 use sies_crypto::hmac::{ct_eq, hmac};
 use sies_crypto::sha256::Sha256;
-use rand::RngCore;
 
 /// A chain key (SHA-256 output).
 pub type ChainKey = [u8; 32];
@@ -52,7 +52,9 @@ fn mac_key(chain_key: &ChainKey) -> [u8; 32] {
 
 /// One application of the chain function `H`.
 fn chain_step(key: &ChainKey) -> ChainKey {
-    Sha256::digest(key).try_into().expect("SHA-256 output is 32 bytes")
+    Sha256::digest(key)
+        .try_into()
+        .expect("SHA-256 output is 32 bytes")
 }
 
 /// The broadcaster (the querier in SIES).
@@ -94,12 +96,19 @@ impl Broadcaster {
         let mac = hmac::<Sha256>(&mac_key(key), payload)
             .try_into()
             .expect("32 bytes");
-        Packet { payload: payload.to_vec(), mac, interval }
+        Packet {
+            payload: payload.to_vec(),
+            mac,
+            interval,
+        }
     }
 
     /// Discloses interval `i`'s key (sent during interval `i + d`).
     pub fn disclose(&self, interval: u64) -> Disclosure {
-        Disclosure { interval, key: self.chain[interval as usize] }
+        Disclosure {
+            interval,
+            key: self.chain[interval as usize],
+        }
     }
 }
 
@@ -117,7 +126,12 @@ pub struct Receiver {
 impl Receiver {
     /// Bootstraps from the authentic commitment `K_0`.
     pub fn new(commitment: ChainKey, delay: u64) -> Self {
-        Receiver { auth_key: commitment, auth_interval: 0, delay, pending: Vec::new() }
+        Receiver {
+            auth_key: commitment,
+            auth_interval: 0,
+            delay,
+            pending: Vec::new(),
+        }
     }
 
     /// Accepts a packet into the buffer if the security condition holds:
@@ -141,9 +155,17 @@ impl Receiver {
     }
 
     /// Processes a key disclosure: authenticates the key against the
-    /// chain, then verifies and returns all buffered payloads MACed under
-    /// it. Invalid disclosures are rejected; packets failing MAC
-    /// verification are dropped (and reported in the error count).
+    /// chain, then verifies and returns all buffered payloads it can now
+    /// authenticate, in interval order.
+    ///
+    /// **Catch-up:** a receiver that missed `k` disclosures recovers from
+    /// the next one it hears. While hashing `K_i` forward to the last
+    /// authenticated element, the intermediate values *are* the keys of
+    /// the skipped intervals (`K_j = H^(i-j)(K_i)`), so packets buffered
+    /// for those intervals verify too instead of being dropped. This is
+    /// safe because the security condition was already enforced when each
+    /// packet was buffered — its key had not been disclosed at receive
+    /// time.
     pub fn on_disclosure(&mut self, disclosure: Disclosure) -> Result<Vec<Vec<u8>>, SiesError> {
         if disclosure.interval <= self.auth_interval {
             return Err(SiesError::BroadcastAuthFailure(
@@ -151,40 +173,49 @@ impl Receiver {
             ));
         }
         // Authenticate: hashing forward (interval - auth_interval) times
-        // must reach the last authenticated element.
+        // must reach the last authenticated element. The intermediate
+        // values are kept — `keys[d]` is the chain key for interval
+        // `disclosure.interval - d`.
         let steps = disclosure.interval - self.auth_interval;
-        let mut k = disclosure.key;
-        for _ in 0..steps {
-            k = chain_step(&k);
+        let mut keys: Vec<ChainKey> = Vec::with_capacity(steps as usize);
+        keys.push(disclosure.key);
+        for _ in 1..steps {
+            let next = chain_step(keys.last().expect("non-empty"));
+            keys.push(next);
         }
-        if !ct_eq(&k, &self.auth_key) {
+        let anchor = chain_step(keys.last().expect("non-empty"));
+        if !ct_eq(&anchor, &self.auth_key) {
             return Err(SiesError::BroadcastAuthFailure(
                 "disclosed key does not extend the authenticated chain".into(),
             ));
         }
+        let prev_auth = self.auth_interval;
         self.auth_key = disclosure.key;
         self.auth_interval = disclosure.interval;
 
-        // Verify buffered packets for this interval.
-        let mkey = mac_key(&disclosure.key);
-        let mut verified = Vec::new();
+        // Verify everything now authenticable: packets for any interval
+        // in (prev_auth, disclosure.interval].
+        let mut verified: Vec<(u64, Vec<u8>)> = Vec::new();
         let mut remaining = Vec::new();
         for packet in self.pending.drain(..) {
-            if packet.interval != disclosure.interval {
-                if packet.interval > disclosure.interval {
-                    remaining.push(packet);
-                }
-                // Packets for already-disclosed intervals can never verify
-                // safely; drop them.
+            if packet.interval > disclosure.interval {
+                remaining.push(packet);
                 continue;
             }
-            let expected = hmac::<Sha256>(&mkey, &packet.payload);
+            if packet.interval <= prev_auth {
+                // Cannot happen via `receive`, which rejects disclosed
+                // intervals; drop defensively.
+                continue;
+            }
+            let key = keys[(disclosure.interval - packet.interval) as usize];
+            let expected = hmac::<Sha256>(&mac_key(&key), &packet.payload);
             if ct_eq(&expected, &packet.mac) {
-                verified.push(packet.payload);
+                verified.push((packet.interval, packet.payload));
             }
         }
         self.pending = remaining;
-        Ok(verified)
+        verified.sort_by_key(|(interval, _)| *interval);
+        Ok(verified.into_iter().map(|(_, payload)| payload).collect())
     }
 }
 
@@ -225,7 +256,10 @@ mod tests {
         let (b, mut r) = setup(10, 2);
         let pkt = b.broadcast(1, b"q");
         r.receive(1, pkt).unwrap();
-        let bogus = Disclosure { interval: 1, key: [0xEE; 32] };
+        let bogus = Disclosure {
+            interval: 1,
+            key: [0xEE; 32],
+        };
         assert!(r.on_disclosure(bogus).is_err());
         // The real key still works afterwards.
         assert_eq!(r.on_disclosure(b.disclose(1)).unwrap().len(), 1);
@@ -266,6 +300,38 @@ mod tests {
         assert_eq!(first, vec![b"one".to_vec()]);
         let second = r.on_disclosure(b.disclose(2)).unwrap();
         assert_eq!(second, vec![b"two".to_vec()]);
+    }
+
+    #[test]
+    fn catch_up_verifies_packets_from_skipped_intervals() {
+        // The receiver buffers packets for intervals 1, 2 and 3 but only
+        // ever hears the disclosure for 3 (1 and 2 were lost). Hashing
+        // K_3 forward recovers K_2 and K_1, so all three packets verify,
+        // in interval order.
+        let (b, mut r) = setup(10, 4);
+        r.receive(1, b.broadcast(1, b"one")).unwrap();
+        r.receive(2, b.broadcast(2, b"two")).unwrap();
+        r.receive(3, b.broadcast(3, b"three")).unwrap();
+        let msgs = r.on_disclosure(b.disclose(3)).unwrap();
+        assert_eq!(
+            msgs,
+            vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+        );
+        // The chain state advanced to interval 3.
+        assert!(r.on_disclosure(b.disclose(3)).is_err());
+        r.receive(4, b.broadcast(4, b"four")).unwrap();
+        assert_eq!(r.on_disclosure(b.disclose(4)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn catch_up_still_rejects_forgeries_in_skipped_intervals() {
+        let (b, mut r) = setup(10, 4);
+        let mut forged = b.broadcast(2, b"real");
+        forged.payload = b"fake".to_vec();
+        r.receive(1, b.broadcast(1, b"one")).unwrap();
+        r.receive(2, forged).unwrap();
+        let msgs = r.on_disclosure(b.disclose(3)).unwrap();
+        assert_eq!(msgs, vec![b"one".to_vec()], "forged packet must not verify");
     }
 
     #[test]

@@ -69,7 +69,9 @@ impl SystemParams {
         result_width: ResultWidth,
     ) -> Result<Self, SiesError> {
         if num_sources == 0 {
-            return Err(SiesError::InvalidParams("at least one source required".into()));
+            return Err(SiesError::InvalidParams(
+                "at least one source required".into(),
+            ));
         }
         // ⌈log₂ N⌉ without overflow for N near 2^64.
         let pad_bits = (64 - (num_sources - 1).leading_zeros()) as usize;
@@ -91,7 +93,12 @@ impl SystemParams {
                 "message layout of {total} bits leaves no headroom below the {prime_bits}-bit modulus"
             )));
         }
-        Ok(SystemParams { prime, num_sources, pad_bits, result_width })
+        Ok(SystemParams {
+            prime,
+            num_sources,
+            pad_bits,
+            result_width,
+        })
     }
 
     /// The public prime modulus `p`.
@@ -131,9 +138,9 @@ impl SystemParams {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sies_crypto::generate_prime_u256;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use sies_crypto::generate_prime_u256;
 
     #[test]
     fn default_params_for_paper_sizes() {

@@ -27,8 +27,12 @@ pub enum Attribute {
 }
 
 impl Attribute {
-    const ALL: [Attribute; 4] =
-        [Attribute::Temperature, Attribute::Humidity, Attribute::Light, Attribute::Voltage];
+    const ALL: [Attribute; 4] = [
+        Attribute::Temperature,
+        Attribute::Humidity,
+        Attribute::Light,
+        Attribute::Voltage,
+    ];
 
     fn index(self) -> usize {
         match self {
@@ -51,12 +55,16 @@ pub struct SensorReading {
 impl SensorReading {
     /// Creates a reading with every attribute set.
     pub fn new(temperature: u64, humidity: u64, light: u64, voltage: u64) -> Self {
-        SensorReading { values: [temperature, humidity, light, voltage] }
+        SensorReading {
+            values: [temperature, humidity, light, voltage],
+        }
     }
 
     /// Creates a temperature-only reading (other attributes zero).
     pub fn temperature(value: u64) -> Self {
-        SensorReading { values: [value, 0, 0, 0] }
+        SensorReading {
+            values: [value, 0, 0, 0],
+        }
     }
 
     /// The stored value of `attr`.
@@ -194,7 +202,11 @@ pub struct Query {
 impl Query {
     /// A `SELECT SUM(attr)` query without a WHERE clause.
     pub fn sum(attr: Attribute) -> Self {
-        Query { aggregate: Aggregate::Sum(attr), predicate: Predicate::True, epoch_duration_ms: 1000 }
+        Query {
+            aggregate: Aggregate::Sum(attr),
+            predicate: Predicate::True,
+            epoch_duration_ms: 1000,
+        }
     }
 
     /// Attaches a WHERE clause.
@@ -213,7 +225,11 @@ impl Query {
                 vec![SumTerm::ValueSquared(a), SumTerm::Value(a), SumTerm::One]
             }
         };
-        QueryPlan { aggregate: self.aggregate, predicate: self.predicate.clone(), terms }
+        QueryPlan {
+            aggregate: self.aggregate,
+            predicate: self.predicate.clone(),
+            terms,
+        }
     }
 }
 
@@ -331,8 +347,11 @@ mod tests {
 
     #[test]
     fn predicate_failing_source_transmits_zero() {
-        let q = Query::sum(Attribute::Temperature)
-            .filter(Predicate::Cmp(Attribute::Temperature, CmpOp::Gt, 100));
+        let q = Query::sum(Attribute::Temperature).filter(Predicate::Cmp(
+            Attribute::Temperature,
+            CmpOp::Gt,
+            100,
+        ));
         let plan = q.plan();
         assert_eq!(plan.source_values(&reading(42)), vec![0]);
         assert_eq!(plan.source_values(&reading(200)), vec![200]);

@@ -74,8 +74,13 @@ pub struct RotationSchedule {
 impl RotationSchedule {
     /// Creates a schedule. Panics for a zero window.
     pub fn new(epochs_per_generation: u64) -> Self {
-        assert!(epochs_per_generation >= 1, "window must be at least one epoch");
-        RotationSchedule { epochs_per_generation }
+        assert!(
+            epochs_per_generation >= 1,
+            "window must be at least one epoch"
+        );
+        RotationSchedule {
+            epochs_per_generation,
+        }
     }
 
     /// The generation governing `epoch`.
@@ -88,6 +93,126 @@ impl RotationSchedule {
     pub fn key_for<'k>(&self, key: &'k mut EvolvingKey, epoch: Epoch) -> &'k LongTermKey {
         key.evolve_to(self.generation_for(epoch));
         key.key()
+    }
+}
+
+/// A versioned rotation announcement, broadcast by the querier (over the
+/// μTesla channel, so it arrives authenticated — see [`crate::mutesla`]).
+///
+/// Carrying the absolute target generation (not "rotate once") is what
+/// makes dropped announcements tolerable: a node that missed any number
+/// of announcements jumps straight to the advertised generation through
+/// the one-way evolution, and a retried duplicate is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RekeyAnnouncement {
+    /// The generation every endpoint must reach.
+    pub generation: u64,
+    /// First epoch governed by that generation.
+    pub effective_epoch: Epoch,
+}
+
+/// A follower's acknowledgement of a rotation announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RekeyAck {
+    /// The generation the follower now holds.
+    pub generation: u64,
+}
+
+/// The node-side endpoint of the rotation protocol.
+pub struct RekeyFollower {
+    key: EvolvingKey,
+}
+
+impl RekeyFollower {
+    /// Wraps a node's evolving key.
+    pub fn new(key: EvolvingKey) -> Self {
+        RekeyFollower { key }
+    }
+
+    /// Current generation.
+    pub fn generation(&self) -> u64 {
+        self.key.generation()
+    }
+
+    /// Current key material.
+    pub fn key(&self) -> &LongTermKey {
+        self.key.key()
+    }
+
+    /// Handles a (possibly retried, possibly out-of-order) announcement.
+    /// Announcements for generations at or below the current one never
+    /// roll the key back — the follower just re-acks its position, which
+    /// also makes coordinator retries idempotent.
+    pub fn on_announce(&mut self, ann: &RekeyAnnouncement) -> RekeyAck {
+        if ann.generation > self.key.generation() {
+            self.key.evolve_to(ann.generation);
+        }
+        RekeyAck {
+            generation: self.key.generation(),
+        }
+    }
+}
+
+/// The querier-side endpoint: announces rotations on the schedule and
+/// retries until every follower has acknowledged the target generation.
+pub struct RekeyCoordinator {
+    schedule: RotationSchedule,
+    /// Highest generation acknowledged by each follower.
+    acked: Vec<u64>,
+    target: u64,
+}
+
+impl RekeyCoordinator {
+    /// Creates a coordinator for `num_followers` generation-0 endpoints.
+    pub fn new(schedule: RotationSchedule, num_followers: usize) -> Self {
+        RekeyCoordinator {
+            schedule,
+            acked: vec![0; num_followers],
+            target: 0,
+        }
+    }
+
+    /// The generation currently being rolled out.
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// Advances the rollout target for `epoch` and returns the
+    /// announcement to broadcast (also the one to *re*-broadcast to
+    /// laggards — it is idempotent).
+    pub fn announce_for(&mut self, epoch: Epoch) -> RekeyAnnouncement {
+        let generation = self.schedule.generation_for(epoch);
+        if generation > self.target {
+            self.target = generation;
+        }
+        RekeyAnnouncement {
+            generation: self.target,
+            effective_epoch: self.target * self.schedule.epochs_per_generation,
+        }
+    }
+
+    /// Records a follower's acknowledgement. Stale acks (from retried
+    /// announcements crossing on the wire) never regress the record.
+    pub fn on_ack(&mut self, follower: usize, ack: RekeyAck) {
+        if ack.generation > self.acked[follower] {
+            self.acked[follower] = ack.generation;
+        }
+    }
+
+    /// Followers that have not yet acknowledged the target generation —
+    /// the retry set for the next re-broadcast.
+    pub fn laggards(&self) -> Vec<usize> {
+        self.acked
+            .iter()
+            .enumerate()
+            .filter(|(_, &g)| g < self.target)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True when every follower holds the target generation.
+    pub fn all_current(&self) -> bool {
+        self.laggards().is_empty()
     }
 }
 
@@ -117,7 +242,11 @@ mod tests {
         seen.insert(*k.key());
         for _ in 0..100 {
             k.evolve();
-            assert!(seen.insert(*k.key()), "generation collision at {}", k.generation());
+            assert!(
+                seen.insert(*k.key()),
+                "generation collision at {}",
+                k.generation()
+            );
         }
     }
 
@@ -172,12 +301,114 @@ mod tests {
             let (querier, creds, aggregator) = setup(&mut gen_rng, params);
             let sources: Vec<Source> = creds.into_iter().map(Source::new).collect();
             let epoch = generation * schedule.epochs_per_generation;
-            let psrs: Vec<_> =
-                sources.iter().map(|s| s.initialize(epoch, 10).unwrap()).collect();
+            let psrs: Vec<_> = sources
+                .iter()
+                .map(|s| s.initialize(epoch, 10).unwrap())
+                .collect();
             let final_psr = aggregator.merge(&psrs).unwrap();
             assert_eq!(querier.evaluate(&final_psr, epoch).unwrap().sum, 40);
         }
         let _ = schedule;
+    }
+
+    #[test]
+    fn missed_announcements_recovered_from_one_later_announce() {
+        // The follower misses the announcements for generations 1 and 2;
+        // the versioned announce for generation 3 catches it up in one
+        // hop, and its key matches a peer that heard every one.
+        let mut lossy = RekeyFollower::new(EvolvingKey::new(base()));
+        let mut reliable = RekeyFollower::new(EvolvingKey::new(base()));
+        let schedule = RotationSchedule::new(10);
+        let mut coord = RekeyCoordinator::new(schedule, 2);
+        for epoch in [10u64, 20, 30] {
+            let ann = coord.announce_for(epoch);
+            let ack = reliable.on_announce(&ann);
+            coord.on_ack(1, ack);
+            if epoch == 30 {
+                let ack = lossy.on_announce(&ann); // first one it hears
+                coord.on_ack(0, ack);
+            }
+        }
+        assert_eq!(lossy.generation(), 3);
+        assert_eq!(lossy.key(), reliable.key());
+        assert!(coord.all_current());
+    }
+
+    #[test]
+    fn retried_announcement_is_idempotent() {
+        let mut f = RekeyFollower::new(EvolvingKey::new(base()));
+        let ann = RekeyAnnouncement {
+            generation: 2,
+            effective_epoch: 20,
+        };
+        let first = f.on_announce(&ann);
+        let key_after_first = *f.key();
+        let retry = f.on_announce(&ann);
+        assert_eq!(first, retry);
+        assert_eq!(f.key(), &key_after_first);
+        assert_eq!(f.generation(), 2);
+    }
+
+    #[test]
+    fn stale_announcement_never_rolls_back() {
+        let mut f = RekeyFollower::new(EvolvingKey::new(base()));
+        f.on_announce(&RekeyAnnouncement {
+            generation: 5,
+            effective_epoch: 50,
+        });
+        let key = *f.key();
+        let ack = f.on_announce(&RekeyAnnouncement {
+            generation: 2,
+            effective_epoch: 20,
+        });
+        assert_eq!(f.generation(), 5, "rollback must be refused");
+        assert_eq!(f.key(), &key);
+        assert_eq!(ack.generation, 5, "re-ack reports the real position");
+    }
+
+    #[test]
+    fn coordinator_retries_until_all_current() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let schedule = RotationSchedule::new(5);
+        let mut coord = RekeyCoordinator::new(schedule, 8);
+        let mut followers: Vec<RekeyFollower> = (0..8)
+            .map(|_| RekeyFollower::new(EvolvingKey::new(base())))
+            .collect();
+        let ann = coord.announce_for(25); // target generation 5
+        assert_eq!(ann.generation, 5);
+        assert_eq!(coord.laggards().len(), 8);
+        // Each delivery attempt independently drops with probability 0.5;
+        // the coordinator re-broadcasts to laggards until none remain.
+        let mut rounds = 0;
+        while !coord.all_current() {
+            rounds += 1;
+            assert!(rounds < 100, "retry loop failed to converge");
+            for i in coord.laggards() {
+                if rng.random_range(0.0..1.0) < 0.5 {
+                    continue; // announcement lost
+                }
+                let ack = followers[i].on_announce(&ann);
+                if rng.random_range(0.0..1.0) < 0.5 {
+                    continue; // ack lost: follower already rotated, re-ack next round
+                }
+                coord.on_ack(i, ack);
+            }
+        }
+        assert!(rounds > 1, "seed should exercise at least one retry");
+        for f in &followers {
+            assert_eq!(f.generation(), 5);
+        }
+    }
+
+    #[test]
+    fn stale_ack_never_regresses_coordinator() {
+        let mut coord = RekeyCoordinator::new(RotationSchedule::new(10), 1);
+        coord.announce_for(30);
+        coord.on_ack(0, RekeyAck { generation: 3 });
+        coord.on_ack(0, RekeyAck { generation: 1 }); // late duplicate
+        assert!(coord.all_current());
     }
 
     #[test]

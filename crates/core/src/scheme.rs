@@ -48,7 +48,9 @@ impl Psr {
 
     /// Deserializes from the 32-byte wire format.
     pub fn from_bytes(bytes: &[u8; 32]) -> Self {
-        Psr { ciphertext: U256::from_be_bytes(bytes) }
+        Psr {
+            ciphertext: U256::from_be_bytes(bytes),
+        }
     }
 
     /// Wire size in bytes.
@@ -120,8 +122,14 @@ pub fn setup(
             params: params.clone(),
         });
     }
-    let aggregator = Aggregator { prime: *params.prime() };
-    let querier = Querier { global_key, source_keys, params };
+    let aggregator = Aggregator {
+        prime: *params.prime(),
+    };
+    let querier = Querier {
+        global_key,
+        source_keys,
+        params,
+    };
     (querier, creds, aggregator)
 }
 
@@ -163,7 +171,9 @@ impl Source {
         // ss_{i,t} = HM1(k_i, t).
         let ss: SecretShare = prf::hm1_epoch(&self.creds.source_key, epoch);
         let m = codec::encode_message(&self.creds.params, value, &ss)?;
-        Ok(Psr { ciphertext: hom::encrypt(&m, &k_t, &k_it, p) })
+        Ok(Psr {
+            ciphertext: hom::encrypt(&m, &k_t, &k_it, p),
+        })
     }
 }
 
@@ -263,12 +273,7 @@ mod tests {
         (querier, sources, agg)
     }
 
-    fn run_epoch(
-        sources: &[Source],
-        agg: &Aggregator,
-        values: &[u64],
-        epoch: Epoch,
-    ) -> Psr {
+    fn run_epoch(sources: &[Source], agg: &Aggregator, values: &[u64], epoch: Epoch) -> Psr {
         let psrs: Vec<Psr> = sources
             .iter()
             .zip(values)

@@ -163,7 +163,8 @@ impl BigUint {
 
     /// Subtraction. Panics when `rhs > self`.
     pub fn sub(&self, rhs: &BigUint) -> BigUint {
-        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
     }
 
     /// Multiplication (schoolbook below the Karatsuba threshold,
@@ -338,7 +339,11 @@ impl BigUint {
         // (a mod m, m) keeping only the coefficient of a.
         let a = self.rem(m);
         if a.is_zero() {
-            return if m.bit_len() == 1 { Some(BigUint::zero()) } else { None };
+            return if m.bit_len() == 1 {
+                Some(BigUint::zero())
+            } else {
+                None
+            };
         }
         let (mut old_r, mut r) = (a, m.clone());
         // Coefficients as (magnitude, negative?) pairs.
@@ -357,7 +362,11 @@ impl BigUint {
         // Normalize the coefficient into [0, m).
         let (mag, neg) = old_s;
         let mag = mag.rem(m);
-        Some(if neg && !mag.is_zero() { m.sub(&mag) } else { mag })
+        Some(if neg && !mag.is_zero() {
+            m.sub(&mag)
+        } else {
+            mag
+        })
     }
 
     /// Uniformly random value in `[0, bound)` by rejection sampling.
@@ -368,7 +377,11 @@ impl BigUint {
         assert!(!bound.is_zero(), "empty range");
         let bits = bound.bit_len();
         let nlimbs = bits.div_ceil(64);
-        let top_mask = if bits.is_multiple_of(64) { u64::MAX } else { (1u64 << (bits % 64)) - 1 };
+        let top_mask = if bits.is_multiple_of(64) {
+            u64::MAX
+        } else {
+            (1u64 << (bits % 64)) - 1
+        };
         loop {
             let mut limbs = vec![0u64; nlimbs];
             for l in limbs.iter_mut() {
@@ -392,7 +405,11 @@ impl BigUint {
         }
         let top_bit = (bits - 1) % 64;
         let last = limbs.last_mut().unwrap();
-        *last &= if top_bit == 63 { u64::MAX } else { (1u64 << (top_bit + 1)) - 1 };
+        *last &= if top_bit == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (top_bit + 1)) - 1
+        };
         *last |= 1u64 << top_bit;
         BigUint::from_limbs(limbs)
     }
@@ -407,7 +424,9 @@ impl BigUint {
             if v < 2 {
                 return false;
             }
-            for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61] {
+            for p in [
+                2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+            ] {
                 if v == p {
                     return true;
                 }
@@ -597,7 +616,10 @@ mod tests {
     #[test]
     fn byte_round_trip() {
         let v = BigUint::from_be_bytes(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
-        assert_eq!(v.to_be_bytes(), vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(
+            v.to_be_bytes(),
+            vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]
+        );
         assert_eq!(BigUint::zero().to_be_bytes(), Vec::<u8>::new());
         assert_eq!(big(0xabcd).to_be_bytes_padded(4), vec![0, 0, 0xab, 0xcd]);
     }
@@ -679,15 +701,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let primes: &[u128] = &[2, 3, 5, 61, 97, 1_000_000_007, 2_305_843_009_213_693_951];
         for &p in primes {
-            assert!(big(p).is_probable_prime(&mut rng, 20), "{p} should be prime");
+            assert!(
+                big(p).is_probable_prime(&mut rng, 20),
+                "{p} should be prime"
+            );
         }
         let composites: &[u128] = &[
-            0, 1, 4, 100, 561,          // Carmichael
-            1_000_000_007u128 * 3,       // semiprime
-            6_601, 8_911,                // more Carmichael numbers
+            0,
+            1,
+            4,
+            100,
+            561,                   // Carmichael
+            1_000_000_007u128 * 3, // semiprime
+            6_601,
+            8_911, // more Carmichael numbers
         ];
         for &c in composites {
-            assert!(!big(c).is_probable_prime(&mut rng, 20), "{c} should be composite");
+            assert!(
+                !big(c).is_probable_prime(&mut rng, 20),
+                "{c} should be composite"
+            );
         }
     }
 

@@ -17,7 +17,9 @@ pub fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
 /// where `borrow_out` is 1 when the subtraction wrapped.
 #[inline(always)]
 pub fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
-    let wide = (a as u128).wrapping_sub(b as u128).wrapping_sub(borrow as u128);
+    let wide = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
     (wide as u64, ((wide >> 64) as u64) & 1)
 }
 
@@ -202,8 +204,7 @@ pub fn div_rem(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let mut qhat = numer / vtop as u128;
         let mut rhat = numer % vtop as u128;
         // Correct q̂ downward using the second divisor limb.
-        while qhat >> 64 != 0
-            || qhat * vsecond as u128 > ((rhat << 64) | unorm[j + vn - 2] as u128)
+        while qhat >> 64 != 0 || qhat * vsecond as u128 > ((rhat << 64) | unorm[j + vn - 2] as u128)
         {
             qhat -= 1;
             rhat += vtop as u128;

@@ -46,7 +46,11 @@ impl MontgomeryCtx {
         // only).
         let r_mod_p = U256::MAX.rem(p).add_mod(&U256::ONE, p);
         let r2 = r_mod_p.mul_mod(&r_mod_p, p);
-        MontgomeryCtx { p: p.limbs(), n_prime, r2 }
+        MontgomeryCtx {
+            p: p.limbs(),
+            n_prime,
+            r2,
+        }
     }
 
     /// The modulus.
@@ -209,7 +213,9 @@ mod tests {
     #[test]
     fn works_with_other_odd_moduli() {
         // A 255-bit odd (non-prime is fine for mul) modulus.
-        let m = U256::low_mask(255).checked_sub(&U256::from_u64(18)).unwrap();
+        let m = U256::low_mask(255)
+            .checked_sub(&U256::from_u64(18))
+            .unwrap();
         assert!(m.bit(0));
         let c = MontgomeryCtx::new(&m);
         let a = U256::from_u64(987_654_321).shl(100).rem(&m);

@@ -107,7 +107,9 @@ impl PaillierKeyPair {
             // λ = lcm(p−1, q−1) = (p−1)(q−1) / gcd(p−1, q−1)
             let gcd = p1.gcd(&q1);
             let lambda = p1.mul(&q1).div_rem(&gcd).0;
-            let Some(mu) = lambda.mod_inverse(&n) else { continue };
+            let Some(mu) = lambda.mod_inverse(&n) else {
+                continue;
+            };
             let n_squared = n.mul(&n);
             return PaillierKeyPair {
                 public: PaillierPublicKey { n, n_squared },

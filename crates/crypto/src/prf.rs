@@ -25,12 +25,16 @@ pub fn hm256_epoch(key: &[u8], epoch: u64) -> [u8; 32] {
 
 /// `HM1` over an arbitrary message (used for SECOA inflation certificates).
 pub fn hm1(key: &[u8], message: &[u8]) -> [u8; 20] {
-    hmac::<Sha1>(key, message).try_into().expect("SHA-1 digest is 20 bytes")
+    hmac::<Sha1>(key, message)
+        .try_into()
+        .expect("SHA-1 digest is 20 bytes")
 }
 
 /// `HM256` over an arbitrary message.
 pub fn hm256(key: &[u8], message: &[u8]) -> [u8; 32] {
-    hmac::<Sha256>(key, message).try_into().expect("SHA-256 digest is 32 bytes")
+    hmac::<Sha256>(key, message)
+        .try_into()
+        .expect("SHA-256 digest is 32 bytes")
 }
 
 /// Derives a value in `[0, p)` from `HM256(key, t)`: the 32-byte output is
@@ -156,7 +160,9 @@ mod tests {
 
     #[test]
     fn derive_biguint_covers_wide_moduli() {
-        let modulus = BigUint::from_u128(1).shl(1023).add(&BigUint::from_u64(12345));
+        let modulus = BigUint::from_u128(1)
+            .shl(1023)
+            .add(&BigUint::from_u64(12345));
         for t in 0..5u64 {
             let v = derive_biguint_mod(b"seed-key", t, &modulus);
             assert!(v < modulus);

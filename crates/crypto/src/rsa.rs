@@ -97,8 +97,13 @@ impl RsaKeyPair {
             }
             let one = BigUint::one();
             let phi = p.sub(&one).mul(&q.sub(&one));
-            let Some(d) = e.mod_inverse(&phi) else { continue };
-            return RsaKeyPair { public: RsaPublicKey { n, e }, d };
+            let Some(d) = e.mod_inverse(&phi) else {
+                continue;
+            };
+            return RsaKeyPair {
+                public: RsaPublicKey { n, e },
+                d,
+            };
         }
     }
 

@@ -79,7 +79,12 @@ impl HashFunction for Sha256 {
     const NAME: &'static str = "SHA-256";
 
     fn new() -> Self {
-        Sha256 { state: H0, buffer: [0; 64], buffered: 0, length: 0 }
+        Sha256 {
+            state: H0,
+            buffer: [0; 64],
+            buffered: 0,
+            length: 0,
+        }
     }
 
     fn update(&mut self, mut data: &[u8]) {
@@ -145,7 +150,9 @@ mod tests {
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
         );
         assert_eq!(
-            hex(&Sha256::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

@@ -27,9 +27,13 @@ impl U256 {
     /// The value 0.
     pub const ZERO: U256 = U256 { limbs: [0; 4] };
     /// The value 1.
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
     /// The maximum representable value, `2^256 - 1`.
-    pub const MAX: U256 = U256 { limbs: [u64::MAX; 4] };
+    pub const MAX: U256 = U256 {
+        limbs: [u64::MAX; 4],
+    };
 
     /// Constructs from little-endian limbs.
     pub const fn from_limbs(limbs: [u64; 4]) -> Self {
@@ -43,12 +47,16 @@ impl U256 {
 
     /// Constructs from a `u64`.
     pub const fn from_u64(v: u64) -> Self {
-        U256 { limbs: [v, 0, 0, 0] }
+        U256 {
+            limbs: [v, 0, 0, 0],
+        }
     }
 
     /// Constructs from a `u128`.
     pub const fn from_u128(v: u128) -> Self {
-        U256 { limbs: [v as u64, (v >> 64) as u64, 0, 0] }
+        U256 {
+            limbs: [v as u64, (v >> 64) as u64, 0, 0],
+        }
     }
 
     /// Interprets 32 big-endian bytes (the wire format used throughout the
@@ -412,7 +420,9 @@ mod tests {
     #[test]
     fn ordering_is_numeric() {
         assert!(u(1) < u(2));
-        assert!(U256::from_limbs([0, 0, 0, 1]) > U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert!(
+            U256::from_limbs([0, 0, 0, 1]) > U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0])
+        );
     }
 
     #[test]
@@ -454,10 +464,14 @@ mod tests {
         let b = u(987_654_321_987);
         let ar = a.rem(&m);
         let br = b.rem(&m);
-        assert_eq!(ar.add_mod(&br, &m).as_u128(), (123_456_789_123u128 % 1_000_000_007 + 987_654_321_987 % 1_000_000_007) % 1_000_000_007);
+        assert_eq!(
+            ar.add_mod(&br, &m).as_u128(),
+            (123_456_789_123u128 % 1_000_000_007 + 987_654_321_987 % 1_000_000_007) % 1_000_000_007
+        );
         assert_eq!(
             ar.mul_mod(&br, &m).as_u128(),
-            (123_456_789_123u128 % 1_000_000_007) * (987_654_321_987 % 1_000_000_007) % 1_000_000_007
+            (123_456_789_123u128 % 1_000_000_007) * (987_654_321_987 % 1_000_000_007)
+                % 1_000_000_007
         );
     }
 
@@ -490,10 +504,8 @@ mod tests {
     fn euclid_inverse_agrees_with_fermat() {
         let p = crate::DEFAULT_PRIME_256;
         for seed in 1u64..50 {
-            let a = U256::from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)).mul_mod(
-                &U256::from_u64(seed | 1).shl(120),
-                &p,
-            );
+            let a = U256::from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .mul_mod(&U256::from_u64(seed | 1).shl(120), &p);
             assert_eq!(a.inv_mod_euclid(&p), a.inv_mod_prime(&p), "seed {seed}");
         }
     }

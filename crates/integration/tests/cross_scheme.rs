@@ -26,7 +26,11 @@ fn fixture() -> Fixture {
     let mut workload = IntelLabGenerator::new(77, N as usize);
     let values = workload.epoch_values(0, DomainScale::DEFAULT);
     let true_sum = values.iter().sum();
-    Fixture { topo, values, true_sum }
+    Fixture {
+        topo,
+        values,
+        true_sum,
+    }
 }
 
 #[test]
@@ -45,7 +49,10 @@ fn sies_and_cmt_are_exact_secoa_is_approximate() {
     let secoa = SecoaSum::new(&mut rng, N, J, 256);
     let out = Engine::new(&secoa, &fx.topo).run_epoch(0, &fx.values);
     let est = out.result.unwrap().sum;
-    assert_ne!(est as u64, fx.true_sum, "sketches almost surely miss the exact value");
+    assert_ne!(
+        est as u64, fx.true_sum,
+        "sketches almost surely miss the exact value"
+    );
     let rel = (est - fx.true_sum as f64).abs() / fx.true_sum as f64;
     assert!(rel < 0.5, "estimate {est} too far from {}", fx.true_sum);
 }
@@ -89,9 +96,18 @@ fn energy_ordering_follows_bytes() {
     let cmt = CmtDeployment::new(&mut rng, N);
     let secoa = SecoaSum::new(&mut rng, N, J, 256);
 
-    let e_sies = Engine::new(&sies, &fx.topo).run_epoch(0, &fx.values).stats.energy_tx;
-    let e_cmt = Engine::new(&cmt, &fx.topo).run_epoch(0, &fx.values).stats.energy_tx;
-    let e_secoa = Engine::new(&secoa, &fx.topo).run_epoch(0, &fx.values).stats.energy_tx;
+    let e_sies = Engine::new(&sies, &fx.topo)
+        .run_epoch(0, &fx.values)
+        .stats
+        .energy_tx;
+    let e_cmt = Engine::new(&cmt, &fx.topo)
+        .run_epoch(0, &fx.values)
+        .stats
+        .energy_tx;
+    let e_secoa = Engine::new(&secoa, &fx.topo)
+        .run_epoch(0, &fx.values)
+        .stats
+        .energy_tx;
 
     assert!(e_cmt < e_sies, "20-byte PSRs beat 32-byte PSRs");
     assert!(e_sies * 10.0 < e_secoa, "SECOA energy must dwarf SIES");
@@ -147,7 +163,7 @@ fn per_party_cpu_ordering_holds() {
     // other. The bound is deliberately loose: this test runs under a
     // debug build with the rest of the suite hammering every core, so
     // per-call wall times carry heavy scheduler noise.
-    let ratio = s_sies.per_source_cpu().as_nanos() as f64
-        / s_cmt.per_source_cpu().as_nanos().max(1) as f64;
+    let ratio =
+        s_sies.per_source_cpu().as_nanos() as f64 / s_cmt.per_source_cpu().as_nanos().max(1) as f64;
     assert!(ratio < 200.0, "SIES/CMT source ratio {ratio} too large");
 }

@@ -52,8 +52,7 @@ fn every_aggregate_matches_plaintext_recomputation() {
     let n = 64u64;
     let scale = DomainScale::DEFAULT;
     let mut rng = StdRng::seed_from_u64(2);
-    let params =
-        SystemParams::with_prime(n, DEFAULT_PRIME_256, ResultWidth::U64).unwrap();
+    let params = SystemParams::with_prime(n, DEFAULT_PRIME_256, ResultWidth::U64).unwrap();
     let (querier, creds, aggregator) = setup(&mut rng, params);
     let sources: Vec<Source> = creds.into_iter().map(Source::new).collect();
     let mut workload = ReadingGenerator::new(9, n as usize, scale);
@@ -61,12 +60,36 @@ fn every_aggregate_matches_plaintext_recomputation() {
 
     let hot = Predicate::Cmp(Attribute::Temperature, CmpOp::Gt, scale.scale(28.0));
     let cases = vec![
-        Query { aggregate: Aggregate::Sum(Attribute::Temperature), predicate: Predicate::True, epoch_duration_ms: 1000 },
-        Query { aggregate: Aggregate::Sum(Attribute::Light), predicate: hot.clone(), epoch_duration_ms: 1000 },
-        Query { aggregate: Aggregate::Count, predicate: hot.clone(), epoch_duration_ms: 1000 },
-        Query { aggregate: Aggregate::Avg(Attribute::Temperature), predicate: Predicate::True, epoch_duration_ms: 1000 },
-        Query { aggregate: Aggregate::Variance(Attribute::Temperature), predicate: Predicate::True, epoch_duration_ms: 1000 },
-        Query { aggregate: Aggregate::StdDev(Attribute::Voltage), predicate: hot, epoch_duration_ms: 1000 },
+        Query {
+            aggregate: Aggregate::Sum(Attribute::Temperature),
+            predicate: Predicate::True,
+            epoch_duration_ms: 1000,
+        },
+        Query {
+            aggregate: Aggregate::Sum(Attribute::Light),
+            predicate: hot.clone(),
+            epoch_duration_ms: 1000,
+        },
+        Query {
+            aggregate: Aggregate::Count,
+            predicate: hot.clone(),
+            epoch_duration_ms: 1000,
+        },
+        Query {
+            aggregate: Aggregate::Avg(Attribute::Temperature),
+            predicate: Predicate::True,
+            epoch_duration_ms: 1000,
+        },
+        Query {
+            aggregate: Aggregate::Variance(Attribute::Temperature),
+            predicate: Predicate::True,
+            epoch_duration_ms: 1000,
+        },
+        Query {
+            aggregate: Aggregate::StdDev(Attribute::Voltage),
+            predicate: hot,
+            epoch_duration_ms: 1000,
+        },
     ];
 
     for (qi, query) in cases.into_iter().enumerate() {
@@ -79,22 +102,31 @@ fn every_aggregate_matches_plaintext_recomputation() {
                 .iter()
                 .map(|r| plan.source_values(r)[term_idx])
                 .collect();
-            sums.push(run_sum_epoch(&sources, &aggregator, &querier, epoch, &values));
+            sums.push(run_sum_epoch(
+                &sources,
+                &aggregator,
+                &querier,
+                epoch,
+                &values,
+            ));
         }
         let secured = plan.finalize(&sums).unwrap();
 
         // Plaintext reference.
         let reference = {
-            let matching: Vec<_> = readings.iter().filter(|r| query.predicate.eval(r)).collect();
+            let matching: Vec<_> = readings
+                .iter()
+                .filter(|r| query.predicate.eval(r))
+                .collect();
             let count = matching.len() as f64;
             match query.aggregate {
                 Aggregate::Sum(a) => {
                     QueryResult::Exact(matching.iter().map(|r| r.get(a)).sum::<u64>())
                 }
                 Aggregate::Count => QueryResult::Exact(matching.len() as u64),
-                Aggregate::Avg(a) => QueryResult::Real(
-                    matching.iter().map(|r| r.get(a) as f64).sum::<f64>() / count,
-                ),
+                Aggregate::Avg(a) => {
+                    QueryResult::Real(matching.iter().map(|r| r.get(a) as f64).sum::<f64>() / count)
+                }
                 Aggregate::Variance(a) | Aggregate::StdDev(a) => {
                     let mean = matching.iter().map(|r| r.get(a) as f64).sum::<f64>() / count;
                     let var = matching
@@ -147,7 +179,10 @@ fn arbitrary_topologies_are_equivalent() {
         let mut engine = Engine::new(&deployment, &topo);
         sums.push(engine.run_epoch(0, &values).result.unwrap().sum as u64);
     }
-    assert!(sums.iter().all(|&s| s == expected), "sums {sums:?} != {expected}");
+    assert!(
+        sums.iter().all(|&s| s == expected),
+        "sums {sums:?} != {expected}"
+    );
 }
 
 #[test]
@@ -181,7 +216,10 @@ fn u64_width_supports_large_values() {
     // Values far above the 4-byte field.
     let values: Vec<u64> = (0..n).map(|i| (1u64 << 40) + i).collect();
     let expected: u64 = values.iter().sum();
-    assert_eq!(run_sum_epoch(&sources, &aggregator, &querier, 0, &values), expected);
+    assert_eq!(
+        run_sum_epoch(&sources, &aggregator, &querier, 0, &values),
+        expected
+    );
 }
 
 #[test]
@@ -199,7 +237,13 @@ fn contributor_sets_are_order_insensitive() {
     let forward: Vec<SourceId> = (0..n as SourceId).collect();
     let mut backward = forward.clone();
     backward.reverse();
-    let a = deployment.querier().evaluate_with_contributors(&merged, 1, &forward).unwrap();
-    let b = deployment.querier().evaluate_with_contributors(&merged, 1, &backward).unwrap();
+    let a = deployment
+        .querier()
+        .evaluate_with_contributors(&merged, 1, &forward)
+        .unwrap();
+    let b = deployment
+        .querier()
+        .evaluate_with_contributors(&merged, 1, &backward)
+        .unwrap();
     assert_eq!(a.sum, b.sum);
 }

@@ -19,7 +19,11 @@ fn attack_result<S: AggregationScheme>(scheme: &S, topo: &Topology, attacks: &[A
     let mut engine = Engine::new(scheme, topo);
     let values = vec![500u64; topo.num_sources() as usize];
     let warm = engine.run_epoch(0, &values);
-    assert!(warm.result.is_ok(), "warm-up epoch must verify for {}", scheme.name());
+    assert!(
+        warm.result.is_ok(),
+        "warm-up epoch must verify for {}",
+        scheme.name()
+    );
     engine
         .run_epoch_with(1, &values, &HashSet::new(), attacks)
         .result
@@ -30,15 +34,27 @@ fn attack_suite(topo: &Topology) -> Vec<(&'static str, Vec<Attack>)> {
     let victim_source = topo.source_node(5).unwrap();
     let victim_agg = topo.node(topo.root()).children[0];
     vec![
-        ("tamper at source", vec![Attack::TamperAtNode(victim_source)]),
-        ("tamper at aggregator", vec![Attack::TamperAtNode(victim_agg)]),
+        (
+            "tamper at source",
+            vec![Attack::TamperAtNode(victim_source)],
+        ),
+        (
+            "tamper at aggregator",
+            vec![Attack::TamperAtNode(victim_agg)],
+        ),
         ("drop source PSR", vec![Attack::DropAtNode(victim_source)]),
         ("drop aggregator PSR", vec![Attack::DropAtNode(victim_agg)]),
-        ("duplicate source PSR", vec![Attack::DuplicateAtNode(victim_source)]),
+        (
+            "duplicate source PSR",
+            vec![Attack::DuplicateAtNode(victim_source)],
+        ),
         ("replay final PSR", vec![Attack::ReplayFinal]),
         (
             "combined tamper + duplicate",
-            vec![Attack::TamperAtNode(victim_source), Attack::DuplicateAtNode(victim_agg)],
+            vec![
+                Attack::TamperAtNode(victim_source),
+                Attack::DuplicateAtNode(victim_agg),
+            ],
         ),
     ]
 }
@@ -60,7 +76,10 @@ fn cmt_detects_no_attack() {
     let mut rng = StdRng::seed_from_u64(11);
     let cmt = CmtDeployment::new(&mut rng, N);
     for (name, attacks) in attack_suite(&topo) {
-        assert!(!attack_result(&cmt, &topo, &attacks), "CMT unexpectedly detected: {name}");
+        assert!(
+            !attack_result(&cmt, &topo, &attacks),
+            "CMT unexpectedly detected: {name}"
+        );
     }
 }
 
@@ -70,7 +89,10 @@ fn secoa_detects_every_attack() {
     let mut rng = StdRng::seed_from_u64(12);
     let secoa = SecoaSum::new(&mut rng, N, 32, 256);
     for (name, attacks) in attack_suite(&topo) {
-        assert!(attack_result(&secoa, &topo, &attacks), "SECOA missed: {name}");
+        assert!(
+            attack_result(&secoa, &topo, &attacks),
+            "SECOA missed: {name}"
+        );
     }
 }
 
@@ -90,7 +112,11 @@ fn sies_ciphertexts_look_uniform() {
         }
     }
     for (i, set) in by_position.iter().enumerate() {
-        assert!(set.len() > 32, "byte {i} of the ciphertext shows structure ({} values)", set.len());
+        assert!(
+            set.len() > 32,
+            "byte {i} of the ciphertext shows structure ({} values)",
+            set.len()
+        );
     }
 }
 
@@ -104,7 +130,11 @@ fn cmt_high_bytes_also_randomized() {
         let psr = cmt.source_init(0, epoch, 1234);
         distinct.insert(psr.ciphertext().to_be_bytes());
     }
-    assert_eq!(distinct.len(), 64, "CMT ciphertexts must differ across epochs");
+    assert_eq!(
+        distinct.len(),
+        64,
+        "CMT ciphertexts must differ across epochs"
+    );
 }
 
 #[test]
@@ -118,11 +148,14 @@ fn secoa_leaks_plaintext_structure() {
     let a = secoa.source_init(0, 0, 1000);
     let b = secoa.source_init(0, 0, 1000);
     let c = secoa.source_init(0, 0, 2000);
-    let xs = |p: &sies_baselines::secoa::SecoaPsr| -> Vec<u8> {
-        p.slots.iter().map(|s| s.x).collect()
-    };
+    let xs =
+        |p: &sies_baselines::secoa::SecoaPsr| -> Vec<u8> { p.slots.iter().map(|s| s.x).collect() };
     assert_eq!(xs(&a), xs(&b), "same value, same epoch: identical sketches");
-    assert_ne!(xs(&a), xs(&c), "different values produce distinguishable sketches");
+    assert_ne!(
+        xs(&a),
+        xs(&c),
+        "different values produce distinguishable sketches"
+    );
 }
 
 #[test]

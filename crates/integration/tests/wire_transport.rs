@@ -36,8 +36,11 @@ fn full_tree_over_the_wire() {
         let psr = match node.role {
             sies_net::Role::Source(s) => dep.source_init(s, epoch, values[s as usize]),
             sies_net::Role::Aggregator => {
-                let children: Vec<Psr> =
-                    node.children.iter().flat_map(|&c| outputs[c].clone()).collect();
+                let children: Vec<Psr> = node
+                    .children
+                    .iter()
+                    .flat_map(|&c| outputs[c].clone())
+                    .collect();
                 dep.merge(&children)
             }
         };
@@ -58,7 +61,10 @@ fn corrupted_hop_is_caught_by_crc_before_crypto() {
     let psr = dep.source_init(0, 1, 55);
     for byte in 0..(FRAME_OVERHEAD + 32) {
         let r = hop(&psr, 1, 0, Some(byte));
-        assert!(r.is_err(), "corruption at byte {byte} slipped through the CRC");
+        assert!(
+            r.is_err(),
+            "corruption at byte {byte} slipped through the CRC"
+        );
     }
 }
 

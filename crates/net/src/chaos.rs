@@ -1,0 +1,406 @@
+//! Seeded chaos harness: thousands of epochs mixing honest loss, node
+//! churn, and covert attacks, with exact classification of every
+//! outcome.
+//!
+//! The harness drives [`crate::engine::Engine::run_epoch_recovering`]
+//! and classifies each epoch against the engine's ground truth
+//! (`aggregate_corrupted`):
+//!
+//! | result                    | corrupted | classification        |
+//! |---------------------------|-----------|-----------------------|
+//! | `Ok`                      | yes       | **false accept**      |
+//! | `Ok`, wrong verified sum  | no        | **sum mismatch**      |
+//! | `Ok`, correct sum         | no        | clean epoch           |
+//! | `Err(VerificationFailed)` | yes       | detection (correct)   |
+//! | `Err(VerificationFailed)` | no        | **false reject**      |
+//! | `Err(Malformed)`          | any       | availability loss     |
+//!
+//! For a verifying scheme (SIES, SECOA) the bold rows must be zero over
+//! any seed — that is what the reliability experiment and the
+//! integration property tests assert. For the plain baseline, false
+//! accepts are the *expected* outcome of attacks; the harness reports,
+//! the caller decides what to assert.
+//!
+//! Every run is a pure function of [`ChaosConfig`] (including the seed):
+//! crash sets, attack choices, readings, and per-frame loss all come
+//! from one `StdRng`, so a failing seed replays exactly.
+
+use crate::engine::{Attack, Engine};
+use crate::radio::LossyRadio;
+use crate::recovery::RecoveryConfig;
+use crate::scheme::{AggregationScheme, SchemeError};
+use crate::topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Fault-injection mix for one chaos run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for the single RNG that drives readings, crashes, attacks,
+    /// and frame loss. Same seed + same config ⇒ identical run.
+    pub seed: u64,
+    /// Epochs to execute.
+    pub epochs: u64,
+    /// Per-frame loss probability for the lossy radio.
+    pub loss_rate: f64,
+    /// Link-layer retransmission budget per phase.
+    pub max_retries: u32,
+    /// Per-epoch probability that some non-root node crashes for the
+    /// epoch (a crashed aggregator's live children re-attach to a
+    /// backup parent; a crashed source just sits the epoch out).
+    pub crash_prob: f64,
+    /// Per-epoch probability that a covert attack is injected.
+    pub attack_prob: f64,
+    /// Largest sensor reading generated (inclusive).
+    pub max_value: u64,
+    /// Recovery-protocol policy.
+    pub recovery: RecoveryConfig,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            epochs: 1000,
+            loss_rate: 0.1,
+            max_retries: 3,
+            crash_prob: 0.2,
+            attack_prob: 0.2,
+            max_value: 1000,
+            recovery: RecoveryConfig::default(),
+        }
+    }
+}
+
+/// Aggregate outcome of a chaos run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosMetrics {
+    /// Seed the run used (recorded so results are replayable).
+    pub seed: u64,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Epochs that returned a verified (or unverified-by-design) sum.
+    pub ok_epochs: u64,
+    /// Epochs lost to availability (no PSR reached the querier).
+    pub unavailable_epochs: u64,
+    /// Epochs whose aggregate a covert attack actually corrupted.
+    pub corrupted_epochs: u64,
+    /// Corrupted epochs the scheme rejected — the detection count.
+    pub detected_corruptions: u64,
+    /// Corrupted epochs the scheme *accepted*: must be zero for SIES.
+    pub false_accepts: u64,
+    /// Clean epochs the scheme rejected: must be zero for every scheme.
+    pub false_rejects: u64,
+    /// Accepted epochs whose sum differed from the ground-truth sum over
+    /// the reported contributors: must be zero for exact schemes.
+    pub sum_mismatches: u64,
+    /// Epochs in which at least one node crashed.
+    pub crash_epochs: u64,
+    /// Epochs in which a covert attack was injected (it may still have
+    /// missed, e.g. its target subtree was honestly lost first).
+    pub attack_epochs: u64,
+    /// Orphans re-homed to backup parents across the run.
+    pub adoptions: u64,
+    /// Uplink transfers delivered under the recovery protocol.
+    pub delivered_links: u64,
+    /// Uplink transfers lost after all re-solicitation rounds.
+    pub lost_links: u64,
+    /// Transfers that only succeeded in a re-solicited phase.
+    pub recovered_by_resolicit: u64,
+    /// Re-solicitation rounds run.
+    pub resolicitations: u64,
+    /// Sources excluded by a fallible `source_init`.
+    pub init_failures: u64,
+    /// Subtrees excluded by a fallible `merge`.
+    pub merge_failures: u64,
+    /// First-copy data bytes (Table V classes).
+    pub data_bytes: u64,
+    /// Bytes spent on retransmitted data frames.
+    pub retransmit_bytes: u64,
+    /// Bytes spent on ACK/NACK/re-solicit/re-attach/failure reports.
+    pub control_bytes: u64,
+}
+
+impl ChaosMetrics {
+    /// Fraction of epochs that produced an accepted sum.
+    pub fn availability(&self) -> f64 {
+        if self.epochs == 0 {
+            1.0
+        } else {
+            self.ok_epochs as f64 / self.epochs as f64
+        }
+    }
+
+    /// Fraction of actually-corrupted epochs the scheme rejected.
+    pub fn detection_rate(&self) -> f64 {
+        if self.corrupted_epochs == 0 {
+            1.0
+        } else {
+            self.detected_corruptions as f64 / self.corrupted_epochs as f64
+        }
+    }
+
+    /// (data + retransmit + control) / data — the bandwidth price of
+    /// reliability.
+    pub fn overhead_factor(&self) -> f64 {
+        if self.data_bytes == 0 {
+            1.0
+        } else {
+            (self.data_bytes + self.retransmit_bytes + self.control_bytes) as f64
+                / self.data_bytes as f64
+        }
+    }
+
+    /// True when no corrupted aggregate was accepted and no clean epoch
+    /// was rejected — the property the reliability experiment asserts.
+    pub fn sound(&self) -> bool {
+        self.false_accepts == 0 && self.false_rejects == 0 && self.sum_mismatches == 0
+    }
+}
+
+/// Runs `cfg.epochs` fault-injected epochs of `scheme` over `topology`
+/// and classifies every outcome. Panics only if the engine itself
+/// panics — which the run is designed to prove it never does.
+pub fn run_chaos<S: AggregationScheme>(
+    scheme: &S,
+    topology: &Topology,
+    cfg: &ChaosConfig,
+) -> ChaosMetrics {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let radio = LossyRadio::new(cfg.loss_rate, cfg.max_retries);
+    let mut engine = Engine::new(scheme, topology);
+    let mut m = ChaosMetrics {
+        seed: cfg.seed,
+        ..ChaosMetrics::default()
+    };
+
+    // Non-root nodes are fair game for crashes and attacks; the sink
+    // staying up keeps availability attributable to the protocol under
+    // test (sink crash is covered by unit tests).
+    let candidates: Vec<NodeId> = topology
+        .nodes()
+        .iter()
+        .map(|n| n.id)
+        .filter(|&id| id != topology.root())
+        .collect();
+
+    let num_sources = topology.num_sources() as usize;
+    for epoch in 0..cfg.epochs {
+        let values: Vec<u64> = (0..num_sources)
+            .map(|_| rng.random_range(0..=cfg.max_value))
+            .collect();
+
+        let mut crashed: HashSet<NodeId> = HashSet::new();
+        if rng.random_range(0.0..1.0) < cfg.crash_prob {
+            // 1–3 simultaneous crashes stress multi-orphan repair.
+            let n = rng.random_range(1..=3usize);
+            for _ in 0..n {
+                crashed.insert(candidates[rng.random_range(0..candidates.len())]);
+            }
+            m.crash_epochs += 1;
+        }
+
+        let mut attacks: Vec<Attack> = Vec::new();
+        if rng.random_range(0.0..1.0) < cfg.attack_prob {
+            let live: Vec<NodeId> = candidates
+                .iter()
+                .copied()
+                .filter(|id| !crashed.contains(id))
+                .collect();
+            let attack = match rng.random_range(0..4u32) {
+                0 => Attack::TamperAtNode(live[rng.random_range(0..live.len())]),
+                1 => Attack::DropAtNode(live[rng.random_range(0..live.len())]),
+                2 => Attack::DuplicateAtNode(live[rng.random_range(0..live.len())]),
+                _ => Attack::ReplayFinal,
+            };
+            attacks.push(attack);
+            m.attack_epochs += 1;
+        }
+
+        let run = engine.run_epoch_recovering(
+            epoch,
+            &values,
+            &crashed,
+            &attacks,
+            &radio,
+            &cfg.recovery,
+            &mut rng,
+        );
+
+        if run.aggregate_corrupted {
+            m.corrupted_epochs += 1;
+        }
+        match &run.outcome.result {
+            Ok(sum) => {
+                m.ok_epochs += 1;
+                if run.aggregate_corrupted {
+                    m.false_accepts += 1;
+                } else if sum.integrity_checked {
+                    let expected: u64 = run
+                        .outcome
+                        .stats
+                        .contributors
+                        .iter()
+                        .map(|&sid| values[sid as usize])
+                        .sum();
+                    if sum.sum != expected as f64 {
+                        m.sum_mismatches += 1;
+                    }
+                }
+            }
+            Err(SchemeError::VerificationFailed(_)) => {
+                if run.aggregate_corrupted {
+                    m.detected_corruptions += 1;
+                } else {
+                    m.false_rejects += 1;
+                }
+            }
+            Err(SchemeError::Malformed(_)) => m.unavailable_epochs += 1,
+        }
+
+        m.adoptions += run.report.adoptions;
+        m.delivered_links += run.report.delivered_links;
+        m.lost_links += run.report.lost_links;
+        m.recovered_by_resolicit += run.report.recovered_by_resolicit;
+        m.resolicitations += run.report.resolicitations;
+        m.init_failures += run.report.init_failures;
+        m.merge_failures += run.report.merge_failures;
+        m.data_bytes += run.outcome.stats.bytes.data_total();
+        m.retransmit_bytes += run.outcome.stats.bytes.retransmit;
+        m.control_bytes += run.outcome.stats.bytes.control;
+    }
+    m.epochs = cfg.epochs;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::SiesDeployment;
+    use sies_core::SystemParams;
+
+    fn sies(n: u64) -> SiesDeployment {
+        let mut rng = StdRng::seed_from_u64(7);
+        SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap())
+    }
+
+    #[test]
+    fn sies_chaos_run_is_sound() {
+        let dep = sies(16);
+        let topo = Topology::complete_tree(16, 4);
+        let cfg = ChaosConfig {
+            seed: 42,
+            epochs: 300,
+            ..ChaosConfig::default()
+        };
+        let m = run_chaos(&dep, &topo, &cfg);
+        assert_eq!(m.epochs, 300);
+        assert!(
+            m.sound(),
+            "false_accepts={} false_rejects={} mismatches={}",
+            m.false_accepts,
+            m.false_rejects,
+            m.sum_mismatches
+        );
+        assert!(
+            m.corrupted_epochs > 0,
+            "chaos mix never corrupted an aggregate"
+        );
+        assert_eq!(m.detected_corruptions, m.corrupted_epochs);
+        assert!(m.ok_epochs > 0);
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let dep = sies(8);
+        let topo = Topology::complete_tree(8, 2);
+        let cfg = ChaosConfig {
+            seed: 9,
+            epochs: 60,
+            ..ChaosConfig::default()
+        };
+        let a = run_chaos(&dep, &topo, &cfg);
+        let b = run_chaos(&dep, &topo, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let dep = sies(8);
+        let topo = Topology::complete_tree(8, 2);
+        let a = run_chaos(
+            &dep,
+            &topo,
+            &ChaosConfig {
+                seed: 1,
+                epochs: 50,
+                ..Default::default()
+            },
+        );
+        let b = run_chaos(
+            &dep,
+            &topo,
+            &ChaosConfig {
+                seed: 2,
+                epochs: 50,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a, b, "seeds 1 and 2 produced identical runs");
+    }
+
+    #[test]
+    fn calm_run_has_full_availability() {
+        let dep = sies(8);
+        let topo = Topology::complete_tree(8, 2);
+        let cfg = ChaosConfig {
+            seed: 3,
+            epochs: 40,
+            loss_rate: 0.0,
+            crash_prob: 0.0,
+            attack_prob: 0.0,
+            ..ChaosConfig::default()
+        };
+        let m = run_chaos(&dep, &topo, &cfg);
+        assert_eq!(m.ok_epochs, 40);
+        assert_eq!(m.availability(), 1.0);
+        assert_eq!(
+            m.overhead_factor(),
+            (m.data_bytes + m.control_bytes) as f64 / m.data_bytes as f64
+        );
+        assert_eq!(m.retransmit_bytes, 0);
+    }
+
+    #[test]
+    fn recovery_beats_no_recovery_at_heavy_loss() {
+        // With zero re-solicitation rounds and no retries the same seed
+        // loses strictly more links than the full protocol.
+        let dep = sies(16);
+        let topo = Topology::complete_tree(16, 4);
+        let weak = ChaosConfig {
+            seed: 11,
+            epochs: 80,
+            loss_rate: 0.4,
+            max_retries: 0,
+            crash_prob: 0.0,
+            attack_prob: 0.0,
+            recovery: RecoveryConfig::new(0, 0.5),
+            ..ChaosConfig::default()
+        };
+        let strong = ChaosConfig {
+            max_retries: 3,
+            recovery: RecoveryConfig::new(2, 0.5),
+            ..weak
+        };
+        let mw = run_chaos(&dep, &topo, &weak);
+        let ms = run_chaos(&dep, &topo, &strong);
+        assert!(
+            ms.lost_links < mw.lost_links,
+            "recovery {} lost vs bare {} lost",
+            ms.lost_links,
+            mw.lost_links
+        );
+        assert!(ms.sound() && mw.sound());
+    }
+}

@@ -21,7 +21,11 @@ impl SiesDeployment {
     pub fn new(rng: &mut dyn RngCore, params: SystemParams) -> Self {
         let (querier, creds, aggregator) = setup(rng, params);
         let sources = creds.into_iter().map(Source::new).collect();
-        SiesDeployment { sources, aggregator, querier }
+        SiesDeployment {
+            sources,
+            aggregator,
+            querier,
+        }
     }
 
     /// Direct access to the querier (for API-level tests).
@@ -53,8 +57,30 @@ impl AggregationScheme for SiesDeployment {
             .expect("value fits the configured result width")
     }
 
+    fn try_source_init(
+        &self,
+        source: SourceId,
+        epoch: Epoch,
+        value: u64,
+    ) -> Result<Psr, SchemeError> {
+        let src = self
+            .sources
+            .get(source as usize)
+            .ok_or_else(|| SchemeError::Malformed(format!("unknown source {source}")))?;
+        src.initialize(epoch, value)
+            .map_err(|e| SchemeError::Malformed(e.to_string()))
+    }
+
     fn merge(&self, psrs: &[Psr]) -> Psr {
-        self.aggregator.merge(psrs).expect("merge called with children")
+        self.aggregator
+            .merge(psrs)
+            .expect("merge called with children")
+    }
+
+    fn try_merge(&self, psrs: &[Psr]) -> Result<Psr, SchemeError> {
+        self.aggregator
+            .merge(psrs)
+            .ok_or_else(|| SchemeError::Malformed("merge called with no inputs".into()))
     }
 
     fn evaluate(
@@ -67,7 +93,10 @@ impl AggregationScheme for SiesDeployment {
             .querier
             .evaluate_with_contributors(final_psr, epoch, contributors)
         {
-            Ok(v) => Ok(EvaluatedSum { sum: v.sum as f64, integrity_checked: true }),
+            Ok(v) => Ok(EvaluatedSum {
+                sum: v.sum as f64,
+                integrity_checked: true,
+            }),
             Err(SiesError::IntegrityViolation { epoch }) => Err(SchemeError::VerificationFailed(
                 format!("secret mismatch at epoch {epoch}"),
             )),
@@ -147,7 +176,10 @@ mod tests {
         let mut engine = Engine::new(&dep, &topo);
         assert!(engine.run_epoch(0, &[5; 8]).result.is_ok());
         let out = engine.run_epoch_with(1, &[5; 8], &HashSet::new(), &[Attack::ReplayFinal]);
-        assert!(matches!(out.result, Err(SchemeError::VerificationFailed(_))));
+        assert!(matches!(
+            out.result,
+            Err(SchemeError::VerificationFailed(_))
+        ));
     }
 
     #[test]
@@ -155,8 +187,8 @@ mod tests {
         let dep = deployment(16);
         let topo = Topology::complete_tree(16, 4);
         let mut engine = Engine::new(&dep, &topo);
-        let failed: HashSet<_> = [topo.source_node(2).unwrap(), topo.source_node(9).unwrap()]
-            .into();
+        let failed: HashSet<_> =
+            [topo.source_node(2).unwrap(), topo.source_node(9).unwrap()].into();
         let out = engine.run_epoch_with(2, &[10; 16], &failed, &[]);
         let res = out.result.unwrap();
         assert_eq!(res.sum, 140.0);

@@ -18,7 +18,11 @@ pub struct RadioModel {
 
 impl Default for RadioModel {
     fn default() -> Self {
-        RadioModel { e_elec: 50e-9, e_amp: 100e-12, distance_m: 50.0 }
+        RadioModel {
+            e_elec: 50e-9,
+            e_amp: 100e-12,
+            distance_m: 50.0,
+        }
     }
 }
 
@@ -66,8 +70,14 @@ mod tests {
 
     #[test]
     fn energy_grows_with_distance() {
-        let near = RadioModel { distance_m: 10.0, ..Default::default() };
-        let far = RadioModel { distance_m: 100.0, ..Default::default() };
+        let near = RadioModel {
+            distance_m: 10.0,
+            ..Default::default()
+        };
+        let far = RadioModel {
+            distance_m: 100.0,
+            ..Default::default()
+        };
         assert!(far.tx_energy(32) > near.tx_energy(32));
         assert_eq!(near.rx_energy(32), far.rx_energy(32));
     }

@@ -3,8 +3,14 @@
 //! accounting plus failure and attack injection.
 
 use crate::energy::RadioModel;
+use crate::radio::LossyRadio;
+use crate::recovery::{
+    RecoveryConfig, RecoveryReport, ACK_BYTES, FAILURE_REPORT_BYTES, NACK_BYTES, REATTACH_BYTES,
+    RESOLICIT_BYTES,
+};
 use crate::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
-use crate::topology::{NodeId, Role, Topology};
+use crate::topology::{NodeId, RepairPlan, Role, Topology};
+use rand::RngCore;
 use sies_core::{Epoch, SourceId};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -37,6 +43,13 @@ pub struct EdgeBytes {
     pub agg_to_agg_edges: u64,
     /// Bytes on the single aggregator→querier edge.
     pub agg_to_querier: u64,
+    /// Extra data bytes spent on retransmissions (recovery protocol).
+    /// The three per-class totals above count first copies only, so they
+    /// stay comparable to the paper's Table V.
+    pub retransmit: u64,
+    /// Control-plane bytes: ACK/NACK, re-solicitation, re-attach
+    /// handshakes, and failure reports (recovery protocol).
+    pub control: u64,
 }
 
 impl EdgeBytes {
@@ -55,6 +68,22 @@ impl EdgeBytes {
             0.0
         } else {
             self.agg_to_agg as f64 / self.agg_to_agg_edges as f64
+        }
+    }
+
+    /// First-copy data bytes across all edge classes.
+    pub fn data_total(&self) -> u64 {
+        self.source_to_agg + self.agg_to_agg + self.agg_to_querier
+    }
+
+    /// Overhead factor: (data + retransmissions + control) / data.
+    /// `1.0` means the recovery protocol cost nothing this epoch.
+    pub fn overhead_factor(&self) -> f64 {
+        let data = self.data_total();
+        if data == 0 {
+            1.0
+        } else {
+            (data + self.retransmit + self.control) as f64 / data as f64
         }
     }
 }
@@ -114,6 +143,24 @@ pub struct EpochOutcome {
     pub stats: EpochStats,
 }
 
+/// The outcome of one epoch run under the recovery protocol
+/// ([`Engine::run_epoch_recovering`]).
+#[derive(Debug, Clone)]
+pub struct RecoveredEpoch {
+    /// The querier's verdict plus the usual measurements.
+    pub outcome: EpochOutcome,
+    /// Recovery-protocol accounting (retransmissions, control traffic,
+    /// lost subtrees).
+    pub report: RecoveryReport,
+    /// The topology repairs performed for crashed nodes.
+    pub repairs: RepairPlan,
+    /// Ground truth for harnesses: whether a covert attack actually
+    /// corrupted the aggregate that reached the querier (an attack whose
+    /// subtree was honestly lost anyway has no effect). A verifying
+    /// scheme must reject exactly when this is true.
+    pub aggregate_corrupted: bool,
+}
+
 /// The simulation engine for one deployed scheme on one topology.
 pub struct Engine<'a, S: AggregationScheme> {
     scheme: &'a S,
@@ -126,7 +173,12 @@ pub struct Engine<'a, S: AggregationScheme> {
 impl<'a, S: AggregationScheme> Engine<'a, S> {
     /// Creates an engine with the default radio model.
     pub fn new(scheme: &'a S, topology: &'a Topology) -> Self {
-        Engine { scheme, topology, radio: RadioModel::default(), prev_final: None }
+        Engine {
+            scheme,
+            topology,
+            radio: RadioModel::default(),
+            prev_final: None,
+        }
     }
 
     /// Overrides the radio model.
@@ -200,10 +252,22 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             let produced: Option<S::Psr> = match node.role {
                 Role::Source(sid) => {
                     let t0 = Instant::now();
-                    let psr = self.scheme.source_init(sid, epoch, values[sid as usize]);
+                    let psr = self
+                        .scheme
+                        .try_source_init(sid, epoch, values[sid as usize]);
                     stats.source_cpu += t0.elapsed();
                     stats.sources_run += 1;
-                    Some(psr)
+                    match psr {
+                        Ok(psr) => Some(psr),
+                        // A rejected reading aborts the epoch as a
+                        // malformed outcome rather than panicking.
+                        Err(e) => {
+                            return EpochOutcome {
+                                result: Err(e),
+                                stats,
+                            }
+                        }
+                    }
                 }
                 Role::Aggregator => {
                     let inputs: Vec<S::Psr> = node
@@ -215,10 +279,18 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                         None
                     } else {
                         let t0 = Instant::now();
-                        let merged = self.scheme.merge(&inputs);
+                        let merged = self.scheme.try_merge(&inputs);
                         stats.aggregator_cpu += t0.elapsed();
                         stats.aggregators_run += 1;
-                        Some(merged)
+                        match merged {
+                            Ok(merged) => Some(merged),
+                            Err(e) => {
+                                return EpochOutcome {
+                                    result: Err(e),
+                                    stats,
+                                }
+                            }
+                        }
                     }
                 }
             };
@@ -302,12 +374,357 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         self.prev_final = Some(final_psr.clone());
 
         let t0 = Instant::now();
-        let result = self
-            .scheme
-            .evaluate(&final_psr, epoch, &stats.contributors);
+        let result = self.scheme.evaluate(&final_psr, epoch, &stats.contributors);
         stats.querier_cpu = t0.elapsed();
 
         EpochOutcome { result, stats }
+    }
+
+    /// Runs one epoch under the full fault-tolerance stack: lossy links
+    /// with the ACK/NACK + re-solicitation recovery protocol
+    /// ([`RecoveryConfig`]), within-epoch topology repair for `crashed`
+    /// nodes, and covert `attacks`.
+    ///
+    /// Semantics that differ from [`run_epoch_with`](Self::run_epoch_with):
+    ///
+    /// * `crashed` nodes are *churn*: they neither transmit nor ACK.
+    ///   Live children of a crashed aggregator re-attach to their backup
+    ///   parent (nearest live ancestor) and still contribute. A crashed
+    ///   sink loses the whole epoch.
+    /// * Honest link loss triggers recovery; a subtree that stays
+    ///   missing after re-solicitation is excluded from the contributor
+    ///   set, so the epoch still verifies exactly over the survivors.
+    /// * Covert attacks are modelled at a *compromised parent*: it ACKs
+    ///   the child's PSR like an honest node (so recovery never fires)
+    ///   and then tampers/drops/duplicates it in the merge while
+    ///   reporting contributions unchanged. Detection is therefore
+    ///   entirely up to the scheme, exactly as in the paper's model.
+    ///
+    /// Contributor-set exactness invariant: the reported contributor set
+    /// equals the set of sources whose PSR was actually fused into the
+    /// final aggregate **unless** a covert attack interfered — in which
+    /// case [`RecoveredEpoch::aggregate_corrupted`] is true and a
+    /// verifying scheme must reject.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_epoch_recovering(
+        &mut self,
+        epoch: Epoch,
+        values: &[u64],
+        crashed: &HashSet<NodeId>,
+        attacks: &[Attack],
+        radio: &LossyRadio,
+        recovery: &RecoveryConfig,
+        rng: &mut dyn RngCore,
+    ) -> RecoveredEpoch {
+        assert_eq!(
+            values.len() as u64,
+            self.topology.num_sources(),
+            "one value per source required"
+        );
+
+        let mut stats = EpochStats {
+            epoch,
+            source_cpu: Duration::ZERO,
+            sources_run: 0,
+            aggregator_cpu: Duration::ZERO,
+            aggregators_run: 0,
+            querier_cpu: Duration::ZERO,
+            bytes: EdgeBytes::default(),
+            energy_tx: 0.0,
+            energy_rx: 0.0,
+            contributors: Vec::new(),
+        };
+        let mut report = RecoveryReport::default();
+        let repairs = self.topology.repair_plan(crashed);
+        report.adoptions = repairs.adoptions.len() as u64;
+        report.stranded = repairs.stranded.len() as u64;
+
+        // A crashed sink means nothing can reach the querier: the epoch
+        // is an availability loss, never a false accept or reject.
+        if crashed.contains(&self.topology.root()) {
+            return RecoveredEpoch {
+                outcome: EpochOutcome {
+                    result: Err(SchemeError::Malformed("sink crashed; epoch lost".into())),
+                    stats,
+                },
+                report,
+                repairs,
+                aggregate_corrupted: false,
+            };
+        }
+
+        // Re-attach handshake: request up, ACK back, per orphan.
+        let reattach_cost = (REATTACH_BYTES + ACK_BYTES) as u64 * report.adoptions;
+        report.control_bytes += reattach_cost;
+        stats.bytes.control += reattach_cost;
+
+        // Effective topology: surviving children plus adopted orphans.
+        let n_nodes = self.topology.nodes().len();
+        let mut eff_children: Vec<Vec<NodeId>> = vec![Vec::new(); n_nodes];
+        for node in self.topology.nodes() {
+            if crashed.contains(&node.id) {
+                continue;
+            }
+            for &c in &node.children {
+                if crashed.contains(&c) {
+                    // A live parent noticed its child never transmitted
+                    // and reports the failure up to the querier, one
+                    // frame per hop.
+                    let cost = FAILURE_REPORT_BYTES as u64 * (node.depth as u64 + 1);
+                    report.failure_reports += 1;
+                    report.control_bytes += cost;
+                    stats.bytes.control += cost;
+                } else {
+                    eff_children[node.id].push(c);
+                }
+            }
+        }
+        for (&orphan, &adopter) in &repairs.adoptions {
+            eff_children[adopter].push(orphan);
+        }
+        // Deterministic processing order regardless of adoption order.
+        for children in &mut eff_children {
+            children.sort_unstable();
+        }
+
+        // Post-order over the repaired tree.
+        let root = self.topology.root();
+        let mut order = Vec::with_capacity(n_nodes);
+        let mut stack = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                order.push(id);
+            } else {
+                stack.push((id, true));
+                for &c in &eff_children[id] {
+                    stack.push((c, false));
+                }
+            }
+        }
+
+        // Per-node slots: outgoing PSR, the sources it folds in, and
+        // whether a covert attack poisoned it.
+        let mut psr_slot: Vec<Option<S::Psr>> = (0..n_nodes).map(|_| None).collect();
+        let mut contrib_slot: Vec<Vec<SourceId>> = vec![Vec::new(); n_nodes];
+        let mut poison_slot: Vec<bool> = vec![false; n_nodes];
+
+        for &id in &order {
+            let node = self.topology.node(id);
+            match node.role {
+                Role::Source(sid) => {
+                    let t0 = Instant::now();
+                    let produced = self
+                        .scheme
+                        .try_source_init(sid, epoch, values[sid as usize]);
+                    stats.source_cpu += t0.elapsed();
+                    stats.sources_run += 1;
+                    match produced {
+                        Ok(psr) => {
+                            psr_slot[id] = Some(psr);
+                            contrib_slot[id].push(sid);
+                        }
+                        Err(_) => {
+                            // The reading was rejected; this source sits
+                            // the epoch out like an honest failure.
+                            report.init_failures += 1;
+                        }
+                    }
+                }
+                Role::Aggregator => {
+                    let mut inputs: Vec<S::Psr> = Vec::new();
+                    let mut contrib: Vec<SourceId> = Vec::new();
+                    let mut poisoned = false;
+                    for &c in &eff_children[id] {
+                        let Some(child_psr) = psr_slot[c].take() else {
+                            // Silent child (crashed source or an empty
+                            // subtree): report the failure upward.
+                            let cost = FAILURE_REPORT_BYTES as u64
+                                * (self.topology.node(id).depth as u64 + 1);
+                            report.failure_reports += 1;
+                            report.control_bytes += cost;
+                            stats.bytes.control += cost;
+                            continue;
+                        };
+                        let size = self.scheme.psr_wire_size(&child_psr);
+                        let uplink = recovery.simulate_uplink(radio, rng);
+
+                        // Accounting: first copy in the Table V classes,
+                        // retransmissions and control separately.
+                        match self.topology.node(c).role {
+                            Role::Source(_) => {
+                                stats.bytes.source_to_agg += size as u64;
+                                stats.bytes.source_to_agg_edges += 1;
+                            }
+                            Role::Aggregator => {
+                                stats.bytes.agg_to_agg += size as u64;
+                                stats.bytes.agg_to_agg_edges += 1;
+                            }
+                        }
+                        stats.bytes.retransmit += size as u64 * (uplink.data_attempts as u64 - 1);
+                        let ctl = uplink.acks as u64 * ACK_BYTES as u64
+                            + uplink.nacks as u64 * NACK_BYTES as u64
+                            + uplink.resolicit_rounds_used as u64
+                                * RESOLICIT_BYTES as u64
+                                * (node.depth as u64 + 1);
+                        report.control_bytes += ctl;
+                        stats.bytes.control += ctl;
+                        for _ in 0..uplink.data_attempts {
+                            stats.energy_tx += self.radio.tx_energy(size);
+                        }
+                        stats.energy_rx += self.radio.rx_energy(size) * uplink.acks as f64;
+                        report.link.attempts += uplink.data_attempts as u64;
+                        if uplink.data_attempts > 1 {
+                            report.link.retransmitted_links += 1;
+                        }
+                        report.acks += uplink.acks as u64;
+                        report.nacks += uplink.nacks as u64;
+                        report.resolicitations += uplink.resolicit_rounds_used as u64;
+
+                        if !uplink.delivered {
+                            // Permanent honest loss: exclude the subtree
+                            // and tell the querier.
+                            report.link.failed_links += 1;
+                            report.lost_links += 1;
+                            let cost = FAILURE_REPORT_BYTES as u64 * (node.depth as u64 + 1);
+                            report.failure_reports += 1;
+                            report.control_bytes += cost;
+                            stats.bytes.control += cost;
+                            continue;
+                        }
+                        report.delivered_links += 1;
+                        if uplink.resolicit_rounds_used > 0 {
+                            report.recovered_by_resolicit += 1;
+                        }
+
+                        // Covert attacks at this (compromised) merge
+                        // point: contribution reporting is unchanged.
+                        let mut copies = 1usize;
+                        let mut child_psr = child_psr;
+                        for attack in attacks {
+                            match *attack {
+                                Attack::TamperAtNode(n) if n == c => {
+                                    self.scheme.tamper(&mut child_psr);
+                                    poisoned = true;
+                                }
+                                Attack::DropAtNode(n) if n == c => {
+                                    copies = 0;
+                                    poisoned = true;
+                                }
+                                Attack::DuplicateAtNode(n) if n == c => {
+                                    copies += 1;
+                                    poisoned = true;
+                                }
+                                _ => {}
+                            }
+                        }
+                        contrib.append(&mut contrib_slot[c]);
+                        if copies > 0 {
+                            poisoned |= poison_slot[c];
+                        }
+                        for _ in 0..copies {
+                            inputs.push(child_psr.clone());
+                        }
+                    }
+
+                    if inputs.is_empty() {
+                        // Nothing to send (every child lost, crashed, or
+                        // covertly dropped). Contributions that survived
+                        // to this point are lost with the silent parent.
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    let merged = self.scheme.try_merge(&inputs);
+                    stats.aggregator_cpu += t0.elapsed();
+                    stats.aggregators_run += 1;
+                    match merged {
+                        Ok(m) => {
+                            psr_slot[id] = Some(m);
+                            contrib_slot[id] = contrib;
+                            poison_slot[id] = poisoned;
+                        }
+                        Err(_) => {
+                            // A merge the scheme itself rejects excludes
+                            // this subtree instead of panicking.
+                            report.merge_failures += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Sink → querier.
+        let Some(mut final_psr) = psr_slot[root].take() else {
+            return RecoveredEpoch {
+                outcome: EpochOutcome {
+                    result: Err(SchemeError::Malformed(
+                        "no PSR reached the querier (all subtrees failed)".into(),
+                    )),
+                    stats,
+                },
+                report,
+                repairs,
+                aggregate_corrupted: false,
+            };
+        };
+        let mut corrupted = poison_slot[root];
+
+        let t0 = Instant::now();
+        final_psr = self.scheme.sink_finalize(final_psr);
+        stats.aggregator_cpu += t0.elapsed();
+
+        // Attacks on the sink's own outgoing PSR (no parent exists to
+        // model them at): tampering corrupts the final aggregate; a
+        // covert drop starves the querier — an availability loss, not a
+        // corruption.
+        for attack in attacks {
+            match *attack {
+                Attack::TamperAtNode(n) if n == root => {
+                    self.scheme.tamper(&mut final_psr);
+                    corrupted = true;
+                }
+                Attack::DropAtNode(n) if n == root => {
+                    return RecoveredEpoch {
+                        outcome: EpochOutcome {
+                            result: Err(SchemeError::Malformed(
+                                "final PSR never reached the querier".into(),
+                            )),
+                            stats,
+                        },
+                        report,
+                        repairs,
+                        aggregate_corrupted: false,
+                    };
+                }
+                _ => {}
+            }
+        }
+
+        if attacks.contains(&Attack::ReplayFinal) {
+            if let Some(prev) = &self.prev_final {
+                final_psr = prev.clone();
+                corrupted = true;
+            }
+        }
+        self.prev_final = Some(final_psr.clone());
+
+        let size = self.scheme.psr_wire_size(&final_psr);
+        stats.bytes.agg_to_querier += size as u64;
+        stats.energy_tx += self.radio.tx_energy(size);
+
+        let mut contributors = std::mem::take(&mut contrib_slot[root]);
+        contributors.sort_unstable();
+        stats.contributors = contributors;
+
+        let t0 = Instant::now();
+        let result = self.scheme.evaluate(&final_psr, epoch, &stats.contributors);
+        stats.querier_cpu = t0.elapsed();
+
+        RecoveredEpoch {
+            outcome: EpochOutcome { result, stats },
+            report,
+            repairs,
+            aggregate_corrupted: corrupted,
+        }
     }
 }
 
@@ -334,7 +751,10 @@ mod tests {
         }
 
         fn source_init(&self, _s: SourceId, _e: Epoch, value: u64) -> PlainPsr {
-            PlainPsr { sum: value, count: 1 }
+            PlainPsr {
+                sum: value,
+                count: 1,
+            }
         }
 
         fn merge(&self, psrs: &[PlainPsr]) -> PlainPsr {
@@ -359,7 +779,10 @@ mod tests {
                     contributors.len()
                 )));
             }
-            Ok(EvaluatedSum { sum: f.sum as f64, integrity_checked: true })
+            Ok(EvaluatedSum {
+                sum: f.sum as f64,
+                integrity_checked: true,
+            })
         }
 
         fn psr_wire_size(&self, _p: &PlainPsr) -> usize {
@@ -446,7 +869,10 @@ mod tests {
         let mut engine = Engine::new(&scheme, &topo);
         let node = topo.source_node(2).unwrap();
         let out = engine.run_epoch_with(0, &[1; 8], &HashSet::new(), &[Attack::DropAtNode(node)]);
-        assert!(matches!(out.result, Err(SchemeError::VerificationFailed(_))));
+        assert!(matches!(
+            out.result,
+            Err(SchemeError::VerificationFailed(_))
+        ));
     }
 
     #[test]
@@ -454,8 +880,12 @@ mod tests {
         let (topo, scheme) = engine_fixture(8, 2);
         let mut engine = Engine::new(&scheme, &topo);
         let node = topo.source_node(0).unwrap();
-        let out =
-            engine.run_epoch_with(0, &[1; 8], &HashSet::new(), &[Attack::DuplicateAtNode(node)]);
+        let out = engine.run_epoch_with(
+            0,
+            &[1; 8],
+            &HashSet::new(),
+            &[Attack::DuplicateAtNode(node)],
+        );
         assert!(out.result.is_err());
     }
 
@@ -464,8 +894,7 @@ mod tests {
         let (topo, scheme) = engine_fixture(4, 2);
         let mut engine = Engine::new(&scheme, &topo);
         let node = topo.source_node(1).unwrap();
-        let out =
-            engine.run_epoch_with(0, &[1; 4], &HashSet::new(), &[Attack::TamperAtNode(node)]);
+        let out = engine.run_epoch_with(0, &[1; 4], &HashSet::new(), &[Attack::TamperAtNode(node)]);
         // PlainSum's "verification" doesn't cover tampering with the sum,
         // so the attack slips through — exactly why SIES embeds shares.
         let res = out.result.unwrap();
@@ -501,5 +930,236 @@ mod tests {
         let (topo, scheme) = engine_fixture(4, 2);
         let mut engine = Engine::new(&scheme, &topo);
         engine.run_epoch(0, &[1; 3]);
+    }
+
+    mod recovering {
+        use super::*;
+        use crate::radio::LossyRadio;
+        use crate::recovery::RecoveryConfig;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        fn lossless() -> LossyRadio {
+            LossyRadio::new(0.0, 3)
+        }
+
+        #[test]
+        fn clean_epoch_matches_plain_run() {
+            let (topo, scheme) = engine_fixture(16, 4);
+            let mut engine = Engine::new(&scheme, &topo);
+            let values: Vec<u64> = (1..=16).collect();
+            let mut rng = StdRng::seed_from_u64(0);
+            let run = engine.run_epoch_recovering(
+                0,
+                &values,
+                &HashSet::new(),
+                &[],
+                &lossless(),
+                &RecoveryConfig::default(),
+                &mut rng,
+            );
+            let res = run.outcome.result.unwrap();
+            assert_eq!(res.sum, 136.0);
+            assert!(!run.aggregate_corrupted);
+            assert!(run.repairs.is_empty());
+            assert_eq!(run.outcome.stats.bytes.retransmit, 0);
+            // One ACK per uplink transfer, nothing else.
+            assert_eq!(run.report.acks, run.report.delivered_links);
+            assert_eq!(run.report.lost_links, 0);
+            assert_eq!(run.report.delivery_rate(), 1.0);
+        }
+
+        #[test]
+        fn crashed_aggregator_repairs_to_backup_parent_exactly() {
+            // complete_tree(16, 4): root + 4 aggregators + 16 sources.
+            // Crash one aggregator: its 4 source children re-attach to
+            // the root, and the epoch still sums ALL 16 sources.
+            let (topo, scheme) = engine_fixture(16, 4);
+            let crashed_agg = topo.node(topo.root()).children[1];
+            assert!(matches!(topo.node(crashed_agg).role, Role::Aggregator));
+            let mut engine = Engine::new(&scheme, &topo);
+            let values: Vec<u64> = (1..=16).collect();
+            let mut rng = StdRng::seed_from_u64(1);
+            let run = engine.run_epoch_recovering(
+                0,
+                &values,
+                &HashSet::from([crashed_agg]),
+                &[],
+                &lossless(),
+                &RecoveryConfig::default(),
+                &mut rng,
+            );
+            let res = run.outcome.result.unwrap();
+            assert_eq!(res.sum, 136.0, "repair must not lose any contribution");
+            assert_eq!(run.report.adoptions, 4);
+            assert_eq!(run.repairs.adoptions.len(), 4);
+            assert!(run.repairs.adoptions.values().all(|&p| p == topo.root()));
+            assert_eq!(run.outcome.stats.contributors.len(), 16);
+            // The re-attach handshakes were paid for.
+            assert!(run.outcome.stats.bytes.control > 0);
+        }
+
+        #[test]
+        fn crashed_source_is_excluded_not_fatal() {
+            let (topo, scheme) = engine_fixture(16, 4);
+            let dead = topo.source_node(5).unwrap();
+            let mut engine = Engine::new(&scheme, &topo);
+            let mut rng = StdRng::seed_from_u64(2);
+            let run = engine.run_epoch_recovering(
+                0,
+                &[10; 16],
+                &HashSet::from([dead]),
+                &[],
+                &lossless(),
+                &RecoveryConfig::default(),
+                &mut rng,
+            );
+            let res = run.outcome.result.unwrap();
+            assert_eq!(res.sum, 150.0);
+            assert_eq!(run.outcome.stats.contributors.len(), 15);
+            assert!(run.report.failure_reports >= 1);
+        }
+
+        #[test]
+        fn sink_crash_is_availability_loss() {
+            let (topo, scheme) = engine_fixture(4, 2);
+            let mut engine = Engine::new(&scheme, &topo);
+            let mut rng = StdRng::seed_from_u64(3);
+            let run = engine.run_epoch_recovering(
+                0,
+                &[1; 4],
+                &HashSet::from([topo.root()]),
+                &[],
+                &lossless(),
+                &RecoveryConfig::default(),
+                &mut rng,
+            );
+            assert!(matches!(run.outcome.result, Err(SchemeError::Malformed(_))));
+            assert!(!run.aggregate_corrupted);
+        }
+
+        #[test]
+        fn covert_attacks_poison_ground_truth() {
+            // Drop and Duplicate change the fused count, which PlainSum's
+            // count check catches; Tamper slips through PlainSum but the
+            // ground-truth flag still marks the aggregate corrupted.
+            let (topo, scheme) = engine_fixture(8, 2);
+            let victim = topo.source_node(3).unwrap();
+            for (attack, expect_reject) in [
+                (Attack::DropAtNode(victim), true),
+                (Attack::DuplicateAtNode(victim), true),
+                (Attack::TamperAtNode(victim), false),
+            ] {
+                let mut engine = Engine::new(&scheme, &topo);
+                let mut rng = StdRng::seed_from_u64(4);
+                let run = engine.run_epoch_recovering(
+                    0,
+                    &[1; 8],
+                    &HashSet::new(),
+                    &[attack],
+                    &lossless(),
+                    &RecoveryConfig::default(),
+                    &mut rng,
+                );
+                assert!(
+                    run.aggregate_corrupted,
+                    "{attack:?} must poison the aggregate"
+                );
+                assert_eq!(
+                    matches!(run.outcome.result, Err(SchemeError::VerificationFailed(_))),
+                    expect_reject,
+                    "unexpected verdict for {attack:?}"
+                );
+            }
+        }
+
+        #[test]
+        fn attack_on_honestly_lost_subtree_is_not_corruption() {
+            // The attacker sits at the parent of a source that crashed:
+            // there is no PSR to tamper with, so the aggregate stays
+            // clean and the epoch verifies over the survivors.
+            let (topo, scheme) = engine_fixture(8, 2);
+            let victim = topo.source_node(3).unwrap();
+            let mut engine = Engine::new(&scheme, &topo);
+            let mut rng = StdRng::seed_from_u64(5);
+            let run = engine.run_epoch_recovering(
+                0,
+                &[1; 8],
+                &HashSet::from([victim]),
+                &[Attack::TamperAtNode(victim)],
+                &lossless(),
+                &RecoveryConfig::default(),
+                &mut rng,
+            );
+            assert!(!run.aggregate_corrupted);
+            assert_eq!(run.outcome.result.unwrap().sum, 7.0);
+        }
+
+        #[test]
+        fn lossy_epochs_never_false_reject() {
+            let (topo, scheme) = engine_fixture(16, 4);
+            let mut engine = Engine::new(&scheme, &topo);
+            let radio = LossyRadio::new(0.3, 1);
+            let cfg = RecoveryConfig::new(1, 0.5);
+            let mut rng = StdRng::seed_from_u64(6);
+            let values: Vec<u64> = (1..=16).collect();
+            let mut losses_seen = false;
+            for epoch in 0..50 {
+                let run = engine.run_epoch_recovering(
+                    epoch,
+                    &values,
+                    &HashSet::new(),
+                    &[],
+                    &radio,
+                    &cfg,
+                    &mut rng,
+                );
+                assert!(!run.aggregate_corrupted);
+                match run.outcome.result {
+                    Ok(res) => {
+                        let expected: u64 = run
+                            .outcome
+                            .stats
+                            .contributors
+                            .iter()
+                            .map(|&s| values[s as usize])
+                            .sum();
+                        assert_eq!(res.sum, expected as f64);
+                    }
+                    Err(SchemeError::Malformed(_)) => {} // availability loss
+                    Err(e) => panic!("honest loss misread as attack: {e:?}"),
+                }
+                losses_seen |= run.report.lost_links > 0;
+            }
+            assert!(losses_seen, "30% loss never cost a link in 50 epochs");
+        }
+
+        #[test]
+        fn recovery_traffic_is_accounted() {
+            let (topo, scheme) = engine_fixture(16, 4);
+            let mut engine = Engine::new(&scheme, &topo);
+            let radio = LossyRadio::new(0.4, 3);
+            let mut rng = StdRng::seed_from_u64(7);
+            let run = engine.run_epoch_recovering(
+                0,
+                &[1; 16],
+                &HashSet::new(),
+                &[],
+                &radio,
+                &RecoveryConfig::default(),
+                &mut rng,
+            );
+            let bytes = &run.outcome.stats.bytes;
+            assert!(bytes.retransmit > 0, "40% loss must cause retransmissions");
+            assert!(
+                bytes.control > 0,
+                "ACKs alone make control traffic non-zero"
+            );
+            assert!(bytes.overhead_factor() > 1.0);
+            // First-copy data classes stay comparable to the lossless
+            // run: at most one PSR per surviving edge (20 uplinks plus
+            // the sink→querier hop).
+            assert!(bytes.data_total() <= 21 * 16);
+        }
     }
 }

@@ -28,18 +28,22 @@
 //! assert_eq!(outcome.result.unwrap().sum, 48.0);
 //! ```
 
+pub mod chaos;
 pub mod deploy;
 pub mod energy;
 pub mod engine;
 pub mod query_engine;
 pub mod radio;
+pub mod recovery;
 pub mod scheme;
 pub mod topology;
 pub mod wire;
 
+pub use chaos::{ChaosConfig, ChaosMetrics};
 pub use deploy::SiesDeployment;
-pub use query_engine::{QueryEngine, QueryOutcome};
 pub use energy::RadioModel;
-pub use engine::{Attack, EdgeBytes, Engine, EpochOutcome, EpochStats};
+pub use engine::{Attack, EdgeBytes, Engine, EpochOutcome, EpochStats, RecoveredEpoch};
+pub use query_engine::{QueryEngine, QueryOutcome};
+pub use recovery::{RecoveryConfig, RecoveryReport, UplinkOutcome};
 pub use scheme::{AggregationScheme, EvaluatedSum, SchemeError};
-pub use topology::{Node, NodeId, Role, Topology};
+pub use topology::{Node, NodeId, RepairPlan, Role, Topology};

@@ -38,7 +38,10 @@ impl<'a> QueryEngine<'a> {
     /// Registers `query` over the deployment and topology (the paper's
     /// setup-phase query dissemination, minus the radio).
     pub fn new(deployment: &'a SiesDeployment, topology: &'a Topology, query: &Query) -> Self {
-        QueryEngine { engine: Engine::new(deployment, topology), plan: query.plan() }
+        QueryEngine {
+            engine: Engine::new(deployment, topology),
+            plan: query.plan(),
+        }
     }
 
     /// The compiled plan.
@@ -71,15 +74,19 @@ impl<'a> QueryEngine<'a> {
             self.engine.topology().num_sources(),
             "one reading per source required"
         );
-        let per_source: Vec<Vec<u64>> =
-            readings.iter().map(|r| self.plan.source_values(r)).collect();
+        let per_source: Vec<Vec<u64>> = readings
+            .iter()
+            .map(|r| self.plan.source_values(r))
+            .collect();
 
         let mut sums = Vec::with_capacity(self.plan.terms().len());
         let mut rounds = Vec::with_capacity(self.plan.terms().len());
         for term_idx in 0..self.plan.terms().len() {
             let sub_epoch = epoch * EPOCH_STRIDE + term_idx as u64;
             let values: Vec<u64> = per_source.iter().map(|v| v[term_idx]).collect();
-            let out = self.engine.run_epoch_with(sub_epoch, &values, failed, attacks);
+            let out = self
+                .engine
+                .run_epoch_with(sub_epoch, &values, failed, attacks);
             let evaluated = out.result?;
             debug_assert!(evaluated.integrity_checked);
             sums.push(evaluated.sum as u64);
@@ -104,9 +111,11 @@ mod tests {
 
     fn fixture(n: u64) -> (SiesDeployment, Topology) {
         let mut rng = StdRng::seed_from_u64(42);
-        let params =
-            SystemParams::with_prime(n, DEFAULT_PRIME_256, ResultWidth::U64).unwrap();
-        (SiesDeployment::new(&mut rng, params), Topology::complete_tree(n, 4))
+        let params = SystemParams::with_prime(n, DEFAULT_PRIME_256, ResultWidth::U64).unwrap();
+        (
+            SiesDeployment::new(&mut rng, params),
+            Topology::complete_tree(n, 4),
+        )
     }
 
     fn readings(n: u64) -> Vec<SensorReading> {
@@ -138,8 +147,11 @@ mod tests {
         let mut engine = QueryEngine::new(&dep, &topo, &q);
         let rs = readings(16);
         let out = engine.run_epoch(0, &rs).unwrap();
-        let expected =
-            rs.iter().map(|r| r.get(Attribute::Temperature) as f64).sum::<f64>() / 16.0;
+        let expected = rs
+            .iter()
+            .map(|r| r.get(Attribute::Temperature) as f64)
+            .sum::<f64>()
+            / 16.0;
         match out.result {
             QueryResult::Real(v) => assert!((v - expected).abs() < 1e-9),
             other => panic!("expected Real, got {other:?}"),
@@ -157,7 +169,10 @@ mod tests {
         };
         let mut engine = QueryEngine::new(&dep, &topo, &q);
         let rs = readings(16);
-        let expected = rs.iter().filter(|r| r.get(Attribute::Temperature) >= 2100).count();
+        let expected = rs
+            .iter()
+            .filter(|r| r.get(Attribute::Temperature) >= 2100)
+            .count();
         let out = engine.run_epoch(3, &rs).unwrap();
         assert_eq!(out.result, QueryResult::Exact(expected as u64));
     }
@@ -173,7 +188,12 @@ mod tests {
         let mut engine = QueryEngine::new(&dep, &topo, &q);
         let victim = topo.source_node(3).unwrap();
         let err = engine
-            .run_epoch_with(0, &readings(16), &HashSet::new(), &[Attack::TamperAtNode(victim)])
+            .run_epoch_with(
+                0,
+                &readings(16),
+                &HashSet::new(),
+                &[Attack::TamperAtNode(victim)],
+            )
             .unwrap_err();
         assert!(matches!(err, SchemeError::VerificationFailed(_)));
     }

@@ -26,7 +26,10 @@ pub struct LossyRadio {
 
 impl Default for LossyRadio {
     fn default() -> Self {
-        LossyRadio { loss_rate: 0.05, max_retries: 3 }
+        LossyRadio {
+            loss_rate: 0.05,
+            max_retries: 3,
+        }
     }
 }
 
@@ -56,8 +59,14 @@ impl LinkStats {
 impl LossyRadio {
     /// Creates a radio with validation.
     pub fn new(loss_rate: f64, max_retries: u32) -> Self {
-        assert!((0.0..=1.0).contains(&loss_rate), "loss rate must be in [0,1]");
-        LossyRadio { loss_rate, max_retries }
+        assert!(
+            (0.0..=1.0).contains(&loss_rate),
+            "loss rate must be in [0,1]"
+        );
+        LossyRadio {
+            loss_rate,
+            max_retries,
+        }
     }
 
     /// Probability an uplink fails permanently (every attempt lost).
@@ -169,7 +178,10 @@ mod tests {
         let t = topo();
         let mut a = StdRng::seed_from_u64(9);
         let mut b = StdRng::seed_from_u64(9);
-        assert_eq!(radio.epoch_outcome(&mut a, &t), radio.epoch_outcome(&mut b, &t));
+        assert_eq!(
+            radio.epoch_outcome(&mut a, &t),
+            radio.epoch_outcome(&mut b, &t)
+        );
     }
 
     #[test]
@@ -208,7 +220,11 @@ mod tests {
 
     #[test]
     fn attempts_per_link_math() {
-        let stats = LinkStats { failed_links: 0, attempts: 150, retransmitted_links: 30 };
+        let stats = LinkStats {
+            failed_links: 0,
+            attempts: 150,
+            retransmitted_links: 30,
+        };
         assert!((stats.attempts_per_link(100) - 1.5).abs() < 1e-12);
         assert_eq!(LinkStats::default().attempts_per_link(0), 0.0);
     }

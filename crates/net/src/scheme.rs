@@ -51,9 +51,34 @@ pub trait AggregationScheme {
     /// epoch's value into a PSR.
     fn source_init(&self, source: SourceId, epoch: Epoch, value: u64) -> Self::Psr;
 
+    /// Fallible variant of [`source_init`](Self::source_init). The engine
+    /// calls this one, so schemes whose initialization can reject inputs
+    /// (e.g. an out-of-range reading under a narrow result width) surface
+    /// a [`SchemeError`] instead of panicking mid-epoch. The default
+    /// delegates to the infallible method.
+    fn try_source_init(
+        &self,
+        source: SourceId,
+        epoch: Epoch,
+        value: u64,
+    ) -> Result<Self::Psr, SchemeError> {
+        Ok(self.source_init(source, epoch, value))
+    }
+
     /// Merging phase `M` at an aggregator: fuse children's PSRs.
     /// `psrs` is non-empty.
     fn merge(&self, psrs: &[Self::Psr]) -> Self::Psr;
+
+    /// Fallible variant of [`merge`](Self::merge); the engine calls this
+    /// one so malformed or empty input sets become a [`SchemeError`]
+    /// rather than a panic. The default delegates to the infallible
+    /// method after rejecting the empty case every scheme shares.
+    fn try_merge(&self, psrs: &[Self::Psr]) -> Result<Self::Psr, SchemeError> {
+        if psrs.is_empty() {
+            return Err(SchemeError::Malformed("merge called with no inputs".into()));
+        }
+        Ok(self.merge(psrs))
+    }
 
     /// Evaluation phase `E` at the querier. `contributors` lists the
     /// sources whose PSRs reached the sink (paper §IV-B Discussion).

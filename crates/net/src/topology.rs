@@ -9,6 +9,7 @@
 use rand::Rng;
 use rand::RngCore;
 use sies_core::SourceId;
+use std::collections::{BTreeMap, HashSet};
 
 /// Index of a node within a [`Topology`].
 pub type NodeId = usize;
@@ -35,6 +36,25 @@ pub struct Node {
     pub role: Role,
     /// Hop distance from the sink (sink = 0).
     pub depth: usize,
+}
+
+/// The within-epoch re-homing plan for children orphaned by crashed
+/// nodes (recovery protocol, see `sies_net::recovery`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairPlan {
+    /// Orphan → adopting backup parent (ordered for deterministic
+    /// replay under a fixed seed).
+    pub adoptions: BTreeMap<NodeId, NodeId>,
+    /// Live nodes with no live ancestor (possible only when the sink
+    /// itself crashed); their subtrees are lost for the epoch.
+    pub stranded: Vec<NodeId>,
+}
+
+impl RepairPlan {
+    /// True when no node needed re-homing.
+    pub fn is_empty(&self) -> bool {
+        self.adoptions.is_empty() && self.stranded.is_empty()
+    }
 }
 
 /// An aggregation tree.
@@ -93,7 +113,11 @@ impl Topology {
             level = next;
         }
         let root = level[0];
-        let mut topo = Topology { nodes, root, num_sources };
+        let mut topo = Topology {
+            nodes,
+            root,
+            num_sources,
+        };
         topo.recompute_depths();
         topo
     }
@@ -140,7 +164,11 @@ impl Topology {
             level = next;
         }
         let root = level[0];
-        let mut topo = Topology { nodes, root, num_sources };
+        let mut topo = Topology {
+            nodes,
+            root,
+            num_sources,
+        };
         topo.recompute_depths();
         topo
     }
@@ -240,7 +268,11 @@ impl Topology {
                     out.push_str(&format!("  n{} [shape=box, label=\"S{}\"];\n", node.id, s));
                 }
                 Role::Aggregator => {
-                    let shape = if node.id == self.root { "doublecircle" } else { "circle" };
+                    let shape = if node.id == self.root {
+                        "doublecircle"
+                    } else {
+                        "circle"
+                    };
                     out.push_str(&format!("  n{} [shape={shape}, label=\"A\"];\n", node.id));
                 }
             }
@@ -254,6 +286,49 @@ impl Topology {
         out
     }
 
+    /// The designated backup parent for `orphan` when its parent is in
+    /// `crashed`: the nearest live ancestor of the original parent.
+    /// Returns `None` when every ancestor up to and including the sink
+    /// crashed (the orphan is stranded for this epoch).
+    ///
+    /// Adopting an ancestor preserves correctness because merging is
+    /// associative and commutative: the orphan's partial state reaches
+    /// the sink through a shorter path, fused one level higher than
+    /// planned.
+    pub fn backup_parent(&self, orphan: NodeId, crashed: &HashSet<NodeId>) -> Option<NodeId> {
+        let mut candidate = self.nodes[orphan].parent;
+        while let Some(id) = candidate {
+            if !crashed.contains(&id) {
+                return Some(id);
+            }
+            candidate = self.nodes[id].parent;
+        }
+        None
+    }
+
+    /// Plans the within-epoch topology repair for a set of crashed nodes:
+    /// every live child of a crashed aggregator re-attaches to its
+    /// [`backup_parent`](Self::backup_parent).
+    pub fn repair_plan(&self, crashed: &HashSet<NodeId>) -> RepairPlan {
+        let mut plan = RepairPlan::default();
+        for node in &self.nodes {
+            if crashed.contains(&node.id) {
+                continue;
+            }
+            let Some(parent) = node.parent else { continue };
+            if !crashed.contains(&parent) {
+                continue;
+            }
+            match self.backup_parent(node.id, crashed) {
+                Some(backup) => {
+                    plan.adoptions.insert(node.id, backup);
+                }
+                None => plan.stranded.push(node.id),
+            }
+        }
+        plan
+    }
+
     /// Checks structural invariants (parent/child symmetry, one root,
     /// every source reachable). Used by property tests.
     pub fn validate(&self) -> Result<(), String> {
@@ -263,7 +338,10 @@ impl Topology {
                 None => roots += 1,
                 Some(p) => {
                     if !self.nodes[p].children.contains(&n.id) {
-                        return Err(format!("node {} missing from parent {}'s children", n.id, p));
+                        return Err(format!(
+                            "node {} missing from parent {}'s children",
+                            n.id, p
+                        ));
                     }
                 }
             }
@@ -394,5 +472,57 @@ mod tests {
         for n in t.nodes() {
             assert!(n.children.len() <= 5);
         }
+    }
+
+    #[test]
+    fn backup_parent_is_grandparent() {
+        let t = Topology::complete_tree(16, 4);
+        let agg = t.node(t.root()).children[0];
+        let crashed: HashSet<NodeId> = [agg].into();
+        for &child in &t.node(agg).children {
+            assert_eq!(t.backup_parent(child, &crashed), Some(t.root()));
+        }
+    }
+
+    #[test]
+    fn backup_parent_skips_crashed_ancestors() {
+        // 64 sources, fanout 2: deep tree. Crash a node and its parent;
+        // the orphan must re-home two levels up.
+        let t = Topology::complete_tree(64, 2);
+        let l1 = t.node(t.root()).children[0];
+        let l2 = t.node(l1).children[0];
+        let crashed: HashSet<NodeId> = [l1, l2].into();
+        for &child in &t.node(l2).children {
+            assert_eq!(t.backup_parent(child, &crashed), Some(t.root()));
+        }
+    }
+
+    #[test]
+    fn repair_plan_adopts_all_orphans() {
+        let t = Topology::complete_tree(16, 4);
+        let agg = t.node(t.root()).children[1];
+        let crashed: HashSet<NodeId> = [agg].into();
+        let plan = t.repair_plan(&crashed);
+        assert_eq!(plan.adoptions.len(), t.node(agg).children.len());
+        assert!(plan.stranded.is_empty());
+        for (&orphan, &adopter) in &plan.adoptions {
+            assert_eq!(t.node(orphan).parent, Some(agg));
+            assert_eq!(adopter, t.root());
+        }
+    }
+
+    #[test]
+    fn crashed_sink_strands_children() {
+        let t = Topology::complete_tree(16, 4);
+        let crashed: HashSet<NodeId> = [t.root()].into();
+        let plan = t.repair_plan(&crashed);
+        assert!(plan.adoptions.is_empty());
+        assert_eq!(plan.stranded.len(), t.node(t.root()).children.len());
+    }
+
+    #[test]
+    fn no_crashes_empty_plan() {
+        let t = Topology::complete_tree(8, 2);
+        assert!(t.repair_plan(&HashSet::new()).is_empty());
     }
 }

@@ -38,6 +38,17 @@ pub enum PacketType {
     KeyDisclosure,
     /// A node-failure report for the querier (paper §IV-B Discussion).
     FailureReport,
+    /// Link-layer acknowledgement of a received PSR (recovery protocol).
+    Ack,
+    /// Negative acknowledgement: a frame arrived but failed its CRC, so
+    /// the receiver asks for an immediate retransmission.
+    Nack,
+    /// Querier-driven re-solicitation of a missing subtree after the
+    /// epoch deadline.
+    Resolicit,
+    /// An orphaned node's request to re-attach to a backup parent after
+    /// its original parent crashed.
+    Reattach,
 }
 
 impl PacketType {
@@ -47,6 +58,10 @@ impl PacketType {
             PacketType::QueryBroadcast => 2,
             PacketType::KeyDisclosure => 3,
             PacketType::FailureReport => 4,
+            PacketType::Ack => 5,
+            PacketType::Nack => 6,
+            PacketType::Resolicit => 7,
+            PacketType::Reattach => 8,
         }
     }
 
@@ -56,6 +71,10 @@ impl PacketType {
             2 => PacketType::QueryBroadcast,
             3 => PacketType::KeyDisclosure,
             4 => PacketType::FailureReport,
+            5 => PacketType::Ack,
+            6 => PacketType::Nack,
+            7 => PacketType::Resolicit,
+            8 => PacketType::Reattach,
             _ => return None,
         })
     }
@@ -116,7 +135,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut crc = i as u32;
             for _ in 0..8 {
-                crc = if crc & 1 == 1 { (crc >> 1) ^ POLY } else { crc >> 1 };
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
             }
             *entry = crc;
         }
@@ -152,7 +175,7 @@ impl Packet {
             return Err(WireError::Truncated);
         }
         let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-        let expected = u32::from_be_bytes(crc_bytes.try_into().unwrap());
+        let expected = u32::from_be_bytes(take4(crc_bytes)?);
         if crc32(body) != expected {
             return Err(WireError::BadCrc);
         }
@@ -163,13 +186,18 @@ impl Packet {
             return Err(WireError::BadVersion(body[2]));
         }
         let packet_type = PacketType::from_byte(body[3]).ok_or(WireError::BadType(body[3]))?;
-        let epoch = u64::from_be_bytes(body[4..12].try_into().unwrap());
-        let sender = u32::from_be_bytes(body[12..16].try_into().unwrap());
+        let epoch = u64::from_be_bytes(take8(body.get(4..12).ok_or(WireError::Truncated)?)?);
+        let sender = u32::from_be_bytes(take4(body.get(12..16).ok_or(WireError::Truncated)?)?);
         let len = u16::from_be_bytes([body[16], body[17]]) as usize;
         if body.len() - 18 != len {
             return Err(WireError::BadLength);
         }
-        Ok(Packet { packet_type, epoch, sender, payload: body[18..].to_vec() })
+        Ok(Packet {
+            packet_type,
+            epoch,
+            sender,
+            payload: body[18..].to_vec(),
+        })
     }
 
     /// Frames a SIES PSR.
@@ -184,12 +212,24 @@ impl Packet {
 
     /// Recovers a SIES PSR from a [`PacketType::Psr`] packet.
     pub fn to_psr(&self) -> Result<sies_core::Psr, WireError> {
-        if self.packet_type != PacketType::Psr || self.payload.len() != 32 {
+        if self.packet_type != PacketType::Psr {
             return Err(WireError::BadLength);
         }
-        let bytes: [u8; 32] = self.payload.as_slice().try_into().unwrap();
+        let bytes: [u8; 32] = self
+            .payload
+            .as_slice()
+            .try_into()
+            .map_err(|_| WireError::BadLength)?;
         Ok(sies_core::Psr::from_bytes(&bytes))
     }
+}
+
+fn take4(slice: &[u8]) -> Result<[u8; 4], WireError> {
+    slice.try_into().map_err(|_| WireError::Truncated)
+}
+
+fn take8(slice: &[u8]) -> Result<[u8; 8], WireError> {
+    slice.try_into().map_err(|_| WireError::Truncated)
 }
 
 #[cfg(test)]
@@ -210,7 +250,10 @@ mod tests {
         // The canonical check value for CRC-32/IEEE.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -228,8 +271,17 @@ mod tests {
             PacketType::QueryBroadcast,
             PacketType::KeyDisclosure,
             PacketType::FailureReport,
+            PacketType::Ack,
+            PacketType::Nack,
+            PacketType::Resolicit,
+            PacketType::Reattach,
         ] {
-            let p = Packet { packet_type: t, epoch: 1, sender: 2, payload: vec![1, 2, 3] };
+            let p = Packet {
+                packet_type: t,
+                epoch: 1,
+                sender: 2,
+                payload: vec![1, 2, 3],
+            };
             assert_eq!(Packet::decode(&p.encode()).unwrap().packet_type, t);
         }
     }
@@ -251,7 +303,10 @@ mod tests {
     fn truncation_is_detected() {
         let bytes = sample().encode();
         for cut in 0..bytes.len() {
-            assert!(Packet::decode(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+            assert!(
+                Packet::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
         }
     }
 

@@ -78,7 +78,11 @@ impl IntelLabGenerator {
             .map(|_| rng.random_range(-4.0..4.0))
             .collect();
         let ar_state = vec![0.0; num_sensors];
-        IntelLabGenerator { bias, ar_state, rng }
+        IntelLabGenerator {
+            bias,
+            ar_state,
+            rng,
+        }
     }
 
     /// Number of sensors.
@@ -124,12 +128,18 @@ impl UniformGenerator {
     /// Uniform over `[lo, hi]` (inclusive).
     pub fn new(seed: u64, lo: u64, hi: u64) -> Self {
         assert!(lo <= hi);
-        UniformGenerator { lo, hi, rng: rand::rngs::StdRng::seed_from_u64(seed) }
+        UniformGenerator {
+            lo,
+            hi,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
     }
 
     /// One epoch of values for `n` sources.
     pub fn epoch_values(&mut self, n: usize) -> Vec<u64> {
-        (0..n).map(|_| self.rng.random_range(self.lo..=self.hi)).collect()
+        (0..n)
+            .map(|_| self.rng.random_range(self.lo..=self.hi))
+            .collect()
     }
 
     /// A single draw.
@@ -163,7 +173,10 @@ mod tests {
         let mut generator = IntelLabGenerator::new(1, 10);
         for t in generator.epoch_temperatures(3) {
             let scaled = t * 10_000.0;
-            assert!((scaled - scaled.round()).abs() < 1e-6, "t = {t} not quantized");
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-6,
+                "t = {t} not quantized"
+            );
         }
     }
 

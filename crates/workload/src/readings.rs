@@ -33,8 +33,8 @@ impl ReadingGenerator {
             .into_iter()
             .map(|t| {
                 // Humidity (%, scaled ×10): anti-correlated with temp.
-                let humidity = (90.0 - 1.5 * (t - 18.0) + self.rng.random_range(-3.0..3.0))
-                    .clamp(15.0, 95.0);
+                let humidity =
+                    (90.0 - 1.5 * (t - 18.0) + self.rng.random_range(-3.0..3.0)).clamp(15.0, 95.0);
                 // Light (lux): brighter when hotter, noisy.
                 let light = (40.0 * (t - 15.0) + self.rng.random_range(0.0..200.0)).max(0.0);
                 // Voltage (mV): 2.2–2.9 V band.

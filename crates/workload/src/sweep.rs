@@ -59,18 +59,33 @@ impl Config {
     pub fn domain_sweep() -> Vec<Config> {
         DomainScale::paper_range()
             .into_iter()
-            .map(|scale| Config { scale, ..Default::default() })
+            .map(|scale| Config {
+                scale,
+                ..Default::default()
+            })
             .collect()
     }
 
     /// Configurations for the Figure 5 fanout sweep.
     pub fn fanout_sweep() -> Vec<Config> {
-        F_RANGE.into_iter().map(|f| Config { f, ..Default::default() }).collect()
+        F_RANGE
+            .into_iter()
+            .map(|f| Config {
+                f,
+                ..Default::default()
+            })
+            .collect()
     }
 
     /// Configurations for the Figure 6(a) source-count sweep.
     pub fn n_sweep() -> Vec<Config> {
-        N_RANGE.into_iter().map(|n| Config { n, ..Default::default() }).collect()
+        N_RANGE
+            .into_iter()
+            .map(|n| Config {
+                n,
+                ..Default::default()
+            })
+            .collect()
     }
 
     /// The integer value domain `[D_L, D_U]` of this configuration.

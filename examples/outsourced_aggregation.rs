@@ -30,11 +30,16 @@ fn main() {
     let broadcaster = Broadcaster::new(&mut rng, 16, 2);
     let mut sensor_rx = Receiver::new(broadcaster.commitment(), 2);
     let query_packet = broadcaster.broadcast(1, b"SELECT SUM(temp) FROM Sensors EPOCH 1s");
-    sensor_rx.receive(1, query_packet).expect("security condition holds");
+    sensor_rx
+        .receive(1, query_packet)
+        .expect("security condition holds");
     let verified_msgs = sensor_rx
         .on_disclosure(broadcaster.disclose(1))
         .expect("chain verifies");
-    println!("query authenticated via muTesla: {:?}", String::from_utf8_lossy(&verified_msgs[0]));
+    println!(
+        "query authenticated via muTesla: {:?}",
+        String::from_utf8_lossy(&verified_msgs[0])
+    );
 
     // --- The outsourced network -----------------------------------------
     let deployment = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
@@ -46,10 +51,22 @@ fn main() {
 
     let scenarios: Vec<(&str, Vec<Attack>)> = vec![
         ("honest epoch", vec![]),
-        ("provider tampers with a PSR", vec![Attack::TamperAtNode(victim_agg)]),
-        ("provider drops a source", vec![Attack::DropAtNode(victim_source)]),
-        ("provider duplicates a source", vec![Attack::DuplicateAtNode(victim_source)]),
-        ("provider replays yesterday's result", vec![Attack::ReplayFinal]),
+        (
+            "provider tampers with a PSR",
+            vec![Attack::TamperAtNode(victim_agg)],
+        ),
+        (
+            "provider drops a source",
+            vec![Attack::DropAtNode(victim_source)],
+        ),
+        (
+            "provider duplicates a source",
+            vec![Attack::DuplicateAtNode(victim_source)],
+        ),
+        (
+            "provider replays yesterday's result",
+            vec![Attack::ReplayFinal],
+        ),
         ("honest epoch again", vec![]),
     ];
 

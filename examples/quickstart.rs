@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sies_core::{SystemParams, setup, Source};
+use sies_core::{setup, Source, SystemParams};
 use sies_workload::intel_lab::{DomainScale, IntelLabGenerator};
 
 fn main() {
@@ -42,7 +42,9 @@ fn main() {
         let final_psr = aggregator.merge(&psrs).expect("non-empty");
 
         // Evaluation phase at the querier: decrypt, verify, extract.
-        let verified = querier.evaluate(&final_psr, epoch).expect("integrity holds");
+        let verified = querier
+            .evaluate(&final_psr, epoch)
+            .expect("integrity holds");
         assert_eq!(verified.sum, true_sum, "SIES sums are exact");
         println!(
             "{epoch:>5} | {:>21} | {:>10.2}",

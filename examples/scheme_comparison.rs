@@ -18,12 +18,7 @@ use sies_net::scheme::AggregationScheme;
 use sies_net::{RadioModel, SiesDeployment, Topology};
 use sies_workload::intel_lab::{DomainScale, IntelLabGenerator};
 
-fn run_scheme<S: AggregationScheme>(
-    scheme: &S,
-    topo: &Topology,
-    values: &[u64],
-    true_sum: u64,
-) {
+fn run_scheme<S: AggregationScheme>(scheme: &S, topo: &Topology, values: &[u64], true_sum: u64) {
     let mut engine = Engine::new(scheme, topo);
     let out = engine.run_epoch(0, values);
     let radio = RadioModel::default();

@@ -1,0 +1,342 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment for this repository has no network access and no
+//! crates.io mirror, so the workspace vendors the small slice of `rand`'s
+//! API it actually uses: [`RngCore`], [`SeedableRng`], [`Rng`] with
+//! `random_range`/`random_bool`, and a deterministic [`rngs::StdRng`]
+//! (xoshiro256++ seeded through SplitMix64).
+//!
+//! The generator is *not* the upstream `StdRng` (ChaCha12), so seeded
+//! streams differ from upstream — everything in this workspace derives its
+//! randomness from explicit seeds and asserts statistical or structural
+//! properties, never exact upstream streams, so this is safe.
+
+#![warn(missing_docs)]
+
+/// The core trait every random number generator implements.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it through SplitMix64
+    /// the way upstream `rand` documents.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`] (including trait objects).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`. Panics on empty ranges.
+    fn random_range<T, R: distr::SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        distr::unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Distribution helpers backing [`Rng::random_range`].
+pub mod distr {
+    use super::RngCore;
+
+    /// Samples a uniform `f64` in `[0, 1)` using the top 53 bits.
+    pub fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A range that can be sampled to produce a `T`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Types with a uniform sampler over `[lo, hi]`.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Samples uniformly from `[lo, hi]` (both inclusive).
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// The immediate predecessor of `v` (for converting `..hi` to
+        /// `..=hi-1`); `None` if `v` is the type minimum.
+        fn pred(v: Self) -> Option<Self>;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo <= hi, "cannot sample an empty range");
+                    let span = (hi as u128).wrapping_sub(lo as u128);
+                    if span == u128::MAX {
+                        // Full-width range: every bit pattern is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    let span = span + 1;
+                    // 128-bit multiply-shift avoids modulo bias for all
+                    // spans this workspace samples.
+                    let r = rng.next_u64() as u128;
+                    let v = (r * span) >> 64;
+                    (lo as u128).wrapping_add(v) as $t
+                }
+                fn pred(v: Self) -> Option<Self> {
+                    v.checked_sub(1)
+                }
+            }
+        )*};
+    }
+    impl_uniform_int!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_uniform_signed {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo <= hi, "cannot sample an empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let r = rng.next_u64() as u128;
+                    let v = ((r * span) >> 64) as i128;
+                    (lo as i128 + v) as $t
+                }
+                fn pred(v: Self) -> Option<Self> {
+                    v.checked_sub(1)
+                }
+            }
+        )*};
+    }
+    impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo <= hi, "cannot sample an empty range");
+                    lo + (unit_f64(rng) as $t) * (hi - lo)
+                }
+                fn pred(v: Self) -> Option<Self> {
+                    // Floats use half-open sampling directly; `..hi` and
+                    // `..=hi` coincide for practical purposes.
+                    Some(v)
+                }
+            }
+        )*};
+    }
+    impl_uniform_float!(f32, f64);
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let hi = T::pred(self.end).expect("cannot sample an empty range");
+            T::sample_inclusive(rng, self.start, hi)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+
+    /// SplitMix64, used for seed expansion (public for reuse by the
+    /// vendored proptest).
+    #[derive(Debug, Clone)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SplitMix64 {
+        /// Creates a SplitMix64 stream from `state`.
+        pub fn new(state: u64) -> Self {
+            SplitMix64 { state }
+        }
+
+        /// Next 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+use distr::SplitMix64;
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Statistically strong and fast; **not** cryptographically secure and
+    /// **not** stream-compatible with upstream `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0; 4] {
+                // The all-zero state is a fixed point of xoshiro; remap it.
+                let mut sm = super::SplitMix64::new(0x5EED_0000_0000_0001);
+                for slot in &mut s {
+                    *slot = sm.next_u64();
+                }
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(3usize..=5);
+            assert!((3..=5).contains(&w));
+            let f = rng.random_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_values_cover_support() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..6)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some bucket never sampled: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn unit_f64_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean: f64 = (0..10_000).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn dyn_rngcore_supports_random_range() {
+        let mut concrete = StdRng::seed_from_u64(5);
+        let dyn_rng: &mut dyn RngCore = &mut concrete;
+        let v = dyn_rng.random_range(1usize..=4);
+        assert!((1..=4).contains(&v));
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for `serde`: a self-describing value tree
+//! ([`Content`]) plus [`Serialize`]/[`Deserialize`] traits and a derive
+//! macro re-export.
+//!
+//! The real serde serializes through a generic `Serializer` visitor; this
+//! workspace only ever serializes to JSON (via the vendored `serde_json`),
+//! so a concrete intermediate tree is sufficient and far smaller.
+
+#![warn(missing_docs)]
+
+// The derive macros live in the macro namespace, the traits below in the
+// type namespace; sharing the `Serialize`/`Deserialize` names makes
+// `use serde::Serialize;` import both, exactly like the real crate's
+// `derive` feature.
+pub use serde_derive::Deserialize;
+pub use serde_derive::Serialize;
+
+/// A self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map (field order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+/// Types that can serialize themselves into a [`Content`] tree.
+///
+/// The derive macro (`#[derive(Serialize)]`) implements this for plain
+/// named-field structs.
+pub trait Serialize {
+    /// Builds the value tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can reconstruct themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reads a value back out of a [`Content`] tree.
+    fn from_content(content: &Content) -> Result<Self, String>;
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match content {
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) if *v >= 0 => Ok(*v as $t),
+                    Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Ok(*v as $t),
+                    other => Err(format!("expected unsigned integer, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match content {
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(*v as $t),
+                    other => Err(format!("expected integer, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match content {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    other => Err(format!("expected number, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(|v| v.to_content()).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(|v| v.to_content()).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(|v| v.to_content()).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(format!("expected sequence, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        Ok(content.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(3u64.to_content(), Content::U64(3));
+        assert_eq!((-2i32).to_content(), Content::I64(-2));
+        assert_eq!(1.5f64.to_content(), Content::F64(1.5));
+        assert_eq!("x".to_content(), Content::Str("x".into()));
+        assert_eq!(
+            vec![1u8, 2].to_content(),
+            Content::Seq(vec![Content::U64(1), Content::U64(2)])
+        );
+    }
+
+    #[test]
+    fn deserialize_round_trips() {
+        let c = vec![1i32, 2, 3].to_content();
+        assert_eq!(Vec::<i32>::from_content(&c).unwrap(), vec![1, 2, 3]);
+        assert!(i32::from_content(&Content::Str("no".into())).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Derive macro for the vendored `serde` stand-in.
+//!
+//! Supports exactly what this workspace derives: `Serialize` (and, for
+//! symmetry, `Deserialize`) on plain non-generic structs with named
+//! fields. Written against `proc_macro` alone so it builds offline with
+//! no syn/quote dependency.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a `struct Name { field: Type, ... }` item.
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and named-field list from a derive input.
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility/qualifier tokens until the
+    // `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, found {other:?}"),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("the vendored serde derive supports only structs with named fields");
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("no `struct` keyword in derive input");
+
+    // Find the brace-delimited field body (skipping generics would go
+    // here; the workspace derives only non-generic structs).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("the vendored serde derive does not support generic structs")
+            }
+            Some(_) => continue,
+            None => panic!("struct `{name}` has no braced field body (tuple structs unsupported)"),
+        }
+    };
+
+    // Parse `(#[attr])* (pub)? ident : Type ,` sequences. The type is
+    // consumed by skipping to the next top-level comma.
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    'outer: loop {
+        // Skip field attributes.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next(); // the [...] group
+                }
+                _ => break,
+            }
+        }
+        // Field name (skipping visibility).
+        let field = loop {
+            match toks.next() {
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // `pub(crate)` carries a parenthesized group.
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in field list: {other}"),
+                None => break 'outer,
+            }
+        };
+        fields.push(field);
+        // Expect `:` then skip the type up to the next top-level comma.
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        let mut depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break 'outer,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth <= 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(_) => {}
+            }
+            toks.next();
+        }
+    }
+    StructDef { name, fields }
+}
+
+/// Derives `serde::Serialize` by building a `Content::Map` of the fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let entries: String = def
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(::std::vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` by reading fields back out of a
+/// `Content::Map`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let fields: String = def
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content(
+                     map.iter().find(|(k, _)| k == \"{f}\").map(|(_, v)| v)
+                         .ok_or_else(|| ::std::string::String::from(\"missing field {f}\"))?
+                 )?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 let ::serde::Content::Map(map) = content else {{\n\
+                     return ::std::result::Result::Err(::std::string::String::from(\"expected map for {name}\"));\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{ {fields} }})\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
