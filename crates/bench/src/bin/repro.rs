@@ -17,14 +17,22 @@
 //!   lifetime network-lifetime comparison (2 J battery, hottest node)
 //!   reliability  seeded chaos harness: availability, detection rate,
 //!                recovery overhead (also writes BENCH_reliability.json)
+//!   throughput   parallel epoch pipeline: epochs/sec vs thread count,
+//!                digest-checked against the serial engine (also writes
+//!                BENCH_throughput.json)
 //!   all      everything above
 //! ```
+//!
+//! `--threads T` sizes the sharded source phase (0 or omitted = all
+//! available cores) for the reliability and throughput experiments.
 
 use sies_bench::calibrate::PrimitiveCosts;
 use sies_bench::chart;
 use sies_bench::cost_model::CostModel;
 use sies_bench::experiments::{self, Options};
 use sies_bench::report::{fmt_bytes, fmt_ms, fmt_us, render_table, write_json_seeded};
+use sies_bench::throughput;
+use sies_net::Threads;
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
@@ -34,6 +42,7 @@ fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut use_paper_costs = false;
     let mut chaos_epochs = 2_000u64;
+    let mut threads = Threads::Auto;
     let mut requested: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -63,6 +72,13 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--chaos-epochs needs a number"));
+            }
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"));
+                threads = Threads::fixed(t); // 0 means Auto
             }
             "--out" => {
                 out_dir = it
@@ -96,6 +112,7 @@ fn main() {
             "security",
             "lifetime",
             "reliability",
+            "throughput",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -122,7 +139,8 @@ fn main() {
             "fig6b" => fig6b(&costs, &opts, &out_dir),
             "security" => security(),
             "lifetime" => lifetime(&opts, &out_dir),
-            "reliability" => reliability(&opts, chaos_epochs, &out_dir),
+            "reliability" => reliability(&opts, chaos_epochs, threads, &out_dir),
+            "throughput" => throughput_exp(&opts, threads, &out_dir),
             other => eprintln!("skipping unknown experiment '{other}'"),
         }
     }
@@ -131,10 +149,10 @@ fn main() {
 const HELP: &str = "repro - regenerate the SIES paper's tables and figures
 
 usage: repro [--fast] [--epochs E] [--secoa-epochs E] [--seed S] [--chaos-epochs E]
-             [--paper-costs] [--out DIR] <experiment>...
+             [--threads T] [--paper-costs] [--out DIR] <experiment>...
 
 experiments: table2 table3 table5 fig4 fig5 fig6a fig6b params security lifetime
-             reliability all";
+             reliability throughput all";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n\n{HELP}");
@@ -379,12 +397,14 @@ fn lifetime(opts: &Options, out: &Path) {
     let _ = write_json_seeded(out, "lifetime", opts.seed, &rows_data);
 }
 
-fn reliability(opts: &Options, chaos_epochs: u64, out: &Path) {
+fn reliability(opts: &Options, chaos_epochs: u64, threads: Threads, out: &Path) {
     println!(
-        "\n== Reliability: seeded chaos harness (SIES, N=64, F=4, seed {}, {} epochs total) ==",
-        opts.seed, chaos_epochs
+        "\n== Reliability: seeded chaos harness (SIES, N=64, F=4, seed {}, {} epochs total, {} worker thread(s)) ==",
+        opts.seed,
+        chaos_epochs,
+        threads.resolve()
     );
-    let points = experiments::reliability(opts.seed, chaos_epochs);
+    let points = experiments::reliability_threaded(opts.seed, chaos_epochs, threads);
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -420,6 +440,62 @@ fn reliability(opts: &Options, chaos_epochs: u64, out: &Path) {
     let _ = write_json_seeded(out, "reliability", opts.seed, &points);
     // The canonical artifact lives at the repo root for the paper repro.
     let _ = write_json_seeded(Path::new("."), "BENCH_reliability", opts.seed, &points);
+}
+
+fn throughput_exp(opts: &Options, threads: Threads, out: &Path) {
+    // Sweep 1..=resolved threads in powers of two, always including the
+    // requested count, so `--threads 8` on an 8-core host measures
+    // 1, 2, 4 and 8 workers.
+    let top = threads.resolve().max(1);
+    let mut sweep: Vec<usize> = throughput::DEFAULT_THREAD_SWEEP
+        .iter()
+        .copied()
+        .filter(|&t| t <= top)
+        .collect();
+    if !sweep.contains(&top) {
+        sweep.push(top);
+    }
+    let epochs = opts.epochs.max(1);
+    println!(
+        "\n== Throughput: parallel epoch pipeline (seed {}, {} epochs/config, threads {:?}) ==",
+        opts.seed, epochs, sweep
+    );
+    let points = throughput::throughput_suite(opts.seed, epochs, &sweep);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.n.to_string(),
+                p.threads.to_string(),
+                format!("{:.1}", p.epochs_per_sec),
+                fmt_ms(p.wall_ms),
+                fmt_ms(p.source_cpu_ms),
+                fmt_ms(p.aggregator_cpu_ms),
+                fmt_ms(p.querier_cpu_ms),
+                format!("{:.2}x", p.speedup_vs_serial),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "N",
+                "threads",
+                "epochs/s",
+                "wall",
+                "source CPU",
+                "agg CPU",
+                "querier CPU",
+                "speedup"
+            ],
+            &rows
+        )
+    );
+    println!("result digests identical across all thread counts (asserted per N)");
+    let _ = write_json_seeded(out, "throughput", opts.seed, &points);
+    // The canonical artifact lives at the repo root for the paper repro.
+    let _ = write_json_seeded(Path::new("."), "BENCH_throughput", opts.seed, &points);
 }
 
 /// Attack-detection matrix: which scheme detects which covert attack.

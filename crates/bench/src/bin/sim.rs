@@ -4,7 +4,7 @@
 //! ```text
 //! sim [--scheme sies|cmt|secoa|paillier|tag] [--sources N] [--fanout F]
 //!     [--epochs E] [--loss P] [--retries R] [--attack tamper|drop|duplicate|replay]
-//!     [--attack-epoch E] [--seed S] [--domain-power K] [--json FILE]
+//!     [--attack-epoch E] [--seed S] [--domain-power K] [--threads T] [--json FILE]
 //! ```
 //!
 //! `--json FILE` writes a machine-readable run summary (including the
@@ -20,7 +20,7 @@ use sies_core::SystemParams;
 use sies_net::engine::{Attack, Engine};
 use sies_net::radio::LossyRadio;
 use sies_net::scheme::AggregationScheme;
-use sies_net::{SiesDeployment, Topology};
+use sies_net::{SiesDeployment, Threads, Topology};
 use sies_workload::intel_lab::{DomainScale, IntelLabGenerator};
 use std::collections::HashSet;
 
@@ -35,6 +35,7 @@ struct Args {
     attack_epoch: u64,
     seed: u64,
     domain_power: u32,
+    threads: Threads,
     json_out: Option<String>,
 }
 
@@ -51,6 +52,7 @@ impl Default for Args {
             attack_epoch: 5,
             seed: 42,
             domain_power: 2,
+            threads: Threads::serial(),
             json_out: None,
         }
     }
@@ -61,7 +63,10 @@ const HELP: &str = "sim - run a secure in-network aggregation simulation
 usage: sim [--scheme sies|cmt|secoa|paillier|tag] [--sources N] [--fanout F]
            [--epochs E] [--loss P] [--retries R]
            [--attack tamper|drop|duplicate|replay] [--attack-epoch E]
-           [--seed S] [--domain-power K] [--json FILE]";
+           [--seed S] [--domain-power K] [--threads T] [--json FILE]
+
+--threads T runs the source phase on T worker threads (0 = all cores);
+results are byte-identical at every thread count.";
 
 fn parse_args() -> Args {
     let mut args = Args::default();
@@ -91,6 +96,9 @@ fn parse_args() -> Args {
             "--domain-power" => {
                 args.domain_power = value("--domain-power").parse().expect("number")
             }
+            "--threads" => {
+                args.threads = Threads::fixed(value("--threads").parse().expect("number"))
+            }
             "--json" => args.json_out = Some(value("--json")),
             "--help" | "-h" => {
                 println!("{HELP}");
@@ -107,7 +115,7 @@ fn parse_args() -> Args {
 
 fn run<S: AggregationScheme>(scheme: &S, args: &Args) {
     let topo = Topology::complete_tree(args.sources, args.fanout);
-    let mut engine = Engine::new(scheme, &topo);
+    let mut engine = Engine::new(scheme, &topo).with_threads(args.threads);
     let mut workload = IntelLabGenerator::new(args.seed, args.sources as usize);
     let scale = DomainScale {
         power: args.domain_power,

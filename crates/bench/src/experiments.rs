@@ -558,6 +558,17 @@ pub const RELIABILITY_SCENARIOS: [(&str, f64, f64, f64); 5] = [
 /// any scenario produces a false accept, false reject, or wrong accepted
 /// sum — the experiment doubles as the paper-level soundness check.
 pub fn reliability(seed: u64, total_epochs: u64) -> Vec<ReliabilityPoint> {
+    reliability_threaded(seed, total_epochs, sies_net::Threads::serial())
+}
+
+/// [`reliability`] with an explicit worker-pool size for the sharded
+/// source phase. The chaos metrics are thread-count invariant (asserted
+/// by `sies-net`'s own tests), so the soundness check is unchanged.
+pub fn reliability_threaded(
+    seed: u64,
+    total_epochs: u64,
+    threads: sies_net::Threads,
+) -> Vec<ReliabilityPoint> {
     use sies_net::chaos::{run_chaos, ChaosConfig};
 
     let n = 64u64;
@@ -576,6 +587,7 @@ pub fn reliability(seed: u64, total_epochs: u64) -> Vec<ReliabilityPoint> {
                 loss_rate,
                 crash_prob,
                 attack_prob,
+                threads,
                 ..ChaosConfig::default()
             };
             let m = run_chaos(&dep, &topo, &cfg);

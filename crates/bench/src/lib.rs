@@ -10,6 +10,8 @@
 //!   regenerating Table III and the model rows of Table V;
 //! * [`experiments`] — measured per-party costs regenerating Figures 4,
 //!   5, 6(a), 6(b) and Table V;
+//! * [`throughput`] — parallel epoch-pipeline throughput vs thread
+//!   count, with a digest-based determinism oracle;
 //! * [`report`] — ASCII tables and JSON export;
 //! * the `repro` binary ties it all together (`repro --help`).
 
@@ -18,8 +20,10 @@ pub mod chart;
 pub mod cost_model;
 pub mod experiments;
 pub mod report;
+pub mod throughput;
 pub mod timing;
 
 pub use calibrate::{PrimitiveCosts, WireSizes};
 pub use cost_model::{CostModel, ModelParams, Range};
 pub use experiments::{Options, SeriesPoint};
+pub use throughput::{throughput_suite, ThroughputPoint};

@@ -1,0 +1,196 @@
+//! Parallel epoch-pipeline throughput: epochs/sec vs thread count, with
+//! a built-in determinism oracle.
+//!
+//! For each population size `N` the suite runs the same seeded epoch
+//! sequence through the engine at every requested thread count and
+//! reports wall-clock throughput plus the per-phase CPU breakdown. A
+//! SHA-256 digest over every epoch's final PSR bytes, verdict, and
+//! contributor set is computed per configuration; the suite *asserts*
+//! the digests are identical across thread counts, so a throughput run
+//! that completes is itself a proof that parallelism changed no byte of
+//! the results.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use sies_core::SystemParams;
+use sies_crypto::hash::HashFunction;
+use sies_crypto::sha256::Sha256;
+use sies_net::engine::Engine;
+use sies_net::scheme::SchemeError;
+use sies_net::{SiesDeployment, Threads, Topology};
+use std::time::Instant;
+
+/// The population sizes the throughput sweep covers.
+pub const THROUGHPUT_N: [u64; 3] = [100, 500, 1000];
+
+/// Default thread counts to sweep (1 is always measured first as the
+/// serial baseline).
+pub const DEFAULT_THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured configuration, ready for `BENCH_throughput.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputPoint {
+    /// Source population size.
+    pub n: u64,
+    /// Worker threads in the sharded source phase.
+    pub threads: usize,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Wall-clock time for the whole run, ms.
+    pub wall_ms: f64,
+    /// Epochs completed per wall-clock second.
+    pub epochs_per_sec: f64,
+    /// Summed in-worker CPU time of the source phase, ms.
+    pub source_cpu_ms: f64,
+    /// Summed aggregator merge CPU, ms.
+    pub aggregator_cpu_ms: f64,
+    /// Summed querier evaluation CPU, ms.
+    pub querier_cpu_ms: f64,
+    /// Wall-clock speedup vs the serial (threads = 1) run of the same
+    /// `n`; 1.0 for the baseline itself.
+    pub speedup_vs_serial: f64,
+    /// SHA-256 over every epoch's final PSR, verdict, and contributor
+    /// set — equal across thread counts by the determinism oracle.
+    pub result_digest: String,
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Runs `epochs` clean epochs of a seeded `N`-source SIES deployment at
+/// one thread count, digesting every result.
+fn run_config(seed: u64, n: u64, threads: usize, epochs: u64) -> ThroughputPoint {
+    let mut rng = StdRng::seed_from_u64(seed ^ n);
+    let dep = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
+    let topo = Topology::complete_tree(n, 4);
+    let mut engine = Engine::new(&dep, &topo).with_threads(Threads::fixed(threads));
+
+    // Values are drawn from a per-N RNG re-seeded independently of the
+    // thread count, so every configuration replays the same readings.
+    let mut values_rng = StdRng::seed_from_u64(seed ^ n ^ 0xEB0C);
+    let mut digest = Sha256::new();
+    let mut source_cpu = 0.0f64;
+    let mut aggregator_cpu = 0.0f64;
+    let mut querier_cpu = 0.0f64;
+
+    let wall_start = Instant::now();
+    for epoch in 0..epochs {
+        let values: Vec<u64> = (0..n).map(|_| values_rng.random_range(0..5000)).collect();
+        let out = engine.run_epoch(epoch, &values);
+        source_cpu += out.stats.source_cpu.as_secs_f64() * 1e3;
+        aggregator_cpu += out.stats.aggregator_cpu.as_secs_f64() * 1e3;
+        querier_cpu += out.stats.querier_cpu.as_secs_f64() * 1e3;
+
+        // Aggregate bytes: the exact PSR the querier evaluated.
+        if let Some(psr) = engine.last_final_psr() {
+            digest.update(&psr.to_bytes());
+        }
+        // Verdict and result value.
+        match &out.result {
+            Ok(sum) => {
+                digest.update(&[1, u8::from(sum.integrity_checked)]);
+                digest.update(&sum.sum.to_bits().to_le_bytes());
+            }
+            Err(SchemeError::VerificationFailed(m)) => {
+                digest.update(&[2]);
+                digest.update(m.as_bytes());
+            }
+            Err(SchemeError::Malformed(m)) => {
+                digest.update(&[3]);
+                digest.update(m.as_bytes());
+            }
+        }
+        // Contributor set, in reported order.
+        for sid in &out.stats.contributors {
+            digest.update(&sid.to_le_bytes());
+        }
+    }
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+
+    ThroughputPoint {
+        n,
+        threads,
+        epochs,
+        wall_ms,
+        epochs_per_sec: epochs as f64 / (wall_ms / 1e3),
+        source_cpu_ms: source_cpu,
+        aggregator_cpu_ms: aggregator_cpu,
+        querier_cpu_ms: querier_cpu,
+        speedup_vs_serial: 1.0, // patched by the suite
+        result_digest: hex(&digest.finalize()),
+    }
+}
+
+/// Runs the throughput sweep: every `n` in [`THROUGHPUT_N`] at every
+/// thread count in `thread_sweep` (deduplicated, serial first), each for
+/// `epochs` epochs.
+///
+/// Panics if any configuration's result digest differs from the serial
+/// baseline's — the determinism oracle.
+pub fn throughput_suite(seed: u64, epochs: u64, thread_sweep: &[usize]) -> Vec<ThroughputPoint> {
+    let mut sweep: Vec<usize> = thread_sweep.iter().map(|&t| t.max(1)).collect();
+    if !sweep.contains(&1) {
+        sweep.insert(0, 1);
+    }
+    sweep.sort_unstable();
+    sweep.dedup();
+
+    let mut points = Vec::new();
+    for &n in &THROUGHPUT_N {
+        let mut serial: Option<ThroughputPoint> = None;
+        for &threads in &sweep {
+            let mut point = run_config(seed, n, threads, epochs);
+            match &serial {
+                None => {
+                    assert_eq!(point.threads, 1, "serial baseline must run first");
+                    serial = Some(point.clone());
+                }
+                Some(base) => {
+                    assert_eq!(
+                        point.result_digest, base.result_digest,
+                        "determinism oracle violated: N={n}, {threads} threads diverged \
+                         from the serial engine"
+                    );
+                    point.speedup_vs_serial = base.wall_ms / point.wall_ms;
+                }
+            }
+            points.push(point);
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_digests_agree_across_thread_counts() {
+        // The suite panics internally if any digest diverges; this run is
+        // the small-scale differential oracle. Keep it tiny — larger
+        // sweeps run from `repro throughput`.
+        let points = throughput_suite(42, 2, &[1, 2, 4]);
+        assert_eq!(points.len(), THROUGHPUT_N.len() * 3);
+        for chunk in points.chunks(3) {
+            assert!(chunk
+                .iter()
+                .all(|p| p.result_digest == chunk[0].result_digest));
+            assert!(chunk.iter().all(|p| p.epochs_per_sec > 0.0));
+            assert_eq!(chunk[0].threads, 1);
+            assert_eq!(chunk[0].speedup_vs_serial, 1.0);
+        }
+        // Distinct populations must produce distinct aggregates.
+        assert_ne!(points[0].result_digest, points[3].result_digest);
+    }
+
+    #[test]
+    fn run_config_is_seed_stable() {
+        let a = run_config(7, 100, 1, 2);
+        let b = run_config(7, 100, 2, 2);
+        assert_eq!(a.result_digest, b.result_digest);
+        let c = run_config(8, 100, 1, 2);
+        assert_ne!(a.result_digest, c.result_digest, "seed must matter");
+    }
+}

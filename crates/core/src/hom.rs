@@ -9,6 +9,7 @@
 //! Its additive homomorphism — `ℰ(m₁,K,k₁) + ℰ(m₂,K,k₂) =
 //! ℰ(m₁+m₂, K, k₁+k₂)` — is what lets aggregators fuse PSRs without keys.
 
+use sies_crypto::mont::MontgomeryCtx;
 use sies_crypto::u256::U256;
 
 /// Encrypts `m` under global multiplier `k_global` (`K_t`) and blinding key
@@ -37,6 +38,63 @@ pub fn decrypt(c: &U256, k_global: &U256, k_blind: &U256, p: &U256) -> U256 {
 /// (paper §IV-A, merging phase). Aggregators possess only `p`.
 pub fn merge(c1: &U256, c2: &U256, p: &U256) -> U256 {
     c1.add_mod(c2, p)
+}
+
+/// Batched encryptor for one epoch key `K_t`: the multiply-heavy half of
+/// [`encrypt`] amortized over many messages.
+///
+/// [`encrypt`] pays a full widening multiply plus Knuth-D division per
+/// message. Since every source in an epoch multiplies by the *same*
+/// `K_t`, converting `K_t` into the Montgomery domain once turns each
+/// encryption into a single CIOS `mont_mul` (no division) plus a modular
+/// add: `mont_mul(K_t·R, m) = K_t·R·m·R⁻¹ = K_t·m (mod p)` — the exact
+/// value the generic path computes, so ciphertexts are bit-identical.
+///
+/// The context is `Clone + Send + Sync` plain data, so sharded epoch
+/// workers can each hold one (or share a reference) with no locking and
+/// no steady-state allocation.
+#[derive(Debug, Clone)]
+pub struct EpochCipher {
+    ctx: MontgomeryCtx,
+    /// `K_t · R mod p` (Montgomery form of the epoch key).
+    k_mont: U256,
+    p: U256,
+}
+
+impl EpochCipher {
+    /// Precomputes the Montgomery context for `p` and enters `k_global`
+    /// (`K_t`, non-zero) into the Montgomery domain.
+    pub fn new(k_global: &U256, p: &U256) -> Self {
+        debug_assert!(!k_global.is_zero(), "K_t must be invertible");
+        let ctx = MontgomeryCtx::new(p);
+        EpochCipher {
+            k_mont: ctx.to_mont(k_global),
+            ctx,
+            p: *p,
+        }
+    }
+
+    /// Builds from an existing Montgomery context (saves the setup cost
+    /// when one context serves several epochs of the same deployment).
+    pub fn with_ctx(k_global: &U256, ctx: &MontgomeryCtx) -> Self {
+        debug_assert!(!k_global.is_zero(), "K_t must be invertible");
+        EpochCipher {
+            k_mont: ctx.to_mont(k_global),
+            ctx: *ctx,
+            p: ctx.modulus(),
+        }
+    }
+
+    /// Encrypts `m` under this epoch's `K_t` and the per-source blinding
+    /// key `k_blind`. Bit-identical to `encrypt(m, K_t, k_blind, p)`.
+    pub fn encrypt(&self, m: &U256, k_blind: &U256) -> U256 {
+        self.ctx.mont_mul(&self.k_mont, m).add_mod(k_blind, &self.p)
+    }
+
+    /// The modulus this cipher reduces under.
+    pub fn prime(&self) -> &U256 {
+        &self.p
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +168,38 @@ mod tests {
         let p = DEFAULT_PRIME_256;
         let k_blind = u(0xabcdef);
         assert_eq!(encrypt(&U256::ZERO, &u(5), &k_blind, &p), k_blind);
+    }
+
+    #[test]
+    fn epoch_cipher_is_bit_identical_to_generic_encrypt() {
+        let p = DEFAULT_PRIME_256;
+        let mut k_global = u(0xdead_beef_1234);
+        let cipher_keys: Vec<(U256, U256)> = (0..64u128)
+            .map(|i| (u(i * 7919 + 1), u(i.wrapping_mul(i) + 3)))
+            .collect();
+        for round in 0..4 {
+            let cipher = EpochCipher::new(&k_global, &p);
+            assert_eq!(cipher.prime(), &p);
+            for (k_blind, m) in &cipher_keys {
+                assert_eq!(
+                    cipher.encrypt(m, k_blind),
+                    encrypt(m, &k_global, k_blind, &p),
+                    "round {round}"
+                );
+            }
+            // Evolve K_t across the full range, including values > p/2.
+            k_global = k_global.mul_mod(&u(0x1_0000_0001), &p).add_mod(&u(1), &p);
+        }
+    }
+
+    #[test]
+    fn epoch_cipher_shares_context_across_epochs() {
+        let p = DEFAULT_PRIME_256;
+        let ctx = sies_crypto::mont::MontgomeryCtx::new(&p);
+        let a = EpochCipher::with_ctx(&u(31337), &ctx);
+        let b = EpochCipher::new(&u(31337), &p);
+        let m = u(123_456_789);
+        let k = u(42);
+        assert_eq!(a.encrypt(&m, &k), b.encrypt(&m, &k));
     }
 }

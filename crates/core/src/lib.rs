@@ -47,12 +47,14 @@ pub mod codec;
 pub mod error;
 pub mod hom;
 pub mod mutesla;
+pub mod parallel;
 pub mod params;
 pub mod query;
 pub mod rekey;
 pub mod scheme;
 
 pub use error::{Epoch, SiesError, SourceId};
+pub use parallel::Threads;
 pub use params::{ResultWidth, SystemParams};
 pub use query::{Aggregate, Attribute, Predicate, Query, QueryPlan, QueryResult, SensorReading};
 pub use scheme::{setup, Aggregator, Psr, Querier, Source, SourceCredentials, VerifiedSum};

@@ -112,6 +112,9 @@ impl Broadcaster {
     }
 }
 
+/// Default size of the receiver's precomputed MAC-key window.
+pub const DEFAULT_KEY_WINDOW: usize = 32;
+
 /// A receiver (a source sensor in SIES).
 pub struct Receiver {
     /// Last authenticated chain element and its interval.
@@ -121,6 +124,13 @@ pub struct Receiver {
     delay: u64,
     /// Buffered, not-yet-verifiable packets.
     pending: Vec<Packet>,
+    /// Precomputed `(interval, K'_i)` pairs for the most recently
+    /// authenticated intervals, ascending by interval. Each entry costs
+    /// one HMAC at disclosure time; afterwards any packet from a
+    /// windowed interval verifies with a single MAC and zero chain
+    /// hashing ([`Receiver::verify_archived`]).
+    window: Vec<(u64, [u8; 32])>,
+    window_cap: usize,
 }
 
 impl Receiver {
@@ -131,7 +141,17 @@ impl Receiver {
             auth_interval: 0,
             delay,
             pending: Vec::new(),
+            window: Vec::new(),
+            window_cap: DEFAULT_KEY_WINDOW,
         }
+    }
+
+    /// Overrides how many authenticated intervals keep their MAC key
+    /// precomputed (0 disables the window).
+    pub fn with_key_window(mut self, cap: usize) -> Self {
+        self.window_cap = cap;
+        self.window.truncate(cap);
+        self
     }
 
     /// Accepts a packet into the buffer if the security condition holds:
@@ -193,6 +213,19 @@ impl Receiver {
         self.auth_key = disclosure.key;
         self.auth_interval = disclosure.interval;
 
+        // Extend the precomputed MAC-key window with the newly
+        // authenticated intervals (newest `window_cap` retained). One
+        // HMAC per interval here replaces one per *packet* below and
+        // keeps the key available for later archive re-verification.
+        let fresh = steps.min(self.window_cap as u64);
+        for d in (0..fresh).rev() {
+            self.window
+                .push((disclosure.interval - d, mac_key(&keys[d as usize])));
+        }
+        if self.window.len() > self.window_cap {
+            self.window.drain(..self.window.len() - self.window_cap);
+        }
+
         // Verify everything now authenticable: packets for any interval
         // in (prev_auth, disclosure.interval].
         let mut verified: Vec<(u64, Vec<u8>)> = Vec::new();
@@ -207,8 +240,19 @@ impl Receiver {
                 // intervals; drop defensively.
                 continue;
             }
-            let key = keys[(disclosure.interval - packet.interval) as usize];
-            let expected = hmac::<Sha256>(&mac_key(&key), &packet.payload);
+            // Windowed intervals reuse the precomputed K'_i; anything
+            // older (a skip deeper than the window) derives it from the
+            // chain walk directly.
+            let mk = self
+                .window
+                .iter()
+                .rev()
+                .find(|(i, _)| *i == packet.interval)
+                .map(|(_, mk)| *mk)
+                .unwrap_or_else(|| {
+                    mac_key(&keys[(disclosure.interval - packet.interval) as usize])
+                });
+            let expected = hmac::<Sha256>(&mk, &packet.payload);
             if ct_eq(&expected, &packet.mac) {
                 verified.push((packet.interval, packet.payload));
             }
@@ -216,6 +260,28 @@ impl Receiver {
         self.pending = remaining;
         verified.sort_by_key(|(interval, _)| *interval);
         Ok(verified.into_iter().map(|(_, payload)| payload).collect())
+    }
+
+    /// Re-verifies an already-delivered packet against the precomputed
+    /// key window: a single MAC, no chain hashing. Returns `false` when
+    /// the MAC is wrong *or* the packet's interval has aged out of the
+    /// window (callers needing older intervals must retain payloads they
+    /// verified at disclosure time).
+    pub fn verify_archived(&self, packet: &Packet) -> bool {
+        self.window
+            .iter()
+            .rev()
+            .find(|(i, _)| *i == packet.interval)
+            .is_some_and(|(_, mk)| ct_eq(&hmac::<Sha256>(mk, &packet.payload), &packet.mac))
+    }
+
+    /// Intervals currently covered by the precomputed key window, as an
+    /// inclusive `(oldest, newest)` pair; `None` before any disclosure.
+    pub fn window_span(&self) -> Option<(u64, u64)> {
+        match (self.window.first(), self.window.last()) {
+            (Some(&(lo, _)), Some(&(hi, _))) => Some((lo, hi)),
+            _ => None,
+        }
     }
 }
 
@@ -332,6 +398,56 @@ mod tests {
         r.receive(2, forged).unwrap();
         let msgs = r.on_disclosure(b.disclose(3)).unwrap();
         assert_eq!(msgs, vec![b"one".to_vec()], "forged packet must not verify");
+    }
+
+    #[test]
+    fn archived_packets_verify_from_window() {
+        let (b, mut r) = setup(10, 4);
+        let real = b.broadcast(2, b"two");
+        r.receive(1, b.broadcast(1, b"one")).unwrap();
+        r.receive(2, real.clone()).unwrap();
+        assert!(!r.verify_archived(&real), "window empty before disclosure");
+        r.on_disclosure(b.disclose(3)).unwrap();
+        // Catch-up authenticated intervals 1..=3; all are windowed.
+        assert_eq!(r.window_span(), Some((1, 3)));
+        assert!(r.verify_archived(&real));
+        assert!(r.verify_archived(&b.broadcast(1, b"one")));
+        let mut forged = real.clone();
+        forged.payload = b"evil".to_vec();
+        assert!(!r.verify_archived(&forged));
+        // An interval never authenticated is not in the window.
+        assert!(!r.verify_archived(&b.broadcast(5, b"future")));
+    }
+
+    #[test]
+    fn key_window_is_bounded() {
+        let (b, r) = setup(10, 2);
+        let mut r = r.with_key_window(2);
+        for i in 1..=5 {
+            r.receive(i, b.broadcast(i, b"q")).unwrap();
+            r.on_disclosure(b.disclose(i)).unwrap();
+        }
+        assert_eq!(r.window_span(), Some((4, 5)));
+        assert!(r.verify_archived(&b.broadcast(5, b"q")));
+        assert!(r.verify_archived(&b.broadcast(4, b"q")));
+        // Interval 3 aged out: re-verification is refused, not wrong.
+        assert!(!r.verify_archived(&b.broadcast(3, b"q")));
+    }
+
+    #[test]
+    fn deep_catch_up_beyond_window_still_verifies_pending() {
+        // Skip 6 intervals with a window of 2: the packets for the old
+        // intervals must still verify at disclosure time (from the chain
+        // walk), even though only the newest 2 keys are retained.
+        let (b, r) = setup(10, 8);
+        let mut r = r.with_key_window(2);
+        for i in 1..=6 {
+            r.receive(i, b.broadcast(i, format!("q{i}").as_bytes()))
+                .unwrap();
+        }
+        let msgs = r.on_disclosure(b.disclose(6)).unwrap();
+        assert_eq!(msgs.len(), 6);
+        assert_eq!(r.window_span(), Some((5, 6)));
     }
 
     #[test]

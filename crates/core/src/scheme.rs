@@ -8,10 +8,11 @@
 
 use crate::codec::{self, SecretShare};
 use crate::error::{Epoch, SiesError, SourceId};
-use crate::hom;
+use crate::hom::{self, EpochCipher};
+use crate::parallel;
 use crate::params::SystemParams;
 use rand::RngCore;
-use sies_crypto::prf;
+use sies_crypto::prf::{self, KeyedPrf};
 use sies_crypto::u256::U256;
 
 /// Length of the long-term keys `K` and `k_i` in bytes (paper §IV-A: "in
@@ -70,8 +71,16 @@ pub struct SourceCredentials {
 }
 
 /// A source sensor: runs the initialization phase each epoch.
+///
+/// Holds its long-term keys with the HMAC pads pre-absorbed
+/// ([`KeyedPrf`]), so every epoch's PRF evaluations skip the per-call
+/// key-block setup. All fields are plain owned data — a `&Source` is
+/// `Sync` and can be shared freely across epoch-pipeline workers.
+#[derive(Clone)]
 pub struct Source {
     creds: SourceCredentials,
+    global_prf: KeyedPrf,
+    source_prf: KeyedPrf,
 }
 
 /// An aggregator sensor: holds only the public prime `p` (it has no keys —
@@ -148,7 +157,13 @@ impl SourceCredentials {
 impl Source {
     /// Instantiates a source from its registered credentials.
     pub fn new(creds: SourceCredentials) -> Self {
-        Source { creds }
+        let global_prf = KeyedPrf::new(&creds.global_key);
+        let source_prf = KeyedPrf::new(&creds.source_key);
+        Source {
+            creds,
+            global_prf,
+            source_prf,
+        }
     }
 
     /// The source's identifier.
@@ -165,14 +180,44 @@ impl Source {
     pub fn initialize(&self, epoch: Epoch, value: u64) -> Result<Psr, SiesError> {
         let p = self.creds.params.prime();
         // K_t = HM256(K, t), shared by all sources.
-        let k_t = prf::derive_mod_nonzero(&self.creds.global_key, epoch, p);
+        let k_t = self.global_prf.derive_mod_nonzero(epoch, p);
         // k_{i,t} = HM256(k_i, t), known only to S_i (and the querier).
-        let k_it = prf::derive_mod(&self.creds.source_key, epoch, p);
+        let k_it = self.source_prf.derive_mod(epoch, p);
         // ss_{i,t} = HM1(k_i, t).
-        let ss: SecretShare = prf::hm1_epoch(&self.creds.source_key, epoch);
+        let ss: SecretShare = self.source_prf.hm1_epoch(epoch);
         let m = codec::encode_message(&self.creds.params, value, &ss)?;
         Ok(Psr {
             ciphertext: hom::encrypt(&m, &k_t, &k_it, p),
+        })
+    }
+
+    /// Builds this epoch's shared cipher: `K_t` derived once and entered
+    /// into the Montgomery domain. Every source of a deployment derives
+    /// the *same* `K_t`, so one [`EpochCipher`] (built by any source, or
+    /// one per shard worker) serves the whole population for the epoch.
+    pub fn epoch_cipher(&self, epoch: Epoch) -> EpochCipher {
+        let p = self.creds.params.prime();
+        EpochCipher::new(&self.global_prf.derive_mod_nonzero(epoch, p), p)
+    }
+
+    /// The initialization phase with the epoch-shared work hoisted out:
+    /// bit-identical to [`Source::initialize`] (asserted by
+    /// `batched_initialize_matches_serial` below) but skips the per-call
+    /// `K_t` derivation and replaces the generic multiply-and-divide with
+    /// one Montgomery multiply via `cipher`.
+    pub fn initialize_with(
+        &self,
+        cipher: &EpochCipher,
+        epoch: Epoch,
+        value: u64,
+    ) -> Result<Psr, SiesError> {
+        let p = self.creds.params.prime();
+        debug_assert_eq!(cipher.prime(), p, "cipher built for a different modulus");
+        let k_it = self.source_prf.derive_mod(epoch, p);
+        let ss: SecretShare = self.source_prf.hm1_epoch(epoch);
+        let m = codec::encode_message(&self.creds.params, value, &ss)?;
+        Ok(Psr {
+            ciphertext: cipher.encrypt(&m, &k_it),
         })
     }
 }
@@ -227,13 +272,21 @@ impl Querier {
         epoch: Epoch,
         contributors: &[SourceId],
     ) -> Result<VerifiedSum, SiesError> {
-        let p = self.params.prime();
-        let k_t = prf::derive_mod_nonzero(&self.global_key, epoch, p);
+        self.evaluate_with_contributors_threaded(final_psr, epoch, contributors, 1)
+    }
 
-        // Σ k_{i,t} mod p and Σ ss_{i,t} (plain integer) over contributors.
+    /// Per-chunk half of evaluation: `(Σ k_{i,t} mod p, Σ ss_{i,t})` over
+    /// one contiguous slice of the contributor list, or the first error in
+    /// slice order.
+    fn contributor_partial(
+        &self,
+        epoch: Epoch,
+        ids: &[SourceId],
+    ) -> Result<(U256, U256), SiesError> {
+        let p = self.params.prime();
         let mut k_sum = U256::ZERO;
-        let mut expected_secret = U256::ZERO;
-        for &id in contributors {
+        let mut secret = U256::ZERO;
+        for &id in ids {
             let key = self
                 .source_keys
                 .get(id as usize)
@@ -241,8 +294,43 @@ impl Querier {
             let k_it = prf::derive_mod(key, epoch, p);
             k_sum = k_sum.add_mod(&k_it, p);
             let ss = prf::hm1_epoch(key, epoch);
-            expected_secret = expected_secret
+            secret = secret
                 .checked_add(&codec::share_to_u256(&ss))
+                .expect("share sum fits 256 bits");
+        }
+        Ok((k_sum, secret))
+    }
+
+    /// [`Querier::evaluate_with_contributors`] with the per-contributor
+    /// PRF recomputation sharded over `threads` scoped workers.
+    ///
+    /// Deterministic by construction: chunks are contiguous slices of
+    /// `contributors` and the partial sums combine under exactly
+    /// associative operations (modular and integer addition), so the
+    /// result — including which `UnknownSource` error surfaces — is
+    /// identical to the serial loop for every thread count.
+    pub fn evaluate_with_contributors_threaded(
+        &self,
+        final_psr: &Psr,
+        epoch: Epoch,
+        contributors: &[SourceId],
+        threads: usize,
+    ) -> Result<VerifiedSum, SiesError> {
+        let p = self.params.prime();
+        let k_t = prf::derive_mod_nonzero(&self.global_key, epoch, p);
+
+        // Σ k_{i,t} mod p and Σ ss_{i,t} (plain integer) over contributors.
+        // Chunks are in input order, so the first failing chunk holds the
+        // globally first failing contributor.
+        let mut k_sum = U256::ZERO;
+        let mut expected_secret = U256::ZERO;
+        for partial in parallel::map_chunks(threads, contributors, |ids| {
+            self.contributor_partial(epoch, ids)
+        }) {
+            let (ks, es) = partial?;
+            k_sum = k_sum.add_mod(&ks, p);
+            expected_secret = expected_secret
+                .checked_add(&es)
                 .expect("share sum fits 256 bits");
         }
 
@@ -426,6 +514,61 @@ mod tests {
     fn merge_empty_is_none() {
         let (_, _, agg) = full_setup(2, 12);
         assert!(agg.merge(&[]).is_none());
+    }
+
+    #[test]
+    fn batched_initialize_matches_serial() {
+        // The Montgomery-amortized epoch path must emit bit-identical
+        // ciphertexts — this is the scheme-level half of the determinism
+        // oracle for the parallel pipeline.
+        let (_, sources, _) = full_setup(12, 21);
+        for epoch in [0u64, 1, 7, 1_000_003] {
+            let cipher = sources[0].epoch_cipher(epoch);
+            for (i, s) in sources.iter().enumerate() {
+                let v = (i as u64) * 31 + epoch % 97;
+                assert_eq!(
+                    s.initialize_with(&cipher, epoch, v).unwrap(),
+                    s.initialize(epoch, v).unwrap(),
+                    "source {i} epoch {epoch}"
+                );
+            }
+            // Every source derives the same K_t, so any source's cipher
+            // works for all of them.
+            let other = sources[7].epoch_cipher(epoch);
+            assert_eq!(
+                sources[3].initialize_with(&other, epoch, 55).unwrap(),
+                sources[3].initialize(epoch, 55).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_evaluation_matches_serial() {
+        let (querier, sources, agg) = full_setup(33, 22);
+        let contributing: Vec<SourceId> = (0..33).filter(|i| i % 5 != 2).collect();
+        let psrs: Vec<Psr> = contributing
+            .iter()
+            .map(|&id| sources[id as usize].initialize(6, id as u64 + 1).unwrap())
+            .collect();
+        let merged = agg.merge(&psrs).unwrap();
+        let serial = querier
+            .evaluate_with_contributors(&merged, 6, &contributing)
+            .unwrap();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = querier
+                .evaluate_with_contributors_threaded(&merged, 6, &contributing, threads)
+                .unwrap();
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+        // Error results must be identical too — including *which* unknown
+        // contributor is reported.
+        let bad: Vec<SourceId> = vec![0, 1, 99, 2, 77];
+        for threads in [1, 2, 8] {
+            assert!(matches!(
+                querier.evaluate_with_contributors_threaded(&merged, 6, &bad, threads),
+                Err(SiesError::UnknownSource(99))
+            ));
+        }
     }
 
     #[test]

@@ -50,7 +50,6 @@ impl PaillierPublicKey {
     /// Encrypts `m < n` with fresh randomness from `rng`:
     /// `c = (1 + m·n) · r^n mod n²`.
     pub fn encrypt(&self, rng: &mut dyn RngCore, m: &BigUint) -> PaillierCiphertext {
-        assert!(m < &self.n, "plaintext must be below the modulus");
         // r uniform in [1, n) — gcd(r, n) = 1 w.o.p. for an RSA modulus.
         let r = loop {
             let candidate = BigUint::random_below(rng, &self.n);
@@ -58,6 +57,16 @@ impl PaillierPublicKey {
                 break candidate;
             }
         };
+        self.encrypt_with_nonce(m, &r)
+    }
+
+    /// Deterministic encryption with a caller-supplied nonce
+    /// `r ∈ [1, n)`: the known-answer-test hook. Production callers must
+    /// use [`Self::encrypt`] — reusing or revealing `r` breaks semantic
+    /// security.
+    pub fn encrypt_with_nonce(&self, m: &BigUint, r: &BigUint) -> PaillierCiphertext {
+        assert!(m < &self.n, "plaintext must be below the modulus");
+        assert!(!r.is_zero() && r < &self.n, "nonce must be in [1, n)");
         let g_m = BigUint::one().add(&m.mul(&self.n)).rem(&self.n_squared);
         let r_n = r.pow_mod(&self.n, &self.n_squared);
         PaillierCiphertext(g_m.mul_mod(&r_n, &self.n_squared))
@@ -116,6 +125,28 @@ impl PaillierKeyPair {
                 lambda,
                 mu,
             };
+        }
+    }
+
+    /// Builds a key pair from caller-supplied distinct odd primes, for
+    /// known-answer tests and reproducible fixtures. Panics if `λ` is not
+    /// invertible mod `n` (never the case for a well-formed RSA modulus).
+    pub fn from_primes(p: &BigUint, q: &BigUint) -> Self {
+        assert_ne!(p, q, "primes must be distinct");
+        let n = p.mul(q);
+        let one = BigUint::one();
+        let p1 = p.sub(&one);
+        let q1 = q.sub(&one);
+        let gcd = p1.gcd(&q1);
+        let lambda = p1.mul(&q1).div_rem(&gcd).0;
+        let mu = lambda
+            .mod_inverse(&n)
+            .expect("lambda invertible mod n for an RSA modulus");
+        let n_squared = n.mul(&n);
+        PaillierKeyPair {
+            public: PaillierPublicKey { n, n_squared },
+            lambda,
+            mu,
         }
     }
 

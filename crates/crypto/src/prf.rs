@@ -5,7 +5,7 @@
 //! output). Epoch counters are encoded as 8-byte big-endian integers.
 
 use crate::biguint::BigUint;
-use crate::hmac::hmac;
+use crate::hmac::{hmac, HmacState};
 use crate::sha1::Sha1;
 use crate::sha256::Sha256;
 use crate::u256::U256;
@@ -113,6 +113,104 @@ pub fn derive_biguint_mod(key: &[u8], epoch: u64, modulus: &BigUint) -> BigUint 
     }
 }
 
+/// A long-term key with its HMAC pads pre-absorbed: the batched hot path
+/// for deriving many per-epoch values under one key.
+///
+/// [`HmacState::new`] hashes the 64-byte `key ⊕ ipad` block on every
+/// call; over an epoch pipeline that evaluates thousands of PRFs per key
+/// (e.g. the querier recomputing `k_{i,t}` and `ss_{i,t}` for every
+/// contributor, or one source across many epochs), caching the
+/// ipad-absorbed state and cloning it per message removes one compression
+/// function call per PRF invocation and all per-call key-block setup.
+///
+/// Every method is bit-identical to the corresponding free function —
+/// asserted by `batched_prf_matches_oneshot` below — so callers can adopt
+/// the batched path without changing any derived key, share, or
+/// ciphertext.
+#[derive(Clone)]
+pub struct KeyedPrf {
+    hm1: HmacState<Sha1>,
+    hm256: HmacState<Sha256>,
+}
+
+impl KeyedPrf {
+    /// Absorbs `key` into both HMAC instances.
+    pub fn new(key: &[u8]) -> Self {
+        KeyedPrf {
+            hm1: HmacState::<Sha1>::new(key),
+            hm256: HmacState::<Sha256>::new(key),
+        }
+    }
+
+    /// `HM1(key, t)` — identical to [`hm1_epoch`].
+    pub fn hm1_epoch(&self, epoch: u64) -> [u8; 20] {
+        let mut mac = self.hm1.clone();
+        mac.update(&epoch.to_be_bytes());
+        mac.finalize().try_into().expect("SHA-1 digest is 20 bytes")
+    }
+
+    /// `HM256(key, msg)` — identical to [`hm256`].
+    fn hm256_raw(&self, message: &[u8]) -> [u8; 32] {
+        let mut mac = self.hm256.clone();
+        mac.update(message);
+        mac.finalize()
+            .try_into()
+            .expect("SHA-256 digest is 32 bytes")
+    }
+
+    /// `HM256(key, t)` — identical to [`hm256_epoch`].
+    pub fn hm256_epoch(&self, epoch: u64) -> [u8; 32] {
+        self.hm256_raw(&epoch.to_be_bytes())
+    }
+
+    /// Derives a value in `[0, p)` — identical to [`derive_mod`].
+    pub fn derive_mod(&self, epoch: u64, p: &U256) -> U256 {
+        let mask = U256::low_mask(p.bit_len());
+        let mut counter: u32 = 0;
+        loop {
+            let mut msg = [0u8; 12];
+            msg[..8].copy_from_slice(&epoch.to_be_bytes());
+            let msg = if counter > 0 {
+                msg[8..].copy_from_slice(&counter.to_be_bytes());
+                &msg[..]
+            } else {
+                &msg[..8]
+            };
+            let candidate = U256::from_be_bytes(&self.hm256_raw(msg)).and(&mask);
+            if &candidate < p {
+                return candidate;
+            }
+            counter += 1;
+        }
+    }
+
+    /// Derives a non-zero value in `[1, p)` — identical to
+    /// [`derive_mod_nonzero`].
+    pub fn derive_mod_nonzero(&self, epoch: u64, p: &U256) -> U256 {
+        let mask = U256::low_mask(p.bit_len());
+        let mut counter: u32 = 0;
+        loop {
+            let mut msg = Vec::with_capacity(16);
+            msg.extend_from_slice(&epoch.to_be_bytes());
+            msg.extend_from_slice(b"nz");
+            if counter > 0 {
+                msg.extend_from_slice(&counter.to_be_bytes());
+            }
+            let candidate = U256::from_be_bytes(&self.hm256_raw(&msg)).and(&mask);
+            if !candidate.is_zero() && &candidate < p {
+                return candidate;
+            }
+            counter += 1;
+        }
+    }
+
+    /// Multi-epoch keystream: derives `[0, p)` values for every epoch in
+    /// `epochs`, equal element-wise to calling [`derive_mod`] in a loop.
+    pub fn derive_mod_many(&self, epochs: impl IntoIterator<Item = u64>, p: &U256) -> Vec<U256> {
+        epochs.into_iter().map(|t| self.derive_mod(t, p)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +254,35 @@ mod tests {
     fn derive_mod_differs_from_nonzero_variant() {
         let p = U256::MAX;
         assert_ne!(derive_mod(b"key", 3, &p), derive_mod_nonzero(b"key", 3, &p));
+    }
+
+    #[test]
+    fn batched_prf_matches_oneshot() {
+        // The cached-pad path must be bit-identical to the free functions
+        // for every derive variant — this equality is what lets the
+        // parallel pipeline adopt it without changing a single ciphertext.
+        let p_full = crate::DEFAULT_PRIME_256;
+        // A small prime exercises the rejection-sampling counter path.
+        let p_small = U256::from_u128(340_282_366_920_938_463_463_374_607_431_768_211_297);
+        for key in [
+            &b"a 20-byte secret key"[..],
+            &[0xAB; 64][..],
+            &[0x5C; 131][..],
+        ] {
+            let prf = KeyedPrf::new(key);
+            for t in 0..25u64 {
+                assert_eq!(prf.hm1_epoch(t), hm1_epoch(key, t));
+                assert_eq!(prf.hm256_epoch(t), hm256_epoch(key, t));
+                for p in [&p_full, &p_small] {
+                    assert_eq!(prf.derive_mod(t, p), derive_mod(key, t, p));
+                    assert_eq!(prf.derive_mod_nonzero(t, p), derive_mod_nonzero(key, t, p));
+                }
+            }
+            let many = prf.derive_mod_many(0..25, &p_full);
+            for (t, v) in many.iter().enumerate() {
+                assert_eq!(*v, derive_mod(key, t as u64, &p_full));
+            }
+        }
     }
 
     #[test]

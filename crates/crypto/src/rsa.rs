@@ -107,6 +107,28 @@ impl RsaKeyPair {
         }
     }
 
+    /// Builds a key pair from caller-supplied primes, for known-answer
+    /// tests and reproducible fixtures. The primes must be distinct and
+    /// `≡ 2 (mod 3)` so that `gcd(e, φ(n)) = 1` with `e = 3`; panics
+    /// otherwise — fixed fixtures should fail loudly, not degrade.
+    pub fn from_primes(p: &BigUint, q: &BigUint) -> Self {
+        assert_ne!(p, q, "primes must be distinct");
+        let three = BigUint::from_u64(3);
+        assert_eq!(p.rem(&three).as_u64(), 2, "p must be ≡ 2 (mod 3)");
+        assert_eq!(q.rem(&three).as_u64(), 2, "q must be ≡ 2 (mod 3)");
+        let n = p.mul(q);
+        let one = BigUint::one();
+        let phi = p.sub(&one).mul(&q.sub(&one));
+        let e = BigUint::from_u64(SEAL_EXPONENT);
+        let d = e
+            .mod_inverse(&phi)
+            .expect("gcd(3, phi) = 1 for p, q = 2 (mod 3)");
+        RsaKeyPair {
+            public: RsaPublicKey { n, e },
+            d,
+        }
+    }
+
     /// The public half.
     pub fn public(&self) -> &RsaPublicKey {
         &self.public

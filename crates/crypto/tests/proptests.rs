@@ -5,12 +5,36 @@
 
 use proptest::prelude::*;
 use sies_crypto::biguint::BigUint;
+use sies_crypto::mont::MontgomeryCtx;
 use sies_crypto::u256::U256;
 use sies_crypto::DEFAULT_PRIME_256;
 
 /// Strategy: an arbitrary 256-bit value.
 fn any_u256() -> impl Strategy<Value = U256> {
     any::<[u64; 4]>().prop_map(U256::from_limbs)
+}
+
+/// Strategy: an arbitrary *odd* modulus ≥ 3 — Montgomery contexts must
+/// work over any such modulus, not just the SIES prime.
+fn odd_modulus() -> impl Strategy<Value = U256> {
+    any::<[u64; 4]>().prop_map(|mut limbs| {
+        limbs[0] |= 1;
+        let m = U256::from_limbs(limbs);
+        if m == U256::ONE {
+            U256::from_u64(3)
+        } else {
+            m
+        }
+    })
+}
+
+/// Strategy: a value within a small distance of 2^256, to hit the
+/// carry/borrow edges of the limb arithmetic.
+fn near_max_u256() -> impl Strategy<Value = U256> {
+    (0u64..4096).prop_map(|d| {
+        let (v, _) = U256::MAX.overflowing_sub(&U256::from_u64(d));
+        v
+    })
 }
 
 /// Strategy: an arbitrary BigUint up to ~320 bits.
@@ -159,6 +183,120 @@ proptest! {
         let shifted = a.shr(sh);
         let big = BigUint::from(&a).shr(sh);
         prop_assert_eq!(BigUint::from(&shifted), big);
+    }
+
+    // ---- Montgomery vs BigUint over *random odd moduli* -----------------
+    //
+    // The batched hot paths (EpochCipher, KeyedPrf reduction) assume the
+    // Montgomery context agrees with the generic U256 path and the slow
+    // BigUint reference for any odd modulus, not just DEFAULT_PRIME_256.
+
+    #[test]
+    fn mont_mul_matches_biguint_over_random_odd_moduli(
+        a in any_u256(), b in any_u256(), m in odd_modulus()
+    ) {
+        let ctx = MontgomeryCtx::new(&m);
+        let (ar, br) = (a.rem(&m), b.rem(&m));
+        let mont = ctx.mul_mod(&ar, &br);
+        let generic = ar.mul_mod(&br, &m);
+        let reference = BigUint::from(&ar).mul_mod(&BigUint::from(&br), &BigUint::from(&m));
+        prop_assert_eq!(mont, generic);
+        prop_assert_eq!(BigUint::from(&mont), reference);
+    }
+
+    #[test]
+    fn mont_pow_matches_biguint_over_random_odd_moduli(
+        base in any_u256(), e in 0u64..512, m in odd_modulus()
+    ) {
+        let ctx = MontgomeryCtx::new(&m);
+        let br = base.rem(&m);
+        let exp = U256::from_u64(e);
+        let mont = ctx.pow_mod(&br, &exp);
+        let generic = br.pow_mod(&exp, &m);
+        let reference = BigUint::from(&br)
+            .pow_mod(&BigUint::from_u64(e), &BigUint::from(&m));
+        prop_assert_eq!(mont, generic);
+        prop_assert_eq!(BigUint::from(&mont), reference);
+    }
+
+    #[test]
+    fn inv_mod_euclid_matches_biguint_over_random_odd_moduli(
+        a in any_u256(), m in odd_modulus()
+    ) {
+        let ar = a.rem(&m);
+        let fixed = ar.inv_mod_euclid(&m);
+        let reference = BigUint::from(&ar).mod_inverse(&BigUint::from(&m));
+        match (fixed, reference) {
+            (Some(fi), Some(ri)) => {
+                prop_assert_eq!(BigUint::from(&fi), ri);
+                prop_assert_eq!(ar.mul_mod(&fi, &m), U256::ONE);
+            }
+            (None, None) => {
+                // gcd(a, m) ≠ 1: both sides must agree it is non-invertible.
+                prop_assert!(BigUint::from(&ar).gcd(&BigUint::from(&m)).bit_len() != 1);
+            }
+            (fixed, reference) => {
+                prop_assert!(
+                    false,
+                    "invertibility disagreement: U256 {:?} vs BigUint {:?}",
+                    fixed.is_some(),
+                    reference.is_some()
+                );
+            }
+        }
+    }
+
+    // ---- Carry/borrow edges around 2^256 --------------------------------
+
+    #[test]
+    fn add_mod_carry_edges_match_biguint(
+        a in near_max_u256(), b in near_max_u256(), m in odd_modulus()
+    ) {
+        let (ar, br) = (a.rem(&m), b.rem(&m));
+        let fixed = ar.add_mod(&br, &m);
+        let reference = BigUint::from(&ar).add_mod(&BigUint::from(&br), &BigUint::from(&m));
+        prop_assert_eq!(BigUint::from(&fixed), reference);
+    }
+
+    #[test]
+    fn mul_mod_carry_edges_match_biguint(
+        a in near_max_u256(), b in near_max_u256(), m in odd_modulus()
+    ) {
+        let ctx = MontgomeryCtx::new(&m);
+        let (ar, br) = (a.rem(&m), b.rem(&m));
+        let mont = ctx.mul_mod(&ar, &br);
+        let reference = BigUint::from(&ar).mul_mod(&BigUint::from(&br), &BigUint::from(&m));
+        prop_assert_eq!(BigUint::from(&mont), reference);
+    }
+
+    #[test]
+    fn overflowing_ops_match_biguint_at_the_boundary(
+        a in near_max_u256(), b in any_u256()
+    ) {
+        // Addition: the carry flag is exactly bit 256 of the BigUint sum.
+        let (sum, carry) = a.overflowing_add(&b);
+        let wide = BigUint::from(&a).add(&BigUint::from(&b));
+        prop_assert_eq!(carry, wide.bit_len() > 256);
+        let low = BigUint::from_be_bytes(&wide.to_be_bytes())
+            .rem(&BigUint::one().shl(256));
+        prop_assert_eq!(BigUint::from(&sum), low);
+
+        // Subtraction: borrow iff b > a, and (a - b) wraps mod 2^256.
+        let (diff, borrow) = a.overflowing_sub(&b);
+        prop_assert_eq!(borrow, BigUint::from(&b) > BigUint::from(&a));
+        let rewrapped = if borrow {
+            BigUint::from(&diff).add(&BigUint::from(&b)).rem(&BigUint::one().shl(256))
+        } else {
+            BigUint::from(&diff).add(&BigUint::from(&b))
+        };
+        prop_assert_eq!(rewrapped, BigUint::from(&a).rem(&BigUint::one().shl(256)));
+    }
+
+    #[test]
+    fn mont_round_trip_over_random_odd_moduli(a in any_u256(), m in odd_modulus()) {
+        let ctx = MontgomeryCtx::new(&m);
+        let ar = a.rem(&m);
+        prop_assert_eq!(ctx.from_mont(&ctx.to_mont(&ar)), ar);
     }
 
     // ---- The one-time-pad homomorphism (paper §III-D) ------------------

@@ -32,6 +32,7 @@ use crate::scheme::{AggregationScheme, SchemeError};
 use crate::topology::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sies_core::Threads;
 use std::collections::HashSet;
 
 /// Fault-injection mix for one chaos run.
@@ -56,6 +57,10 @@ pub struct ChaosConfig {
     pub max_value: u64,
     /// Recovery-protocol policy.
     pub recovery: RecoveryConfig,
+    /// Worker pool for the sharded source phase. Metrics are identical
+    /// for every setting (the engine's determinism guarantee); only
+    /// wall-clock time changes.
+    pub threads: Threads,
 }
 
 impl Default for ChaosConfig {
@@ -69,6 +74,7 @@ impl Default for ChaosConfig {
             attack_prob: 0.2,
             max_value: 1000,
             recovery: RecoveryConfig::default(),
+            threads: Threads::serial(),
         }
     }
 }
@@ -169,7 +175,7 @@ pub fn run_chaos<S: AggregationScheme>(
 ) -> ChaosMetrics {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let radio = LossyRadio::new(cfg.loss_rate, cfg.max_retries);
-    let mut engine = Engine::new(scheme, topology);
+    let mut engine = Engine::new(scheme, topology).with_threads(cfg.threads);
     let mut m = ChaosMetrics {
         seed: cfg.seed,
         ..ChaosMetrics::default()
@@ -323,6 +329,25 @@ mod tests {
         let a = run_chaos(&dep, &topo, &cfg);
         let b = run_chaos(&dep, &topo, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chaos_metrics_are_thread_count_invariant() {
+        let dep = sies(16);
+        let topo = Topology::complete_tree(16, 4);
+        let base_cfg = ChaosConfig {
+            seed: 77,
+            epochs: 50,
+            ..ChaosConfig::default()
+        };
+        let base = run_chaos(&dep, &topo, &base_cfg);
+        for threads in [2usize, 4, 8] {
+            let cfg = ChaosConfig {
+                threads: Threads::fixed(threads),
+                ..base_cfg
+            };
+            assert_eq!(run_chaos(&dep, &topo, &cfg), base, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -71,6 +71,39 @@ impl AggregationScheme for SiesDeployment {
             .map_err(|e| SchemeError::Malformed(e.to_string()))
     }
 
+    fn batch_source_init(
+        &self,
+        epoch: Epoch,
+        jobs: &[(SourceId, u64)],
+    ) -> Vec<Result<Psr, SchemeError>> {
+        // Hoist the epoch-shared work: K_t derived once and entered into
+        // the Montgomery domain once per shard, so each job costs one
+        // HM256, one HM1 and a single CIOS multiply. Ciphertexts are
+        // bit-identical to `try_source_init` (the EpochCipher contract).
+        let Some(&(first, _)) = jobs.first() else {
+            return Vec::new();
+        };
+        let Some(template) = self.sources.get(first as usize) else {
+            // Fall back to the per-job path, which reports the error in
+            // the same shape as the serial loop.
+            return jobs
+                .iter()
+                .map(|&(s, v)| self.try_source_init(s, epoch, v))
+                .collect();
+        };
+        let cipher = template.epoch_cipher(epoch);
+        jobs.iter()
+            .map(|&(source, value)| {
+                let src = self
+                    .sources
+                    .get(source as usize)
+                    .ok_or_else(|| SchemeError::Malformed(format!("unknown source {source}")))?;
+                src.initialize_with(&cipher, epoch, value)
+                    .map_err(|e| SchemeError::Malformed(e.to_string()))
+            })
+            .collect()
+    }
+
     fn merge(&self, psrs: &[Psr]) -> Psr {
         self.aggregator
             .merge(psrs)
@@ -93,6 +126,30 @@ impl AggregationScheme for SiesDeployment {
             .querier
             .evaluate_with_contributors(final_psr, epoch, contributors)
         {
+            Ok(v) => Ok(EvaluatedSum {
+                sum: v.sum as f64,
+                integrity_checked: true,
+            }),
+            Err(SiesError::IntegrityViolation { epoch }) => Err(SchemeError::VerificationFailed(
+                format!("secret mismatch at epoch {epoch}"),
+            )),
+            Err(e) => Err(SchemeError::Malformed(e.to_string())),
+        }
+    }
+
+    fn evaluate_par(
+        &self,
+        final_psr: &Psr,
+        epoch: Epoch,
+        contributors: &[SourceId],
+        threads: usize,
+    ) -> Result<EvaluatedSum, SchemeError> {
+        match self.querier.evaluate_with_contributors_threaded(
+            final_psr,
+            epoch,
+            contributors,
+            threads,
+        ) {
             Ok(v) => Ok(EvaluatedSum {
                 sum: v.sum as f64,
                 integrity_checked: true,

@@ -11,7 +11,7 @@ use crate::recovery::{
 use crate::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
 use crate::topology::{NodeId, RepairPlan, Role, Topology};
 use rand::RngCore;
-use sies_core::{Epoch, SourceId};
+use sies_core::{parallel, Epoch, SourceId, Threads};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -166,17 +166,20 @@ pub struct Engine<'a, S: AggregationScheme> {
     scheme: &'a S,
     topology: &'a Topology,
     radio: RadioModel,
+    /// Worker count for the sharded source phase (1 = fully serial).
+    threads: usize,
     /// Cached final PSR of the previous epoch, for replay attacks.
     prev_final: Option<S::Psr>,
 }
 
 impl<'a, S: AggregationScheme> Engine<'a, S> {
-    /// Creates an engine with the default radio model.
+    /// Creates an engine with the default radio model, running serially.
     pub fn new(scheme: &'a S, topology: &'a Topology) -> Self {
         Engine {
             scheme,
             topology,
             radio: RadioModel::default(),
+            threads: 1,
             prev_final: None,
         }
     }
@@ -187,9 +190,58 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         self
     }
 
+    /// Shards each epoch's source phase (and SIES evaluation) across this
+    /// many scoped workers. Results are byte-identical for every thread
+    /// count: sources are precomputed in deterministic post-order chunks,
+    /// the tree walk itself stays serial, and partial evaluation sums
+    /// combine under exactly associative modular arithmetic.
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads.resolve();
+        self
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// The topology in use.
     pub fn topology(&self) -> &Topology {
         self.topology
+    }
+
+    /// The final PSR of the most recent epoch (what the querier saw) —
+    /// used by harnesses that digest aggregates byte-for-byte.
+    pub fn last_final_psr(&self) -> Option<&S::Psr> {
+        self.prev_final.as_ref()
+    }
+
+    /// Shards `jobs` (one `(source, value)` pair per live source, in walk
+    /// order) across the worker pool, returning per-job results aligned
+    /// with `jobs` plus the summed in-worker CPU time. Chunk boundaries
+    /// only affect how much epoch-shared setup ([`batch_source_init`]'s
+    /// amortization) is repeated — never the bytes produced.
+    ///
+    /// [`batch_source_init`]: AggregationScheme::batch_source_init
+    fn shard_source_init(
+        &self,
+        epoch: Epoch,
+        jobs: &[(SourceId, u64)],
+    ) -> (Vec<Result<S::Psr, SchemeError>>, Duration) {
+        let scheme = self.scheme;
+        let shards = parallel::map_chunks(self.threads, jobs, |chunk| {
+            let t0 = Instant::now();
+            let out = scheme.batch_source_init(epoch, chunk);
+            debug_assert_eq!(out.len(), chunk.len(), "one result per job required");
+            (out, t0.elapsed())
+        });
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut cpu = Duration::ZERO;
+        for (out, elapsed) in shards {
+            results.extend(out);
+            cpu += elapsed;
+        }
+        (results, cpu)
     }
 
     /// Runs a clean epoch: no failures, no attacks.
@@ -244,18 +296,39 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         let n_nodes = self.topology.nodes().len();
         let mut outputs: Vec<Vec<S::Psr>> = (0..n_nodes).map(|_| Vec::new()).collect();
 
+        // Source phase, sharded: every live source's PSR is precomputed
+        // across the worker pool before the (serial) tree walk consumes
+        // them in post-order. `source_cpu` therefore covers the whole
+        // population even when a rejected reading aborts the walk early.
+        let mut job_nodes: Vec<NodeId> = Vec::new();
+        let mut jobs: Vec<(SourceId, u64)> = Vec::new();
+        for id in self.topology.post_order() {
+            if failed.contains(&id) {
+                continue;
+            }
+            if let Role::Source(sid) = self.topology.node(id).role {
+                job_nodes.push(id);
+                jobs.push((sid, values[sid as usize]));
+            }
+        }
+        let (results, source_cpu) = self.shard_source_init(epoch, &jobs);
+        stats.source_cpu += source_cpu;
+        let mut precomputed: Vec<Option<Result<S::Psr, SchemeError>>> =
+            (0..n_nodes).map(|_| None).collect();
+        for (&id, res) in job_nodes.iter().zip(results) {
+            precomputed[id] = Some(res);
+        }
+
         for id in self.topology.post_order() {
             if failed.contains(&id) {
                 continue;
             }
             let node = self.topology.node(id);
             let produced: Option<S::Psr> = match node.role {
-                Role::Source(sid) => {
-                    let t0 = Instant::now();
-                    let psr = self
-                        .scheme
-                        .try_source_init(sid, epoch, values[sid as usize]);
-                    stats.source_cpu += t0.elapsed();
+                Role::Source(_) => {
+                    let psr = precomputed[id]
+                        .take()
+                        .expect("every live source was precomputed");
                     stats.sources_run += 1;
                     match psr {
                         Ok(psr) => Some(psr),
@@ -374,7 +447,9 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         self.prev_final = Some(final_psr.clone());
 
         let t0 = Instant::now();
-        let result = self.scheme.evaluate(&final_psr, epoch, &stats.contributors);
+        let result = self
+            .scheme
+            .evaluate_par(&final_psr, epoch, &stats.contributors, self.threads);
         stats.querier_cpu = t0.elapsed();
 
         EpochOutcome { result, stats }
@@ -508,15 +583,33 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         let mut contrib_slot: Vec<Vec<SourceId>> = vec![Vec::new(); n_nodes];
         let mut poison_slot: Vec<bool> = vec![false; n_nodes];
 
+        // Source phase, sharded over the worker pool (see run_epoch_with):
+        // the repaired-tree walk below stays serial, so the per-uplink RNG
+        // draw order — and with it every recovery decision — is untouched
+        // by the thread count.
+        let mut job_nodes: Vec<NodeId> = Vec::new();
+        let mut jobs: Vec<(SourceId, u64)> = Vec::new();
+        for &id in &order {
+            if let Role::Source(sid) = self.topology.node(id).role {
+                job_nodes.push(id);
+                jobs.push((sid, values[sid as usize]));
+            }
+        }
+        let (results, source_cpu) = self.shard_source_init(epoch, &jobs);
+        stats.source_cpu += source_cpu;
+        let mut precomputed: Vec<Option<Result<S::Psr, SchemeError>>> =
+            (0..n_nodes).map(|_| None).collect();
+        for (&id, res) in job_nodes.iter().zip(results) {
+            precomputed[id] = Some(res);
+        }
+
         for &id in &order {
             let node = self.topology.node(id);
             match node.role {
                 Role::Source(sid) => {
-                    let t0 = Instant::now();
-                    let produced = self
-                        .scheme
-                        .try_source_init(sid, epoch, values[sid as usize]);
-                    stats.source_cpu += t0.elapsed();
+                    let produced = precomputed[id]
+                        .take()
+                        .expect("every live source was precomputed");
                     stats.sources_run += 1;
                     match produced {
                         Ok(psr) => {
@@ -716,7 +809,9 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         stats.contributors = contributors;
 
         let t0 = Instant::now();
-        let result = self.scheme.evaluate(&final_psr, epoch, &stats.contributors);
+        let result = self
+            .scheme
+            .evaluate_par(&final_psr, epoch, &stats.contributors, self.threads);
         stats.querier_cpu = t0.elapsed();
 
         RecoveredEpoch {
@@ -930,6 +1025,25 @@ mod tests {
         let (topo, scheme) = engine_fixture(4, 2);
         let mut engine = Engine::new(&scheme, &topo);
         engine.run_epoch(0, &[1; 3]);
+    }
+
+    #[test]
+    fn threaded_epoch_matches_serial_engine() {
+        let (topo, scheme) = engine_fixture(16, 4);
+        let values: Vec<u64> = (1..=16).map(|v| v * 3).collect();
+        let failed: HashSet<NodeId> = [topo.source_node(6).unwrap()].into();
+        let attacks = [Attack::TamperAtNode(topo.source_node(2).unwrap())];
+        let mut serial = Engine::new(&scheme, &topo);
+        let base = serial.run_epoch_with(0, &values, &failed, &attacks);
+        for threads in [1, 2, 4, 8] {
+            let mut engine = Engine::new(&scheme, &topo).with_threads(Threads::fixed(threads));
+            assert_eq!(engine.threads(), threads);
+            let out = engine.run_epoch_with(0, &values, &failed, &attacks);
+            assert_eq!(out.result, base.result, "threads = {threads}");
+            assert_eq!(out.stats.bytes, base.stats.bytes, "threads = {threads}");
+            assert_eq!(out.stats.contributors, base.stats.contributors);
+            assert_eq!(out.stats.sources_run, base.stats.sources_run);
+        }
     }
 
     mod recovering {

@@ -46,4 +46,5 @@ pub use engine::{Attack, EdgeBytes, Engine, EpochOutcome, EpochStats, RecoveredE
 pub use query_engine::{QueryEngine, QueryOutcome};
 pub use recovery::{RecoveryConfig, RecoveryReport, UplinkOutcome};
 pub use scheme::{AggregationScheme, EvaluatedSum, SchemeError};
+pub use sies_core::Threads;
 pub use topology::{Node, NodeId, RepairPlan, Role, Topology};

@@ -40,9 +40,14 @@ pub struct EvaluatedSum {
 /// A deployed secure in-network aggregation scheme covering all `N`
 /// sources. Implementors carry the key material for every party, because
 /// the epoch engine plays all roles in-process.
-pub trait AggregationScheme {
+///
+/// Schemes are `Sync` (all implementors are plain owned key material) so
+/// the engine can shard an epoch's source population across scoped
+/// workers that share `&self`; PSRs are `Send` so the per-shard results
+/// can flow back to the merging thread.
+pub trait AggregationScheme: Sync {
     /// The partial state record flowing along edges.
-    type Psr: Clone;
+    type Psr: Clone + Send;
 
     /// Scheme name for reports ("SIES", "CMT", "SECOAS").
     fn name(&self) -> &'static str;
@@ -63,6 +68,26 @@ pub trait AggregationScheme {
         value: u64,
     ) -> Result<Self::Psr, SchemeError> {
         Ok(self.source_init(source, epoch, value))
+    }
+
+    /// Batched initialization over one shard of an epoch's job list:
+    /// returns one result per `(source, value)` pair, in input order,
+    /// element-wise equal to calling
+    /// [`try_source_init`](Self::try_source_init) in a loop (which is
+    /// exactly what the default does).
+    ///
+    /// Schemes override this to hoist epoch-shared work out of the
+    /// per-source loop — SIES derives `K_t` and builds its Montgomery
+    /// context once per shard. The engine hands each scoped worker one
+    /// contiguous chunk of the epoch's jobs through this hook.
+    fn batch_source_init(
+        &self,
+        epoch: Epoch,
+        jobs: &[(SourceId, u64)],
+    ) -> Vec<Result<Self::Psr, SchemeError>> {
+        jobs.iter()
+            .map(|&(source, value)| self.try_source_init(source, epoch, value))
+            .collect()
     }
 
     /// Merging phase `M` at an aggregator: fuse children's PSRs.
@@ -88,6 +113,21 @@ pub trait AggregationScheme {
         epoch: Epoch,
         contributors: &[SourceId],
     ) -> Result<EvaluatedSum, SchemeError>;
+
+    /// Evaluation phase sharded over `threads` workers. Must return
+    /// exactly what [`evaluate`](Self::evaluate) returns for every thread
+    /// count — the default simply delegates; SIES overrides it to split
+    /// the per-contributor key/share recomputation across workers.
+    fn evaluate_par(
+        &self,
+        final_psr: &Self::Psr,
+        epoch: Epoch,
+        contributors: &[SourceId],
+        threads: usize,
+    ) -> Result<EvaluatedSum, SchemeError> {
+        let _ = threads;
+        self.evaluate(final_psr, epoch, contributors)
+    }
 
     /// Extra processing at the sink (root aggregator) before the PSR is
     /// sent to the querier. Identity for SIES and CMT; SECOA folds SEALs
