@@ -175,7 +175,6 @@ impl SecoaSum {
     ) -> SecoaPsr {
         use rand::Rng as _;
         assert!(!contributors.is_empty());
-        let n_mod = self.rsa.modulus();
         let mut slots = Vec::with_capacity(self.j);
         let mut seals = Vec::with_capacity(self.j);
         for jj in 0..self.j {
@@ -185,12 +184,13 @@ impl SecoaSum {
                 &self.mac_keys[owner as usize],
                 &cert_message(x, jj as u32, epoch),
             );
-            // Product of every contributor's seed for this sketch.
-            let mut product = sies_crypto::biguint::BigUint::one();
-            for &i in contributors {
-                let sd = derive_seed(&self.seed_keys[i as usize], jj as u32, epoch, &self.rsa);
-                product = product.mul_mod(&sd, n_mod);
-            }
+            // Product of every contributor's seed for this sketch, folded
+            // through the key's shared Montgomery context.
+            let seeds: Vec<_> = contributors
+                .iter()
+                .map(|&i| derive_seed(&self.seed_keys[i as usize], jj as u32, epoch, &self.rsa))
+                .collect();
+            let product = self.rsa.fold_product(seeds.iter());
             seals.push(Seal::new(&self.rsa, &product, x as u64));
             slots.push(SketchSlot { x, owner, cert });
         }
@@ -389,18 +389,23 @@ impl AggregationScheme for SecoaSum {
         // bundles, each distinct position contributed one SEAL per sketch
         // at that position, so the reference is the product over all
         // (contributor, sketch) seeds — identical in both representations.
-        let n_mod = self.rsa.modulus();
-        let mut product = sies_crypto::biguint::BigUint::one();
+        // The N·J-element product runs through the key's shared Montgomery
+        // context (one division-free multiply per seed) instead of N·J
+        // generic mul-then-divide steps.
+        let mut folder = match self.rsa.mont_ctx() {
+            Some(ctx) => ctx.accumulator(),
+            None => return Err(SchemeError::Malformed("degenerate RSA modulus".into())),
+        };
         for &i in contributors {
             if i as usize >= self.seed_keys.len() {
                 return Err(SchemeError::Malformed(format!("unknown source {i}")));
             }
             for jj in 0..self.j {
                 let sd = derive_seed(&self.seed_keys[i as usize], jj as u32, epoch, &self.rsa);
-                product = product.mul_mod(&sd, n_mod);
+                folder.mul(&sd);
             }
         }
-        let reference = Seal::new(&self.rsa, &product, x_max);
+        let reference = Seal::new(&self.rsa, &folder.finish(), x_max);
         if reference.value != collected.value {
             return Err(SchemeError::VerificationFailed(
                 "aggregate SEAL mismatch (deflation or tampering)".into(),
@@ -557,12 +562,11 @@ impl SecoaMax {
                 "SEAL position mismatch".into(),
             ));
         }
-        let n_mod = self.inner.rsa.modulus();
-        let mut product = sies_crypto::biguint::BigUint::one();
-        for &i in contributors {
-            let sd = derive_seed(&self.inner.seed_keys[i as usize], 0, epoch, &self.inner.rsa);
-            product = product.mul_mod(&sd, n_mod);
-        }
+        let seeds: Vec<_> = contributors
+            .iter()
+            .map(|&i| derive_seed(&self.inner.seed_keys[i as usize], 0, epoch, &self.inner.rsa))
+            .collect();
+        let product = self.inner.rsa.fold_product(seeds.iter());
         let reference = Seal::new(&self.inner.rsa, &product, psr.value);
         if reference.value != psr.seal.value {
             return Err(SchemeError::VerificationFailed(

@@ -1,0 +1,130 @@
+//! Criterion microbenchmarks for the modular-exponentiation kernels:
+//! windowed Montgomery exponentiation, CRT decryption, and batch
+//! inversion, each next to the generic `BigUint`/Euclid path it
+//! replaces. `cargo bench -p sies-bench --bench kernels` is the
+//! statistically robust companion to `repro micro`; CI runs it as a
+//! smoke test with `--test`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sies_bench::micro::{paillier_fixture, rsa_fixture, stream_below};
+use sies_crypto::biguint::BigUint;
+use sies_crypto::mont::MontgomeryCtx;
+use sies_crypto::u256::U256;
+use sies_crypto::DEFAULT_PRIME_256;
+use std::hint::black_box;
+
+const CHAIN_LEN: u64 = 16;
+const FOLD_LEN: usize = 256;
+const BATCH_LEN: usize = 64;
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa2048");
+    let kp = rsa_fixture();
+    let pk = kp.public();
+    let n = pk.modulus().clone();
+    let e = pk.exponent().clone();
+    let msg = stream_below(&n, 0xA0, 1).pop().unwrap();
+    let cipher = pk.encrypt(&msg);
+
+    group.bench_function("seal_chain16/generic", |b| {
+        b.iter(|| {
+            let mut acc = black_box(&msg).rem(&n);
+            for _ in 0..CHAIN_LEN {
+                acc = acc.pow_mod(&e, &n);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("seal_chain16/mont", |b| {
+        b.iter(|| black_box(pk.encrypt_repeated(black_box(&msg), CHAIN_LEN)))
+    });
+    group.bench_function("decrypt/generic", |b| {
+        b.iter(|| black_box(kp.decrypt_generic(black_box(&cipher))))
+    });
+    group.bench_function("decrypt/crt", |b| {
+        b.iter(|| black_box(kp.decrypt(black_box(&cipher))))
+    });
+
+    let factors = stream_below(&n, 0xA1, FOLD_LEN);
+    group.bench_function("fold256/generic", |b| {
+        b.iter(|| {
+            let mut acc = BigUint::one();
+            for f in black_box(&factors) {
+                acc = acc.mul_mod(f, &n);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("fold256/mont", |b| {
+        b.iter(|| black_box(pk.fold_product(black_box(&factors))))
+    });
+    group.finish();
+}
+
+fn bench_paillier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier2048");
+    // Paillier exponentiations walk full-width 2048-bit exponents; keep
+    // the sample count low enough for a CI smoke run.
+    group.sample_size(10);
+    let kp = paillier_fixture();
+    let pk = kp.public();
+    let n = pk.modulus().clone();
+    let n2 = n.mul(&n);
+    let msg = stream_below(&n, 0xB0, 1).pop().unwrap();
+    let nonce = stream_below(&n, 0xB1, 1).pop().unwrap();
+    let cipher = pk.encrypt_with_nonce(&msg, &nonce);
+
+    group.bench_function("encrypt/generic", |b| {
+        b.iter(|| {
+            let g_m = BigUint::one().add(&msg.mul(&n)).rem(&n2);
+            black_box(g_m.mul_mod(&black_box(&nonce).pow_mod(&n, &n2), &n2))
+        })
+    });
+    group.bench_function("encrypt/mont", |b| {
+        b.iter(|| black_box(pk.encrypt_with_nonce(black_box(&msg), &nonce)))
+    });
+    group.bench_function("decrypt/generic", |b| {
+        b.iter(|| black_box(kp.decrypt_generic(black_box(&cipher))))
+    });
+    group.bench_function("decrypt/crt", |b| {
+        b.iter(|| black_box(kp.decrypt(black_box(&cipher))))
+    });
+    group.finish();
+}
+
+fn bench_u256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("u256");
+    let p = DEFAULT_PRIME_256;
+    let ctx = MontgomeryCtx::new(&p);
+    let base = U256::from_be_bytes(&[0xA7; 32]).rem(&p);
+    // Full-width exponent: p - 2 (the Fermat-inversion exponent).
+    let exp = p.sub_mod(&U256::from_u64(2), &p);
+    let (pb, pe, pm) = (BigUint::from(&base), BigUint::from(&exp), BigUint::from(&p));
+
+    group.bench_function("pow_mod/generic", |b| {
+        b.iter(|| black_box(black_box(&pb).pow_mod(&pe, &pm)))
+    });
+    group.bench_function("pow_mod/windowed", |b| {
+        b.iter(|| black_box(ctx.pow_mod(black_box(&base), &exp)))
+    });
+
+    let values: Vec<U256> = (1..=BATCH_LEN as u64)
+        .map(|i| U256::from_u64(i).mul_mod(&base, &p).add_mod(&U256::ONE, &p))
+        .collect();
+    group.bench_function("inv64/euclid_each", |b| {
+        b.iter(|| {
+            let out: Vec<_> = black_box(&values)
+                .iter()
+                .map(|v| v.inv_mod_euclid(&p))
+                .collect();
+            black_box(out)
+        })
+    });
+    group.bench_function("inv64/batch", |b| {
+        b.iter(|| black_box(U256::batch_inv_mod(black_box(&values), &p)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rsa, bench_paillier, bench_u256);
+criterion_main!(benches);

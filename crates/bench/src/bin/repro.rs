@@ -20,6 +20,10 @@
 //!   throughput   parallel epoch pipeline: epochs/sec vs thread count,
 //!                digest-checked against the serial engine (also writes
 //!                BENCH_throughput.json)
+//!   micro    modular-exponentiation kernels (windowed Montgomery, CRT,
+//!            batch inversion) vs their generic oracles; differential
+//!            checks at 1/2/8 threads (also writes BENCH_micro.json);
+//!            `--baseline FILE` gates on >25% median regression
 //!   all      everything above
 //! ```
 //!
@@ -43,6 +47,7 @@ fn main() {
     let mut use_paper_costs = false;
     let mut chaos_epochs = 2_000u64;
     let mut threads = Threads::Auto;
+    let mut baseline: Option<PathBuf> = None;
     let mut requested: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -86,6 +91,13 @@ fn main() {
                     .map(PathBuf::from)
                     .unwrap_or_else(|| usage("--out needs a path"));
             }
+            "--baseline" => {
+                baseline = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| usage("--baseline needs a path")),
+                );
+            }
             "--paper-costs" => use_paper_costs = true,
             "--help" | "-h" => {
                 println!("{HELP}");
@@ -113,6 +125,7 @@ fn main() {
             "lifetime",
             "reliability",
             "throughput",
+            "micro",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -141,6 +154,7 @@ fn main() {
             "lifetime" => lifetime(&opts, &out_dir),
             "reliability" => reliability(&opts, chaos_epochs, threads, &out_dir),
             "throughput" => throughput_exp(&opts, threads, &out_dir),
+            "micro" => micro(&opts, baseline.as_deref(), &out_dir),
             other => eprintln!("skipping unknown experiment '{other}'"),
         }
     }
@@ -149,10 +163,10 @@ fn main() {
 const HELP: &str = "repro - regenerate the SIES paper's tables and figures
 
 usage: repro [--fast] [--epochs E] [--secoa-epochs E] [--seed S] [--chaos-epochs E]
-             [--threads T] [--paper-costs] [--out DIR] <experiment>...
+             [--threads T] [--paper-costs] [--baseline FILE] [--out DIR] <experiment>...
 
 experiments: table2 table3 table5 fig4 fig5 fig6a fig6b params security lifetime
-             reliability throughput all";
+             reliability throughput micro all";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n\n{HELP}");
@@ -496,6 +510,77 @@ fn throughput_exp(opts: &Options, threads: Threads, out: &Path) {
     let _ = write_json_seeded(out, "throughput", opts.seed, &points);
     // The canonical artifact lives at the repo root for the paper repro.
     let _ = write_json_seeded(Path::new("."), "BENCH_throughput", opts.seed, &points);
+}
+
+fn micro(opts: &Options, baseline: Option<&Path>, out: &Path) {
+    use sies_bench::micro::{micro_suite, regressions_against, MicroReport, REGRESSION_FACTOR};
+
+    const ORACLE_THREADS: [usize; 3] = [1, 2, 8];
+    println!("\n== Micro: modular-exponentiation kernels vs generic oracles ==");
+    println!(
+        "running differential oracles at {ORACLE_THREADS:?} thread(s), then timing medians..."
+    );
+    let report = micro_suite(11, &ORACLE_THREADS);
+    let rows: Vec<Vec<String>> = report
+        .kernels
+        .iter()
+        .map(|k| {
+            vec![
+                k.name.clone(),
+                fmt_us(k.generic_median_us),
+                fmt_us(k.fast_median_us),
+                format!("{:.2}x", k.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["kernel", "generic median", "fast median", "speedup"],
+            &rows
+        )
+    );
+    println!(
+        "differential oracles passed at {:?} worker thread(s)",
+        report.oracle_threads
+    );
+    let _ = write_json_seeded(out, "micro", opts.seed, &report);
+    // The canonical artifact lives at the repo root for the paper repro.
+    let _ = write_json_seeded(Path::new("."), "BENCH_micro", opts.seed, &report);
+
+    if let Some(path) = baseline {
+        #[derive(serde::Deserialize)]
+        struct Seeded {
+            data: MicroReport,
+        }
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read baseline {}: {e}", path.display())));
+        let base: Seeded = serde_json::from_str(&text)
+            .unwrap_or_else(|e| usage(&format!("cannot parse baseline {}: {e}", path.display())));
+        let failures = regressions_against(&report, &base.data);
+        if failures.is_empty() {
+            println!(
+                "regression gate PASSED against {} (threshold {REGRESSION_FACTOR}x)",
+                path.display()
+            );
+        } else {
+            eprintln!(
+                "\nregression gate FAILED against {} — a kernel got more than {:.0}% slower \
+                 than the committed baseline AND lost its speedup margin over the generic path:",
+                path.display(),
+                (REGRESSION_FACTOR - 1.0) * 100.0
+            );
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            eprintln!(
+                "if this slowdown is intentional, regenerate the baseline with \
+                 `cargo run --release -p sies-bench --bin repro -- micro` and commit \
+                 BENCH_micro.json as BENCH_micro_baseline.json"
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Attack-detection matrix: which scheme detects which covert attack.

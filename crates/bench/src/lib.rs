@@ -12,6 +12,9 @@
 //!   5, 6(a), 6(b) and Table V;
 //! * [`throughput`] — parallel epoch-pipeline throughput vs thread
 //!   count, with a digest-based determinism oracle;
+//! * [`micro`] — the modular-exponentiation kernel suite (windowed
+//!   Montgomery, CRT, batch inversion) measured against the generic
+//!   oracles, with a CI regression gate;
 //! * [`report`] — ASCII tables and JSON export;
 //! * the `repro` binary ties it all together (`repro --help`).
 
@@ -19,6 +22,7 @@ pub mod calibrate;
 pub mod chart;
 pub mod cost_model;
 pub mod experiments;
+pub mod micro;
 pub mod report;
 pub mod throughput;
 pub mod timing;
@@ -26,4 +30,5 @@ pub mod timing;
 pub use calibrate::{PrimitiveCosts, WireSizes};
 pub use cost_model::{CostModel, ModelParams, Range};
 pub use experiments::{Options, SeriesPoint};
+pub use micro::{micro_suite, MicroReport};
 pub use throughput::{throughput_suite, ThroughputPoint};

@@ -1,0 +1,452 @@
+//! `repro micro`: the modular-exponentiation kernel suite.
+//!
+//! Measures each optimized kernel of the crypto layer against the generic
+//! `BigUint`/Euclid path it replaced — the pre-PR implementation, which is
+//! kept in-tree as the differential-test oracle:
+//!
+//! * 2048-bit RSA SEAL chain evaluation (windowed Montgomery chain vs
+//!   repeated generic `pow_mod`);
+//! * 2048-bit RSA and Paillier decryption (CRT + Garner vs full-size
+//!   exponentiation);
+//! * 256-bit windowed Montgomery exponentiation vs the generic path;
+//! * the SECOA verifier's seed-product fold (division-free CIOS
+//!   accumulator vs mul-then-divide);
+//! * batch modular inversion (Montgomery's trick vs per-element Euclid).
+//!
+//! Keys are built from fixed 1024-bit prime fixtures (`p, q ≡ 2 (mod 3)`,
+//! generated once with the in-tree Miller–Rabin) so runs are reproducible
+//! and start instantly. Before timing anything the differential oracles
+//! run at 1, 2 and 8 worker threads; a mismatch aborts the suite.
+
+use crate::timing::time_median_us;
+use serde::{Deserialize, Serialize};
+use sies_core::parallel;
+use sies_crypto::biguint::BigUint;
+use sies_crypto::mont::MontgomeryCtx;
+use sies_crypto::paillier::PaillierKeyPair;
+use sies_crypto::rsa::RsaKeyPair;
+use sies_crypto::u256::U256;
+use sies_crypto::DEFAULT_PRIME_256;
+
+/// Fixed 1024-bit primes, `≡ 2 (mod 3)`, found by seeded search with the
+/// in-tree prime generator. P0·P1 is the RSA-2048 fixture modulus, P2·P3
+/// the Paillier-2048 one.
+const P0: &str = "e46f7c7cdbf540f26e0f1ce9064f372ca29a589ccda50147eeec49b5e6b306a6cba8c9fefdea1d6ab50dd6c37823e194d8a611814fc37ef05ca6cb4d80eba60ce4bb25e65af79481d44f138922e3db84364effd6c1aa0277c67d94620f877dd067da72181426b973822a6133f36f16e90f4f60f2310f2ad7c6f4e80308547b65";
+const P1: &str = "d5647120f7ef5c69488616383559f564584057a161d4618503ebb2d2d2ff471009027337a62a394c63f863f60459acc55983b2aad1d2941641d92c9c4dc62c60389bd522d1cb51917618c971623911c7cd15471a35b59b1955c4322eeb96eb5ef107dab0da4cc9be6c1779fad7a1ff30a2121d1c78d1bc2d8e539011067b8f67";
+const P2: &str = "d174474a0cc5c6087ea00509a1e7dbf842e39cd7107e0f25724f9945d9908968301b33a7c9100daaacebc1ddd1e0f21cb85ca3c84ba2a24a99f59e44bbf2e54478ec684b4ae37e9266ac2056e3a1f4d7fefb5807bfed8f8a240fff8aad04b91e975ff30e39029ee0ad41276a887a3cb7b70341d1d185ed4373c4a412feeff815";
+const P3: &str = "da56ed8b6e62b8e096179354b7bb3a92164cbb445de5aa3ad2e0353bb59a8e9be7d0935a84a9b70c3b120eb40057c0587f779fe2adc801eec55ce159b1d26263da18913d69cb28cc6224b76413415f8c5e0e5f206091289679c6b716eed2f29aa9fcd02d50b750194f330df63413b1e36c1bd94bcb29a3e0fa63f8d201afee8d";
+
+/// SEAL chain length timed by the headline kernel (a rolling distance of
+/// 16 positions, well inside SECOA's typical per-merge roll).
+const CHAIN_LEN: u64 = 16;
+/// Elements in the fold / batch-inversion kernels.
+const FOLD_LEN: usize = 256;
+const BATCH_LEN: usize = 64;
+
+/// One kernel's generic-vs-fast medians.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelResult {
+    /// Kernel identifier (stable across runs; the baseline gate joins on
+    /// it).
+    pub name: String,
+    /// Median wall time of the pre-PR generic path, microseconds.
+    pub generic_median_us: f64,
+    /// Median wall time of the optimized kernel, microseconds.
+    pub fast_median_us: f64,
+    /// `generic_median_us / fast_median_us`.
+    pub speedup: f64,
+}
+
+/// The full suite result: kernel timings plus the thread counts at which
+/// the differential oracles passed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MicroReport {
+    /// Per-kernel medians, in suite order.
+    pub kernels: Vec<KernelResult>,
+    /// Worker-thread counts the differential oracles were verified at.
+    pub oracle_threads: Vec<usize>,
+}
+
+fn from_hex(s: &str) -> BigUint {
+    let bytes: Vec<u8> = s
+        .as_bytes()
+        .chunks(2)
+        .map(|c| u8::from_str_radix(std::str::from_utf8(c).unwrap(), 16).unwrap())
+        .collect();
+    BigUint::from_be_bytes(&bytes)
+}
+
+/// The fixed 2048-bit RSA key used by every kernel measurement
+/// (reproducible: derived from pinned 1024-bit primes, seed 0xF17E).
+pub fn rsa_fixture() -> RsaKeyPair {
+    RsaKeyPair::from_primes(&from_hex(P0), &from_hex(P1))
+}
+
+/// The fixed 2048-bit Paillier key used by every kernel measurement.
+pub fn paillier_fixture() -> PaillierKeyPair {
+    PaillierKeyPair::from_primes(&from_hex(P2), &from_hex(P3))
+}
+
+/// A deterministic value stream below `m`, wide enough to exercise every
+/// limb (splitmix64-filled, reduced mod `m`).
+pub fn stream_below(m: &BigUint, tag: u64, count: usize) -> Vec<BigUint> {
+    let nbytes = m.bit_len().div_ceil(8) + 8;
+    (0..count)
+        .map(|i| {
+            let mut state = tag
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64 + 1);
+            let mut bytes = Vec::with_capacity(nbytes);
+            while bytes.len() < nbytes {
+                state = state
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(27)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                bytes.extend_from_slice(&state.to_be_bytes());
+            }
+            BigUint::from_be_bytes(&bytes).rem(m)
+        })
+        .collect()
+}
+
+/// The generic SEAL chain: `times` cold `pow_mod` calls over the plain
+/// `BigUint` kernels — exactly the pre-PR rolling loop.
+fn generic_chain(base: &BigUint, e: &BigUint, times: u64, n: &BigUint) -> BigUint {
+    let mut acc = base.rem(n);
+    for _ in 0..times {
+        acc = acc.pow_mod(e, n);
+    }
+    acc
+}
+
+/// The generic Paillier encryption body (pre-PR `encrypt_with_nonce`).
+fn generic_paillier_encrypt(m: &BigUint, r: &BigUint, n: &BigUint, n2: &BigUint) -> BigUint {
+    let g_m = BigUint::one().add(&m.mul(n)).rem(n2);
+    g_m.mul_mod(&r.pow_mod(n, n2), n2)
+}
+
+/// Runs every differential oracle sharded over `threads` workers;
+/// returns the first mismatch description, if any.
+pub fn run_oracles(threads: usize) -> Result<(), String> {
+    let rsa = rsa_fixture();
+    let paillier = paillier_fixture();
+    let n = rsa.public().modulus().clone();
+    let e3 = BigUint::from_u64(3);
+    let cases: Vec<u64> = (0..16).collect();
+    let results = parallel::map_chunks(threads, &cases, |chunk| {
+        for &i in chunk {
+            // 256-bit windowed Montgomery vs generic BigUint.
+            let p256 = DEFAULT_PRIME_256;
+            let ctx256 = MontgomeryCtx::new(&p256);
+            let base = U256::from_u64(i.wrapping_mul(0xD6E8_FEB8_6659_FD93) | 1);
+            let exp = U256::from_u64(u64::MAX - i).shl((i % 4) as usize * 48);
+            let fast = ctx256.pow_mod(&base, &exp);
+            let oracle = BigUint::from(&base)
+                .pow_mod(&BigUint::from(&exp), &BigUint::from(&p256))
+                .to_u256();
+            if fast != oracle {
+                return Err(format!("u256 windowed pow mismatch (case {i})"));
+            }
+
+            // 2048-bit SEAL chain vs repeated generic pow.
+            let seed = stream_below(&n, i, 1).remove(0);
+            let k = i % 6;
+            let fast = rsa.public().encrypt_repeated(&seed, k);
+            let oracle = generic_chain(&seed, &e3, k, &n);
+            if fast != oracle {
+                return Err(format!("SEAL chain mismatch (case {i}, k = {k})"));
+            }
+
+            // CRT RSA decryption vs the generic oracle.
+            let c = rsa.public().encrypt(&seed);
+            if rsa.decrypt(&c) != rsa.decrypt_generic(&c) {
+                return Err(format!("CRT RSA decrypt mismatch (case {i})"));
+            }
+
+            // CRT Paillier decryption vs the generic oracle.
+            let pn = paillier.public().modulus().clone();
+            let m = stream_below(&pn, i ^ 0xAA, 1).remove(0);
+            let r = stream_below(&pn, i ^ 0x55, 1).remove(0);
+            if r.is_zero() {
+                continue;
+            }
+            let c = paillier.public().encrypt_with_nonce(&m, &r);
+            let (crt, generic) = (paillier.decrypt(&c), paillier.decrypt_generic(&c));
+            if crt != generic || crt != m {
+                return Err(format!("CRT Paillier decrypt mismatch (case {i})"));
+            }
+
+            // Fold accumulator vs generic mul_mod loop.
+            let values = stream_below(&n, i ^ 0x77, 24);
+            let fast = rsa.public().fold_product(values.iter());
+            let mut oracle = BigUint::one();
+            for v in &values {
+                oracle = v.mul_mod(&oracle, &n);
+            }
+            if fast != oracle {
+                return Err(format!("fold product mismatch (case {i})"));
+            }
+
+            // Batch inversion vs per-element Euclid.
+            let vals: Vec<U256> = (0..24)
+                .map(|j| U256::from_u64(i.wrapping_mul(31).wrapping_add(j) % 97))
+                .collect();
+            let batch = U256::batch_inv_mod(&vals, &p256);
+            for (v, got) in vals.iter().zip(&batch) {
+                if *got != v.rem(&p256).inv_mod_euclid(&p256) {
+                    return Err(format!("batch inversion mismatch (case {i})"));
+                }
+            }
+        }
+        Ok(())
+    });
+    for r in results {
+        r?;
+    }
+    Ok(())
+}
+
+/// Runs the whole suite: differential oracles at every count in
+/// `oracle_threads`, then the kernel medians over `runs` repetitions.
+///
+/// # Panics
+/// Panics when an oracle finds a fast/generic mismatch — timings of a
+/// wrong kernel are meaningless.
+pub fn micro_suite(runs: usize, oracle_threads: &[usize]) -> MicroReport {
+    assert!(runs > 0);
+    for &t in oracle_threads {
+        if let Err(e) = run_oracles(t) {
+            panic!("differential oracle failed at {t} thread(s): {e}");
+        }
+    }
+
+    let rsa = rsa_fixture();
+    let paillier = paillier_fixture();
+    let n = rsa.public().modulus().clone();
+    let e3 = BigUint::from_u64(3);
+    let mut kernels = Vec::new();
+
+    // 2048-bit SEAL chain: the headline rolling kernel.
+    let seed = stream_below(&n, 1, 1).remove(0);
+    kernels.push(KernelResult::measure(
+        "rsa2048_seal_chain16",
+        runs,
+        || generic_chain(&seed, &e3, CHAIN_LEN, &n),
+        || rsa.public().encrypt_repeated(&seed, CHAIN_LEN),
+    ));
+
+    // 2048-bit RSA decryption: CRT + Garner vs c^d mod n.
+    let c = rsa.public().encrypt(&seed);
+    kernels.push(KernelResult::measure(
+        "rsa2048_decrypt",
+        runs,
+        || rsa.decrypt_generic(&c),
+        || rsa.decrypt(&c),
+    ));
+
+    // 2048-bit Paillier decryption: CRT + Garner vs c^λ mod n².
+    let pn = paillier.public().modulus().clone();
+    let m = stream_below(&pn, 2, 1).remove(0);
+    let r = stream_below(&pn, 3, 1).remove(0);
+    let pc = paillier.public().encrypt_with_nonce(&m, &r);
+    kernels.push(KernelResult::measure(
+        "paillier2048_decrypt",
+        runs,
+        || paillier.decrypt_generic(&pc),
+        || paillier.decrypt(&pc),
+    ));
+
+    // 2048-bit Paillier encryption: windowed Montgomery r^n vs generic.
+    let n2 = pn.mul(&pn);
+    kernels.push(KernelResult::measure(
+        "paillier2048_encrypt",
+        runs,
+        || generic_paillier_encrypt(&m, &r, &pn, &n2),
+        || paillier.public().encrypt_with_nonce(&m, &r),
+    ));
+
+    // 256-bit exponentiation: windowed Montgomery vs generic BigUint.
+    let p256 = DEFAULT_PRIME_256;
+    let ctx256 = MontgomeryCtx::new(&p256);
+    let base = U256::from_be_bytes(&[0xA7; 32]).rem(&p256);
+    let exp = p256.checked_sub(&U256::from_u64(2)).unwrap();
+    let (pb, pe, pm) = (
+        BigUint::from(&base),
+        BigUint::from(&exp),
+        BigUint::from(&p256),
+    );
+    kernels.push(KernelResult::measure(
+        "mont256_pow",
+        runs,
+        || pb.pow_mod(&pe, &pm),
+        || ctx256.pow_mod(&base, &exp),
+    ));
+
+    // SECOA verifier fold: division-free accumulator vs mul_mod loop.
+    let fold_values = stream_below(&n, 4, FOLD_LEN);
+    kernels.push(KernelResult::measure(
+        "seal_fold256",
+        runs,
+        || {
+            let mut acc = BigUint::one();
+            for v in &fold_values {
+                acc = acc.mul_mod(v, &n);
+            }
+            acc
+        },
+        || rsa.public().fold_product(fold_values.iter()),
+    ));
+
+    // Batch inversion: Montgomery's trick vs per-element Euclid.
+    let inv_values: Vec<U256> = (0..BATCH_LEN as u64)
+        .map(|j| {
+            U256::from_u64(j.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+                .shl((j % 3) as usize * 64)
+                .rem(&p256)
+        })
+        .collect();
+    kernels.push(KernelResult::measure(
+        "batch_inv64",
+        runs,
+        || {
+            inv_values
+                .iter()
+                .map(|v| v.inv_mod_euclid(&p256))
+                .collect::<Vec<_>>()
+        },
+        || U256::batch_inv_mod(&inv_values, &p256),
+    ));
+
+    MicroReport {
+        kernels,
+        oracle_threads: oracle_threads.to_vec(),
+    }
+}
+
+impl KernelResult {
+    fn measure<A, B>(
+        name: &str,
+        runs: usize,
+        mut generic: impl FnMut() -> A,
+        mut fast: impl FnMut() -> B,
+    ) -> Self {
+        // One warm-up call each, then interleaved sampling: alternating
+        // generic/fast rounds see the same CPU-frequency drift, so the
+        // speedup ratio stays stable even when absolute times wander.
+        std::hint::black_box(generic());
+        std::hint::black_box(fast());
+        let mut generic_samples = Vec::with_capacity(runs);
+        let mut fast_samples = Vec::with_capacity(runs);
+        let mut ratios = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let g = time_median_us(1, &mut generic);
+            let f = time_median_us(1, &mut fast);
+            ratios.push(g / f.max(f64::MIN_POSITIVE));
+            generic_samples.push(g);
+            fast_samples.push(f);
+        }
+        let median = |samples: &mut Vec<f64>| {
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            samples[samples.len() / 2]
+        };
+        KernelResult {
+            name: name.to_string(),
+            generic_median_us: median(&mut generic_samples),
+            fast_median_us: median(&mut fast_samples),
+            // Median of the per-round ratios, not the ratio of medians:
+            // each round's generic/fast pair is adjacent in time, so CPU
+            // frequency drift cancels out of the quotient.
+            speedup: median(&mut ratios),
+        }
+    }
+}
+
+/// Regression threshold: a kernel fails the gate when its optimized
+/// median exceeds the baseline's by more than this factor **and** its
+/// speedup over the generic path has shrunk by more than the same factor.
+/// The double condition keeps the gate meaningful on CI machines that are
+/// uniformly slower than the one that produced the baseline.
+pub const REGRESSION_FACTOR: f64 = 1.25;
+
+/// Compares a fresh report against the committed baseline. Returns the
+/// list of regressions (empty = gate passes). Kernels present in only one
+/// of the two reports are ignored (renames don't fail the gate; adding a
+/// kernel does not require regenerating the baseline immediately).
+pub fn regressions_against(current: &MicroReport, baseline: &MicroReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in &baseline.kernels {
+        let Some(cur) = current.kernels.iter().find(|k| k.name == base.name) else {
+            continue;
+        };
+        let time_regressed = cur.fast_median_us > base.fast_median_us * REGRESSION_FACTOR;
+        let ratio_regressed = cur.speedup < base.speedup / REGRESSION_FACTOR;
+        if time_regressed && ratio_regressed {
+            failures.push(format!(
+                "{}: median {:.1} us vs baseline {:.1} us (> {REGRESSION_FACTOR}x) \
+                 and speedup {:.2}x vs baseline {:.2}x (< 1/{REGRESSION_FACTOR})",
+                base.name, cur.fast_median_us, base.fast_median_us, cur.speedup, base.speedup
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_valid_keys() {
+        let rsa = rsa_fixture();
+        assert_eq!(rsa.public().modulus().bit_len(), 2048);
+        let paillier = paillier_fixture();
+        assert_eq!(paillier.public().modulus().bit_len(), 2048);
+    }
+
+    #[test]
+    fn oracles_pass_at_1_2_8_threads() {
+        for t in [1, 2, 8] {
+            run_oracles(t).unwrap_or_else(|e| panic!("{t} thread(s): {e}"));
+        }
+    }
+
+    #[test]
+    fn regression_gate_logic() {
+        let k = |name: &str, fast: f64, speedup: f64| KernelResult {
+            name: name.into(),
+            generic_median_us: fast * speedup,
+            fast_median_us: fast,
+            speedup,
+        };
+        let baseline = MicroReport {
+            kernels: vec![k("a", 100.0, 4.0), k("b", 10.0, 2.0)],
+            oracle_threads: vec![1],
+        };
+        // Faster than baseline: passes.
+        let good = MicroReport {
+            kernels: vec![k("a", 90.0, 4.2), k("b", 11.0, 2.0)],
+            oracle_threads: vec![1],
+        };
+        assert!(regressions_against(&good, &baseline).is_empty());
+        // Uniformly slower machine (times up, ratios intact): passes.
+        let slow_host = MicroReport {
+            kernels: vec![k("a", 200.0, 3.9), k("b", 20.0, 2.1)],
+            oracle_threads: vec![1],
+        };
+        assert!(regressions_against(&slow_host, &baseline).is_empty());
+        // Genuine regression (slower AND ratio collapsed): fails.
+        let regressed = MicroReport {
+            kernels: vec![k("a", 300.0, 1.1), k("b", 10.0, 2.0)],
+            oracle_threads: vec![1],
+        };
+        let fails = regressions_against(&regressed, &baseline);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains('a'));
+        // Unknown kernels are ignored.
+        let renamed = MicroReport {
+            kernels: vec![k("z", 9999.0, 1.0)],
+            oracle_threads: vec![1],
+        };
+        assert!(regressions_against(&renamed, &baseline).is_empty());
+    }
+}

@@ -42,6 +42,7 @@
 //! assert_eq!(recovered, m);
 //! ```
 
+pub mod bigmont;
 pub mod biguint;
 pub mod hash;
 pub mod hmac;

@@ -19,6 +19,9 @@ pub struct MontgomeryCtx {
     n_prime: u64,
     /// `R² mod p` where `R = 2^256`, used to enter the Montgomery domain.
     r2: U256,
+    /// `R mod p` — the Montgomery form of 1, hoisted here so `pow_mod`
+    /// does not pay a `to_mont` conversion per call.
+    r1: U256,
 }
 
 /// Inverse of an odd `x` modulo `2^64` by Newton iteration.
@@ -50,6 +53,7 @@ impl MontgomeryCtx {
             p: p.limbs(),
             n_prime,
             r2,
+            r1: r_mod_p,
         }
     }
 
@@ -119,18 +123,56 @@ impl MontgomeryCtx {
         self.from_mont(&self.mont_mul(&am, &bm))
     }
 
-    /// Modular exponentiation in the Montgomery domain
-    /// (square-and-multiply).
+    /// Modular exponentiation in the Montgomery domain: fixed 4-bit
+    /// windows over a precomputed 16-entry power table for long
+    /// exponents, plain square-and-multiply for short ones (where the
+    /// table build would dominate). The base is only reduced when it is
+    /// not already `< p`, and the Montgomery form of 1 comes from the
+    /// hoisted `r1` instead of a per-call conversion.
     pub fn pow_mod(&self, base: &U256, exp: &U256) -> U256 {
         let p = self.modulus();
-        let base = base.rem(&p);
+        let base = if base < &p { *base } else { base.rem(&p) };
+        if exp.is_zero() {
+            return U256::ONE.rem(&p); // p > 1, so this is just 1
+        }
         let base_m = self.to_mont(&base);
-        let one_m = self.to_mont(&U256::ONE);
-        let mut acc = one_m;
-        for i in (0..exp.bit_len()).rev() {
-            acc = self.mont_mul(&acc, &acc);
-            if exp.bit(i) {
-                acc = self.mont_mul(&acc, &base_m);
+        let bits = exp.bit_len();
+        if bits <= 8 {
+            // Short exponents: square-and-multiply seeded from the top
+            // bit, no table.
+            let mut acc = base_m;
+            for i in (0..bits - 1).rev() {
+                acc = self.mont_mul(&acc, &acc);
+                if exp.bit(i) {
+                    acc = self.mont_mul(&acc, &base_m);
+                }
+            }
+            return self.from_mont(&acc);
+        }
+        // table[i] = base^i in the Montgomery domain.
+        let mut table = [self.r1; 16];
+        table[1] = base_m;
+        for i in 2..16 {
+            table[i] = self.mont_mul(&table[i - 1], &base_m);
+        }
+        let nwindows = bits.div_ceil(4);
+        let window = |w: usize| {
+            let mut nibble = 0usize;
+            for b in 0..4 {
+                if exp.bit(w * 4 + b) {
+                    nibble |= 1 << b;
+                }
+            }
+            nibble
+        };
+        let mut acc = table[window(nwindows - 1)];
+        for w in (0..nwindows - 1).rev() {
+            for _ in 0..4 {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let nibble = window(w);
+            if nibble != 0 {
+                acc = self.mont_mul(&acc, &table[nibble]);
             }
         }
         self.from_mont(&acc)

@@ -4,10 +4,35 @@
 //! homomorphic scheme and the SECOA RSA chains rely on.
 
 use proptest::prelude::*;
+use sies_crypto::bigmont::BigMontCtx;
 use sies_crypto::biguint::BigUint;
 use sies_crypto::mont::MontgomeryCtx;
+use sies_crypto::paillier::{PaillierCiphertext, PaillierKeyPair};
+use sies_crypto::rsa::RsaKeyPair;
 use sies_crypto::u256::U256;
 use sies_crypto::DEFAULT_PRIME_256;
+use std::sync::OnceLock;
+
+/// Fixed RSA fixture (256-bit modulus, seeded keygen) shared by the CRT
+/// differential tests — prime search is too slow per proptest case.
+fn rsa_fixture() -> &'static RsaKeyPair {
+    static KP: OnceLock<RsaKeyPair> = OnceLock::new();
+    KP.get_or_init(|| {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed_0001);
+        RsaKeyPair::generate(&mut rng, 256)
+    })
+}
+
+/// Fixed Paillier fixture (256-bit modulus, seeded keygen).
+fn paillier_fixture() -> &'static PaillierKeyPair {
+    static KP: OnceLock<PaillierKeyPair> = OnceLock::new();
+    KP.get_or_init(|| {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed_0002);
+        PaillierKeyPair::generate(&mut rng, 256)
+    })
+}
 
 /// Strategy: an arbitrary 256-bit value.
 fn any_u256() -> impl Strategy<Value = U256> {
@@ -45,6 +70,20 @@ fn any_biguint() -> impl Strategy<Value = BigUint> {
 /// Strategy: a non-zero BigUint.
 fn nonzero_biguint() -> impl Strategy<Value = BigUint> {
     any_biguint().prop_filter("non-zero", |v| !v.is_zero())
+}
+
+/// Strategy: an arbitrary *odd* BigUint modulus ≥ 3, 1–5 limbs wide —
+/// exercises every width class of the variable-width Montgomery kernel.
+fn odd_big_modulus() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 1..=5).prop_map(|mut limbs| {
+        limbs[0] |= 1;
+        let m = BigUint::from_limbs(limbs);
+        if m == BigUint::one() {
+            BigUint::from_u64(3)
+        } else {
+            m
+        }
+    })
 }
 
 proptest! {
@@ -297,6 +336,157 @@ proptest! {
         let ctx = MontgomeryCtx::new(&m);
         let ar = a.rem(&m);
         prop_assert_eq!(ctx.from_mont(&ctx.to_mont(&ar)), ar);
+    }
+
+    // ---- Windowed pow_mod vs the generic oracle -------------------------
+    //
+    // The fixed-window (w = 4) exponentiation in MontgomeryCtx and
+    // BigMontCtx is pinned against the generic square-and-multiply
+    // BigUint path: random odd moduli, full-width random exponents, and
+    // the classic edge exponents 0, 1, 2^k − 1.
+
+    #[test]
+    fn windowed_u256_pow_matches_biguint_full_width(
+        base in any_u256(), exp in any_u256(), m in odd_modulus()
+    ) {
+        let ctx = MontgomeryCtx::new(&m);
+        let br = base.rem(&m);
+        let mont = ctx.pow_mod(&br, &exp);
+        let reference = BigUint::from(&br)
+            .pow_mod(&BigUint::from(&exp), &BigUint::from(&m));
+        prop_assert_eq!(BigUint::from(&mont), reference);
+    }
+
+    #[test]
+    fn windowed_u256_pow_edge_exponents(base in any_u256(), k in 1usize..=256, m in odd_modulus()) {
+        let ctx = MontgomeryCtx::new(&m);
+        let br = base.rem(&m);
+        // e ∈ {0, 1, 2^k − 1}: empty, trivial, and all-ones windows.
+        for exp in [U256::ZERO, U256::ONE, U256::low_mask(k)] {
+            let reference = BigUint::from(&br)
+                .pow_mod(&BigUint::from(&exp), &BigUint::from(&m));
+            prop_assert_eq!(BigUint::from(&ctx.pow_mod(&br, &exp)), reference);
+        }
+    }
+
+    #[test]
+    fn bigmont_mul_matches_biguint(a in any_biguint(), b in any_biguint(), m in odd_big_modulus()) {
+        let ctx = BigMontCtx::new(&m);
+        prop_assert_eq!(ctx.mul_mod(&a, &b), a.mul_mod(&b, &m));
+    }
+
+    #[test]
+    fn bigmont_pow_matches_biguint(base in any_biguint(), exp in any_biguint(), m in odd_big_modulus()) {
+        let ctx = BigMontCtx::new(&m);
+        prop_assert_eq!(ctx.pow_mod(&base, &exp), base.pow_mod(&exp, &m));
+    }
+
+    #[test]
+    fn bigmont_pow_edge_exponents(base in any_biguint(), k in 1usize..=320, m in odd_big_modulus()) {
+        let ctx = BigMontCtx::new(&m);
+        let ones = BigUint::one().shl(k).sub(&BigUint::one());
+        for exp in [BigUint::zero(), BigUint::one(), ones] {
+            prop_assert_eq!(ctx.pow_mod(&base, &exp), base.pow_mod(&exp, &m));
+        }
+    }
+
+    #[test]
+    fn bigmont_chain_matches_repeated_generic_pow(
+        base in any_biguint(), e in 2u64..64, k in 0u64..12, m in odd_big_modulus()
+    ) {
+        let ctx = BigMontCtx::new(&m);
+        let e = BigUint::from_u64(e);
+        let mut generic = base.rem(&m);
+        for _ in 0..k {
+            generic = generic.pow_mod(&e, &m);
+        }
+        prop_assert_eq!(ctx.chain_pow_mod(&base, &e, k), generic);
+    }
+
+    #[test]
+    fn bigmont_product_matches_generic_fold(
+        values in proptest::collection::vec(any_biguint(), 0..=24), m in odd_big_modulus()
+    ) {
+        let ctx = BigMontCtx::new(&m);
+        let mut expect = if m.bit_len() == 1 { BigUint::zero() } else { BigUint::one() };
+        for v in &values {
+            expect = expect.mul_mod(v, &m);
+        }
+        prop_assert_eq!(ctx.product_mod(values.iter()), expect);
+    }
+
+    // ---- CRT private-key ops vs the generic oracle ----------------------
+
+    #[test]
+    fn crt_rsa_decrypt_matches_generic(seed in any::<u64>()) {
+        let kp = rsa_fixture();
+        // Derive a ciphertext-range value deterministically from the seed.
+        let c = BigUint::from_u64(seed | 1)
+            .mul(&BigUint::from_u64(0x9E37_79B9_7F4A_7C15))
+            .pow_mod(&BigUint::from_u64(3), kp.public().modulus());
+        prop_assert_eq!(kp.decrypt(&c), kp.decrypt_generic(&c));
+    }
+
+    #[test]
+    fn crt_rsa_round_trips(m in any::<u64>()) {
+        let kp = rsa_fixture();
+        let m = BigUint::from_u64(m);
+        prop_assert_eq!(kp.decrypt(&kp.public().encrypt(&m)), m);
+    }
+
+    #[test]
+    fn crt_paillier_decrypt_matches_generic(m in any::<u64>(), r_seed in 2u64..u64::MAX) {
+        let kp = paillier_fixture();
+        let m = BigUint::from_u64(m).rem(kp.public().modulus());
+        let r = BigUint::from_u64(r_seed).rem(kp.public().modulus());
+        prop_assume!(!r.is_zero());
+        let c = kp.public().encrypt_with_nonce(&m, &r);
+        prop_assert_eq!(kp.decrypt(&c), m.clone());
+        prop_assert_eq!(kp.decrypt_generic(&c), m);
+    }
+
+    #[test]
+    fn crt_paillier_decrypt_matches_generic_on_raw_group_elements(limbs in any::<[u64; 7]>()) {
+        let kp = paillier_fixture();
+        let n2 = kp.public().modulus().mul(kp.public().modulus());
+        let c = BigUint::from_limbs(limbs.to_vec()).rem(&n2);
+        prop_assume!(!c.is_zero());
+        let c = PaillierCiphertext::from_raw(c);
+        prop_assert_eq!(kp.decrypt(&c), kp.decrypt_generic(&c));
+    }
+
+    // ---- Batch inversion vs per-element Euclid --------------------------
+
+    #[test]
+    fn batch_inversion_matches_per_element(
+        values in proptest::collection::vec(any_u256(), 0..=24), m in odd_modulus()
+    ) {
+        let batch = U256::batch_inv_mod(&values, &m);
+        prop_assert_eq!(batch.len(), values.len());
+        for (v, got) in values.iter().zip(&batch) {
+            let serial = v.rem(&m).inv_mod_euclid(&m);
+            prop_assert_eq!(*got, serial);
+            if let Some(inv) = got {
+                prop_assert_eq!(v.rem(&m).mul_mod(inv, &m), U256::ONE.rem(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_inversion_with_zeros_and_non_units(
+        values in proptest::collection::vec(any_u256(), 1..=12),
+        zero_at in 0usize..12, m in odd_modulus()
+    ) {
+        // Force a zero entry (and, for composite m, likely non-units) so
+        // the None paths and the non-invertible-product fallback run.
+        let mut values = values;
+        let idx = zero_at % values.len();
+        values[idx] = U256::ZERO;
+        let batch = U256::batch_inv_mod(&values, &m);
+        prop_assert_eq!(batch[idx], None);
+        for (v, got) in values.iter().zip(&batch) {
+            prop_assert_eq!(*got, v.rem(&m).inv_mod_euclid(&m));
+        }
     }
 
     // ---- The one-time-pad homomorphism (paper §III-D) ------------------
