@@ -15,7 +15,7 @@
 
 use rand::RngCore;
 use sies_core::{Epoch, SourceId};
-use sies_crypto::prf;
+use sies_crypto::prf::{self, KeyedPrf};
 use sies_crypto::u256::U256;
 use sies_net::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
 
@@ -50,35 +50,41 @@ pub struct CmtDeployment {
     /// uniform; we use the power of two like the original scheme's
     /// `mod 2^b` arithmetic).
     modulus: U256,
-    /// Long-term source keys, indexed by source id (querier's copy).
-    keys: Vec<[u8; 20]>,
+    /// Long-term source keys with their HMAC pads pre-absorbed, indexed
+    /// by source id (querier's copy): every per-epoch pad `k_{i,t}`
+    /// costs two compressions, both lane-batchable.
+    prfs: Vec<KeyedPrf>,
 }
 
 impl CmtDeployment {
     /// Sets up `n` sources with random 20-byte keys.
     pub fn new(rng: &mut dyn RngCore, num_sources: u64) -> Self {
         let modulus = U256::ONE.shl(CMT_MODULUS_BITS);
-        let mut keys = Vec::with_capacity(num_sources as usize);
+        let mut prfs = Vec::with_capacity(num_sources as usize);
         for _ in 0..num_sources {
             let mut k = [0u8; 20];
             rng.fill_bytes(&mut k);
-            keys.push(k);
+            prfs.push(KeyedPrf::new(&k));
         }
-        CmtDeployment { modulus, keys }
+        CmtDeployment { modulus, prfs }
     }
 
     /// Number of sources.
     pub fn num_sources(&self) -> u64 {
-        self.keys.len() as u64
+        self.prfs.len() as u64
+    }
+
+    /// Widens a 160-bit `HM1` digest into the residue `k_{i,t} mod n`.
+    fn key_from_digest(digest: &[u8; 20]) -> U256 {
+        let mut bytes = [0u8; 32];
+        bytes[12..].copy_from_slice(digest);
+        // A 160-bit digest is already < 2^160 = n.
+        U256::from_be_bytes(&bytes)
     }
 
     /// Derives the per-epoch key `k_{i,t} = HM1(k_i, t) mod n`.
     fn epoch_key(&self, source: SourceId, epoch: Epoch) -> U256 {
-        let digest = prf::hm1_epoch(&self.keys[source as usize], epoch);
-        let mut bytes = [0u8; 32];
-        bytes[12..].copy_from_slice(&digest);
-        // A 160-bit digest is already < 2^160 = n.
-        U256::from_be_bytes(&bytes)
+        Self::key_from_digest(&self.prfs[source as usize].hm1_epoch(epoch))
     }
 }
 
@@ -97,6 +103,43 @@ impl AggregationScheme for CmtDeployment {
         }
     }
 
+    fn try_source_init(
+        &self,
+        source: SourceId,
+        epoch: Epoch,
+        value: u64,
+    ) -> Result<CmtPsr, SchemeError> {
+        if source as usize >= self.prfs.len() {
+            return Err(SchemeError::Malformed(format!("unknown source {source}")));
+        }
+        Ok(self.source_init(source, epoch, value))
+    }
+
+    fn batch_source_init(
+        &self,
+        epoch: Epoch,
+        jobs: &[(SourceId, u64)],
+    ) -> Vec<Result<CmtPsr, SchemeError>> {
+        // One multi-lane pass derives every job's pad; unknown ids keep
+        // the per-job error of the scalar path.
+        let known: Vec<&KeyedPrf> = jobs
+            .iter()
+            .filter_map(|&(source, _)| self.prfs.get(source as usize))
+            .collect();
+        let mut pads = prf::hm1_epoch_many(known, epoch).into_iter();
+        jobs.iter()
+            .map(|&(source, value)| {
+                if source as usize >= self.prfs.len() {
+                    return Err(SchemeError::Malformed(format!("unknown source {source}")));
+                }
+                let k = Self::key_from_digest(&pads.next().expect("one pad per known job"));
+                Ok(CmtPsr {
+                    ciphertext: U256::from_u64(value).add_mod(&k, &self.modulus),
+                })
+            })
+            .collect()
+    }
+
     fn merge(&self, psrs: &[CmtPsr]) -> CmtPsr {
         let mut acc = psrs[0].ciphertext;
         for p in &psrs[1..] {
@@ -111,13 +154,19 @@ impl AggregationScheme for CmtDeployment {
         epoch: Epoch,
         contributors: &[SourceId],
     ) -> Result<EvaluatedSum, SchemeError> {
-        let mut acc = final_psr.ciphertext;
+        // Resolve every contributor before deriving, so the first unknown
+        // id errors exactly as the scalar loop did; then strip all pads in
+        // one lane-batched pass.
+        let mut prfs = Vec::with_capacity(contributors.len());
         for &id in contributors {
-            if id as usize >= self.keys.len() {
-                return Err(SchemeError::Malformed(format!("unknown source {id}")));
+            match self.prfs.get(id as usize) {
+                Some(p) => prfs.push(p),
+                None => return Err(SchemeError::Malformed(format!("unknown source {id}"))),
             }
-            let k = self.epoch_key(id, epoch);
-            acc = acc.sub_mod(&k, &self.modulus);
+        }
+        let mut acc = final_psr.ciphertext;
+        for digest in prf::hm1_epoch_many(prfs, epoch) {
+            acc = acc.sub_mod(&Self::key_from_digest(&digest), &self.modulus);
         }
         // CMT has no verification step: whatever comes out is accepted.
         Ok(EvaluatedSum {
@@ -226,6 +275,24 @@ mod tests {
         let failed: HashSet<_> = [topo.source_node(0).unwrap()].into();
         let out = engine.run_epoch_with(0, &[9; 8], &failed, &[]);
         assert_eq!(out.result.unwrap().sum, 63.0);
+    }
+
+    #[test]
+    fn batch_init_matches_scalar_and_flags_unknown_ids() {
+        let dep = deployment(6);
+        let jobs: Vec<(SourceId, u64)> = (0..6)
+            .map(|i| (i, 10 + i as u64))
+            .chain([(99, 1)])
+            .collect();
+        let batched = dep.batch_source_init(4, &jobs);
+        assert_eq!(batched.len(), jobs.len());
+        for (res, &(id, value)) in batched.iter().zip(&jobs) {
+            if id < 6 {
+                assert_eq!(*res.as_ref().unwrap(), dep.source_init(id, 4, value));
+            } else {
+                assert!(res.is_err(), "unknown source must error, not panic");
+            }
+        }
     }
 
     #[test]

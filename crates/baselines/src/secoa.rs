@@ -20,12 +20,12 @@
 //! cites. All measured quantities (bytes, CPU shapes) match Equations
 //! 5, 8, 10 and 11.
 
-use crate::seal::{derive_seed, Seal};
+use crate::seal::{derive_seed_with, seed_from_digest, seed_message, Seal};
 use crate::sketch::FmSketch;
 use rand::RngCore;
 use sies_core::{Epoch, SourceId};
 use sies_crypto::hmac::ct_eq;
-use sies_crypto::prf;
+use sies_crypto::prf::{self, KeyedPrf};
 use sies_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use sies_net::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
 
@@ -78,10 +78,13 @@ pub struct SecoaPsr {
 pub struct SecoaSum {
     j: usize,
     rsa: RsaPublicKey,
-    /// `K_i`: inflation-certificate keys shared source ↔ querier.
-    mac_keys: Vec<[u8; 20]>,
-    /// Seed keys for the SEAL chains, shared source ↔ querier.
-    seed_keys: Vec<[u8; 20]>,
+    /// `K_i`: inflation-certificate keys shared source ↔ querier, HMAC
+    /// pads pre-absorbed so every certificate costs two lane-batchable
+    /// compressions.
+    mac_prfs: Vec<KeyedPrf>,
+    /// Seed keys for the SEAL chains, shared source ↔ querier (cached
+    /// like the certificate keys).
+    seed_prfs: Vec<KeyedPrf>,
 }
 
 impl SecoaSum {
@@ -96,21 +99,21 @@ impl SecoaSum {
     /// expensive 1024-bit key generation).
     pub fn with_rsa(rng: &mut dyn RngCore, num_sources: u64, j: usize, rsa: RsaPublicKey) -> Self {
         assert!(j >= 1);
-        let mut mac_keys = Vec::with_capacity(num_sources as usize);
-        let mut seed_keys = Vec::with_capacity(num_sources as usize);
+        let mut mac_prfs = Vec::with_capacity(num_sources as usize);
+        let mut seed_prfs = Vec::with_capacity(num_sources as usize);
         for _ in 0..num_sources {
             let mut a = [0u8; 20];
             let mut b = [0u8; 20];
             rng.fill_bytes(&mut a);
             rng.fill_bytes(&mut b);
-            mac_keys.push(a);
-            seed_keys.push(b);
+            mac_prfs.push(KeyedPrf::new(&a));
+            seed_prfs.push(KeyedPrf::new(&b));
         }
         SecoaSum {
             j,
             rsa,
-            mac_keys,
-            seed_keys,
+            mac_prfs,
+            seed_prfs,
         }
     }
 
@@ -127,26 +130,33 @@ impl SecoaSum {
     /// Builds a source's PSR from already-chosen sketch values (shared by
     /// the faithful and the sampled paths).
     fn psr_from_sketch_values(&self, source: SourceId, epoch: Epoch, xs: &[u8]) -> SecoaPsr {
-        let mut slots = Vec::with_capacity(self.j);
-        let mut seals = Vec::with_capacity(self.j);
-        for (jj, &x) in xs.iter().enumerate() {
-            let cert = prf::hm1(
-                &self.mac_keys[source as usize],
-                &cert_message(x, jj as u32, epoch),
-            );
-            let seed = derive_seed(
-                &self.seed_keys[source as usize],
-                jj as u32,
-                epoch,
-                &self.rsa,
-            );
-            seals.push(Seal::new(&self.rsa, &seed, x as u64));
-            slots.push(SketchSlot {
+        // All 2J certificate + seed HMACs for this source run through one
+        // lane-batched pass under the cached key pads.
+        let mac_prf = &self.mac_prfs[source as usize];
+        let seed_prf = &self.seed_prfs[source as usize];
+        let certs = prf::hm1_many(
+            xs.iter()
+                .enumerate()
+                .map(|(jj, &x)| (mac_prf, cert_message(x, jj as u32, epoch))),
+        );
+        let seed_digests =
+            prf::hm1_many((0..xs.len()).map(|jj| (seed_prf, seed_message(jj as u32, epoch))));
+        let slots = xs
+            .iter()
+            .zip(certs)
+            .map(|(&x, cert)| SketchSlot {
                 x,
                 owner: source,
                 cert,
-            });
-        }
+            })
+            .collect();
+        let seals = xs
+            .iter()
+            .zip(&seed_digests)
+            .map(|(&x, digest)| {
+                Seal::new(&self.rsa, &seed_from_digest(digest, &self.rsa), x as u64)
+            })
+            .collect();
         SecoaPsr {
             slots,
             seals: SealBundle::PerSketch(seals),
@@ -180,16 +190,19 @@ impl SecoaSum {
         for jj in 0..self.j {
             let x = FmSketch::sample(rng, total_value).value();
             let owner = contributors[rng.random_range(0..contributors.len())];
-            let cert = prf::hm1(
-                &self.mac_keys[owner as usize],
-                &cert_message(x, jj as u32, epoch),
-            );
-            // Product of every contributor's seed for this sketch, folded
-            // through the key's shared Montgomery context.
-            let seeds: Vec<_> = contributors
-                .iter()
-                .map(|&i| derive_seed(&self.seed_keys[i as usize], jj as u32, epoch, &self.rsa))
-                .collect();
+            let cert = self.mac_prfs[owner as usize].hm1(&cert_message(x, jj as u32, epoch));
+            // Product of every contributor's seed for this sketch (one
+            // lane-batched HMAC pass), folded through the key's shared
+            // Montgomery context.
+            let msg = seed_message(jj as u32, epoch);
+            let seeds: Vec<_> = prf::hm1_many(
+                contributors
+                    .iter()
+                    .map(|&i| (&self.seed_prfs[i as usize], msg)),
+            )
+            .iter()
+            .map(|digest| seed_from_digest(digest, &self.rsa))
+            .collect();
             let product = self.rsa.fold_product(seeds.iter());
             seals.push(Seal::new(&self.rsa, &product, x as u64));
             slots.push(SketchSlot { x, owner, cert });
@@ -315,7 +328,9 @@ impl AggregationScheme for SecoaSum {
         let contributor_set: std::collections::HashSet<SourceId> =
             contributors.iter().copied().collect();
 
-        // 1. Inflation certificates.
+        // 1. Inflation certificates: validate ownership slot-by-slot,
+        // then recompute all J expected certificates in one lane-batched
+        // pass under the cached owner keys.
         for (jj, slot) in final_psr.slots.iter().enumerate() {
             if !contributor_set.contains(&slot.owner) {
                 return Err(SchemeError::VerificationFailed(format!(
@@ -323,11 +338,15 @@ impl AggregationScheme for SecoaSum {
                     slot.owner
                 )));
             }
-            let expected = prf::hm1(
-                &self.mac_keys[slot.owner as usize],
-                &cert_message(slot.x, jj as u32, epoch),
-            );
-            if !ct_eq(&expected, &slot.cert) {
+        }
+        let expected_certs = prf::hm1_many(final_psr.slots.iter().enumerate().map(|(jj, slot)| {
+            (
+                &self.mac_prfs[slot.owner as usize],
+                cert_message(slot.x, jj as u32, epoch),
+            )
+        }));
+        for (jj, (slot, expected)) in final_psr.slots.iter().zip(&expected_certs).enumerate() {
+            if !ct_eq(expected, &slot.cert) {
                 return Err(SchemeError::VerificationFailed(format!(
                     "inflation certificate mismatch on sketch {jj}"
                 )));
@@ -396,14 +415,21 @@ impl AggregationScheme for SecoaSum {
             Some(ctx) => ctx.accumulator(),
             None => return Err(SchemeError::Malformed("degenerate RSA modulus".into())),
         };
+        let mut prfs = Vec::with_capacity(contributors.len());
         for &i in contributors {
-            if i as usize >= self.seed_keys.len() {
-                return Err(SchemeError::Malformed(format!("unknown source {i}")));
+            match self.seed_prfs.get(i as usize) {
+                Some(p) => prfs.push(p),
+                None => return Err(SchemeError::Malformed(format!("unknown source {i}"))),
             }
-            for jj in 0..self.j {
-                let sd = derive_seed(&self.seed_keys[i as usize], jj as u32, epoch, &self.rsa);
-                folder.mul(&sd);
-            }
+        }
+        // The dominant N·J seed-digest derivation runs as one lane-batched
+        // HMAC pass; each digest is then expanded and folded in.
+        let digests = prf::hm1_many(
+            prfs.iter()
+                .flat_map(|&p| (0..self.j).map(move |jj| (p, seed_message(jj as u32, epoch)))),
+        );
+        for digest in &digests {
+            folder.mul(&seed_from_digest(digest, &self.rsa));
         }
         let reference = Seal::new(&self.rsa, &folder.finish(), x_max);
         if reference.value != collected.value {
@@ -497,13 +523,13 @@ impl SecoaMax {
         let mut msg = [0u8; 16];
         msg[..8].copy_from_slice(&value.to_be_bytes());
         msg[8..].copy_from_slice(&epoch.to_be_bytes());
-        prf::hm1(&self.inner.mac_keys[source as usize], &msg)
+        self.inner.mac_prfs[source as usize].hm1(&msg)
     }
 
     /// Source side: value + inflation certificate + SEAL.
     pub fn source_init(&self, source: SourceId, epoch: Epoch, value: u64) -> SecoaMaxPsr {
-        let seed = derive_seed(
-            &self.inner.seed_keys[source as usize],
+        let seed = derive_seed_with(
+            &self.inner.seed_prfs[source as usize],
             0,
             epoch,
             &self.inner.rsa,
@@ -562,10 +588,15 @@ impl SecoaMax {
                 "SEAL position mismatch".into(),
             ));
         }
-        let seeds: Vec<_> = contributors
-            .iter()
-            .map(|&i| derive_seed(&self.inner.seed_keys[i as usize], 0, epoch, &self.inner.rsa))
-            .collect();
+        let msg = seed_message(0, epoch);
+        let seeds: Vec<_> = prf::hm1_many(
+            contributors
+                .iter()
+                .map(|&i| (&self.inner.seed_prfs[i as usize], msg)),
+        )
+        .iter()
+        .map(|digest| seed_from_digest(digest, &self.inner.rsa))
+        .collect();
         let product = self.inner.rsa.fold_product(seeds.iter());
         let reference = Seal::new(&self.inner.rsa, &product, psr.value);
         if reference.value != psr.seal.value {

@@ -1,14 +1,17 @@
-//! Criterion microbenchmarks for the modular-exponentiation kernels:
-//! windowed Montgomery exponentiation, CRT decryption, and batch
-//! inversion, each next to the generic `BigUint`/Euclid path it
-//! replaces. `cargo bench -p sies-bench --bench kernels` is the
-//! statistically robust companion to `repro micro`; CI runs it as a
-//! smoke test with `--test`.
+//! Criterion microbenchmarks for the modular-exponentiation kernels
+//! (windowed Montgomery exponentiation, CRT decryption, batch inversion)
+//! and the lane-batched epoch PRFs (`hm1_epoch_many`/`hm256_epoch_many`
+//! at x4 and x8 lanes), each next to the generic path it replaces.
+//! `cargo bench -p sies-bench --bench kernels` is the statistically
+//! robust companion to `repro micro`; CI runs it as a smoke test with
+//! `--test`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sies_bench::micro::{paillier_fixture, rsa_fixture, stream_below};
+use sies_bench::micro::{paillier_fixture, prf_keys, rsa_fixture, stream_below};
 use sies_crypto::biguint::BigUint;
+use sies_crypto::lanes;
 use sies_crypto::mont::MontgomeryCtx;
+use sies_crypto::prf::{self, KeyedPrf};
 use sies_crypto::u256::U256;
 use sies_crypto::DEFAULT_PRIME_256;
 use std::hint::black_box;
@@ -126,5 +129,60 @@ fn bench_u256(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rsa, bench_paillier, bench_u256);
+fn bench_prf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prf_batch");
+    let epoch = 99u64;
+    let keys = prf_keys(1000);
+    let prfs: Vec<KeyedPrf> = keys.iter().map(|k| KeyedPrf::new(k)).collect();
+
+    for n in [64usize, 256, 1000] {
+        group.bench_function(format!("hm1_epoch_many/scalar/n{n}"), |b| {
+            b.iter(|| {
+                let out: Vec<[u8; 20]> = black_box(&keys[..n])
+                    .iter()
+                    .map(|k| prf::hm1_epoch(k, epoch))
+                    .collect();
+                black_box(out)
+            })
+        });
+        group.bench_function(format!("hm256_epoch_many/scalar/n{n}"), |b| {
+            b.iter(|| {
+                let out: Vec<[u8; 32]> = black_box(&keys[..n])
+                    .iter()
+                    .map(|k| prf::hm256_epoch(k, epoch))
+                    .collect();
+                black_box(out)
+            })
+        });
+        for w in [4usize, 8] {
+            group.bench_function(format!("hm1_epoch_many/x{w}/n{n}"), |b| {
+                lanes::set_lane_width(w);
+                b.iter(|| black_box(prf::hm1_epoch_many(black_box(&prfs[..n]), epoch)))
+            });
+            group.bench_function(format!("hm256_epoch_many/x{w}/n{n}"), |b| {
+                lanes::set_lane_width(w);
+                b.iter(|| black_box(prf::hm256_epoch_many(black_box(&prfs[..n]), epoch)))
+            });
+        }
+    }
+
+    let p = DEFAULT_PRIME_256;
+    group.bench_function("derive_mod_p_many/scalar/n1000", |b| {
+        b.iter(|| {
+            let out: Vec<U256> = black_box(&keys)
+                .iter()
+                .map(|k| prf::derive_mod(k, epoch, &p))
+                .collect();
+            black_box(out)
+        })
+    });
+    group.bench_function("derive_mod_p_many/x8/n1000", |b| {
+        lanes::set_lane_width(8);
+        b.iter(|| black_box(prf::derive_mod_p_many(black_box(&prfs), epoch, &p)))
+    });
+    lanes::clear_lane_width();
+    group.finish();
+}
+
+criterion_group!(benches, bench_rsa, bench_paillier, bench_u256, bench_prf);
 criterion_main!(benches);

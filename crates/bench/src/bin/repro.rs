@@ -18,12 +18,15 @@
 //!   reliability  seeded chaos harness: availability, detection rate,
 //!                recovery overhead (also writes BENCH_reliability.json)
 //!   throughput   parallel epoch pipeline: epochs/sec vs thread count,
-//!                digest-checked against the serial engine (also writes
+//!                digest-checked against the serial engine and across
+//!                hash lane widths W ∈ {1,4,8} (also writes
 //!                BENCH_throughput.json)
-//!   micro    modular-exponentiation kernels (windowed Montgomery, CRT,
-//!            batch inversion) vs their generic oracles; differential
-//!            checks at 1/2/8 threads (also writes BENCH_micro.json);
-//!            `--baseline FILE` gates on >25% median regression
+//!   micro    modexp kernels (windowed Montgomery, CRT, batch inversion)
+//!            and lane-batched PRF kernels (hm1/hm256_epoch_many,
+//!            derive_mod_p_many at x4/x8) vs their generic oracles;
+//!            differential checks at 1/2/8 threads and lane widths
+//!            1/4/8 (also writes BENCH_micro.json); `--baseline FILE`
+//!            gates on >25% median regression
 //!   all      everything above
 //! ```
 //!
@@ -506,7 +509,11 @@ fn throughput_exp(opts: &Options, threads: Threads, out: &Path) {
             &rows
         )
     );
-    println!("result digests identical across all thread counts (asserted per N)");
+    println!(
+        "result digests identical across all thread counts (asserted per N) \
+         and across hash lane widths 1/4/8 (asserted at N={})",
+        throughput::THROUGHPUT_N[0]
+    );
     let _ = write_json_seeded(out, "throughput", opts.seed, &points);
     // The canonical artifact lives at the repo root for the paper repro.
     let _ = write_json_seeded(Path::new("."), "BENCH_throughput", opts.seed, &points);
@@ -516,9 +523,10 @@ fn micro(opts: &Options, baseline: Option<&Path>, out: &Path) {
     use sies_bench::micro::{micro_suite, regressions_against, MicroReport, REGRESSION_FACTOR};
 
     const ORACLE_THREADS: [usize; 3] = [1, 2, 8];
-    println!("\n== Micro: modular-exponentiation kernels vs generic oracles ==");
+    println!("\n== Micro: modular-exponentiation and batched-PRF kernels vs generic oracles ==");
     println!(
-        "running differential oracles at {ORACLE_THREADS:?} thread(s), then timing medians..."
+        "running differential oracles at {ORACLE_THREADS:?} thread(s) and \
+         lane widths 1/4/8, then timing medians..."
     );
     let report = micro_suite(11, &ORACLE_THREADS);
     let rows: Vec<Vec<String>> = report
@@ -541,8 +549,9 @@ fn micro(opts: &Options, baseline: Option<&Path>, out: &Path) {
         )
     );
     println!(
-        "differential oracles passed at {:?} worker thread(s)",
-        report.oracle_threads
+        "differential oracles passed at {:?} worker thread(s); \
+         batched PRFs lane-verified at widths {:?}",
+        report.oracle_threads, report.lane_widths
     );
     let _ = write_json_seeded(out, "micro", opts.seed, &report);
     // The canonical artifact lives at the repo root for the paper repro.

@@ -11,19 +11,26 @@
 //! * 256-bit windowed Montgomery exponentiation vs the generic path;
 //! * the SECOA verifier's seed-product fold (division-free CIOS
 //!   accumulator vs mul-then-divide);
-//! * batch modular inversion (Montgomery's trick vs per-element Euclid).
+//! * batch modular inversion (Montgomery's trick vs per-element Euclid);
+//! * the lane-batched epoch PRFs (`hm1_epoch_many`, `hm256_epoch_many`,
+//!   `derive_mod_p_many` at x4/x8 lanes with cached HMAC pads) vs the
+//!   scalar free-function loop that re-derives the pad blocks per call.
 //!
 //! Keys are built from fixed 1024-bit prime fixtures (`p, q ≡ 2 (mod 3)`,
 //! generated once with the in-tree Miller–Rabin) so runs are reproducible
 //! and start instantly. Before timing anything the differential oracles
-//! run at 1, 2 and 8 worker threads; a mismatch aborts the suite.
+//! run at 1, 2 and 8 worker threads, and the lane oracle replays every
+//! batched PRF at widths 1, 4 and 8 against the scalar path; a mismatch
+//! aborts the suite.
 
 use crate::timing::time_median_us;
 use serde::{Deserialize, Serialize};
 use sies_core::parallel;
 use sies_crypto::biguint::BigUint;
+use sies_crypto::lanes;
 use sies_crypto::mont::MontgomeryCtx;
 use sies_crypto::paillier::PaillierKeyPair;
+use sies_crypto::prf::{self, KeyedPrf};
 use sies_crypto::rsa::RsaKeyPair;
 use sies_crypto::u256::U256;
 use sies_crypto::DEFAULT_PRIME_256;
@@ -42,6 +49,11 @@ const CHAIN_LEN: u64 = 16;
 /// Elements in the fold / batch-inversion kernels.
 const FOLD_LEN: usize = 256;
 const BATCH_LEN: usize = 64;
+/// Batch sizes for the lane-parallel PRF kernels (the largest matches
+/// the paper's default source population).
+const PRF_BATCH: [usize; 3] = [64, 256, 1000];
+/// Lane widths the PRF oracle verifies (every kernel instantiation).
+const LANE_WIDTHS: [usize; 3] = [1, 4, 8];
 
 /// One kernel's generic-vs-fast medians.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -65,6 +77,8 @@ pub struct MicroReport {
     pub kernels: Vec<KernelResult>,
     /// Worker-thread counts the differential oracles were verified at.
     pub oracle_threads: Vec<usize>,
+    /// Hash lane widths the batched-PRF oracle was verified at.
+    pub lane_widths: Vec<usize>,
 }
 
 fn from_hex(s: &str) -> BigUint {
@@ -123,6 +137,67 @@ fn generic_chain(base: &BigUint, e: &BigUint, times: u64, n: &BigUint) -> BigUin
 fn generic_paillier_encrypt(m: &BigUint, r: &BigUint, n: &BigUint, n2: &BigUint) -> BigUint {
     let g_m = BigUint::one().add(&m.mul(n)).rem(n2);
     g_m.mul_mod(&r.pow_mod(n, n2), n2)
+}
+
+/// Deterministic 32-byte keys for the batched-PRF kernels (one per
+/// simulated sensor; splitmix64-filled).
+pub fn prf_keys(count: usize) -> Vec<[u8; 32]> {
+    (0..count)
+        .map(|i| {
+            let mut key = [0u8; 32];
+            let mut state = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED;
+            for chunk in key.chunks_mut(8) {
+                state = state
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(31)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                chunk.copy_from_slice(&state.to_be_bytes());
+            }
+            key
+        })
+        .collect()
+}
+
+/// Differential oracle for the lane-batched PRFs: every kernel width must
+/// reproduce the scalar free-function results byte for byte.
+///
+/// Runs serially by design — the width override is process-global, so
+/// sharding this across workers would race the knob it is testing (the
+/// race could only change which width a call uses, never its output, but
+/// then widths 1 and 4 would not be exercised reliably).
+pub fn run_lane_oracle() -> Result<(), String> {
+    let keys = prf_keys(21);
+    let prfs: Vec<KeyedPrf> = keys.iter().map(|k| KeyedPrf::new(k)).collect();
+    let p = DEFAULT_PRIME_256;
+    // Ragged cert-style messages for the cross-message batch entry point.
+    let msgs: Vec<Vec<u8>> = (0..keys.len())
+        .map(|i| vec![i as u8; 1 + (i * 11) % 80])
+        .collect();
+    for width in LANE_WIDTHS {
+        lanes::set_lane_width(width);
+        for epoch in [0u64, 7, u64::MAX] {
+            let hm1 = prf::hm1_epoch_many(&prfs, epoch);
+            let hm256 = prf::hm256_epoch_many(&prfs, epoch);
+            let derived = prf::derive_mod_p_many(&prfs, epoch, &p);
+            let certs = prf::hm1_many(prfs.iter().zip(&msgs));
+            for (i, key) in keys.iter().enumerate() {
+                if hm1[i] != prf::hm1_epoch(key, epoch) {
+                    return Err(format!("hm1_epoch_many mismatch (W={width}, lane {i})"));
+                }
+                if hm256[i] != prf::hm256_epoch(key, epoch) {
+                    return Err(format!("hm256_epoch_many mismatch (W={width}, lane {i})"));
+                }
+                if derived[i] != prf::derive_mod(key, epoch, &p) {
+                    return Err(format!("derive_mod_p_many mismatch (W={width}, lane {i})"));
+                }
+                if certs[i] != prf::hm1(key, &msgs[i]) {
+                    return Err(format!("hm1_many mismatch (W={width}, lane {i})"));
+                }
+            }
+        }
+    }
+    lanes::clear_lane_width();
+    Ok(())
 }
 
 /// Runs every differential oracle sharded over `threads` workers;
@@ -218,6 +293,9 @@ pub fn micro_suite(runs: usize, oracle_threads: &[usize]) -> MicroReport {
         if let Err(e) = run_oracles(t) {
             panic!("differential oracle failed at {t} thread(s): {e}");
         }
+    }
+    if let Err(e) = run_lane_oracle() {
+        panic!("lane-width PRF oracle failed: {e}");
     }
 
     let rsa = rsa_fixture();
@@ -317,9 +395,82 @@ pub fn micro_suite(runs: usize, oracle_threads: &[usize]) -> MicroReport {
         || U256::batch_inv_mod(&inv_values, &p256),
     ));
 
+    // Lane-batched epoch PRFs: cached-pad HMAC at W lanes (exactly two
+    // batchable compressions per MAC) vs the scalar free-function loop
+    // that re-derives both pad blocks on every call — the pre-PR querier
+    // recomputation path. The width override is explicit per kernel so
+    // the names stay honest regardless of `SIES_LANES`.
+    let prf_epoch = 12_345u64;
+    let lane_keys = prf_keys(*PRF_BATCH.iter().max().unwrap());
+    let lane_prfs: Vec<KeyedPrf> = lane_keys.iter().map(|k| KeyedPrf::new(k)).collect();
+    for &n in &PRF_BATCH {
+        lanes::set_lane_width(8);
+        kernels.push(KernelResult::measure(
+            &format!("hm1_epoch_many_n{n}"),
+            runs,
+            || {
+                lane_keys[..n]
+                    .iter()
+                    .map(|k| prf::hm1_epoch(k, prf_epoch))
+                    .collect::<Vec<_>>()
+            },
+            || prf::hm1_epoch_many(&lane_prfs[..n], prf_epoch),
+        ));
+        kernels.push(KernelResult::measure(
+            &format!("hm256_epoch_many_n{n}"),
+            runs,
+            || {
+                lane_keys[..n]
+                    .iter()
+                    .map(|k| prf::hm256_epoch(k, prf_epoch))
+                    .collect::<Vec<_>>()
+            },
+            || prf::hm256_epoch_many(&lane_prfs[..n], prf_epoch),
+        ));
+    }
+    let nmax = *PRF_BATCH.iter().max().unwrap();
+    lanes::set_lane_width(4);
+    kernels.push(KernelResult::measure(
+        &format!("hm1_epoch_many_x4_n{nmax}"),
+        runs,
+        || {
+            lane_keys
+                .iter()
+                .map(|k| prf::hm1_epoch(k, prf_epoch))
+                .collect::<Vec<_>>()
+        },
+        || prf::hm1_epoch_many(&lane_prfs, prf_epoch),
+    ));
+    kernels.push(KernelResult::measure(
+        &format!("hm256_epoch_many_x4_n{nmax}"),
+        runs,
+        || {
+            lane_keys
+                .iter()
+                .map(|k| prf::hm256_epoch(k, prf_epoch))
+                .collect::<Vec<_>>()
+        },
+        || prf::hm256_epoch_many(&lane_prfs, prf_epoch),
+    ));
+    // The querier's Σss recomputation shape: rejection-sampled residues.
+    lanes::set_lane_width(8);
+    kernels.push(KernelResult::measure(
+        &format!("derive_mod_p_many_n{nmax}"),
+        runs,
+        || {
+            lane_keys
+                .iter()
+                .map(|k| prf::derive_mod(k, prf_epoch, &p256))
+                .collect::<Vec<_>>()
+        },
+        || prf::derive_mod_p_many(&lane_prfs, prf_epoch, &p256),
+    ));
+    lanes::clear_lane_width();
+
     MicroReport {
         kernels,
         oracle_threads: oracle_threads.to_vec(),
+        lane_widths: LANE_WIDTHS.to_vec(),
     }
 }
 
@@ -411,6 +562,11 @@ mod tests {
     }
 
     #[test]
+    fn lane_oracle_passes() {
+        run_lane_oracle().unwrap();
+    }
+
+    #[test]
     fn regression_gate_logic() {
         let k = |name: &str, fast: f64, speedup: f64| KernelResult {
             name: name.into(),
@@ -421,23 +577,27 @@ mod tests {
         let baseline = MicroReport {
             kernels: vec![k("a", 100.0, 4.0), k("b", 10.0, 2.0)],
             oracle_threads: vec![1],
+            lane_widths: vec![],
         };
         // Faster than baseline: passes.
         let good = MicroReport {
             kernels: vec![k("a", 90.0, 4.2), k("b", 11.0, 2.0)],
             oracle_threads: vec![1],
+            lane_widths: vec![],
         };
         assert!(regressions_against(&good, &baseline).is_empty());
         // Uniformly slower machine (times up, ratios intact): passes.
         let slow_host = MicroReport {
             kernels: vec![k("a", 200.0, 3.9), k("b", 20.0, 2.1)],
             oracle_threads: vec![1],
+            lane_widths: vec![],
         };
         assert!(regressions_against(&slow_host, &baseline).is_empty());
         // Genuine regression (slower AND ratio collapsed): fails.
         let regressed = MicroReport {
             kernels: vec![k("a", 300.0, 1.1), k("b", 10.0, 2.0)],
             oracle_threads: vec![1],
+            lane_widths: vec![],
         };
         let fails = regressions_against(&regressed, &baseline);
         assert_eq!(fails.len(), 1);
@@ -446,6 +606,7 @@ mod tests {
         let renamed = MicroReport {
             kernels: vec![k("z", 9999.0, 1.0)],
             oracle_threads: vec![1],
+            lane_widths: vec![],
         };
         assert!(regressions_against(&renamed, &baseline).is_empty());
     }

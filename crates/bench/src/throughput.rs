@@ -9,12 +9,18 @@
 //! the digests are identical across thread counts, so a throughput run
 //! that completes is itself a proof that parallelism changed no byte of
 //! the results.
+//!
+//! The same digest doubles as the lane-width oracle: before the thread
+//! sweep the suite replays the smallest population serially at every
+//! multi-lane hash width (W ∈ {1, 4, 8}) and asserts the digests agree,
+//! so neither worker count nor hash lane width can change a result byte.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use sies_core::SystemParams;
 use sies_crypto::hash::HashFunction;
+use sies_crypto::lanes;
 use sies_crypto::sha256::Sha256;
 use sies_net::engine::Engine;
 use sies_net::scheme::SchemeError;
@@ -123,13 +129,42 @@ fn run_config(seed: u64, n: u64, threads: usize, epochs: u64) -> ThroughputPoint
     }
 }
 
+/// Replays the smallest sweep population serially at each forced hash
+/// lane width and asserts the result digests are byte-identical; returns
+/// the `(width, digest)` pairs. The in-process counterpart of CI's
+/// `SIES_LANES` matrix leg. Clears the width override before returning.
+///
+/// # Panics
+/// Panics when any width's digest diverges from W = 1.
+pub fn lane_width_sweep(seed: u64, epochs: u64) -> Vec<(usize, String)> {
+    let digests: Vec<(usize, String)> = [1usize, 4, 8]
+        .iter()
+        .map(|&w| {
+            lanes::set_lane_width(w);
+            (
+                w,
+                run_config(seed, THROUGHPUT_N[0], 1, epochs).result_digest,
+            )
+        })
+        .collect();
+    lanes::clear_lane_width();
+    for (w, digest) in &digests[1..] {
+        assert_eq!(
+            digest, &digests[0].1,
+            "lane-width oracle violated: W={w} diverged from the scalar engine"
+        );
+    }
+    digests
+}
+
 /// Runs the throughput sweep: every `n` in [`THROUGHPUT_N`] at every
 /// thread count in `thread_sweep` (deduplicated, serial first), each for
-/// `epochs` epochs.
+/// `epochs` epochs. Runs [`lane_width_sweep`] first.
 ///
 /// Panics if any configuration's result digest differs from the serial
 /// baseline's — the determinism oracle.
 pub fn throughput_suite(seed: u64, epochs: u64, thread_sweep: &[usize]) -> Vec<ThroughputPoint> {
+    lane_width_sweep(seed, epochs);
     let mut sweep: Vec<usize> = thread_sweep.iter().map(|&t| t.max(1)).collect();
     if !sweep.contains(&1) {
         sweep.insert(0, 1);
@@ -183,6 +218,13 @@ mod tests {
         }
         // Distinct populations must produce distinct aggregates.
         assert_ne!(points[0].result_digest, points[3].result_digest);
+    }
+
+    #[test]
+    fn lane_widths_do_not_change_results() {
+        let digests = lane_width_sweep(3, 2);
+        assert_eq!(digests.len(), 3);
+        assert!(digests.iter().all(|(_, d)| d == &digests[0].1));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::error::SiesError;
 use rand::RngCore;
 use sies_crypto::hash::HashFunction;
-use sies_crypto::hmac::{ct_eq, hmac};
+use sies_crypto::hmac::{ct_eq, hmac, hmac_many};
 use sies_crypto::sha256::Sha256;
 
 /// A chain key (SHA-256 output).
@@ -217,10 +217,22 @@ impl Receiver {
         // authenticated intervals (newest `window_cap` retained). One
         // HMAC per interval here replaces one per *packet* below and
         // keeps the key available for later archive re-verification.
+        // The window keys share a fixed message and differ only in the
+        // chain key, so the whole extension runs through the multi-lane
+        // batched HMAC.
         let fresh = steps.min(self.window_cap as u64);
-        for d in (0..fresh).rev() {
-            self.window
-                .push((disclosure.interval - d, mac_key(&keys[d as usize])));
+        let chain_keys: Vec<&[u8]> = (0..fresh)
+            .rev()
+            .map(|d| keys[d as usize].as_slice())
+            .collect();
+        for (d, mk) in (0..fresh)
+            .rev()
+            .zip(hmac_many::<Sha256>(&chain_keys, b"mutesla-mac"))
+        {
+            self.window.push((
+                disclosure.interval - d,
+                mk.try_into().expect("SHA-256 output is 32 bytes"),
+            ));
         }
         if self.window.len() > self.window_cap {
             self.window.drain(..self.window.len() - self.window_cap);

@@ -91,9 +91,14 @@ pub struct Aggregator {
 }
 
 /// The querier: holds `K` and every `k_i`, runs the evaluation phase.
+///
+/// All keys are stored with their HMAC pads pre-absorbed ([`KeyedPrf`]),
+/// so the per-epoch Σss recomputation costs exactly two lane-batchable
+/// compressions per contributor instead of re-deriving every key
+/// schedule from the raw bytes.
 pub struct Querier {
-    global_key: LongTermKey,
-    source_keys: Vec<LongTermKey>,
+    global_prf: KeyedPrf,
+    source_prfs: Vec<KeyedPrf>,
     params: SystemParams,
 }
 
@@ -135,8 +140,8 @@ pub fn setup(
         prime: *params.prime(),
     };
     let querier = Querier {
-        global_key,
-        source_keys,
+        global_prf: KeyedPrf::new(&global_key),
+        source_prfs: source_keys.iter().map(|k| KeyedPrf::new(k)).collect(),
         params,
     };
     (querier, creds, aggregator)
@@ -220,6 +225,37 @@ impl Source {
             ciphertext: cipher.encrypt(&m, &k_it),
         })
     }
+
+    /// Initialization for a whole shard of sources at once: both
+    /// per-source PRF sweeps (`k_{i,t}` and `ss_{i,t}`) run through the
+    /// multi-lane batch pipeline — one sensor per hash lane — then each
+    /// reading is encoded and encrypted under the shared `cipher`.
+    /// Element-wise identical to calling [`Source::initialize_with`] per
+    /// job (asserted by `batched_initialize_matches_serial` below).
+    pub fn initialize_batch(
+        cipher: &EpochCipher,
+        epoch: Epoch,
+        jobs: &[(&Source, u64)],
+    ) -> Vec<Result<Psr, SiesError>> {
+        let p = cipher.prime();
+        let k_its = prf::derive_mod_p_many(jobs.iter().map(|(s, _)| &s.source_prf), epoch, p);
+        let sss = prf::hm1_epoch_many(jobs.iter().map(|(s, _)| &s.source_prf), epoch);
+        jobs.iter()
+            .zip(k_its)
+            .zip(sss)
+            .map(|(((source, value), k_it), ss)| {
+                debug_assert_eq!(
+                    cipher.prime(),
+                    source.creds.params.prime(),
+                    "cipher built for a different modulus"
+                );
+                let m = codec::encode_message(&source.creds.params, *value, &ss)?;
+                Ok(Psr {
+                    ciphertext: cipher.encrypt(&m, &k_it),
+                })
+            })
+            .collect()
+    }
 }
 
 impl Aggregator {
@@ -255,7 +291,7 @@ impl Querier {
 
     /// The evaluation phase `E`, assuming **all** `N` sources contributed.
     pub fn evaluate(&self, final_psr: &Psr, epoch: Epoch) -> Result<VerifiedSum, SiesError> {
-        let all: Vec<SourceId> = (0..self.source_keys.len() as SourceId).collect();
+        let all: Vec<SourceId> = (0..self.source_prfs.len() as SourceId).collect();
         self.evaluate_with_contributors(final_psr, epoch, &all)
     }
 
@@ -284,18 +320,25 @@ impl Querier {
         ids: &[SourceId],
     ) -> Result<(U256, U256), SiesError> {
         let p = self.params.prime();
+        // Resolve every id first (the first unknown id in slice order is
+        // the error, exactly as the old per-id loop reported it), then
+        // run both PRF sweeps through the multi-lane batch pipeline.
+        let mut prfs = Vec::with_capacity(ids.len());
+        for &id in ids {
+            prfs.push(
+                self.source_prfs
+                    .get(id as usize)
+                    .ok_or(SiesError::UnknownSource(id))?,
+            );
+        }
+        let k_its = prf::derive_mod_p_many(prfs.iter().copied(), epoch, p);
+        let sss = prf::hm1_epoch_many(prfs.iter().copied(), epoch);
         let mut k_sum = U256::ZERO;
         let mut secret = U256::ZERO;
-        for &id in ids {
-            let key = self
-                .source_keys
-                .get(id as usize)
-                .ok_or(SiesError::UnknownSource(id))?;
-            let k_it = prf::derive_mod(key, epoch, p);
-            k_sum = k_sum.add_mod(&k_it, p);
-            let ss = prf::hm1_epoch(key, epoch);
+        for (k_it, ss) in k_its.iter().zip(&sss) {
+            k_sum = k_sum.add_mod(k_it, p);
             secret = secret
-                .checked_add(&codec::share_to_u256(&ss))
+                .checked_add(&codec::share_to_u256(ss))
                 .expect("share sum fits 256 bits");
         }
         Ok((k_sum, secret))
@@ -317,7 +360,7 @@ impl Querier {
         threads: usize,
     ) -> Result<VerifiedSum, SiesError> {
         let p = self.params.prime();
-        let k_t = prf::derive_mod_nonzero(&self.global_key, epoch, p);
+        let k_t = self.global_prf.derive_mod_nonzero(epoch, p);
         let k_t_inv = k_t
             .inv_mod_euclid(p)
             .expect("K_t is non-zero and p is prime");
@@ -340,7 +383,7 @@ impl Querier {
         let p = self.params.prime();
         let k_ts: Vec<U256> = finals
             .iter()
-            .map(|(epoch, _)| prf::derive_mod_nonzero(&self.global_key, *epoch, p))
+            .map(|(epoch, _)| self.global_prf.derive_mod_nonzero(*epoch, p))
             .collect();
         let invs = U256::batch_inv_mod(&k_ts, p);
         finals
@@ -585,6 +628,24 @@ mod tests {
                 sources[3].initialize_with(&other, epoch, 55).unwrap(),
                 sources[3].initialize(epoch, 55).unwrap()
             );
+            // The lane-batched shard initialization is job-wise identical
+            // too, including ragged batch sizes (n % 4, n % 8 ≠ 0).
+            let jobs: Vec<(&Source, u64)> = sources
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s, (i as u64) * 31 + epoch % 97))
+                .collect();
+            for n in [0usize, 1, 5, 12] {
+                let batch = Source::initialize_batch(&cipher, epoch, &jobs[..n]);
+                assert_eq!(batch.len(), n);
+                for (i, got) in batch.iter().enumerate() {
+                    assert_eq!(
+                        got.as_ref().unwrap(),
+                        &sources[i].initialize(epoch, jobs[i].1).unwrap(),
+                        "job {i} of {n} epoch {epoch}"
+                    );
+                }
+            }
         }
     }
 

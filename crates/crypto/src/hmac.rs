@@ -5,7 +5,7 @@
 //! `C_HM256`). Both are used as PRFs keyed by long-term secrets and applied
 //! to the epoch counter.
 
-use crate::hash::HashFunction;
+use crate::hash::{HashFunction, LaneHash};
 
 /// Computes `HMAC_H(key, message)`.
 ///
@@ -16,17 +16,37 @@ pub fn hmac<H: HashFunction>(key: &[u8], message: &[u8]) -> Vec<u8> {
     mac.finalize()
 }
 
+/// Batch one-shot HMAC: the same `message` under many `keys` — the shape
+/// of μTesla's MAC-key window. All four compressions of every HMAC (the
+/// two pad absorptions and the two finishing blocks) run through the
+/// multi-lane kernels. Bit-identical to mapping [`hmac`] over `keys`.
+pub fn hmac_many<H: LaneHash>(keys: &[&[u8]], message: &[u8]) -> Vec<Vec<u8>> {
+    let mut macs = HmacState::<H>::new_many(keys);
+    for mac in &mut macs {
+        mac.update(message);
+    }
+    HmacState::finalize_many(macs)
+}
+
 /// Incremental HMAC state, for callers that assemble the message from
 /// several parts (e.g. `value || epoch` in the SECOA inflation certificate).
+///
+/// Both pad blocks are absorbed at construction, so a cached, cloned
+/// state pays exactly **two** compression calls per short (≤ 55-byte)
+/// message: the inner hash's padded final block and the outer hash's
+/// digest block. Those two are what [`HmacState::finalize_many`] batches
+/// across lanes.
 #[derive(Clone)]
 pub struct HmacState<H: HashFunction> {
+    /// Inner hash with `key ⊕ ipad` already absorbed.
     inner: H,
-    /// Outer-pad key block, kept so `finalize` can run the outer hash.
-    opad_block: Vec<u8>,
+    /// Outer hash with `key ⊕ opad` already absorbed.
+    outer: H,
 }
 
 impl<H: HashFunction> HmacState<H> {
-    /// Prepares the inner hash with `key ⊕ ipad`.
+    /// Prepares the inner hash with `key ⊕ ipad` and the outer hash with
+    /// `key ⊕ opad`.
     pub fn new(key: &[u8]) -> Self {
         let block_size = H::BLOCK_SIZE;
         let mut key_block = vec![0u8; block_size];
@@ -48,7 +68,9 @@ impl<H: HashFunction> HmacState<H> {
 
         let mut inner = H::new();
         inner.update(&ipad_block);
-        HmacState { inner, opad_block }
+        let mut outer = H::new();
+        outer.update(&opad_block);
+        HmacState { inner, outer }
     }
 
     /// Absorbs message bytes.
@@ -59,10 +81,108 @@ impl<H: HashFunction> HmacState<H> {
     /// Completes the MAC: `H(key ⊕ opad || H(key ⊕ ipad || message))`.
     pub fn finalize(self) -> Vec<u8> {
         let inner_digest = self.inner.finalize();
-        let mut outer = H::new();
-        outer.update(&self.opad_block);
+        let mut outer = self.outer;
         outer.update(&inner_digest);
         outer.finalize()
+    }
+}
+
+impl<H: LaneHash> HmacState<H> {
+    /// Prepares many HMAC states at once, batching the `key ⊕ ipad` and
+    /// `key ⊕ opad` absorptions (2 compressions per key) across lanes.
+    /// Bit-identical to mapping [`HmacState::new`] over `keys`.
+    pub fn new_many(keys: &[&[u8]]) -> Vec<HmacState<H>> {
+        debug_assert_eq!(H::BLOCK_SIZE, 64, "lane kernels assume 64-byte blocks");
+        let fresh = H::new().chain_state();
+        let mut states = vec![fresh; 2 * keys.len()];
+        let mut blocks = Vec::with_capacity(2 * keys.len());
+        for key in keys {
+            let mut key_block = [0u8; 64];
+            if key.len() > 64 {
+                let digest = H::digest(key);
+                key_block[..digest.len()].copy_from_slice(&digest);
+            } else {
+                key_block[..key.len()].copy_from_slice(key);
+            }
+            let mut ipad_block = key_block;
+            let mut opad_block = key_block;
+            for b in ipad_block.iter_mut() {
+                *b ^= 0x36;
+            }
+            for b in opad_block.iter_mut() {
+                *b ^= 0x5c;
+            }
+            blocks.push(ipad_block);
+            blocks.push(opad_block);
+        }
+        H::compress_lanes(&mut states, &blocks);
+        states
+            .chunks_exact(2)
+            .map(|pair| HmacState {
+                inner: H::from_midstate(pair[0], 64),
+                outer: H::from_midstate(pair[1], 64),
+            })
+            .collect()
+    }
+
+    /// Finalizes a batch of independent MACs, running the two trailing
+    /// compressions of every HMAC through the multi-lane kernels.
+    /// Bit-identical to mapping [`HmacState::finalize`] over the batch,
+    /// in order.
+    ///
+    /// Lanes whose buffered message tail does not fit a single padded
+    /// block (> 55 bytes — never the case for the 8–13 byte epoch and
+    /// certificate messages) fall back to the scalar finalize for the
+    /// inner hash; the outer digest block is single-block by construction
+    /// and always batches.
+    pub fn finalize_many(macs: Vec<HmacState<H>>) -> Vec<Vec<u8>> {
+        let n = macs.len();
+        // Stage 1: the padded final block of every inner hash.
+        let mut inner_digests: Vec<Vec<u8>> = Vec::with_capacity(n);
+        let mut lane_states: Vec<[u32; 8]> = Vec::with_capacity(n);
+        let mut lane_blocks: Vec<[u8; 64]> = Vec::with_capacity(n);
+        let mut lane_idx: Vec<usize> = Vec::with_capacity(n);
+        let mut outers: Vec<H> = Vec::with_capacity(n);
+        for (k, mac) in macs.into_iter().enumerate() {
+            let HmacState { inner, outer } = mac;
+            outers.push(outer);
+            let (tail, length) = inner.pending();
+            if tail.len() <= 55 {
+                let mut block = [0u8; 64];
+                block[..tail.len()].copy_from_slice(tail);
+                block[tail.len()] = 0x80;
+                block[56..].copy_from_slice(&length.wrapping_mul(8).to_be_bytes());
+                lane_states.push(inner.chain_state());
+                lane_blocks.push(block);
+                lane_idx.push(k);
+                inner_digests.push(Vec::new()); // patched after the batch pass
+            } else {
+                inner_digests.push(inner.finalize());
+            }
+        }
+        H::compress_lanes(&mut lane_states, &lane_blocks);
+        for (state, &k) in lane_states.iter().zip(&lane_idx) {
+            inner_digests[k] = H::digest_from_state(state);
+        }
+
+        // Stage 2: the outer hash of every lane has exactly one block
+        // left — the opad block was absorbed at construction and
+        // digest + padding (≤ 32 + 9 bytes) fits a single block.
+        let mut out_states: Vec<[u32; 8]> = Vec::with_capacity(n);
+        let mut out_blocks: Vec<[u8; 64]> = Vec::with_capacity(n);
+        for (outer, digest) in outers.iter().zip(&inner_digests) {
+            let (tail, length) = outer.pending();
+            debug_assert!(tail.is_empty(), "outer state must sit at a block boundary");
+            let total_bits = (length + digest.len() as u64).wrapping_mul(8);
+            let mut block = [0u8; 64];
+            block[..digest.len()].copy_from_slice(digest);
+            block[digest.len()] = 0x80;
+            block[56..].copy_from_slice(&total_bits.to_be_bytes());
+            out_states.push(outer.chain_state());
+            out_blocks.push(block);
+        }
+        H::compress_lanes(&mut out_states, &out_blocks);
+        out_states.iter().map(H::digest_from_state).collect()
     }
 }
 
@@ -163,5 +283,39 @@ mod tests {
         let m1 = hmac::<Sha1>(b"key-1", b"message");
         let m2 = hmac::<Sha1>(b"key-2", b"message");
         assert_ne!(m1, m2);
+    }
+
+    /// Batched construction + finalize must be bit-identical to the
+    /// scalar path for ragged batch sizes, long keys, and messages that
+    /// straddle block boundaries (the > 55-byte scalar-fallback lanes).
+    #[test]
+    fn batch_paths_match_scalar() {
+        fn check<H: crate::hash::LaneHash>() {
+            for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 17] {
+                let keys: Vec<Vec<u8>> = (0..n).map(|i| vec![0x10 + i as u8; 1 + 9 * i]).collect();
+                let msgs: Vec<Vec<u8>> = (0..n)
+                    .map(|i| vec![0x60 + i as u8; (11 * i) % 71])
+                    .collect();
+                let key_refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+
+                let mut macs = HmacState::<H>::new_many(&key_refs);
+                assert_eq!(macs.len(), n);
+                for (mac, msg) in macs.iter_mut().zip(&msgs) {
+                    mac.update(msg);
+                }
+                let batched = HmacState::finalize_many(macs);
+                for (i, got) in batched.iter().enumerate() {
+                    assert_eq!(*got, hmac::<H>(&keys[i], &msgs[i]), "lane {i} of {n}");
+                }
+
+                // Same message under every key (the hmac_many shape).
+                let same = hmac_many::<H>(&key_refs, b"window message");
+                for (i, got) in same.iter().enumerate() {
+                    assert_eq!(*got, hmac::<H>(&keys[i], b"window message"), "lane {i}");
+                }
+            }
+        }
+        check::<Sha1>();
+        check::<Sha256>();
     }
 }

@@ -1,0 +1,91 @@
+//! Runtime lane-width selection for the multi-lane hash kernels.
+//!
+//! [`sha1xn`](crate::sha1xn) and [`sha256xn`](crate::sha256xn) interleave
+//! W independent single-block compressions per round-loop pass. The width
+//! actually used is chosen at runtime so the same binary can be pinned to
+//! W ∈ {1, 4, 8} by CI's lane-width determinism matrix:
+//!
+//! * `SIES_LANES=1|4|8` in the environment selects the width at startup;
+//! * [`set_lane_width`] overrides it in-process (benches and the
+//!   throughput suite's lane sweep use this);
+//! * the default is 8 — on targets without wide vectors the x8 kernel
+//!   still wins on instruction-level parallelism alone.
+//!
+//! Every width produces bit-identical digests (the kernels are plain
+//! integer arithmetic, differential-tested lane-by-lane against the
+//! scalar FIPS 180-4 implementations), so the width is purely a
+//! performance knob: changing it must never change a derived key, share,
+//! or ciphertext.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Widest kernel instantiation available.
+pub const MAX_LANES: usize = 8;
+
+/// In-process override; 0 means "consult `SIES_LANES` / the default".
+static FORCED: AtomicUsize = AtomicUsize::new(0);
+
+fn env_width() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        match std::env::var("SIES_LANES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(w @ (1 | 4 | 8)) => w,
+            _ => MAX_LANES,
+        }
+    })
+}
+
+/// The lane width the batch schedulers use right now (1, 4, or 8).
+pub fn lane_width() -> usize {
+    match FORCED.load(Ordering::Relaxed) {
+        0 => env_width(),
+        w => w,
+    }
+}
+
+/// Forces the lane width in-process, overriding `SIES_LANES`.
+///
+/// Only 1, 4, and 8 are kernel widths. The setting is global: it is meant
+/// for benches and determinism sweeps, not for concurrent fine-grained
+/// toggling (a race can only change scheduling, never output bytes).
+pub fn set_lane_width(width: usize) {
+    assert!(
+        matches!(width, 1 | 4 | 8),
+        "lane width must be 1, 4 or 8, got {width}"
+    );
+    FORCED.store(width, Ordering::Relaxed);
+}
+
+/// Drops the in-process override, returning to `SIES_LANES` / default.
+pub fn clear_lane_width() {
+    FORCED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_round_trip() {
+        // Note: other tests in this crate may run concurrently; this test
+        // only asserts the override it set itself is observed.
+        set_lane_width(4);
+        assert_eq!(lane_width(), 4);
+        set_lane_width(1);
+        assert_eq!(lane_width(), 1);
+        set_lane_width(8);
+        assert_eq!(lane_width(), 8);
+        clear_lane_width();
+        assert!(matches!(lane_width(), 1 | 4 | 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane width must be 1, 4 or 8")]
+    fn rejects_unsupported_width() {
+        set_lane_width(3);
+    }
+}

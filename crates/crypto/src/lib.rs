@@ -15,10 +15,16 @@
 //!   division, windowed modular exponentiation, Miller–Rabin, prime
 //!   generation) backing RSA and prime setup;
 //! * [`sha1::Sha1`] / [`sha256::Sha256`] — FIPS 180-4 hashes;
+//! * [`sha1xn`] / [`sha256xn`] — multi-lane compression kernels (W ∈
+//!   {1, 4, 8} interleaved single-block compressions, runtime width via
+//!   [`lanes`]) behind the batched HMAC/PRF fan-out;
 //! * [`mod@hmac`] — RFC 2104 HMAC generic over the hash, the paper's
-//!   `HM1(·)`/`HM256(·)`;
+//!   `HM1(·)`/`HM256(·)`, with cached-pad states and the lane-batched
+//!   [`hmac::HmacState::finalize_many`] / [`hmac::hmac_many`];
 //! * [`prf`] — epoch-keyed PRF helpers with derive-to-range rejection
-//!   sampling;
+//!   sampling: scalar free functions, the cached [`prf::KeyedPrf`], and
+//!   the cross-key batch API ([`prf::hm1_epoch_many`],
+//!   [`prf::hm256_epoch_many`], [`prf::derive_mod_p_many`]);
 //! * [`rsa`] — textbook RSA for the SECOA baseline's SEAL one-way chains.
 //!
 //! ## Example
@@ -46,17 +52,20 @@ pub mod bigmont;
 pub mod biguint;
 pub mod hash;
 pub mod hmac;
+pub mod lanes;
 pub mod limbs;
 pub mod mont;
 pub mod paillier;
 pub mod prf;
 pub mod rsa;
 pub mod sha1;
+pub mod sha1xn;
 pub mod sha256;
+pub mod sha256xn;
 pub mod u256;
 
-pub use hash::HashFunction;
-pub use hmac::{ct_eq, hmac};
+pub use hash::{HashFunction, LaneHash};
+pub use hmac::{ct_eq, hmac, hmac_many};
 
 use biguint::BigUint;
 use rand::RngCore;

@@ -3,6 +3,20 @@
 //! §II-A: "we assume that the PRFs are implemented as HMACs". `HM1` is
 //! HMAC-SHA-1 (20-byte output) and `HM256` is HMAC-SHA-256 (32-byte
 //! output). Epoch counters are encoded as 8-byte big-endian integers.
+//!
+//! Three tiers of entry points, all bit-identical:
+//!
+//! * **Scalar free functions** — [`hm1_epoch`], [`hm256_epoch`],
+//!   [`derive_mod`], … re-derive the HMAC key schedule on every call;
+//!   fine for setup and cold paths.
+//! * **[`KeyedPrf`]** — one key's ipad/opad states cached, so each PRF
+//!   call costs exactly two compressions; the per-source hot path.
+//! * **Cross-key batch functions** — [`hm1_epoch_many`],
+//!   [`hm256_epoch_many`], [`derive_mod_p_many`] evaluate one epoch
+//!   under *many* cached keys at once, pushing both compressions of
+//!   every HMAC through the multi-lane kernels
+//!   ([`crate::sha1xn`]/[`crate::sha256xn`]): the shape of the source
+//!   fan-out and the querier's Σss recomputation.
 
 use crate::biguint::BigUint;
 use crate::hmac::{hmac, HmacState};
@@ -142,11 +156,16 @@ impl KeyedPrf {
         }
     }
 
+    /// `HM1(key, msg)` — identical to [`hm1`].
+    pub fn hm1(&self, message: &[u8]) -> [u8; 20] {
+        let mut mac = self.hm1.clone();
+        mac.update(message);
+        mac.finalize().try_into().expect("SHA-1 digest is 20 bytes")
+    }
+
     /// `HM1(key, t)` — identical to [`hm1_epoch`].
     pub fn hm1_epoch(&self, epoch: u64) -> [u8; 20] {
-        let mut mac = self.hm1.clone();
-        mac.update(&epoch.to_be_bytes());
-        mac.finalize().try_into().expect("SHA-1 digest is 20 bytes")
+        self.hm1(&epoch.to_be_bytes())
     }
 
     /// `HM256(key, msg)` — identical to [`hm256`].
@@ -166,17 +185,24 @@ impl KeyedPrf {
     /// Derives a value in `[0, p)` — identical to [`derive_mod`].
     pub fn derive_mod(&self, epoch: u64, p: &U256) -> U256 {
         let mask = U256::low_mask(p.bit_len());
-        let mut counter: u32 = 0;
+        let candidate = U256::from_be_bytes(&self.hm256_epoch(epoch)).and(&mask);
+        if &candidate < p {
+            candidate
+        } else {
+            self.derive_mod_rejected(epoch, p, &mask)
+        }
+    }
+
+    /// The rare rejection tail of [`derive_mod`]: continues the
+    /// counter-suffixed draws from `counter = 1` (the counter-0 draw is
+    /// the plain epoch message and has already been rejected).
+    fn derive_mod_rejected(&self, epoch: u64, p: &U256, mask: &U256) -> U256 {
+        let mut counter: u32 = 1;
         loop {
             let mut msg = [0u8; 12];
             msg[..8].copy_from_slice(&epoch.to_be_bytes());
-            let msg = if counter > 0 {
-                msg[8..].copy_from_slice(&counter.to_be_bytes());
-                &msg[..]
-            } else {
-                &msg[..8]
-            };
-            let candidate = U256::from_be_bytes(&self.hm256_raw(msg)).and(&mask);
+            msg[8..].copy_from_slice(&counter.to_be_bytes());
+            let candidate = U256::from_be_bytes(&self.hm256_raw(&msg)).and(mask);
             if &candidate < p {
                 return candidate;
             }
@@ -209,6 +235,96 @@ impl KeyedPrf {
     pub fn derive_mod_many(&self, epochs: impl IntoIterator<Item = u64>, p: &U256) -> Vec<U256> {
         epochs.into_iter().map(|t| self.derive_mod(t, p)).collect()
     }
+}
+
+/// Batched `HM1(key_i, t)` across many cached keys — one sensor per
+/// lane. Element-wise identical to [`KeyedPrf::hm1_epoch`] (and so to
+/// [`hm1_epoch`]).
+pub fn hm1_epoch_many<'a, I>(prfs: I, epoch: u64) -> Vec<[u8; 20]>
+where
+    I: IntoIterator<Item = &'a KeyedPrf>,
+{
+    let msg = epoch.to_be_bytes();
+    let macs: Vec<_> = prfs
+        .into_iter()
+        .map(|p| {
+            let mut mac = p.hm1.clone();
+            mac.update(&msg);
+            mac
+        })
+        .collect();
+    HmacState::finalize_many(macs)
+        .into_iter()
+        .map(|d| d.try_into().expect("SHA-1 digest is 20 bytes"))
+        .collect()
+}
+
+/// Batched `HM1(key_i, msg_i)` over arbitrary per-lane `(key, message)`
+/// pairs — the shape of SECOA's certificate and seed derivations, where
+/// both the key (per sensor) and the message (per sketch) vary.
+/// Element-wise identical to [`KeyedPrf::hm1`] (and so to [`hm1`]).
+pub fn hm1_many<'a, I, M>(pairs: I) -> Vec<[u8; 20]>
+where
+    I: IntoIterator<Item = (&'a KeyedPrf, M)>,
+    M: AsRef<[u8]>,
+{
+    let macs: Vec<_> = pairs
+        .into_iter()
+        .map(|(p, msg)| {
+            let mut mac = p.hm1.clone();
+            mac.update(msg.as_ref());
+            mac
+        })
+        .collect();
+    HmacState::finalize_many(macs)
+        .into_iter()
+        .map(|d| d.try_into().expect("SHA-1 digest is 20 bytes"))
+        .collect()
+}
+
+/// Batched `HM256(key_i, t)` across many cached keys. Element-wise
+/// identical to [`KeyedPrf::hm256_epoch`] (and so to [`hm256_epoch`]).
+pub fn hm256_epoch_many<'a, I>(prfs: I, epoch: u64) -> Vec<[u8; 32]>
+where
+    I: IntoIterator<Item = &'a KeyedPrf>,
+{
+    let msg = epoch.to_be_bytes();
+    let macs: Vec<_> = prfs
+        .into_iter()
+        .map(|p| {
+            let mut mac = p.hm256.clone();
+            mac.update(&msg);
+            mac
+        })
+        .collect();
+    HmacState::finalize_many(macs)
+        .into_iter()
+        .map(|d| d.try_into().expect("SHA-256 digest is 32 bytes"))
+        .collect()
+}
+
+/// Batched derive-to-range across many cached keys at one epoch: the
+/// counter-0 draw of every key runs through the multi-lane kernels; the
+/// (cryptographically rare) rejections retry per-key. Element-wise
+/// identical to [`KeyedPrf::derive_mod`] (and so to [`derive_mod`]).
+pub fn derive_mod_p_many<'a, I>(prfs: I, epoch: u64, p: &U256) -> Vec<U256>
+where
+    I: IntoIterator<Item = &'a KeyedPrf>,
+{
+    let prfs: Vec<&KeyedPrf> = prfs.into_iter().collect();
+    let mask = U256::low_mask(p.bit_len());
+    hm256_epoch_many(prfs.iter().copied(), epoch)
+        .into_iter()
+        .zip(&prfs)
+        .map(|(digest, prf)| {
+            let candidate = U256::from_be_bytes(&digest).and(&mask);
+            if &candidate < p {
+                candidate
+            } else {
+                prf.derive_mod_rejected(epoch, p, &mask)
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -281,6 +397,41 @@ mod tests {
             let many = prf.derive_mod_many(0..25, &p_full);
             for (t, v) in many.iter().enumerate() {
                 assert_eq!(*v, derive_mod(key, t as u64, &p_full));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_key_batches_match_scalar() {
+        // The lane-batched fan-out must equal the per-key scalar PRFs for
+        // ragged batch sizes (n % 4, n % 8 ≠ 0) and for moduli small
+        // enough to force the rejection-sampling retry path.
+        let p_full = crate::DEFAULT_PRIME_256;
+        let p_small = U256::from_u128(340_282_366_920_938_463_463_374_607_431_768_211_297);
+        for n in [0usize, 1, 3, 4, 5, 8, 13] {
+            let keys: Vec<Vec<u8>> = (0..n).map(|i| vec![0x40 + i as u8; 20]).collect();
+            let prfs: Vec<KeyedPrf> = keys.iter().map(|k| KeyedPrf::new(k)).collect();
+            for t in [0u64, 7, 1_000_003] {
+                let hm1s = hm1_epoch_many(&prfs, t);
+                let hm256s = hm256_epoch_many(&prfs, t);
+                assert_eq!(hm1s.len(), n);
+                for i in 0..n {
+                    assert_eq!(hm1s[i], hm1_epoch(&keys[i], t), "hm1 lane {i} of {n}");
+                    assert_eq!(hm256s[i], hm256_epoch(&keys[i], t), "hm256 lane {i} of {n}");
+                }
+                for p in [&p_full, &p_small] {
+                    let derived = derive_mod_p_many(&prfs, t, p);
+                    for i in 0..n {
+                        assert_eq!(derived[i], derive_mod(&keys[i], t, p), "lane {i} of {n}");
+                    }
+                }
+            }
+            // Per-lane messages of varying lengths (the SECOA shape).
+            let msgs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 1 + (i * 7) % 67]).collect();
+            let outs = hm1_many(prfs.iter().zip(&msgs));
+            for i in 0..n {
+                assert_eq!(outs[i], hm1(&keys[i], &msgs[i]), "hm1 lane {i} of {n}");
+                assert_eq!(prfs[i].hm1(&msgs[i]), hm1(&keys[i], &msgs[i]));
             }
         }
     }

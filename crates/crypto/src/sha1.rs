@@ -5,9 +5,9 @@
 //! SHA-1 do not affect its use as an HMAC PRF here; we keep it to match the
 //! paper's sizes and cost model (`C_HM1`, 20-byte digests) exactly.
 
-use crate::hash::HashFunction;
+use crate::hash::{HashFunction, LaneHash};
 
-const H0: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+pub(crate) const H0: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
 
 /// Incremental SHA-1 state.
 #[derive(Clone)]
@@ -116,6 +116,37 @@ impl HashFunction for Sha1 {
             out.extend_from_slice(&word.to_be_bytes());
         }
         out
+    }
+}
+
+impl LaneHash for Sha1 {
+    const STATE_WORDS: usize = 5;
+
+    fn chain_state(&self) -> [u32; 8] {
+        let mut out = [0u32; 8];
+        out[..5].copy_from_slice(&self.state);
+        out
+    }
+
+    fn from_midstate(state: [u32; 8], length: u64) -> Self {
+        debug_assert!(
+            length.is_multiple_of(64),
+            "midstate must sit on a block boundary"
+        );
+        Sha1 {
+            state: state[..5].try_into().unwrap(),
+            buffer: [0; 64],
+            buffered: 0,
+            length,
+        }
+    }
+
+    fn pending(&self) -> (&[u8], u64) {
+        (&self.buffer[..self.buffered], self.length)
+    }
+
+    fn compress_lanes(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+        crate::sha1xn::compress_many(states, blocks);
     }
 }
 

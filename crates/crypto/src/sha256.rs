@@ -4,13 +4,13 @@
 //! 32-byte epoch keys `K_t = HM256(K, t)` and `k_{i,t} = HM256(k_i, t)`
 //! (paper §IV-A).
 
-use crate::hash::HashFunction;
+use crate::hash::{HashFunction, LaneHash};
 
-const H0: [u32; 8] = [
+pub(crate) const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -127,6 +127,35 @@ impl HashFunction for Sha256 {
             out.extend_from_slice(&word.to_be_bytes());
         }
         out
+    }
+}
+
+impl LaneHash for Sha256 {
+    const STATE_WORDS: usize = 8;
+
+    fn chain_state(&self) -> [u32; 8] {
+        self.state
+    }
+
+    fn from_midstate(state: [u32; 8], length: u64) -> Self {
+        debug_assert!(
+            length.is_multiple_of(64),
+            "midstate must sit on a block boundary"
+        );
+        Sha256 {
+            state,
+            buffer: [0; 64],
+            buffered: 0,
+            length,
+        }
+    }
+
+    fn pending(&self) -> (&[u8], u64) {
+        (&self.buffer[..self.buffered], self.length)
+    }
+
+    fn compress_lanes(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+        crate::sha256xn::compress_many(states, blocks);
     }
 }
 

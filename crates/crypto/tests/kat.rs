@@ -2,6 +2,8 @@
 //!
 //! * SHA-1 — FIPS 180-4 / RFC 3174 examples;
 //! * SHA-256 — FIPS 180-4 examples;
+//! * the multi-lane x4/x8 kernels — every lane pinned to the same FIPS
+//!   vectors at every scheduling width;
 //! * HMAC-SHA1 — RFC 2202;
 //! * HMAC-SHA256 — RFC 4231;
 //! * RSA SEAL chains and Paillier encryption — fixed keys generated
@@ -115,6 +117,103 @@ fn sha256_million_a() {
         hex(&h.finalize()),
         "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
     );
+}
+
+// ------------------------------------------------- multi-lane kernels
+
+/// FIPS 180-4 Merkle–Damgård padding: `msg` split into 64-byte blocks
+/// with the 0x80 marker and the big-endian bit length appended.
+fn pad_blocks(msg: &[u8]) -> Vec<[u8; 64]> {
+    let mut padded = msg.to_vec();
+    padded.push(0x80);
+    while padded.len() % 64 != 56 {
+        padded.push(0);
+    }
+    padded.extend_from_slice(&((msg.len() as u64) * 8).to_be_bytes());
+    padded
+        .chunks_exact(64)
+        .map(|b| b.try_into().unwrap())
+        .collect()
+}
+
+/// The FIPS messages used to pin the lane kernels: the empty string,
+/// "abc" (single block after padding) and the 56-byte two-block vector.
+const LANE_MSGS: [&[u8]; 3] = [
+    b"",
+    b"abc",
+    b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+];
+
+/// Every lane of the x4 and x8 SHA-256 kernels reproduces the scalar
+/// FIPS digests — uniform lanes (all running one vector, including the
+/// multi-block one) and mixed lanes (a different vector per lane).
+#[test]
+fn sha256_lane_kernels_match_fips_vectors() {
+    use sies_crypto::sha256xn::{compress_many_with, initial_state};
+    for msg in LANE_MSGS {
+        let want = Sha256::digest(msg);
+        let blocks = pad_blocks(msg);
+        for width in [4usize, 8] {
+            let mut states = vec![initial_state(); width];
+            for block in &blocks {
+                let lane_blocks = vec![*block; width];
+                compress_many_with(width, &mut states, &lane_blocks);
+            }
+            for (l, st) in states.iter().enumerate() {
+                let got: Vec<u8> = st.iter().flat_map(|w| w.to_be_bytes()).collect();
+                assert_eq!(hex(&got), hex(&want), "lane {l} at width {width}");
+            }
+        }
+    }
+    // Mixed single-block lanes: lane l runs LANE_MSGS[l % 2] (both fit
+    // one padded block), checked at both widths.
+    for width in [4usize, 8] {
+        let mut states = vec![initial_state(); width];
+        let lane_blocks: Vec<[u8; 64]> = (0..width)
+            .map(|l| pad_blocks(LANE_MSGS[l % 2])[0])
+            .collect();
+        compress_many_with(width, &mut states, &lane_blocks);
+        for (l, st) in states.iter().enumerate() {
+            let got: Vec<u8> = st.iter().flat_map(|w| w.to_be_bytes()).collect();
+            assert_eq!(
+                hex(&got),
+                hex(&Sha256::digest(LANE_MSGS[l % 2])),
+                "lane {l}"
+            );
+        }
+    }
+}
+
+/// Same pinning for the SHA-1 lane kernels.
+#[test]
+fn sha1_lane_kernels_match_fips_vectors() {
+    use sies_crypto::sha1xn::{compress_many_with, initial_state};
+    for msg in LANE_MSGS {
+        let want = Sha1::digest(msg);
+        let blocks = pad_blocks(msg);
+        for width in [4usize, 8] {
+            let mut states = vec![initial_state(); width];
+            for block in &blocks {
+                let lane_blocks = vec![*block; width];
+                compress_many_with(width, &mut states, &lane_blocks);
+            }
+            for (l, st) in states.iter().enumerate() {
+                let got: Vec<u8> = st[..5].iter().flat_map(|w| w.to_be_bytes()).collect();
+                assert_eq!(hex(&got), hex(&want), "lane {l} at width {width}");
+            }
+        }
+    }
+    for width in [4usize, 8] {
+        let mut states = vec![initial_state(); width];
+        let lane_blocks: Vec<[u8; 64]> = (0..width)
+            .map(|l| pad_blocks(LANE_MSGS[l % 2])[0])
+            .collect();
+        compress_many_with(width, &mut states, &lane_blocks);
+        for (l, st) in states.iter().enumerate() {
+            let got: Vec<u8> = st[..5].iter().flat_map(|w| w.to_be_bytes()).collect();
+            assert_eq!(hex(&got), hex(&Sha1::digest(LANE_MSGS[l % 2])), "lane {l}");
+        }
+    }
 }
 
 // ----------------------------------------------------------- HMAC-SHA1

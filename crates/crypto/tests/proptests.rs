@@ -489,6 +489,56 @@ proptest! {
         }
     }
 
+    // ---- Batched PRFs vs the mapped scalar oracle -----------------------
+    //
+    // The multi-lane fan-out (hm1_epoch_many / hm256_epoch_many /
+    // derive_mod_p_many, plus the generic HMAC batch constructors) must
+    // be element-wise identical to the scalar PRFs for any key material,
+    // any epoch, and any batch size — including ragged tails where
+    // n % 4 and n % 8 ≠ 0 — at every scheduling width.
+
+    #[test]
+    fn batched_epoch_prfs_match_scalar(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..=80), 0..=19),
+        epoch in any::<u64>(),
+        width_sel in 0usize..3,
+    ) {
+        use sies_crypto::prf::{self, KeyedPrf};
+        let width = [1usize, 4, 8][width_sel];
+        sies_crypto::lanes::set_lane_width(width);
+        let prfs: Vec<KeyedPrf> = keys.iter().map(|k| KeyedPrf::new(k)).collect();
+        let hm1s = prf::hm1_epoch_many(&prfs, epoch);
+        let hm256s = prf::hm256_epoch_many(&prfs, epoch);
+        let derived = prf::derive_mod_p_many(&prfs, epoch, &DEFAULT_PRIME_256);
+        sies_crypto::lanes::clear_lane_width();
+        prop_assert_eq!(hm1s.len(), keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            prop_assert_eq!(hm1s[i], prf::hm1_epoch(key, epoch));
+            prop_assert_eq!(hm256s[i], prf::hm256_epoch(key, epoch));
+            prop_assert_eq!(derived[i], prf::derive_mod(key, epoch, &DEFAULT_PRIME_256));
+        }
+    }
+
+    #[test]
+    fn batched_hmac_matches_scalar(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..=80), 0..=13),
+        msg in proptest::collection::vec(any::<u8>(), 0..=120),
+        width_sel in 0usize..3,
+    ) {
+        use sies_crypto::hmac::{hmac, hmac_many};
+        use sies_crypto::sha1::Sha1;
+        use sies_crypto::sha256::Sha256;
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        sies_crypto::lanes::set_lane_width([1usize, 4, 8][width_sel]);
+        let got1 = hmac_many::<Sha1>(&refs, &msg);
+        let got256 = hmac_many::<Sha256>(&refs, &msg);
+        sies_crypto::lanes::clear_lane_width();
+        for (i, key) in keys.iter().enumerate() {
+            prop_assert_eq!(&got1[i], &hmac::<Sha1>(key, &msg));
+            prop_assert_eq!(&got256[i], &hmac::<Sha256>(key, &msg));
+        }
+    }
+
     // ---- The one-time-pad homomorphism (paper §III-D) ------------------
 
     #[test]

@@ -92,14 +92,27 @@ impl AggregationScheme for SiesDeployment {
                 .collect();
         };
         let cipher = template.epoch_cipher(epoch);
+        // Resolve ids first (unknown ids keep the per-job error shape),
+        // then derive every resolved job's k_{i,t} and ss_{i,t} through
+        // the lane-batched PRF pass in `Source::initialize_batch`.
+        let resolved: Vec<Option<&Source>> = jobs
+            .iter()
+            .map(|&(s, _)| self.sources.get(s as usize))
+            .collect();
+        let batch_jobs: Vec<(&Source, u64)> = jobs
+            .iter()
+            .zip(&resolved)
+            .filter_map(|(&(_, v), src)| src.map(|s| (s, v)))
+            .collect();
+        let mut batched = Source::initialize_batch(&cipher, epoch, &batch_jobs).into_iter();
         jobs.iter()
-            .map(|&(source, value)| {
-                let src = self
-                    .sources
-                    .get(source as usize)
-                    .ok_or_else(|| SchemeError::Malformed(format!("unknown source {source}")))?;
-                src.initialize_with(&cipher, epoch, value)
-                    .map_err(|e| SchemeError::Malformed(e.to_string()))
+            .zip(&resolved)
+            .map(|(&(source, _), src)| match src {
+                None => Err(SchemeError::Malformed(format!("unknown source {source}"))),
+                Some(_) => batched
+                    .next()
+                    .expect("one result per resolved job")
+                    .map_err(|e| SchemeError::Malformed(e.to_string())),
             })
             .collect()
     }

@@ -161,6 +161,45 @@ pub struct RecoveredEpoch {
     pub aggregate_corrupted: bool,
 }
 
+/// Reusable per-epoch working buffers. Every epoch clears them (capacity
+/// retained) instead of reallocating, so after the first epoch on a given
+/// topology the engine's own bookkeeping is allocation-free: repeated
+/// epochs only allocate inside the scheme's crypto.
+struct EpochScratch<P> {
+    /// `(source, value)` jobs in walk order.
+    jobs: Vec<(SourceId, u64)>,
+    /// The tree node each job belongs to, aligned with `jobs`.
+    job_nodes: Vec<NodeId>,
+    /// Per-node precomputed source-phase results.
+    precomputed: Vec<Option<Result<P, SchemeError>>>,
+    /// Per-node outgoing PSR queues (the duplicate attack deposits two).
+    outputs: Vec<Vec<P>>,
+}
+
+impl<P> EpochScratch<P> {
+    fn new() -> Self {
+        EpochScratch {
+            jobs: Vec::new(),
+            job_nodes: Vec::new(),
+            precomputed: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Clears all buffers and sizes the per-node ones for `n_nodes`.
+    fn reset(&mut self, n_nodes: usize) {
+        self.jobs.clear();
+        self.job_nodes.clear();
+        self.precomputed.clear();
+        self.precomputed.resize_with(n_nodes, || None);
+        for queue in &mut self.outputs {
+            queue.clear();
+        }
+        self.outputs.resize_with(n_nodes, Vec::new);
+        self.outputs.truncate(n_nodes);
+    }
+}
+
 /// The simulation engine for one deployed scheme on one topology.
 pub struct Engine<'a, S: AggregationScheme> {
     scheme: &'a S,
@@ -170,6 +209,8 @@ pub struct Engine<'a, S: AggregationScheme> {
     threads: usize,
     /// Cached final PSR of the previous epoch, for replay attacks.
     prev_final: Option<S::Psr>,
+    /// Per-epoch buffers, reused across epochs.
+    scratch: EpochScratch<S::Psr>,
 }
 
 impl<'a, S: AggregationScheme> Engine<'a, S> {
@@ -181,6 +222,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             radio: RadioModel::default(),
             threads: 1,
             prev_final: None,
+            scratch: EpochScratch::new(),
         }
     }
 
@@ -224,12 +266,12 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
     ///
     /// [`batch_source_init`]: AggregationScheme::batch_source_init
     fn shard_source_init(
-        &self,
+        scheme: &S,
+        threads: usize,
         epoch: Epoch,
         jobs: &[(SourceId, u64)],
     ) -> (Vec<Result<S::Psr, SchemeError>>, Duration) {
-        let scheme = self.scheme;
-        let shards = parallel::map_chunks(self.threads, jobs, |chunk| {
+        let shards = parallel::map_chunks(threads, jobs, |chunk| {
             let t0 = Instant::now();
             let out = scheme.batch_source_init(epoch, chunk);
             debug_assert_eq!(out.len(), chunk.len(), "one result per job required");
@@ -291,32 +333,29 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             .filter(|s| !excluded.contains(s))
             .collect();
 
-        // Per-node output PSRs (duplicated entries model the duplicate
-        // attack).
+        // Per-node buffers come from the reusable scratch: cleared, not
+        // reallocated (the `outputs` queues model the duplicate attack).
         let n_nodes = self.topology.nodes().len();
-        let mut outputs: Vec<Vec<S::Psr>> = (0..n_nodes).map(|_| Vec::new()).collect();
+        self.scratch.reset(n_nodes);
 
         // Source phase, sharded: every live source's PSR is precomputed
         // across the worker pool before the (serial) tree walk consumes
         // them in post-order. `source_cpu` therefore covers the whole
         // population even when a rejected reading aborts the walk early.
-        let mut job_nodes: Vec<NodeId> = Vec::new();
-        let mut jobs: Vec<(SourceId, u64)> = Vec::new();
         for id in self.topology.post_order() {
             if failed.contains(&id) {
                 continue;
             }
             if let Role::Source(sid) = self.topology.node(id).role {
-                job_nodes.push(id);
-                jobs.push((sid, values[sid as usize]));
+                self.scratch.job_nodes.push(id);
+                self.scratch.jobs.push((sid, values[sid as usize]));
             }
         }
-        let (results, source_cpu) = self.shard_source_init(epoch, &jobs);
+        let (results, source_cpu) =
+            Self::shard_source_init(self.scheme, self.threads, epoch, &self.scratch.jobs);
         stats.source_cpu += source_cpu;
-        let mut precomputed: Vec<Option<Result<S::Psr, SchemeError>>> =
-            (0..n_nodes).map(|_| None).collect();
-        for (&id, res) in job_nodes.iter().zip(results) {
-            precomputed[id] = Some(res);
+        for (&id, res) in self.scratch.job_nodes.iter().zip(results) {
+            self.scratch.precomputed[id] = Some(res);
         }
 
         for id in self.topology.post_order() {
@@ -326,7 +365,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             let node = self.topology.node(id);
             let produced: Option<S::Psr> = match node.role {
                 Role::Source(_) => {
-                    let psr = precomputed[id]
+                    let psr = self.scratch.precomputed[id]
                         .take()
                         .expect("every live source was precomputed");
                     stats.sources_run += 1;
@@ -343,11 +382,10 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                     }
                 }
                 Role::Aggregator => {
-                    let inputs: Vec<S::Psr> = node
-                        .children
-                        .iter()
-                        .flat_map(|&c| outputs[c].drain(..).collect::<Vec<_>>())
-                        .collect();
+                    let mut inputs: Vec<S::Psr> = Vec::new();
+                    for &c in &node.children {
+                        inputs.append(&mut self.scratch.outputs[c]);
+                    }
                     if inputs.is_empty() {
                         None
                     } else {
@@ -420,13 +458,13 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                 }
             }
             for _ in 0..copies {
-                outputs[id].push(psr.clone());
+                self.scratch.outputs[id].push(psr.clone());
             }
         }
 
         // Collect the final PSR at the root.
         let root = self.topology.root();
-        let mut final_psr = match outputs[root].pop() {
+        let mut final_psr = match self.scratch.outputs[root].pop() {
             Some(p) => p,
             None => {
                 return EpochOutcome {
@@ -587,27 +625,25 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         // the repaired-tree walk below stays serial, so the per-uplink RNG
         // draw order — and with it every recovery decision — is untouched
         // by the thread count.
-        let mut job_nodes: Vec<NodeId> = Vec::new();
-        let mut jobs: Vec<(SourceId, u64)> = Vec::new();
+        self.scratch.reset(n_nodes);
         for &id in &order {
             if let Role::Source(sid) = self.topology.node(id).role {
-                job_nodes.push(id);
-                jobs.push((sid, values[sid as usize]));
+                self.scratch.job_nodes.push(id);
+                self.scratch.jobs.push((sid, values[sid as usize]));
             }
         }
-        let (results, source_cpu) = self.shard_source_init(epoch, &jobs);
+        let (results, source_cpu) =
+            Self::shard_source_init(self.scheme, self.threads, epoch, &self.scratch.jobs);
         stats.source_cpu += source_cpu;
-        let mut precomputed: Vec<Option<Result<S::Psr, SchemeError>>> =
-            (0..n_nodes).map(|_| None).collect();
-        for (&id, res) in job_nodes.iter().zip(results) {
-            precomputed[id] = Some(res);
+        for (&id, res) in self.scratch.job_nodes.iter().zip(results) {
+            self.scratch.precomputed[id] = Some(res);
         }
 
         for &id in &order {
             let node = self.topology.node(id);
             match node.role {
                 Role::Source(sid) => {
-                    let produced = precomputed[id]
+                    let produced = self.scratch.precomputed[id]
                         .take()
                         .expect("every live source was precomputed");
                     stats.sources_run += 1;
