@@ -27,6 +27,12 @@
 //!            differential checks at 1/2/8 threads and lane widths
 //!            1/4/8 (also writes BENCH_micro.json); `--baseline FILE`
 //!            gates on >25% median regression
+//!   trace    telemetry: structured per-epoch trace (events + metric
+//!            snapshot, written to trace.json) and the telemetry-on vs
+//!            -off overhead benchmark on the chaos workload, with
+//!            digest-checked determinism across the kill-switch and
+//!            across 1/2/8 threads (also writes
+//!            BENCH_observability.json)
 //!   all      everything above
 //! ```
 //!
@@ -129,6 +135,7 @@ fn main() {
             "reliability",
             "throughput",
             "micro",
+            "trace",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -158,6 +165,7 @@ fn main() {
             "reliability" => reliability(&opts, chaos_epochs, threads, &out_dir),
             "throughput" => throughput_exp(&opts, threads, &out_dir),
             "micro" => micro(&opts, baseline.as_deref(), &out_dir),
+            "trace" => trace(&opts, chaos_epochs, threads, &out_dir),
             other => eprintln!("skipping unknown experiment '{other}'"),
         }
     }
@@ -169,7 +177,7 @@ usage: repro [--fast] [--epochs E] [--secoa-epochs E] [--seed S] [--chaos-epochs
              [--threads T] [--paper-costs] [--baseline FILE] [--out DIR] <experiment>...
 
 experiments: table2 table3 table5 fig4 fig5 fig6a fig6b params security lifetime
-             reliability throughput micro all";
+             reliability throughput micro trace all";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n\n{HELP}");
@@ -590,6 +598,101 @@ fn micro(opts: &Options, baseline: Option<&Path>, out: &Path) {
             std::process::exit(1);
         }
     }
+}
+
+fn trace(opts: &Options, chaos_epochs: u64, threads: Threads, out: &Path) {
+    use sies_bench::observability::{capture_trace, overhead_suite};
+
+    // Phase 1: a short traced run — enough epochs to show every event
+    // kind without drowning the terminal or the JSON artifact.
+    let trace_epochs = chaos_epochs.clamp(1, 200);
+    println!(
+        "\n== Trace: telemetry event journal + metric snapshot (SIES, N=64, F=4, seed {}, {} epochs) ==",
+        opts.seed, trace_epochs
+    );
+    let trace = capture_trace(opts.seed, trace_epochs, threads);
+
+    let mut kind_counts: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for ev in &trace.events {
+        *kind_counts.entry(ev.kind.name()).or_insert(0) += 1;
+    }
+    let rows: Vec<Vec<String>> = kind_counts
+        .iter()
+        .map(|(k, n)| vec![k.to_string(), n.to_string()])
+        .collect();
+    println!("{}", render_table(&["event", "count"], &rows));
+
+    let last_epoch = trace_epochs - 1;
+    println!("last epoch ({last_epoch}) event stream:");
+    for ev in trace.epoch_events(last_epoch) {
+        println!("  {}", ev.to_json());
+    }
+    println!(
+        "\n{} events captured ({} dropped), result digest {}",
+        trace.events.len(),
+        trace.dropped,
+        trace.result_digest
+    );
+    let key_counters = [
+        "engine.epochs_accepted",
+        "engine.epochs_rejected",
+        "engine.epochs_lost",
+        "engine.sources_run",
+        "recovery.nacks",
+        "recovery.retransmits",
+        "net.bytes.retransmit",
+        "crypto.sha256.compressions",
+    ];
+    for name in key_counters {
+        println!("  {name} = {}", trace.metrics.counter(name));
+    }
+
+    let _ = std::fs::create_dir_all(out);
+    let trace_path = out.join("trace.json");
+    match std::fs::write(&trace_path, trace.to_json()) {
+        Ok(()) => println!("trace written to {}", trace_path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", trace_path.display()),
+    }
+
+    // Phase 2: the overhead benchmark on the full chaos workload.
+    println!(
+        "\n== Observability overhead: telemetry on vs off (chaos workload, {} epochs/run, {} worker thread(s)) ==",
+        chaos_epochs,
+        threads.resolve()
+    );
+    let report = overhead_suite(opts.seed, chaos_epochs, threads, 7);
+    let rows = vec![
+        vec![
+            "telemetry off".to_string(),
+            fmt_ms(report.off_min_ms),
+            fmt_ms(report.off_median_ms),
+            format!(
+                "{:?}",
+                report.off_ms.iter().map(|v| v.round()).collect::<Vec<_>>()
+            ),
+        ],
+        vec![
+            "telemetry on".to_string(),
+            fmt_ms(report.on_min_ms),
+            fmt_ms(report.on_median_ms),
+            format!(
+                "{:?}",
+                report.on_ms.iter().map(|v| v.round()).collect::<Vec<_>>()
+            ),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["mode", "best", "median", "samples (ms)"], &rows)
+    );
+    println!(
+        "overhead (median of {} paired ratios): {:+.2}% | digest identical across kill-switch: {} | across threads 1/2/8: {}",
+        report.runs_per_mode, report.overhead_pct, report.digests_match, report.threads_invariant
+    );
+    let _ = write_json_seeded(out, "observability", opts.seed, &report);
+    // The canonical artifact lives at the repo root for the paper repro.
+    let _ = write_json_seeded(Path::new("."), "BENCH_observability", opts.seed, &report);
 }
 
 /// Attack-detection matrix: which scheme detects which covert attack.

@@ -135,6 +135,9 @@ fn run<S: AggregationScheme>(scheme: &S, args: &Args) {
 
     let mut accepted = 0u64;
     let mut rejected = 0u64;
+    // Full per-epoch stats for the machine-readable summary: telemetry
+    // snapshot diffs rendered through EpochStats' serde impl.
+    let mut epoch_stats = Vec::with_capacity(args.epochs as usize);
     for epoch in 0..args.epochs {
         let values = workload.epoch_values(epoch, scale);
         let true_sum: u64 = values.iter().sum();
@@ -163,6 +166,9 @@ fn run<S: AggregationScheme>(scheme: &S, args: &Args) {
         }
 
         let out = engine.run_epoch_with(epoch, &values, &failed, &attacks);
+        if args.json_out.is_some() {
+            epoch_stats.push(out.stats.clone());
+        }
         let tag = if attacks.is_empty() {
             ""
         } else {
@@ -215,7 +221,8 @@ fn run<S: AggregationScheme>(scheme: &S, args: &Args) {
             "retries": args.retries,
             "attack": args.attack.clone().unwrap_or_default(),
             "accepted": accepted,
-            "rejected": rejected
+            "rejected": rejected,
+            "epoch_stats": epoch_stats
         });
         let body = serde_json::to_string_pretty(&summary).expect("serializable");
         std::fs::write(path, body + "\n").unwrap_or_else(|e| {

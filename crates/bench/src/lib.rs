@@ -15,6 +15,9 @@
 //! * [`micro`] — the modular-exponentiation kernel suite (windowed
 //!   Montgomery, CRT, batch inversion) measured against the generic
 //!   oracles, with a CI regression gate;
+//! * [`observability`] — structured per-epoch traces from the telemetry
+//!   stack and the telemetry-on vs -off overhead benchmark, with a CI
+//!   regression gate;
 //! * [`report`] — ASCII tables and JSON export;
 //! * the `repro` binary ties it all together (`repro --help`).
 
@@ -23,6 +26,7 @@ pub mod chart;
 pub mod cost_model;
 pub mod experiments;
 pub mod micro;
+pub mod observability;
 pub mod report;
 pub mod throughput;
 pub mod timing;
@@ -31,4 +35,5 @@ pub use calibrate::{PrimitiveCosts, WireSizes};
 pub use cost_model::{CostModel, ModelParams, Range};
 pub use experiments::{Options, SeriesPoint};
 pub use micro::{micro_suite, MicroReport};
+pub use observability::{capture_trace, overhead_suite, ObservabilityReport};
 pub use throughput::{throughput_suite, ThroughputPoint};

@@ -1,7 +1,13 @@
 //! Small timing helpers for the calibration pass and the experiment
 //! harness (wall-clock medians over repeated runs; Criterion handles the
 //! statistically rigorous microbenchmarks separately).
+//!
+//! Every measured section also runs inside a telemetry span, so `repro
+//! micro` and `repro trace` report bench wall-clock from the same clock
+//! and the span histograms (`bench.mean_batch`, `bench.median_run`,
+//! `bench.probe`) show up in trace snapshots.
 
+use sies_telemetry as tel;
 use std::time::Instant;
 
 /// Times `op` executed `iters` times and returns the mean cost of one
@@ -9,6 +15,7 @@ use std::time::Instant;
 /// its work; it is passed through [`std::hint::black_box`].
 pub fn time_mean_us<T, F: FnMut() -> T>(iters: usize, mut op: F) -> f64 {
     assert!(iters > 0);
+    let _section = tel::span!("bench.mean_batch");
     let start = Instant::now();
     for _ in 0..iters {
         std::hint::black_box(op());
@@ -23,6 +30,7 @@ pub fn time_median_us<T, F: FnMut() -> T>(runs: usize, mut op: F) -> f64 {
     assert!(runs > 0);
     let mut samples: Vec<f64> = (0..runs)
         .map(|_| {
+            let _run = tel::span!("bench.median_run");
             let start = Instant::now();
             std::hint::black_box(op());
             start.elapsed().as_secs_f64() * 1e6
@@ -33,14 +41,18 @@ pub fn time_median_us<T, F: FnMut() -> T>(runs: usize, mut op: F) -> f64 {
 }
 
 /// Picks an iteration count so one measurement batch takes roughly
-/// `target_ms`, based on a quick probe of `op`.
+/// `target_ms`, based on a best-of-3 probe of `op`: the fastest probe
+/// estimates steady-state cost, so a cold first call (page faults,
+/// allocator warm-up, lazy statics) can no longer undersize the batch.
 pub fn auto_iters<T, F: FnMut() -> T>(op: &mut F, target_ms: f64) -> usize {
-    let probe = {
+    let mut probe = f64::INFINITY;
+    for _ in 0..3 {
+        let _p = tel::span!("bench.probe");
         let start = Instant::now();
         std::hint::black_box(op());
-        start.elapsed().as_secs_f64() * 1e3
-    };
-    if probe <= 0.0 {
+        probe = probe.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    if !probe.is_finite() || probe <= 0.0 {
         return 10_000;
     }
     ((target_ms / probe).ceil() as usize).clamp(1, 1_000_000)

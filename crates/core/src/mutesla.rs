@@ -18,6 +18,7 @@ use rand::RngCore;
 use sies_crypto::hash::HashFunction;
 use sies_crypto::hmac::{ct_eq, hmac, hmac_many};
 use sies_crypto::sha256::Sha256;
+use sies_telemetry as tel;
 
 /// A chain key (SHA-256 output).
 pub type ChainKey = [u8; 32];
@@ -105,6 +106,8 @@ impl Broadcaster {
 
     /// Discloses interval `i`'s key (sent during interval `i + d`).
     pub fn disclose(&self, interval: u64) -> Disclosure {
+        tel::count!("core.mutesla.disclosures");
+        tel::event(interval, tel::EventKind::KeyDisclosed, interval, 0);
         Disclosure {
             interval,
             key: self.chain[interval as usize],
@@ -212,6 +215,9 @@ impl Receiver {
         let prev_auth = self.auth_interval;
         self.auth_key = disclosure.key;
         self.auth_interval = disclosure.interval;
+        tel::count!("core.mutesla.disclosures_verified");
+        // `steps > 1` means we recovered keys for skipped intervals.
+        tel::count!("core.mutesla.catchup_steps", steps - 1);
 
         // Extend the precomputed MAC-key window with the newly
         // authenticated intervals (newest `window_cap` retained). One
@@ -280,6 +286,7 @@ impl Receiver {
     /// window (callers needing older intervals must retain payloads they
     /// verified at disclosure time).
     pub fn verify_archived(&self, packet: &Packet) -> bool {
+        tel::count!("core.mutesla.archived_verifies");
         self.window
             .iter()
             .rev()

@@ -9,6 +9,7 @@
 //! regardless of thread count or scheduling. No runtime dependency is
 //! involved; workers live only for the duration of the call.
 
+use sies_telemetry as tel;
 use std::num::NonZeroUsize;
 
 /// Worker-pool sizing for the parallel epoch pipeline.
@@ -78,6 +79,7 @@ where
     let workers = threads.max(1).min(items.len());
     let chunk_len = items.len().div_ceil(workers);
     if workers == 1 {
+        let _shard = tel::span!("parallel.shard");
         return vec![f(items)];
     }
     let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
@@ -87,6 +89,9 @@ where
         for (chunk, slot) in chunks.iter().zip(out.iter_mut()) {
             let f = &f;
             scope.spawn(move || {
+                // Each worker's whole shard is one span: the histogram's
+                // spread across samples is the shard imbalance.
+                let _shard = tel::span!("parallel.shard");
                 *slot = Some(f(chunk));
             });
         }
@@ -111,6 +116,7 @@ where
 {
     let workers = threads.max(1).min(items.len().max(1));
     if workers == 1 {
+        let _shard = tel::span!("parallel.shard");
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk_len = items.len().div_ceil(workers);
@@ -125,6 +131,7 @@ where
             let base = w * chunk_len;
             let f = &f;
             scope.spawn(move || {
+                let _shard = tel::span!("parallel.shard");
                 for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
                     *slot = Some(f(base + j, item));
                 }

@@ -14,6 +14,7 @@
 use crate::error::Epoch;
 use crate::scheme::{LongTermKey, KEY_BYTES};
 use sies_crypto::prf;
+use sies_telemetry as tel;
 
 /// Domain-separation label for the evolution step.
 const EVOLVE_LABEL: &[u8] = b"sies-keygen-evolve";
@@ -184,6 +185,18 @@ impl RekeyCoordinator {
         let generation = self.schedule.generation_for(epoch);
         if generation > self.target {
             self.target = generation;
+        } else if self.target > 0 {
+            // Same target announced again: this is a laggard re-broadcast.
+            let laggards = self.acked.iter().filter(|&&g| g < self.target).count();
+            if laggards > 0 {
+                tel::count!("core.rekey.retries");
+                tel::event(
+                    epoch,
+                    tel::EventKind::RekeyRetry,
+                    self.target,
+                    laggards as u64,
+                );
+            }
         }
         RekeyAnnouncement {
             generation: self.target,

@@ -27,6 +27,7 @@
 use crate::biguint::BigUint;
 use crate::limbs;
 use core::cmp::Ordering;
+use sies_telemetry as tel;
 
 /// Window width for fixed-window exponentiation.
 const WINDOW_BITS: usize = 4;
@@ -179,7 +180,11 @@ impl BigMontCtx {
     /// In-domain exponentiation: given `base` in Montgomery form, returns
     /// `base^exp` still in Montgomery form. Fixed 4-bit windows above
     /// [`SMALL_EXP_BITS`], plain square-and-multiply below.
-    fn pow_in_domain(&self, base_m: &[u64], exp: &BigUint) -> Vec<u64> {
+    ///
+    /// `mults` accrues the exact CIOS multiply count, flushed to
+    /// telemetry once per public call — a local `u64` add per multiply,
+    /// never an atomic in the inner loop.
+    fn pow_in_domain(&self, base_m: &[u64], exp: &BigUint, mults: &mut u64) -> Vec<u64> {
         let n = self.m.len();
         let mut t = vec![0u64; n + 2];
         if exp.is_zero() {
@@ -194,9 +199,11 @@ impl BigMontCtx {
             for i in (0..bits - 1).rev() {
                 self.cios(&acc, &acc, &mut t, &mut tmp);
                 core::mem::swap(&mut acc, &mut tmp);
+                *mults += 1;
                 if exp.bit(i) {
                     self.cios(&acc, base_m, &mut t, &mut tmp);
                     core::mem::swap(&mut acc, &mut tmp);
+                    *mults += 1;
                 }
             }
             return acc;
@@ -210,6 +217,7 @@ impl BigMontCtx {
             self.cios(&table[i - 1], base_m, &mut t, &mut next);
             table.push(next);
         }
+        *mults += (1 << WINDOW_BITS) - 2;
         let nwindows = bits.div_ceil(WINDOW_BITS);
         // Seed with the top window to skip its four leading squarings.
         acc.copy_from_slice(&table[window_of(exp, nwindows - 1)]);
@@ -218,10 +226,12 @@ impl BigMontCtx {
                 self.cios(&acc, &acc, &mut t, &mut tmp);
                 core::mem::swap(&mut acc, &mut tmp);
             }
+            *mults += WINDOW_BITS as u64;
             let nibble = window_of(exp, w);
             if nibble != 0 {
                 self.cios(&acc, &table[nibble], &mut t, &mut tmp);
                 core::mem::swap(&mut acc, &mut tmp);
+                *mults += 1;
             }
         }
         acc
@@ -234,7 +244,10 @@ impl BigMontCtx {
             return BigUint::one(); // m > 1, so 1 is canonical
         }
         let base_m = self.to_mont(base);
-        let acc = self.pow_in_domain(&base_m, exp);
+        let mut mults = 0u64;
+        let acc = self.pow_in_domain(&base_m, exp, &mut mults);
+        tel::count!("crypto.mont.pow_calls");
+        tel::count!("crypto.mont.cios_mults", mults);
         self.from_mont(&acc)
     }
 
@@ -247,9 +260,12 @@ impl BigMontCtx {
             return self.reduce_value(base);
         }
         let mut x = self.to_mont(base);
+        let mut mults = 0u64;
         for _ in 0..k {
-            x = self.pow_in_domain(&x, e);
+            x = self.pow_in_domain(&x, e, &mut mults);
         }
+        tel::count!("crypto.mont.chain_calls");
+        tel::count!("crypto.mont.cios_mults", mults);
         self.from_mont(&x)
     }
 

@@ -6,6 +6,7 @@
 //! to the epoch counter.
 
 use crate::hash::{HashFunction, LaneHash};
+use sies_telemetry as tel;
 
 /// Computes `HMAC_H(key, message)`.
 ///
@@ -137,6 +138,7 @@ impl<H: LaneHash> HmacState<H> {
     /// and always batches.
     pub fn finalize_many(macs: Vec<HmacState<H>>) -> Vec<Vec<u8>> {
         let n = macs.len();
+        tel::observe!("crypto.hmac.batch", n as u64);
         // Stage 1: the padded final block of every inner hash.
         let mut inner_digests: Vec<Vec<u8>> = Vec::with_capacity(n);
         let mut lane_states: Vec<[u32; 8]> = Vec::with_capacity(n);

@@ -23,6 +23,7 @@ use crate::hmac::{hmac, HmacState};
 use crate::sha1::Sha1;
 use crate::sha256::Sha256;
 use crate::u256::U256;
+use sies_telemetry as tel;
 
 /// `HM1(key, t)`: the 20-byte PRF used for secret shares `ss_{i,t}` and the
 /// CMT per-epoch keys.
@@ -253,6 +254,7 @@ where
             mac
         })
         .collect();
+    tel::observe!("crypto.prf.hm1_batch", macs.len() as u64);
     HmacState::finalize_many(macs)
         .into_iter()
         .map(|d| d.try_into().expect("SHA-1 digest is 20 bytes"))
@@ -297,6 +299,7 @@ where
             mac
         })
         .collect();
+    tel::observe!("crypto.prf.hm256_batch", macs.len() as u64);
     HmacState::finalize_many(macs)
         .into_iter()
         .map(|d| d.try_into().expect("SHA-256 digest is 32 bytes"))
@@ -312,6 +315,7 @@ where
     I: IntoIterator<Item = &'a KeyedPrf>,
 {
     let prfs: Vec<&KeyedPrf> = prfs.into_iter().collect();
+    tel::observe!("crypto.prf.derive_batch", prfs.len() as u64);
     let mask = U256::low_mask(p.bit_len());
     hm256_epoch_many(prfs.iter().copied(), epoch)
         .into_iter()

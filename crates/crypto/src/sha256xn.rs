@@ -15,6 +15,7 @@
 
 use crate::lanes::lane_width;
 use crate::sha256::{H0, K};
+use sies_telemetry as tel;
 
 /// The SHA-256 initial chaining state as a lane register.
 pub fn initial_state() -> [u32; 8] {
@@ -181,6 +182,10 @@ fn dispatch_w8(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
 /// ragged tail. Output is independent of `width`.
 pub fn compress_many_with(width: usize, states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
     assert_eq!(states.len(), blocks.len(), "one block per lane state");
+    let total = states.len() as u64;
+    // Pass counts accrue locally and flush once per call, so the hot
+    // loop sees no atomics (telemetry off: one load + branch per call).
+    let (mut p8, mut p4, mut p1) = (0u64, 0u64, 0u64);
     let (mut states, mut blocks) = (states, blocks);
     while !states.is_empty() {
         let n = states.len();
@@ -194,13 +199,26 @@ pub fn compress_many_with(width: usize, states: &mut [[u32; 8]], blocks: &[[u8; 
         let (s, rest_s) = states.split_at_mut(take);
         let (b, rest_b) = blocks.split_at(take);
         match take {
-            8 => dispatch_w8(s, b),
-            4 => dispatch_w4(s, b),
-            _ => compress_w::<1>(s, b),
+            8 => {
+                dispatch_w8(s, b);
+                p8 += 1;
+            }
+            4 => {
+                dispatch_w4(s, b);
+                p4 += 1;
+            }
+            _ => {
+                compress_w::<1>(s, b);
+                p1 += 1;
+            }
         }
         states = rest_s;
         blocks = rest_b;
     }
+    tel::count!("crypto.sha256.compressions", total);
+    tel::count!("crypto.sha256.passes_x8", p8);
+    tel::count!("crypto.sha256.passes_x4", p4);
+    tel::count!("crypto.sha256.passes_x1", p1);
 }
 
 /// [`compress_many_with`] at the runtime-selected width

@@ -1,0 +1,273 @@
+//! Telemetry cross-checks: the counters the stack records must
+//! reconcile exactly with the ground truth the engine and chaos harness
+//! hand back through their return values, and turning telemetry on or
+//! off (or changing the worker-thread count) must not change a single
+//! result byte.
+//!
+//! Every test here snapshots the process-global registry around a run
+//! and compares the diff against independently accumulated reports.
+//! Because the registry and kill-switch are process-global, all tests in
+//! this file serialize on one lock.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sies_core::{SystemParams, Threads};
+use sies_net::chaos::{run_chaos, ChaosConfig};
+use sies_net::engine::Engine;
+use sies_net::radio::LossyRadio;
+use sies_net::recovery::{RecoveryConfig, RecoveryReport};
+use sies_net::{SiesDeployment, Topology};
+use sies_telemetry as tel;
+use std::collections::HashSet;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+const N: u64 = 16;
+
+fn switch_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn sies(seed: u64) -> SiesDeployment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SiesDeployment::new(&mut rng, SystemParams::new(N).unwrap())
+}
+
+/// Runs `epochs` recovering epochs, returning the summed recovery
+/// reports and per-epoch stats totals — the engine-side ground truth.
+struct GroundTruth {
+    reports: RecoveryReport,
+    retransmit_bytes: u64,
+    control_bytes: u64,
+    data_bytes: u64,
+}
+
+fn run_recovering(seed: u64, epochs: u64, loss: f64) -> GroundTruth {
+    let dep = sies(seed);
+    let topo = Topology::complete_tree(N, 4);
+    let mut engine = Engine::new(&dep, &topo);
+    let radio = LossyRadio::new(loss, 2);
+    let recovery = RecoveryConfig::default();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let mut gt = GroundTruth {
+        reports: RecoveryReport::default(),
+        retransmit_bytes: 0,
+        control_bytes: 0,
+        data_bytes: 0,
+    };
+    let values = vec![7u64; N as usize];
+    for epoch in 0..epochs {
+        let run = engine.run_epoch_recovering(
+            epoch,
+            &values,
+            &HashSet::new(),
+            &[],
+            &radio,
+            &recovery,
+            &mut rng,
+        );
+        let r = &run.report;
+        gt.reports.link.attempts += r.link.attempts;
+        gt.reports.link.failed_links += r.link.failed_links;
+        gt.reports.link.retransmitted_links += r.link.retransmitted_links;
+        gt.reports.delivered_links += r.delivered_links;
+        gt.reports.lost_links += r.lost_links;
+        gt.reports.recovered_by_resolicit += r.recovered_by_resolicit;
+        gt.reports.acks += r.acks;
+        gt.reports.nacks += r.nacks;
+        gt.reports.resolicitations += r.resolicitations;
+        gt.reports.failure_reports += r.failure_reports;
+        gt.reports.control_bytes += r.control_bytes;
+        gt.retransmit_bytes += run.outcome.stats.bytes.retransmit;
+        gt.control_bytes += run.outcome.stats.bytes.control;
+        gt.data_bytes += run.outcome.stats.bytes.data_total();
+    }
+    gt
+}
+
+/// The recovery-protocol counters recorded inside `simulate_uplink`
+/// must reconcile exactly with the reports the engine aggregates from
+/// the same outcomes: every ACK, NACK, re-solicitation, retransmission
+/// and loss observed by telemetry was injected by the protocol, and
+/// vice versa.
+#[test]
+fn recovery_counters_reconcile_with_engine_reports() {
+    let _guard = switch_lock();
+    tel::set_enabled(true);
+    let before = tel::global().snapshot();
+    let gt = run_recovering(42, 60, 0.25);
+    let d = tel::global().snapshot().diff(&before);
+    tel::clear_enabled();
+
+    assert_eq!(d.counter("recovery.acks"), gt.reports.acks);
+    assert_eq!(d.counter("recovery.nacks"), gt.reports.nacks);
+    assert_eq!(
+        d.counter("recovery.resolicitations"),
+        gt.reports.resolicitations
+    );
+    assert_eq!(
+        d.counter("recovery.data_attempts"),
+        gt.reports.link.attempts
+    );
+    assert_eq!(d.counter("recovery.delivered"), gt.reports.delivered_links);
+    assert_eq!(d.counter("recovery.lost"), gt.reports.lost_links);
+    // One simulate_uplink call per uplink transfer, delivered or not.
+    assert_eq!(
+        d.counter("recovery.uplinks"),
+        gt.reports.delivered_links + gt.reports.lost_links
+    );
+    // Retransmitted frames = attempts beyond the first per uplink.
+    assert_eq!(
+        d.counter("recovery.retransmits"),
+        gt.reports.link.attempts - (gt.reports.delivered_links + gt.reports.lost_links)
+    );
+    // Byte-class counters absorbed from the engine's epoch meter.
+    assert_eq!(d.counter("net.bytes.retransmit"), gt.retransmit_bytes);
+    assert_eq!(d.counter("net.bytes.control"), gt.control_bytes);
+    assert_eq!(
+        d.counter("net.bytes.source_to_agg")
+            + d.counter("net.bytes.agg_to_agg")
+            + d.counter("net.bytes.agg_to_querier"),
+        gt.data_bytes
+    );
+    assert!(gt.reports.nacks > 0, "25% loss should produce NACKs");
+    assert!(
+        d.counter("recovery.retransmits") > 0,
+        "25% loss should retransmit"
+    );
+}
+
+/// Chaos-harness fault injection must reconcile with telemetry: every
+/// injected attack is counted, every crash epoch contributes its crash
+/// count, and the journal's injected-fault events match.
+#[test]
+fn chaos_fault_injection_reconciles_with_telemetry() {
+    let _guard = switch_lock();
+    let dep = sies(3);
+    let topo = Topology::complete_tree(N, 4);
+    let cfg = ChaosConfig {
+        seed: 3,
+        epochs: 120,
+        loss_rate: 0.10,
+        crash_prob: 0.3,
+        attack_prob: 0.4,
+        threads: Threads::serial(),
+        ..ChaosConfig::default()
+    };
+
+    tel::set_enabled(true);
+    tel::journal().set_capacity(1 << 16);
+    let _ = tel::journal().drain();
+    let before = tel::global().snapshot();
+    let m = run_chaos(&dep, &topo, &cfg);
+    let d = tel::global().snapshot().diff(&before);
+    let events = tel::journal().drain();
+    tel::clear_enabled();
+
+    // One attack per attack epoch; crashes are 1–3 per crash epoch.
+    assert_eq!(d.counter("chaos.attacks_injected"), m.attack_epochs);
+    let crashes = d.counter("chaos.crashes_injected");
+    assert!(
+        crashes >= m.crash_epochs && crashes <= 3 * m.crash_epochs,
+        "{crashes} crashes over {} crash epochs",
+        m.crash_epochs
+    );
+
+    // Journal events agree with the counters.
+    let attack_events = events
+        .iter()
+        .filter(|e| e.kind == tel::EventKind::AttackInjected)
+        .count() as u64;
+    let crash_events: u64 = events
+        .iter()
+        .filter(|e| e.kind == tel::EventKind::CrashInjected)
+        .map(|e| e.a)
+        .sum();
+    assert_eq!(attack_events, m.attack_epochs);
+    assert_eq!(crash_events, crashes);
+
+    // Losses observed by the recovery layer equal the harness totals.
+    assert_eq!(d.counter("recovery.lost"), m.lost_links);
+    assert_eq!(d.counter("recovery.delivered"), m.delivered_links);
+    assert_eq!(d.counter("recovery.resolicitations"), m.resolicitations);
+    assert_eq!(d.counter("net.bytes.retransmit"), m.retransmit_bytes);
+    assert_eq!(d.counter("net.bytes.control"), m.control_bytes);
+
+    // Verdict counters cover every epoch.
+    let accepted = events
+        .iter()
+        .filter(|e| e.kind == tel::EventKind::EpochAccepted)
+        .count() as u64;
+    assert_eq!(accepted, m.ok_epochs);
+}
+
+/// The determinism oracle: the chaos result digest (verdicts, sums,
+/// contributor sets) is byte-identical with telemetry on or off and at
+/// every worker-thread count — recording is observation, never
+/// interference.
+#[test]
+fn chaos_digest_invariant_under_telemetry_and_threads() {
+    let _guard = switch_lock();
+    let dep = sies(9);
+    let topo = Topology::complete_tree(N, 4);
+    let cfg = ChaosConfig {
+        seed: 9,
+        epochs: 50,
+        loss_rate: 0.10,
+        crash_prob: 0.2,
+        attack_prob: 0.3,
+        threads: Threads::serial(),
+        ..ChaosConfig::default()
+    };
+
+    tel::set_enabled(false);
+    let off = run_chaos(&dep, &topo, &cfg);
+    tel::set_enabled(true);
+    let on = run_chaos(&dep, &topo, &cfg);
+    assert_eq!(off.result_digest, on.result_digest);
+    assert_eq!(off, on, "telemetry changed chaos metrics");
+
+    for threads in [1usize, 2, 8] {
+        let cfg_t = ChaosConfig {
+            threads: Threads::fixed(threads),
+            ..cfg
+        };
+        tel::set_enabled(threads % 2 == 0); // alternate the switch too
+        let m = run_chaos(&dep, &topo, &cfg_t);
+        assert_eq!(
+            m.result_digest, off.result_digest,
+            "digest diverged at {threads} threads"
+        );
+    }
+    tel::clear_enabled();
+}
+
+/// EpochStats derived from the meter diff must still satisfy the byte
+/// accounting identities the old hand-threaded code guaranteed, with
+/// the kill-switch in both positions.
+#[test]
+fn epoch_stats_identical_with_switch_on_and_off() {
+    let _guard = switch_lock();
+    let dep = sies(5);
+    let topo = Topology::complete_tree(N, 4);
+    let values = vec![11u64; N as usize];
+
+    tel::set_enabled(false);
+    let mut engine_off = Engine::new(&dep, &topo);
+    let off = engine_off.run_epoch_with(0, &values, &HashSet::new(), &[]);
+    tel::set_enabled(true);
+    let mut engine_on = Engine::new(&dep, &topo);
+    let on = engine_on.run_epoch_with(0, &values, &HashSet::new(), &[]);
+    tel::clear_enabled();
+
+    assert_eq!(off.stats.bytes, on.stats.bytes);
+    assert_eq!(off.stats.sources_run, on.stats.sources_run);
+    assert_eq!(off.stats.aggregators_run, on.stats.aggregators_run);
+    assert_eq!(off.stats.contributors, on.stats.contributors);
+    assert_eq!(off.stats.energy_tx, on.stats.energy_tx);
+    assert_eq!(off.stats.energy_rx, on.stats.energy_rx);
+    assert!(off.result.is_ok() && on.result.is_ok());
+    assert_eq!(off.stats.sources_run, N);
+}

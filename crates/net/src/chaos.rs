@@ -33,6 +33,10 @@ use crate::topology::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sies_core::Threads;
+use sies_crypto::sha256::Sha256;
+use sies_crypto::HashFunction;
+use sies_telemetry as tel;
+use sies_telemetry::EventKind;
 use std::collections::HashSet;
 
 /// Fault-injection mix for one chaos run.
@@ -126,6 +130,12 @@ pub struct ChaosMetrics {
     pub retransmit_bytes: u64,
     /// Bytes spent on ACK/NACK/re-solicit/re-attach/failure reports.
     pub control_bytes: u64,
+    /// Hex SHA-256 over every epoch's verdict, sum bits, corruption
+    /// flag, and contributor set — the run's result fingerprint. Byte
+    /// identical across thread counts and telemetry on/off (it hashes
+    /// only engine outputs), so harnesses can assert determinism with
+    /// one string compare.
+    pub result_digest: String,
 }
 
 impl ChaosMetrics {
@@ -192,6 +202,7 @@ pub fn run_chaos<S: AggregationScheme>(
         .collect();
 
     let num_sources = topology.num_sources() as usize;
+    let mut digest = Sha256::new();
     for epoch in 0..cfg.epochs {
         let values: Vec<u64> = (0..num_sources)
             .map(|_| rng.random_range(0..=cfg.max_value))
@@ -205,6 +216,8 @@ pub fn run_chaos<S: AggregationScheme>(
                 crashed.insert(candidates[rng.random_range(0..candidates.len())]);
             }
             m.crash_epochs += 1;
+            tel::count!("chaos.crashes_injected", crashed.len() as u64);
+            tel::event(epoch, EventKind::CrashInjected, crashed.len() as u64, 0);
         }
 
         let mut attacks: Vec<Attack> = Vec::new();
@@ -220,6 +233,14 @@ pub fn run_chaos<S: AggregationScheme>(
                 2 => Attack::DuplicateAtNode(live[rng.random_range(0..live.len())]),
                 _ => Attack::ReplayFinal,
             };
+            let (kind, target) = match attack {
+                Attack::TamperAtNode(n) => (0u64, n as u64),
+                Attack::DropAtNode(n) => (1, n as u64),
+                Attack::DuplicateAtNode(n) => (2, n as u64),
+                Attack::ReplayFinal => (3, 0),
+            };
+            tel::count!("chaos.attacks_injected");
+            tel::event(epoch, EventKind::AttackInjected, kind, target);
             attacks.push(attack);
             m.attack_epochs += 1;
         }
@@ -237,6 +258,25 @@ pub fn run_chaos<S: AggregationScheme>(
         if run.aggregate_corrupted {
             m.corrupted_epochs += 1;
         }
+
+        // Fold this epoch's outcome into the run fingerprint: verdict
+        // tag, sum bits (exact, via f64 bit pattern), corruption flag,
+        // and the sorted contributor set.
+        digest.update(&epoch.to_le_bytes());
+        match &run.outcome.result {
+            Ok(sum) => {
+                digest.update(&[1, sum.integrity_checked as u8]);
+                digest.update(&sum.sum.to_bits().to_le_bytes());
+            }
+            Err(SchemeError::VerificationFailed(_)) => digest.update(&[2]),
+            Err(SchemeError::Malformed(_)) => digest.update(&[3]),
+        }
+        digest.update(&[run.aggregate_corrupted as u8]);
+        digest.update(&(run.outcome.stats.contributors.len() as u64).to_le_bytes());
+        for &sid in &run.outcome.stats.contributors {
+            digest.update(&sid.to_le_bytes());
+        }
+
         match &run.outcome.result {
             Ok(sum) => {
                 m.ok_epochs += 1;
@@ -277,6 +317,11 @@ pub fn run_chaos<S: AggregationScheme>(
         m.control_bytes += run.outcome.stats.bytes.control;
     }
     m.epochs = cfg.epochs;
+    m.result_digest = digest
+        .finalize()
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect();
     m
 }
 

@@ -5,6 +5,8 @@
 //! `E_tx(k, d) = E_elec·k + ε_amp·k·d²` and `E_rx(k) = E_elec·k` for `k`
 //! bits over distance `d` metres.
 
+use sies_telemetry as tel;
+
 /// Radio energy parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadioModel {
@@ -27,14 +29,25 @@ impl Default for RadioModel {
 }
 
 impl RadioModel {
-    /// Energy to transmit `bytes` over one hop, in joules.
-    pub fn tx_energy(&self, bytes: usize) -> f64 {
+    /// `E_tx` for `bytes` without touching telemetry — shared by the
+    /// per-transmission path and what-if analyses like
+    /// [`lifetime_epochs`](Self::lifetime_epochs).
+    fn tx_joules(&self, bytes: usize) -> f64 {
         let bits = (bytes * 8) as f64;
         self.e_elec * bits + self.e_amp * bits * self.distance_m * self.distance_m
     }
 
-    /// Energy to receive `bytes`, in joules.
+    /// Energy to transmit `bytes` over one hop, in joules. Counts the
+    /// bytes as radio traffic — call it once per actual transmission.
+    pub fn tx_energy(&self, bytes: usize) -> f64 {
+        tel::count!("radio.tx_bytes", bytes as u64);
+        self.tx_joules(bytes)
+    }
+
+    /// Energy to receive `bytes`, in joules. Counts the bytes as radio
+    /// traffic — call it once per actual reception.
     pub fn rx_energy(&self, bytes: usize) -> f64 {
+        tel::count!("radio.rx_bytes", bytes as u64);
         let bits = (bytes * 8) as f64;
         self.e_elec * bits
     }
@@ -46,7 +59,7 @@ impl RadioModel {
         if bytes_per_epoch == 0 {
             return f64::INFINITY;
         }
-        battery_joules / self.tx_energy(bytes_per_epoch)
+        battery_joules / self.tx_joules(bytes_per_epoch)
     }
 }
 

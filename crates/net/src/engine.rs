@@ -5,14 +5,18 @@
 use crate::energy::RadioModel;
 use crate::radio::LossyRadio;
 use crate::recovery::{
-    RecoveryConfig, RecoveryReport, ACK_BYTES, FAILURE_REPORT_BYTES, NACK_BYTES, REATTACH_BYTES,
-    RESOLICIT_BYTES,
+    RecoveryConfig, RecoveryReport, UplinkTally, ACK_BYTES, FAILURE_REPORT_BYTES, NACK_BYTES,
+    REATTACH_BYTES, RESOLICIT_BYTES,
 };
 use crate::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
 use crate::topology::{NodeId, RepairPlan, Role, Topology};
 use rand::RngCore;
+use serde::{Content, Serialize};
 use sies_core::{parallel, Epoch, SourceId, Threads};
+use sies_telemetry as tel;
+use sies_telemetry::{Counter, EventKind, FloatCounter, Registry, Snapshot};
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// An adversarial action injected into one epoch. All attacks are *covert*:
@@ -50,6 +54,30 @@ pub struct EdgeBytes {
     /// Control-plane bytes: ACK/NACK, re-solicitation, re-attach
     /// handshakes, and failure reports (recovery protocol).
     pub control: u64,
+}
+
+impl Serialize for EdgeBytes {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("source_to_agg".into(), Content::U64(self.source_to_agg)),
+            (
+                "source_to_agg_edges".into(),
+                Content::U64(self.source_to_agg_edges),
+            ),
+            ("agg_to_agg".into(), Content::U64(self.agg_to_agg)),
+            (
+                "agg_to_agg_edges".into(),
+                Content::U64(self.agg_to_agg_edges),
+            ),
+            ("agg_to_querier".into(), Content::U64(self.agg_to_querier)),
+            ("retransmit".into(), Content::U64(self.retransmit)),
+            ("control".into(), Content::U64(self.control)),
+            (
+                "overhead_factor".into(),
+                Content::F64(self.overhead_factor()),
+            ),
+        ])
+    }
 }
 
 impl EdgeBytes {
@@ -131,6 +159,239 @@ impl EpochStats {
             self.aggregator_cpu / self.aggregators_run as u32
         }
     }
+
+    /// Rebuilds epoch stats from a telemetry snapshot diff (the metrics
+    /// recorded between [`EpochMeter::begin`] and now). This is *the*
+    /// constructor the engine uses: the accounting lives in named
+    /// counters, and this struct is a typed view over their deltas.
+    pub fn from_diff(epoch: Epoch, contributors: Vec<SourceId>, d: &Snapshot) -> Self {
+        EpochStats {
+            epoch,
+            source_cpu: Duration::from_nanos(d.counter(metric::SOURCE_CPU_NS)),
+            sources_run: d.counter(metric::SOURCES_RUN),
+            aggregator_cpu: Duration::from_nanos(d.counter(metric::AGGREGATOR_CPU_NS)),
+            aggregators_run: d.counter(metric::AGGREGATORS_RUN),
+            querier_cpu: Duration::from_nanos(d.counter(metric::QUERIER_CPU_NS)),
+            bytes: EdgeBytes {
+                source_to_agg: d.counter(metric::SA_BYTES),
+                source_to_agg_edges: d.counter(metric::SA_EDGES),
+                agg_to_agg: d.counter(metric::AA_BYTES),
+                agg_to_agg_edges: d.counter(metric::AA_EDGES),
+                agg_to_querier: d.counter(metric::AQ_BYTES),
+                retransmit: d.counter(metric::RETRANSMIT_BYTES),
+                control: d.counter(metric::CONTROL_BYTES),
+            },
+            energy_tx: d.float(metric::ENERGY_TX_J),
+            energy_rx: d.float(metric::ENERGY_RX_J),
+            contributors,
+        }
+    }
+}
+
+// Serializes only the seed-deterministic fields: `sim --json` promises
+// byte-identical output for the same seed at every thread count, so the
+// wall-clock CPU durations stay out of the JSON (they're still available
+// through the accessors, telemetry spans, and the BENCH_* artifacts,
+// none of which claim byte identity).
+impl Serialize for EpochStats {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("epoch".into(), Content::U64(self.epoch)),
+            ("sources_run".into(), Content::U64(self.sources_run)),
+            ("aggregators_run".into(), Content::U64(self.aggregators_run)),
+            ("bytes".into(), self.bytes.to_content()),
+            ("energy_tx_j".into(), Content::F64(self.energy_tx)),
+            ("energy_rx_j".into(), Content::F64(self.energy_rx)),
+            (
+                "contributors".into(),
+                Content::Seq(
+                    self.contributors
+                        .iter()
+                        .map(|&s| Content::U64(s as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Canonical metric names the engine records under — shared by the
+/// epoch meter, [`EpochStats::from_diff`], and the harnesses that read
+/// global snapshots.
+pub mod metric {
+    /// Summed in-worker source-init CPU (ns).
+    pub const SOURCE_CPU_NS: &str = "engine.source_cpu_ns";
+    /// Sources that ran initialization.
+    pub const SOURCES_RUN: &str = "engine.sources_run";
+    /// Aggregator merge + sink-finalize CPU (ns).
+    pub const AGGREGATOR_CPU_NS: &str = "engine.aggregator_cpu_ns";
+    /// Aggregators that merged at least one PSR.
+    pub const AGGREGATORS_RUN: &str = "engine.aggregators_run";
+    /// Querier evaluation CPU (ns).
+    pub const QUERIER_CPU_NS: &str = "engine.querier_cpu_ns";
+    /// First-copy bytes on source→aggregator edges.
+    pub const SA_BYTES: &str = "net.bytes.source_to_agg";
+    /// Source→aggregator transmissions.
+    pub const SA_EDGES: &str = "net.edges.source_to_agg";
+    /// First-copy bytes on aggregator→aggregator edges.
+    pub const AA_BYTES: &str = "net.bytes.agg_to_agg";
+    /// Aggregator→aggregator transmissions.
+    pub const AA_EDGES: &str = "net.edges.agg_to_agg";
+    /// Bytes on the sink→querier edge.
+    pub const AQ_BYTES: &str = "net.bytes.agg_to_querier";
+    /// Extra data bytes spent on retransmissions.
+    pub const RETRANSMIT_BYTES: &str = "net.bytes.retransmit";
+    /// Control-plane bytes (ACK/NACK, re-solicitation, re-attach,
+    /// failure reports).
+    pub const CONTROL_BYTES: &str = "net.bytes.control";
+    /// Radio transmit energy (joules).
+    pub const ENERGY_TX_J: &str = "energy.tx_joules";
+    /// Radio receive energy (joules).
+    pub const ENERGY_RX_J: &str = "energy.rx_joules";
+    /// Epochs the querier accepted.
+    pub const EPOCHS_ACCEPTED: &str = "engine.epochs_accepted";
+    /// Epochs the querier rejected (integrity failure).
+    pub const EPOCHS_REJECTED: &str = "engine.epochs_rejected";
+    /// Epochs with no result (availability loss / malformed input).
+    pub const EPOCHS_LOST: &str = "engine.epochs_lost";
+}
+
+/// The engine's private always-on metric registry plus cached handles
+/// for every hot-path counter.
+///
+/// `EpochStats` is **derived** from this meter: the epoch's activity is
+/// the diff between the registry snapshot at epoch start and at each
+/// exit point. The meter is private to the engine (not the global
+/// registry), so per-epoch stats stay exact even when the global
+/// telemetry kill-switch is off; when the switch is on, each epoch's
+/// diff is absorbed into the global registry under the same names.
+struct EpochMeter {
+    reg: Registry,
+    source_cpu_ns: Arc<Counter>,
+    sources_run: Arc<Counter>,
+    aggregator_cpu_ns: Arc<Counter>,
+    aggregators_run: Arc<Counter>,
+    querier_cpu_ns: Arc<Counter>,
+    sa_bytes: Arc<Counter>,
+    sa_edges: Arc<Counter>,
+    aa_bytes: Arc<Counter>,
+    aa_edges: Arc<Counter>,
+    aq_bytes: Arc<Counter>,
+    retransmit_bytes: Arc<Counter>,
+    control_bytes: Arc<Counter>,
+    energy_tx: Arc<FloatCounter>,
+    energy_rx: Arc<FloatCounter>,
+    mirror: GlobalMirror,
+}
+
+/// Cached handles into the *global* registry for every meter metric.
+///
+/// Absorbing an epoch's diff through these is a handful of atomic adds;
+/// [`Registry::absorb`] would instead re-intern every metric name and
+/// walk the registry map under its mutex once per metric per epoch.
+struct GlobalMirror {
+    counters: [(&'static str, Arc<Counter>); 12],
+    floats: [(&'static str, Arc<FloatCounter>); 2],
+}
+
+impl GlobalMirror {
+    fn new() -> Self {
+        let g = tel::global();
+        let c = |n: &'static str| (n, g.counter(n));
+        GlobalMirror {
+            counters: [
+                c(metric::SOURCE_CPU_NS),
+                c(metric::SOURCES_RUN),
+                c(metric::AGGREGATOR_CPU_NS),
+                c(metric::AGGREGATORS_RUN),
+                c(metric::QUERIER_CPU_NS),
+                c(metric::SA_BYTES),
+                c(metric::SA_EDGES),
+                c(metric::AA_BYTES),
+                c(metric::AA_EDGES),
+                c(metric::AQ_BYTES),
+                c(metric::RETRANSMIT_BYTES),
+                c(metric::CONTROL_BYTES),
+            ],
+            floats: [
+                (metric::ENERGY_TX_J, g.float(metric::ENERGY_TX_J)),
+                (metric::ENERGY_RX_J, g.float(metric::ENERGY_RX_J)),
+            ],
+        }
+    }
+
+    fn absorb(&self, d: &Snapshot) {
+        for (name, h) in &self.counters {
+            let v = d.counter(name);
+            if v > 0 {
+                h.add(v);
+            }
+        }
+        for (name, h) in &self.floats {
+            let v = d.float(name);
+            if v != 0.0 {
+                h.add(v);
+            }
+        }
+    }
+}
+
+impl EpochMeter {
+    fn new() -> Self {
+        let reg = Registry::new();
+        EpochMeter {
+            source_cpu_ns: reg.counter(metric::SOURCE_CPU_NS),
+            sources_run: reg.counter(metric::SOURCES_RUN),
+            aggregator_cpu_ns: reg.counter(metric::AGGREGATOR_CPU_NS),
+            aggregators_run: reg.counter(metric::AGGREGATORS_RUN),
+            querier_cpu_ns: reg.counter(metric::QUERIER_CPU_NS),
+            sa_bytes: reg.counter(metric::SA_BYTES),
+            sa_edges: reg.counter(metric::SA_EDGES),
+            aa_bytes: reg.counter(metric::AA_BYTES),
+            aa_edges: reg.counter(metric::AA_EDGES),
+            aq_bytes: reg.counter(metric::AQ_BYTES),
+            retransmit_bytes: reg.counter(metric::RETRANSMIT_BYTES),
+            control_bytes: reg.counter(metric::CONTROL_BYTES),
+            energy_tx: reg.float(metric::ENERGY_TX_J),
+            energy_rx: reg.float(metric::ENERGY_RX_J),
+            mirror: GlobalMirror::new(),
+            reg,
+        }
+    }
+
+    /// Marks an epoch boundary: everything recorded after this snapshot
+    /// belongs to the new epoch.
+    fn begin(&self) -> Snapshot {
+        self.reg.snapshot()
+    }
+
+    /// Derives the epoch's stats from the diff against `t0`, absorbing
+    /// the diff into the global registry when telemetry is enabled.
+    fn finish(&self, epoch: Epoch, contributors: Vec<SourceId>, t0: &Snapshot) -> EpochStats {
+        let d = self.reg.snapshot().diff(t0);
+        if tel::enabled() {
+            self.mirror.absorb(&d);
+        }
+        EpochStats::from_diff(epoch, contributors, &d)
+    }
+}
+
+/// Saturating nanosecond conversion for counter arithmetic.
+#[inline]
+fn ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Journals the epoch's verdict event and bumps the matching global
+/// verdict counter.
+fn verdict_event(epoch: Epoch, kind: EventKind, a: u64) {
+    tel::event(epoch, kind, a, 0);
+    match kind {
+        EventKind::EpochAccepted => tel::count!("engine.epochs_accepted"),
+        EventKind::EpochRejected => tel::count!("engine.epochs_rejected"),
+        EventKind::EpochLost => tel::count!("engine.epochs_lost"),
+        _ => {}
+    }
 }
 
 /// The outcome of one epoch: the querier's verdict plus measurements.
@@ -211,6 +472,11 @@ pub struct Engine<'a, S: AggregationScheme> {
     prev_final: Option<S::Psr>,
     /// Per-epoch buffers, reused across epochs.
     scratch: EpochScratch<S::Psr>,
+    /// Always-on private metric registry; `EpochStats` is a snapshot
+    /// diff over it.
+    meter: EpochMeter,
+    /// Reusable journal-event buffer for the per-uplink hot loop.
+    evbuf: tel::EventBuf,
 }
 
 impl<'a, S: AggregationScheme> Engine<'a, S> {
@@ -223,6 +489,8 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             threads: 1,
             prev_final: None,
             scratch: EpochScratch::new(),
+            meter: EpochMeter::new(),
+            evbuf: tel::EventBuf::new(),
         }
     }
 
@@ -309,18 +577,21 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             "one value per source required"
         );
 
-        let mut stats = EpochStats {
+        // Everything recorded from here on is this epoch's activity; the
+        // stats structs handed back below are diffs against `q0`.
+        let q0 = self.meter.begin();
+        tel::event(
             epoch,
-            source_cpu: Duration::ZERO,
-            sources_run: 0,
-            aggregator_cpu: Duration::ZERO,
-            aggregators_run: 0,
-            querier_cpu: Duration::ZERO,
-            bytes: EdgeBytes::default(),
-            energy_tx: 0.0,
-            energy_rx: 0.0,
-            contributors: Vec::new(),
-        };
+            EventKind::QueryDisseminated,
+            self.topology.num_sources(),
+            0,
+        );
+        tel::event(
+            epoch,
+            EventKind::LaneDispatch,
+            sies_crypto::lanes::lane_width() as u64,
+            0,
+        );
 
         // Honest failures remove whole subtrees from the contributor set.
         let mut excluded: HashSet<SourceId> = HashSet::new();
@@ -329,7 +600,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                 excluded.insert(s);
             }
         }
-        stats.contributors = (0..self.topology.num_sources() as SourceId)
+        let contributors: Vec<SourceId> = (0..self.topology.num_sources() as SourceId)
             .filter(|s| !excluded.contains(s))
             .collect();
 
@@ -353,7 +624,13 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         }
         let (results, source_cpu) =
             Self::shard_source_init(self.scheme, self.threads, epoch, &self.scratch.jobs);
-        stats.source_cpu += source_cpu;
+        self.meter.source_cpu_ns.add(ns(source_cpu));
+        tel::event(
+            epoch,
+            EventKind::SourceInit,
+            self.scratch.jobs.len() as u64,
+            0,
+        );
         for (&id, res) in self.scratch.job_nodes.iter().zip(results) {
             self.scratch.precomputed[id] = Some(res);
         }
@@ -368,16 +645,17 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                     let psr = self.scratch.precomputed[id]
                         .take()
                         .expect("every live source was precomputed");
-                    stats.sources_run += 1;
+                    self.meter.sources_run.incr();
                     match psr {
                         Ok(psr) => Some(psr),
                         // A rejected reading aborts the epoch as a
                         // malformed outcome rather than panicking.
                         Err(e) => {
+                            verdict_event(epoch, EventKind::EpochLost, id as u64);
                             return EpochOutcome {
                                 result: Err(e),
-                                stats,
-                            }
+                                stats: self.meter.finish(epoch, contributors, &q0),
+                            };
                         }
                     }
                 }
@@ -391,15 +669,17 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                     } else {
                         let t0 = Instant::now();
                         let merged = self.scheme.try_merge(&inputs);
-                        stats.aggregator_cpu += t0.elapsed();
-                        stats.aggregators_run += 1;
+                        self.meter.aggregator_cpu_ns.add(ns(t0.elapsed()));
+                        self.meter.aggregators_run.incr();
+                        tel::event(epoch, EventKind::PsrMerged, id as u64, inputs.len() as u64);
                         match merged {
                             Ok(merged) => Some(merged),
                             Err(e) => {
+                                verdict_event(epoch, EventKind::EpochLost, id as u64);
                                 return EpochOutcome {
                                     result: Err(e),
-                                    stats,
-                                }
+                                    stats: self.meter.finish(epoch, contributors, &q0),
+                                };
                             }
                         }
                     }
@@ -414,7 +694,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             if node.parent.is_none() {
                 let t0 = Instant::now();
                 psr = self.scheme.sink_finalize(psr);
-                stats.aggregator_cpu += t0.elapsed();
+                self.meter.aggregator_cpu_ns.add(ns(t0.elapsed()));
             }
 
             // Apply covert attacks on this node's outgoing PSR.
@@ -440,21 +720,21 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                 Some(_) => {
                     match node.role {
                         Role::Source(_) => {
-                            stats.bytes.source_to_agg += size as u64;
-                            stats.bytes.source_to_agg_edges += 1;
+                            self.meter.sa_bytes.add(size as u64);
+                            self.meter.sa_edges.incr();
                         }
                         Role::Aggregator => {
-                            stats.bytes.agg_to_agg += size as u64;
-                            stats.bytes.agg_to_agg_edges += 1;
+                            self.meter.aa_bytes.add(size as u64);
+                            self.meter.aa_edges.incr();
                         }
                     }
-                    stats.energy_tx += self.radio.tx_energy(size);
-                    stats.energy_rx += self.radio.rx_energy(size);
+                    self.meter.energy_tx.add(self.radio.tx_energy(size));
+                    self.meter.energy_rx.add(self.radio.rx_energy(size));
                 }
                 None => {
                     // The sink transmits the final PSR to the querier.
-                    stats.bytes.agg_to_querier += size as u64;
-                    stats.energy_tx += self.radio.tx_energy(size);
+                    self.meter.aq_bytes.add(size as u64);
+                    self.meter.energy_tx.add(self.radio.tx_energy(size));
                 }
             }
             for _ in 0..copies {
@@ -467,11 +747,12 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         let mut final_psr = match self.scratch.outputs[root].pop() {
             Some(p) => p,
             None => {
+                verdict_event(epoch, EventKind::EpochLost, root as u64);
                 return EpochOutcome {
                     result: Err(SchemeError::Malformed(
                         "no PSR reached the querier (all subtrees failed)".into(),
                     )),
-                    stats,
+                    stats: self.meter.finish(epoch, contributors, &q0),
                 };
             }
         };
@@ -487,10 +768,17 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         let t0 = Instant::now();
         let result = self
             .scheme
-            .evaluate_par(&final_psr, epoch, &stats.contributors, self.threads);
-        stats.querier_cpu = t0.elapsed();
+            .evaluate_par(&final_psr, epoch, &contributors, self.threads);
+        self.meter.querier_cpu_ns.add(ns(t0.elapsed()));
+        match &result {
+            Ok(_) => verdict_event(epoch, EventKind::EpochAccepted, contributors.len() as u64),
+            Err(_) => verdict_event(epoch, EventKind::EpochRejected, 0),
+        }
 
-        EpochOutcome { result, stats }
+        EpochOutcome {
+            result,
+            stats: self.meter.finish(epoch, contributors, &q0),
+        }
     }
 
     /// Runs one epoch under the full fault-tolerance stack: lossy links
@@ -535,19 +823,21 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             "one value per source required"
         );
 
-        let mut stats = EpochStats {
+        let q0 = self.meter.begin();
+        tel::event(
             epoch,
-            source_cpu: Duration::ZERO,
-            sources_run: 0,
-            aggregator_cpu: Duration::ZERO,
-            aggregators_run: 0,
-            querier_cpu: Duration::ZERO,
-            bytes: EdgeBytes::default(),
-            energy_tx: 0.0,
-            energy_rx: 0.0,
-            contributors: Vec::new(),
-        };
+            EventKind::QueryDisseminated,
+            self.topology.num_sources(),
+            0,
+        );
+        tel::event(
+            epoch,
+            EventKind::LaneDispatch,
+            sies_crypto::lanes::lane_width() as u64,
+            0,
+        );
         let mut report = RecoveryReport::default();
+        let mut tally = UplinkTally::default();
         let repairs = self.topology.repair_plan(crashed);
         report.adoptions = repairs.adoptions.len() as u64;
         report.stranded = repairs.stranded.len() as u64;
@@ -555,10 +845,11 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         // A crashed sink means nothing can reach the querier: the epoch
         // is an availability loss, never a false accept or reject.
         if crashed.contains(&self.topology.root()) {
+            verdict_event(epoch, EventKind::EpochLost, self.topology.root() as u64);
             return RecoveredEpoch {
                 outcome: EpochOutcome {
                     result: Err(SchemeError::Malformed("sink crashed; epoch lost".into())),
-                    stats,
+                    stats: self.meter.finish(epoch, Vec::new(), &q0),
                 },
                 report,
                 repairs,
@@ -569,7 +860,10 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         // Re-attach handshake: request up, ACK back, per orphan.
         let reattach_cost = (REATTACH_BYTES + ACK_BYTES) as u64 * report.adoptions;
         report.control_bytes += reattach_cost;
-        stats.bytes.control += reattach_cost;
+        self.meter.control_bytes.add(reattach_cost);
+        for (&orphan, &adopter) in &repairs.adoptions {
+            tel::event(epoch, EventKind::Reattach, orphan as u64, adopter as u64);
+        }
 
         // Effective topology: surviving children plus adopted orphans.
         let n_nodes = self.topology.nodes().len();
@@ -586,7 +880,8 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                     let cost = FAILURE_REPORT_BYTES as u64 * (node.depth as u64 + 1);
                     report.failure_reports += 1;
                     report.control_bytes += cost;
-                    stats.bytes.control += cost;
+                    self.meter.control_bytes.add(cost);
+                    tel::event(epoch, EventKind::FailureReport, c as u64, node.id as u64);
                 } else {
                     eff_children[node.id].push(c);
                 }
@@ -634,7 +929,13 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         }
         let (results, source_cpu) =
             Self::shard_source_init(self.scheme, self.threads, epoch, &self.scratch.jobs);
-        stats.source_cpu += source_cpu;
+        self.meter.source_cpu_ns.add(ns(source_cpu));
+        tel::event(
+            epoch,
+            EventKind::SourceInit,
+            self.scratch.jobs.len() as u64,
+            0,
+        );
         for (&id, res) in self.scratch.job_nodes.iter().zip(results) {
             self.scratch.precomputed[id] = Some(res);
         }
@@ -646,7 +947,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                     let produced = self.scratch.precomputed[id]
                         .take()
                         .expect("every live source was precomputed");
-                    stats.sources_run += 1;
+                    self.meter.sources_run.incr();
                     match produced {
                         Ok(psr) => {
                             psr_slot[id] = Some(psr);
@@ -671,43 +972,72 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                                 * (self.topology.node(id).depth as u64 + 1);
                             report.failure_reports += 1;
                             report.control_bytes += cost;
-                            stats.bytes.control += cost;
+                            self.meter.control_bytes.add(cost);
+                            self.evbuf
+                                .push(epoch, EventKind::FailureReport, c as u64, id as u64);
                             continue;
                         };
                         let size = self.scheme.psr_wire_size(&child_psr);
                         let uplink = recovery.simulate_uplink(radio, rng);
+                        tally.add(&uplink);
 
                         // Accounting: first copy in the Table V classes,
                         // retransmissions and control separately.
                         match self.topology.node(c).role {
                             Role::Source(_) => {
-                                stats.bytes.source_to_agg += size as u64;
-                                stats.bytes.source_to_agg_edges += 1;
+                                self.meter.sa_bytes.add(size as u64);
+                                self.meter.sa_edges.incr();
                             }
                             Role::Aggregator => {
-                                stats.bytes.agg_to_agg += size as u64;
-                                stats.bytes.agg_to_agg_edges += 1;
+                                self.meter.aa_bytes.add(size as u64);
+                                self.meter.aa_edges.incr();
                             }
                         }
-                        stats.bytes.retransmit += size as u64 * (uplink.data_attempts as u64 - 1);
+                        self.meter
+                            .retransmit_bytes
+                            .add(size as u64 * (uplink.data_attempts as u64 - 1));
                         let ctl = uplink.acks as u64 * ACK_BYTES as u64
                             + uplink.nacks as u64 * NACK_BYTES as u64
                             + uplink.resolicit_rounds_used as u64
                                 * RESOLICIT_BYTES as u64
                                 * (node.depth as u64 + 1);
                         report.control_bytes += ctl;
-                        stats.bytes.control += ctl;
+                        self.meter.control_bytes.add(ctl);
                         for _ in 0..uplink.data_attempts {
-                            stats.energy_tx += self.radio.tx_energy(size);
+                            self.meter.energy_tx.add(self.radio.tx_energy(size));
                         }
-                        stats.energy_rx += self.radio.rx_energy(size) * uplink.acks as f64;
+                        self.meter
+                            .energy_rx
+                            .add(self.radio.rx_energy(size) * uplink.acks as f64);
                         report.link.attempts += uplink.data_attempts as u64;
                         if uplink.data_attempts > 1 {
                             report.link.retransmitted_links += 1;
+                            self.evbuf.push(
+                                epoch,
+                                EventKind::Retransmit,
+                                c as u64,
+                                uplink.data_attempts as u64 - 1,
+                            );
                         }
                         report.acks += uplink.acks as u64;
                         report.nacks += uplink.nacks as u64;
                         report.resolicitations += uplink.resolicit_rounds_used as u64;
+                        if uplink.nacks > 0 {
+                            self.evbuf.push(
+                                epoch,
+                                EventKind::NackSent,
+                                c as u64,
+                                uplink.nacks as u64,
+                            );
+                        }
+                        if uplink.resolicit_rounds_used > 0 {
+                            self.evbuf.push(
+                                epoch,
+                                EventKind::Resolicit,
+                                c as u64,
+                                uplink.resolicit_rounds_used as u64,
+                            );
+                        }
 
                         if !uplink.delivered {
                             // Permanent honest loss: exclude the subtree
@@ -717,7 +1047,9 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                             let cost = FAILURE_REPORT_BYTES as u64 * (node.depth as u64 + 1);
                             report.failure_reports += 1;
                             report.control_bytes += cost;
-                            stats.bytes.control += cost;
+                            self.meter.control_bytes.add(cost);
+                            self.evbuf
+                                .push(epoch, EventKind::FailureReport, c as u64, id as u64);
                             continue;
                         }
                         report.delivered_links += 1;
@@ -763,8 +1095,10 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                     }
                     let t0 = Instant::now();
                     let merged = self.scheme.try_merge(&inputs);
-                    stats.aggregator_cpu += t0.elapsed();
-                    stats.aggregators_run += 1;
+                    self.meter.aggregator_cpu_ns.add(ns(t0.elapsed()));
+                    self.meter.aggregators_run.incr();
+                    self.evbuf
+                        .push(epoch, EventKind::PsrMerged, id as u64, inputs.len() as u64);
                     match merged {
                         Ok(m) => {
                             psr_slot[id] = Some(m);
@@ -781,14 +1115,18 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             }
         }
 
+        tally.flush();
+        self.evbuf.flush();
+
         // Sink → querier.
         let Some(mut final_psr) = psr_slot[root].take() else {
+            verdict_event(epoch, EventKind::EpochLost, root as u64);
             return RecoveredEpoch {
                 outcome: EpochOutcome {
                     result: Err(SchemeError::Malformed(
                         "no PSR reached the querier (all subtrees failed)".into(),
                     )),
-                    stats,
+                    stats: self.meter.finish(epoch, Vec::new(), &q0),
                 },
                 report,
                 repairs,
@@ -799,7 +1137,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
 
         let t0 = Instant::now();
         final_psr = self.scheme.sink_finalize(final_psr);
-        stats.aggregator_cpu += t0.elapsed();
+        self.meter.aggregator_cpu_ns.add(ns(t0.elapsed()));
 
         // Attacks on the sink's own outgoing PSR (no parent exists to
         // model them at): tampering corrupts the final aggregate; a
@@ -812,12 +1150,13 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                     corrupted = true;
                 }
                 Attack::DropAtNode(n) if n == root => {
+                    verdict_event(epoch, EventKind::EpochLost, root as u64);
                     return RecoveredEpoch {
                         outcome: EpochOutcome {
                             result: Err(SchemeError::Malformed(
                                 "final PSR never reached the querier".into(),
                             )),
-                            stats,
+                            stats: self.meter.finish(epoch, Vec::new(), &q0),
                         },
                         report,
                         repairs,
@@ -837,21 +1176,27 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         self.prev_final = Some(final_psr.clone());
 
         let size = self.scheme.psr_wire_size(&final_psr);
-        stats.bytes.agg_to_querier += size as u64;
-        stats.energy_tx += self.radio.tx_energy(size);
+        self.meter.aq_bytes.add(size as u64);
+        self.meter.energy_tx.add(self.radio.tx_energy(size));
 
         let mut contributors = std::mem::take(&mut contrib_slot[root]);
         contributors.sort_unstable();
-        stats.contributors = contributors;
 
         let t0 = Instant::now();
         let result = self
             .scheme
-            .evaluate_par(&final_psr, epoch, &stats.contributors, self.threads);
-        stats.querier_cpu = t0.elapsed();
+            .evaluate_par(&final_psr, epoch, &contributors, self.threads);
+        self.meter.querier_cpu_ns.add(ns(t0.elapsed()));
+        match &result {
+            Ok(_) => verdict_event(epoch, EventKind::EpochAccepted, contributors.len() as u64),
+            Err(_) => verdict_event(epoch, EventKind::EpochRejected, 0),
+        }
 
         RecoveredEpoch {
-            outcome: EpochOutcome { result, stats },
+            outcome: EpochOutcome {
+                result,
+                stats: self.meter.finish(epoch, contributors, &q0),
+            },
             report,
             repairs,
             aggregate_corrupted: corrupted,

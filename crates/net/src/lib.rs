@@ -44,7 +44,7 @@ pub use deploy::SiesDeployment;
 pub use energy::RadioModel;
 pub use engine::{Attack, EdgeBytes, Engine, EpochOutcome, EpochStats, RecoveredEpoch};
 pub use query_engine::{QueryEngine, QueryOutcome};
-pub use recovery::{RecoveryConfig, RecoveryReport, UplinkOutcome};
+pub use recovery::{RecoveryConfig, RecoveryReport, UplinkOutcome, UplinkTally};
 pub use scheme::{AggregationScheme, EvaluatedSum, SchemeError};
 pub use sies_core::Threads;
 pub use topology::{Node, NodeId, RepairPlan, Role, Topology};

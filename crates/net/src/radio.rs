@@ -13,6 +13,7 @@
 use crate::topology::{NodeId, Topology};
 use rand::Rng;
 use rand::RngCore;
+use sies_telemetry as tel;
 use std::collections::HashSet;
 
 /// A lossy link layer.
@@ -110,6 +111,9 @@ impl LossyRadio {
                 failed.insert(node.id);
             }
         }
+        tel::count!("radio.link_attempts", stats.attempts);
+        tel::count!("radio.links_failed", stats.failed_links);
+        tel::count!("radio.links_retransmitted", stats.retransmitted_links);
         (failed, stats)
     }
 }

@@ -37,6 +37,7 @@ use crate::radio::{LinkStats, LossyRadio};
 use crate::wire::FRAME_OVERHEAD;
 use rand::Rng;
 use rand::RngCore;
+use sies_telemetry as tel;
 
 /// Wire size of a link-layer acknowledgement (a bare frame: epoch and
 /// sender live in the header, no payload).
@@ -141,6 +142,55 @@ impl RecoveryConfig {
             }
         }
         out
+    }
+}
+
+/// Per-epoch accumulator for the recovery-protocol telemetry counters.
+///
+/// `simulate_uplink` records nothing itself: at ~100 uplinks per epoch
+/// a per-call flush was the single largest telemetry cost in the whole
+/// stack, so callers tally outcomes locally and flush once per epoch —
+/// eight atomic adds instead of hundreds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UplinkTally {
+    uplinks: u64,
+    acks: u64,
+    nacks: u64,
+    resolicitations: u64,
+    data_attempts: u64,
+    delivered: u64,
+    lost: u64,
+}
+
+impl UplinkTally {
+    /// Folds one uplink outcome into the tally.
+    pub fn add(&mut self, out: &UplinkOutcome) {
+        self.uplinks += 1;
+        self.acks += out.acks as u64;
+        self.nacks += out.nacks as u64;
+        self.resolicitations += out.resolicit_rounds_used as u64;
+        self.data_attempts += out.data_attempts as u64;
+        if out.delivered {
+            self.delivered += 1;
+        } else {
+            self.lost += 1;
+        }
+    }
+
+    /// Flushes the tally into the global registry. Retransmitted frames
+    /// are the attempts beyond the first of each uplink.
+    pub fn flush(&self) {
+        tel::count!("recovery.uplinks", self.uplinks);
+        tel::count!("recovery.acks", self.acks);
+        tel::count!("recovery.nacks", self.nacks);
+        tel::count!("recovery.resolicitations", self.resolicitations);
+        tel::count!("recovery.data_attempts", self.data_attempts);
+        tel::count!(
+            "recovery.retransmits",
+            self.data_attempts.saturating_sub(self.uplinks)
+        );
+        tel::count!("recovery.delivered", self.delivered);
+        tel::count!("recovery.lost", self.lost);
     }
 }
 

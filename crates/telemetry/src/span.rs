@@ -1,0 +1,123 @@
+//! RAII span timers with a thread-local span stack.
+//!
+//! A span measures one wall-clock section and records its duration (in
+//! nanoseconds) into a histogram when dropped. Spans nest: each thread
+//! keeps a stack of the names of its live spans, so instrumentation can
+//! ask "where am I?" ([`current_path`]) without threading context
+//! through call signatures.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::metric::Histogram;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A live timed section. Created by [`Span::enter`] (usually via the
+/// [`span!`](crate::span!) macro); records on drop.
+///
+/// A disabled span ([`Span::noop`]) skips the clock read, the stack
+/// push, and the histogram record entirely — the kill-switch reduces a
+/// `span!` site to one relaxed load and a branch.
+#[must_use = "a span records when dropped; binding it to _ discards the timing"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    name: &'static str,
+    start: Instant,
+    hist: &'static Histogram,
+}
+
+impl Span {
+    /// Starts a span that records its duration into `hist` on drop and
+    /// appears on this thread's span stack while live.
+    pub fn enter(name: &'static str, hist: &'static Histogram) -> Span {
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        Span {
+            inner: Some(SpanInner {
+                name,
+                start: Instant::now(),
+                hist,
+            }),
+        }
+    }
+
+    /// A span that does nothing (telemetry disabled).
+    pub fn noop() -> Span {
+        Span { inner: None }
+    }
+
+    /// Whether this span is live (false for [`Span::noop`]).
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            inner.hist.record_duration(inner.start.elapsed());
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                // Spans are RAII-scoped so LIFO order holds; defend
+                // against mem::forget-style misuse anyway.
+                if let Some(pos) = stack.iter().rposition(|&n| n == inner.name) {
+                    stack.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+/// Number of live spans on this thread.
+pub fn current_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// The names of this thread's live spans, outermost first, joined with
+/// `/` (empty string when no span is live).
+pub fn current_path() -> String {
+    SPAN_STACK.with(|s| s.borrow().join("/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn hist() -> &'static Histogram {
+        static H: OnceLock<Histogram> = OnceLock::new();
+        H.get_or_init(Histogram::new)
+    }
+
+    #[test]
+    fn span_records_on_drop_and_tracks_stack() {
+        let before = hist().snapshot().count;
+        {
+            let _outer = Span::enter("outer", hist());
+            assert_eq!(current_depth(), 1);
+            {
+                let _inner = Span::enter("inner", hist());
+                assert_eq!(current_path(), "outer/inner");
+            }
+            assert_eq!(current_depth(), 1);
+        }
+        assert_eq!(current_depth(), 0);
+        assert_eq!(hist().snapshot().count, before + 2);
+    }
+
+    #[test]
+    fn noop_span_is_invisible() {
+        let before = hist().snapshot().count;
+        {
+            let s = Span::noop();
+            assert!(!s.is_recording());
+            assert_eq!(current_depth(), 0);
+        }
+        assert_eq!(hist().snapshot().count, before);
+    }
+}

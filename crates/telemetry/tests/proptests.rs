@@ -1,0 +1,192 @@
+//! Property-based tests for the telemetry core: concurrent recording
+//! sums exactly, histogram merges are associative, bucket boundaries
+//! hold at the domain edges, and snapshot diffs round-trip.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sies_telemetry::{
+    metric::{bucket_index, bucket_upper_bound},
+    Counter, Histogram, HistogramSnapshot, Registry,
+};
+
+proptest! {
+    // ---- Count invariance under concurrency ------------------------------
+
+    /// T threads each adding their share of a workload leaves the
+    /// counter at exactly the total — no lost updates.
+    #[test]
+    fn concurrent_counter_sums_exactly(
+        per_thread in proptest::collection::vec(1u64..1000, 1..8),
+    ) {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for &n in &per_thread {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..n {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(c.get(), per_thread.iter().sum::<u64>());
+    }
+
+    /// Histogram count/bucket totals are invariant to how samples are
+    /// split across recording threads.
+    #[test]
+    fn concurrent_histogram_count_invariance(
+        samples in proptest::collection::vec(any::<u64>(), 1..200),
+        threads in 1usize..6,
+    ) {
+        let h = Arc::new(Histogram::new());
+        let chunk = samples.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for part in samples.chunks(chunk) {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for &v in part {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        // Same samples recorded serially produce the identical snapshot.
+        let serial = Histogram::new();
+        for &v in &samples {
+            serial.record(v);
+        }
+        prop_assert_eq!(snap, serial.snapshot());
+    }
+
+    // ---- Merge associativity ---------------------------------------------
+
+    /// (a ⊎ b) ⊎ c == a ⊎ (b ⊎ c) for histogram snapshots.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..50),
+        b in proptest::collection::vec(any::<u64>(), 0..50),
+        c in proptest::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let snap = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left.clone(), right);
+
+        // And merging equals recording everything in one histogram.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(left, snap(&all));
+    }
+
+    // ---- Bucket boundaries -----------------------------------------------
+
+    /// Every sample lands in a bucket whose bounds contain it, for the
+    /// full u64 domain including the 0 and u64::MAX edges.
+    /// (The vendored proptest has no `prop_oneof`, so the edge-case mix
+    /// is derived from a selector + raw sample pair.)
+    #[test]
+    fn bucket_bounds_contain_sample(sel in 0u8..7, raw in any::<u64>()) {
+        let v = match sel {
+            0 => 0u64,
+            1 => 1,
+            2 => u64::MAX,
+            3 => u64::MAX - 1,
+            4 => 1u64 << (raw % 64),               // power of two
+            5 => (1u64 << (raw % 64)).wrapping_sub(1), // one below a power
+            _ => raw,
+        };
+        let i = bucket_index(v);
+        prop_assert!(i < sies_telemetry::HIST_BUCKETS);
+        prop_assert!(bucket_upper_bound(i) >= v);
+        if i > 0 {
+            // Lower edge: the previous bucket's upper bound is below v.
+            prop_assert!(bucket_upper_bound(i - 1) < v);
+        } else {
+            prop_assert_eq!(v, 0);
+        }
+    }
+
+    // ---- Snapshot diff round-trips ---------------------------------------
+
+    /// later.diff(earlier) merged back onto earlier reconstructs later,
+    /// for full registry snapshots (counters, floats, gauges, hists).
+    /// Each raw u64 op word encodes (metric type, name, value).
+    #[test]
+    fn registry_snapshot_diff_round_trips(
+        first in proptest::collection::vec(any::<u64>(), 0..40),
+        second in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        static NAMES: [&str; 4] = ["m.a", "m.b", "m.c", "m.d"];
+        let r = Registry::new();
+        let apply = |ops: &[u64]| {
+            for &op in ops {
+                let which = op & 3;
+                let name = NAMES[((op >> 2) & 3) as usize];
+                let v = op >> 4;
+                match which {
+                    0 => r.counter(name).add(v % 1000),
+                    1 => r.float(name).add((v % 1000) as f64 / 8.0),
+                    2 => r.gauge(name).set(v),
+                    _ => r.histogram(name).record(v),
+                }
+            }
+        };
+        apply(&first);
+        let t0 = r.snapshot();
+        apply(&second);
+        let t1 = r.snapshot();
+
+        let d = t1.diff(&t0);
+        let mut recon = t0.clone();
+        recon.merge(&d);
+        prop_assert_eq!(recon, t1.clone());
+
+        // Histogram-level identity as well: per-name diff matches a
+        // fresh histogram of just the second batch's samples.
+        let fresh = Registry::new();
+        for &op in &second {
+            if op & 3 == 3 {
+                fresh
+                    .histogram(NAMES[((op >> 2) & 3) as usize])
+                    .record(op >> 4);
+            }
+        }
+        for (name, h) in &fresh.snapshot().hists {
+            if h.count > 0 {
+                prop_assert_eq!(&t1.hist(name).diff(&t0.hist(name)), h);
+            }
+        }
+    }
+
+    /// Histogram diff of a snapshot with itself is empty, and diffing
+    /// from the zero snapshot is the identity.
+    #[test]
+    fn histogram_diff_identities(samples in proptest::collection::vec(any::<u64>(), 0..60)) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let zero = HistogramSnapshot::default();
+        prop_assert_eq!(s.diff(&s).count, 0);
+        prop_assert_eq!(s.diff(&zero), s);
+    }
+}
