@@ -18,6 +18,9 @@
 //! * [`observability`] — structured per-epoch traces from the telemetry
 //!   stack and the telemetry-on vs -off overhead benchmark, with a CI
 //!   regression gate;
+//! * [`recovery`] — crash-restart recovery from the durable receipt
+//!   journal: kill-restart digest identity at 1/2/8 threads plus cold
+//!   replay throughput;
 //! * [`report`] — ASCII tables and JSON export;
 //! * the `repro` binary ties it all together (`repro --help`).
 
@@ -27,6 +30,7 @@ pub mod cost_model;
 pub mod experiments;
 pub mod micro;
 pub mod observability;
+pub mod recovery;
 pub mod report;
 pub mod throughput;
 pub mod timing;
@@ -36,4 +40,5 @@ pub use cost_model::{CostModel, ModelParams, Range};
 pub use experiments::{Options, SeriesPoint};
 pub use micro::{micro_suite, MicroReport};
 pub use observability::{capture_trace, overhead_suite, ObservabilityReport};
+pub use recovery::{recovery_suite, RecoveryReport};
 pub use throughput::{throughput_suite, ThroughputPoint};

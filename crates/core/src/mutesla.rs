@@ -302,6 +302,51 @@ impl Receiver {
             _ => None,
         }
     }
+
+    /// The last authenticated interval (0 before any disclosure).
+    pub fn auth_interval(&self) -> u64 {
+        self.auth_interval
+    }
+
+    /// The durable core of the receiver's state: the last authenticated
+    /// chain element and its interval. Everything else (buffered
+    /// packets, the precomputed key window) is a cache that a restarted
+    /// receiver rebuilds as disclosures arrive.
+    pub fn checkpoint(&self) -> (u64, ChainKey) {
+        (self.auth_interval, self.auth_key)
+    }
+
+    /// Rebuilds a receiver from a journaled [`Self::checkpoint`],
+    /// re-authenticating the checkpointed key against the original
+    /// commitment: hashing `key` forward `interval` times must reproduce
+    /// `K_0`. A checkpoint that does not chain back is rejected — a
+    /// corrupted or forged journal cannot move the receiver onto a
+    /// different chain.
+    pub fn resume(
+        commitment: ChainKey,
+        delay: u64,
+        interval: u64,
+        key: ChainKey,
+    ) -> Result<Self, SiesError> {
+        let mut walked = key;
+        for _ in 0..interval {
+            walked = chain_step(&walked);
+        }
+        if !ct_eq(&walked, &commitment) {
+            return Err(SiesError::BroadcastAuthFailure(format!(
+                "checkpointed key for interval {interval} does not chain back to the commitment"
+            )));
+        }
+        tel::count!("core.mutesla.resumes");
+        Ok(Receiver {
+            auth_key: key,
+            auth_interval: interval,
+            delay,
+            pending: Vec::new(),
+            window: Vec::new(),
+            window_cap: DEFAULT_KEY_WINDOW,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -467,6 +512,47 @@ mod tests {
         let msgs = r.on_disclosure(b.disclose(6)).unwrap();
         assert_eq!(msgs.len(), 6);
         assert_eq!(r.window_span(), Some((5, 6)));
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trips_mid_chain() {
+        let (b, mut r) = setup(10, 2);
+        for i in 1..=4 {
+            r.receive(i, b.broadcast(i, b"q")).unwrap();
+            r.on_disclosure(b.disclose(i)).unwrap();
+        }
+        let (interval, key) = r.checkpoint();
+        assert_eq!(interval, 4);
+        assert_eq!(r.auth_interval(), 4);
+
+        // A restarted receiver resumes at the checkpoint and keeps
+        // authenticating from there.
+        let mut r2 = Receiver::resume(b.commitment(), 2, interval, key).unwrap();
+        assert_eq!(r2.auth_interval(), 4);
+        assert!(
+            r2.on_disclosure(b.disclose(4)).is_err(),
+            "resumed receiver must reject already-disclosed intervals"
+        );
+        r2.receive(5, b.broadcast(5, b"after restart")).unwrap();
+        let msgs = r2.on_disclosure(b.disclose(5)).unwrap();
+        assert_eq!(msgs, vec![b"after restart".to_vec()]);
+    }
+
+    #[test]
+    fn resume_rejects_forged_checkpoints() {
+        let (b, _r) = setup(10, 2);
+        assert!(Receiver::resume(b.commitment(), 2, 3, [0xAB; 32]).is_err());
+        // Right key, wrong interval: the walk lands elsewhere.
+        let key = b.disclose(3).key;
+        assert!(Receiver::resume(b.commitment(), 2, 4, key).is_err());
+        assert!(Receiver::resume(b.commitment(), 2, 3, key).is_ok());
+    }
+
+    #[test]
+    fn resume_at_interval_zero_is_a_fresh_receiver() {
+        let (b, _r) = setup(5, 1);
+        let r = Receiver::resume(b.commitment(), 1, 0, b.commitment()).unwrap();
+        assert_eq!(r.auth_interval(), 0);
     }
 
     #[test]

@@ -24,20 +24,31 @@
 //! Every run is a pure function of [`ChaosConfig`] (including the seed):
 //! crash sets, attack choices, readings, and per-frame loss all come
 //! from one `StdRng`, so a failing seed replays exactly.
+//!
+//! Each epoch's outcome is captured as a signed-journal
+//! [`EpochReceipt`]; metrics ([`absorb`]) and the result digest
+//! ([`fold_receipt`]) are both derived from the receipt alone. That is
+//! what makes [`run_chaos_with_restarts`] honest: when a seeded kill
+//! point tears down the querier mid-run, the restarted querier rebuilds
+//! its counters and digest by replaying the journal — and lands, by
+//! construction, on exactly the state the uninterrupted run had.
 
 use crate::engine::{Attack, Engine};
+use crate::journal::{fold_receipt, JournalConfig, ReceiptJournal};
 use crate::radio::LossyRadio;
 use crate::recovery::RecoveryConfig;
-use crate::scheme::{AggregationScheme, SchemeError};
+use crate::scheme::AggregationScheme;
 use crate::topology::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sies_core::Threads;
 use sies_crypto::sha256::Sha256;
 use sies_crypto::HashFunction;
+use sies_receipts::{EpochReceipt, ReceiptError, Verdict};
 use sies_telemetry as tel;
 use sies_telemetry::EventKind;
 use std::collections::HashSet;
+use std::path::PathBuf;
 
 /// Fault-injection mix for one chaos run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,6 +141,9 @@ pub struct ChaosMetrics {
     pub retransmit_bytes: u64,
     /// Bytes spent on ACK/NACK/re-solicit/re-attach/failure reports.
     pub control_bytes: u64,
+    /// Modeled backoff delay the recovery protocol accumulated across
+    /// all uplinks (milliseconds, jitter included).
+    pub backoff_ms: u64,
     /// Hex SHA-256 over every epoch's verdict, sum bits, corruption
     /// flag, and contributor set — the run's result fingerprint. Byte
     /// identical across thread counts and telemetry on/off (it hashes
@@ -175,62 +189,111 @@ impl ChaosMetrics {
     }
 }
 
-/// Runs `cfg.epochs` fault-injected epochs of `scheme` over `topology`
-/// and classifies every outcome. Panics only if the engine itself
-/// panics — which the run is designed to prove it never does.
-pub fn run_chaos<S: AggregationScheme>(
-    scheme: &S,
-    topology: &Topology,
-    cfg: &ChaosConfig,
-) -> ChaosMetrics {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let radio = LossyRadio::new(cfg.loss_rate, cfg.max_retries);
-    let mut engine = Engine::new(scheme, topology).with_threads(cfg.threads);
-    let mut m = ChaosMetrics {
-        seed: cfg.seed,
-        ..ChaosMetrics::default()
-    };
+/// Folds one epoch receipt into the run metrics: the classification
+/// table from the module docs, applied to the receipt's verdict and
+/// ground-truth flags, plus every recovery-protocol counter. Replaying a
+/// journal through this function rebuilds exactly the counters the live
+/// run accumulated — [`crate::engine::RecoveredEpoch::receipt`] puts
+/// everything the table needs into the receipt for precisely this
+/// reason.
+pub fn absorb(m: &mut ChaosMetrics, r: &EpochReceipt) {
+    m.crash_epochs += r.crash_injected as u64;
+    m.attack_epochs += r.attack_injected as u64;
+    m.corrupted_epochs += r.corrupted as u64;
+    match r.verdict {
+        Verdict::Accepted => {
+            m.ok_epochs += 1;
+            if r.corrupted {
+                m.false_accepts += 1;
+            } else if r.sum_mismatch {
+                m.sum_mismatches += 1;
+            }
+        }
+        Verdict::Rejected => {
+            if r.corrupted {
+                m.detected_corruptions += 1;
+            } else {
+                m.false_rejects += 1;
+            }
+        }
+        Verdict::Lost => m.unavailable_epochs += 1,
+    }
+    m.adoptions += r.adoptions;
+    m.delivered_links += r.delivered_links;
+    m.lost_links += r.lost_links;
+    m.recovered_by_resolicit += r.recovered_by_resolicit;
+    m.resolicitations += r.resolicitations;
+    m.init_failures += r.init_failures;
+    m.merge_failures += r.merge_failures;
+    m.data_bytes += r.data_bytes;
+    m.retransmit_bytes += r.retransmit_bytes;
+    m.control_bytes += r.control_bytes;
+    m.backoff_ms += r.backoff_ms;
+}
 
-    // Non-root nodes are fair game for crashes and attacks; the sink
-    // staying up keeps availability attributable to the protocol under
-    // test (sink crash is covered by unit tests).
-    let candidates: Vec<NodeId> = topology
-        .nodes()
-        .iter()
-        .map(|n| n.id)
-        .filter(|&id| id != topology.root())
-        .collect();
+/// The network half of a chaos run — everything that *survives* a
+/// querier crash: the engine (network + scheme state), the seeded fault
+/// stream, and the lossy radio. One [`ChaosDriver::step`] runs one epoch
+/// and returns its receipt; metrics, digests, and the journal are all
+/// derived from that receipt, never from the driver directly.
+struct ChaosDriver<'a, S: AggregationScheme> {
+    engine: Engine<'a, S>,
+    rng: StdRng,
+    radio: LossyRadio,
+    candidates: Vec<NodeId>,
+    num_sources: usize,
+    cfg: ChaosConfig,
+}
 
-    let num_sources = topology.num_sources() as usize;
-    let mut digest = Sha256::new();
-    for epoch in 0..cfg.epochs {
-        let values: Vec<u64> = (0..num_sources)
-            .map(|_| rng.random_range(0..=cfg.max_value))
+impl<'a, S: AggregationScheme> ChaosDriver<'a, S> {
+    fn new(scheme: &'a S, topology: &'a Topology, cfg: &ChaosConfig) -> Self {
+        // Non-root nodes are fair game for crashes and attacks; the sink
+        // staying up keeps availability attributable to the protocol
+        // under test (sink crash is covered by unit tests).
+        let candidates: Vec<NodeId> = topology
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .filter(|&id| id != topology.root())
+            .collect();
+        ChaosDriver {
+            engine: Engine::new(scheme, topology).with_threads(cfg.threads),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            radio: LossyRadio::new(cfg.loss_rate, cfg.max_retries),
+            candidates,
+            num_sources: topology.num_sources() as usize,
+            cfg: *cfg,
+        }
+    }
+
+    fn step(&mut self, epoch: u64) -> EpochReceipt {
+        let values: Vec<u64> = (0..self.num_sources)
+            .map(|_| self.rng.random_range(0..=self.cfg.max_value))
             .collect();
 
         let mut crashed: HashSet<NodeId> = HashSet::new();
-        if rng.random_range(0.0..1.0) < cfg.crash_prob {
+        if self.rng.random_range(0.0..1.0) < self.cfg.crash_prob {
             // 1–3 simultaneous crashes stress multi-orphan repair.
-            let n = rng.random_range(1..=3usize);
+            let n = self.rng.random_range(1..=3usize);
             for _ in 0..n {
-                crashed.insert(candidates[rng.random_range(0..candidates.len())]);
+                crashed.insert(self.candidates[self.rng.random_range(0..self.candidates.len())]);
             }
-            m.crash_epochs += 1;
             tel::count!("chaos.crashes_injected", crashed.len() as u64);
             tel::event(epoch, EventKind::CrashInjected, crashed.len() as u64, 0);
         }
 
         let mut attacks: Vec<Attack> = Vec::new();
-        if rng.random_range(0.0..1.0) < cfg.attack_prob {
-            let live: Vec<NodeId> = candidates
+        if self.rng.random_range(0.0..1.0) < self.cfg.attack_prob {
+            let live: Vec<NodeId> = self
+                .candidates
                 .iter()
                 .copied()
                 .filter(|id| !crashed.contains(id))
                 .collect();
-            let attack = match rng.random_range(0..4u32) {
-                0 => Attack::TamperAtNode(live[rng.random_range(0..live.len())]),
-                1 => Attack::DropAtNode(live[rng.random_range(0..live.len())]),
-                2 => Attack::DuplicateAtNode(live[rng.random_range(0..live.len())]),
+            let attack = match self.rng.random_range(0..4u32) {
+                0 => Attack::TamperAtNode(live[self.rng.random_range(0..live.len())]),
+                1 => Attack::DropAtNode(live[self.rng.random_range(0..live.len())]),
+                2 => Attack::DuplicateAtNode(live[self.rng.random_range(0..live.len())]),
                 _ => Attack::ReplayFinal,
             };
             let (kind, target) = match attack {
@@ -242,87 +305,162 @@ pub fn run_chaos<S: AggregationScheme>(
             tel::count!("chaos.attacks_injected");
             tel::event(epoch, EventKind::AttackInjected, kind, target);
             attacks.push(attack);
-            m.attack_epochs += 1;
         }
 
-        let run = engine.run_epoch_recovering(
+        let run = self.engine.run_epoch_recovering(
             epoch,
             &values,
             &crashed,
             &attacks,
-            &radio,
-            &cfg.recovery,
-            &mut rng,
+            &self.radio,
+            &self.cfg.recovery,
+            &mut self.rng,
         );
-
-        if run.aggregate_corrupted {
-            m.corrupted_epochs += 1;
-        }
-
-        // Fold this epoch's outcome into the run fingerprint: verdict
-        // tag, sum bits (exact, via f64 bit pattern), corruption flag,
-        // and the sorted contributor set.
-        digest.update(&epoch.to_le_bytes());
-        match &run.outcome.result {
-            Ok(sum) => {
-                digest.update(&[1, sum.integrity_checked as u8]);
-                digest.update(&sum.sum.to_bits().to_le_bytes());
-            }
-            Err(SchemeError::VerificationFailed(_)) => digest.update(&[2]),
-            Err(SchemeError::Malformed(_)) => digest.update(&[3]),
-        }
-        digest.update(&[run.aggregate_corrupted as u8]);
-        digest.update(&(run.outcome.stats.contributors.len() as u64).to_le_bytes());
-        for &sid in &run.outcome.stats.contributors {
-            digest.update(&sid.to_le_bytes());
-        }
-
-        match &run.outcome.result {
-            Ok(sum) => {
-                m.ok_epochs += 1;
-                if run.aggregate_corrupted {
-                    m.false_accepts += 1;
-                } else if sum.integrity_checked {
-                    let expected: u64 = run
-                        .outcome
-                        .stats
-                        .contributors
-                        .iter()
-                        .map(|&sid| values[sid as usize])
-                        .sum();
-                    if sum.sum != expected as f64 {
-                        m.sum_mismatches += 1;
-                    }
-                }
-            }
-            Err(SchemeError::VerificationFailed(_)) => {
-                if run.aggregate_corrupted {
-                    m.detected_corruptions += 1;
-                } else {
-                    m.false_rejects += 1;
-                }
-            }
-            Err(SchemeError::Malformed(_)) => m.unavailable_epochs += 1,
-        }
-
-        m.adoptions += run.report.adoptions;
-        m.delivered_links += run.report.delivered_links;
-        m.lost_links += run.report.lost_links;
-        m.recovered_by_resolicit += run.report.recovered_by_resolicit;
-        m.resolicitations += run.report.resolicitations;
-        m.init_failures += run.report.init_failures;
-        m.merge_failures += run.report.merge_failures;
-        m.data_bytes += run.outcome.stats.bytes.data_total();
-        m.retransmit_bytes += run.outcome.stats.bytes.retransmit;
-        m.control_bytes += run.outcome.stats.bytes.control;
+        run.receipt(epoch, &values, !crashed.is_empty(), !attacks.is_empty())
     }
-    m.epochs = cfg.epochs;
-    m.result_digest = digest
+}
+
+fn hex_digest(digest: Sha256) -> String {
+    digest
         .finalize()
         .iter()
         .map(|b| format!("{b:02x}"))
-        .collect();
+        .collect()
+}
+
+/// Runs `cfg.epochs` fault-injected epochs of `scheme` over `topology`
+/// and classifies every outcome. Panics only if the engine itself
+/// panics — which the run is designed to prove it never does.
+pub fn run_chaos<S: AggregationScheme>(
+    scheme: &S,
+    topology: &Topology,
+    cfg: &ChaosConfig,
+) -> ChaosMetrics {
+    let mut driver = ChaosDriver::new(scheme, topology, cfg);
+    let mut m = ChaosMetrics {
+        seed: cfg.seed,
+        ..ChaosMetrics::default()
+    };
+    let mut digest = Sha256::new();
+    for epoch in 0..cfg.epochs {
+        let receipt = driver.step(epoch);
+        fold_receipt(&mut digest, &receipt);
+        absorb(&mut m, &receipt);
+    }
+    m.epochs = cfg.epochs;
+    m.result_digest = hex_digest(digest);
     m
+}
+
+/// Kill-restart schedule for [`run_chaos_with_restarts`].
+#[derive(Debug, Clone)]
+pub struct RestartConfig {
+    /// Journal file backing the querier's durable state.
+    pub journal_path: PathBuf,
+    /// Journal session config (HMAC key, μTesla seed, fsync policy).
+    pub journal: JournalConfig,
+    /// Epochs at whose *start* the querier is killed — its journal
+    /// handle, metric counters, running digest, and μTesla receiver all
+    /// dropped — and restarted from the journal alone.
+    pub kill_epochs: Vec<u64>,
+}
+
+impl RestartConfig {
+    /// Draws `kills` distinct kill epochs in `1..epochs` from a
+    /// dedicated RNG. The seed is deliberately separate from
+    /// [`ChaosConfig::seed`]: the fault stream of a restarted run must
+    /// stay byte-identical to the uninterrupted run it is compared
+    /// against.
+    pub fn seeded_kills(seed: u64, epochs: u64, kills: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < kills.min(epochs.saturating_sub(1) as usize) {
+            set.insert(rng.random_range(1..epochs));
+        }
+        set.into_iter().collect()
+    }
+}
+
+/// Outcome of a kill-restart chaos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartOutcome {
+    /// The run metrics — byte-identical (including `result_digest`) to
+    /// the same config's uninterrupted [`run_chaos`], or the recovery
+    /// path is broken.
+    pub metrics: ChaosMetrics,
+    /// Querier kill-restart cycles executed.
+    pub restarts: u64,
+    /// Receipts replayed from the journal across all restarts.
+    pub replayed_receipts: u64,
+    /// Restarts that found (and tolerated) a torn final record.
+    pub torn_tails: u64,
+}
+
+/// [`run_chaos`] with seeded querier kill-restart events: every receipt
+/// is journaled as the run goes, and at each kill epoch the querier's
+/// volatile state is torn down and rebuilt *only* from the journal
+/// ([`ReceiptJournal::resume`] → [`absorb`] + the replayed digest). The
+/// network keeps running across kills — exactly the SIES deployment
+/// story, where the querier is the restartable component and the sensor
+/// network is not.
+pub fn run_chaos_with_restarts<S: AggregationScheme>(
+    scheme: &S,
+    topology: &Topology,
+    cfg: &ChaosConfig,
+    rcfg: &RestartConfig,
+) -> Result<RestartOutcome, ReceiptError> {
+    let mut driver = ChaosDriver::new(scheme, topology, cfg);
+    let kill_set: HashSet<u64> = rcfg.kill_epochs.iter().copied().collect();
+    let mut journal = Some(ReceiptJournal::create(&rcfg.journal_path, &rcfg.journal)?);
+    let mut m = ChaosMetrics {
+        seed: cfg.seed,
+        ..ChaosMetrics::default()
+    };
+    let mut digest = Sha256::new();
+    let mut restarts = 0u64;
+    let mut replayed_receipts = 0u64;
+    let mut torn_tails = 0u64;
+
+    for epoch in 0..cfg.epochs {
+        if kill_set.contains(&epoch) {
+            // The querier dies at the epoch boundary: journal handle
+            // (without a final sync), counters, and digest are all lost.
+            // Only the file and the session secrets survive.
+            drop(journal.take());
+            let (j, state) = ReceiptJournal::resume(&rcfg.journal_path, &rcfg.journal)?;
+            m = ChaosMetrics {
+                seed: cfg.seed,
+                ..ChaosMetrics::default()
+            };
+            for r in &state.summary.receipts {
+                absorb(&mut m, r);
+            }
+            digest = state.digest.clone();
+            replayed_receipts += state.summary.receipts.len() as u64;
+            torn_tails += state.summary.torn_tail.is_some() as u64;
+            restarts += 1;
+            journal = Some(j);
+            tel::count!("chaos.restarts");
+        }
+
+        let mut receipt = driver.step(epoch);
+        if let Some(j) = journal.as_mut() {
+            j.record(&mut receipt);
+        }
+        fold_receipt(&mut digest, &receipt);
+        absorb(&mut m, &receipt);
+    }
+    m.epochs = cfg.epochs;
+    m.result_digest = hex_digest(digest);
+    if let Some(mut j) = journal.take() {
+        j.finish().map_err(ReceiptError::from)?;
+    }
+    Ok(RestartOutcome {
+        metrics: m,
+        restarts,
+        replayed_receipts,
+        torn_tails,
+    })
 }
 
 #[cfg(test)]
@@ -440,6 +578,79 @@ mod tests {
             (m.data_bytes + m.control_bytes) as f64 / m.data_bytes as f64
         );
         assert_eq!(m.retransmit_bytes, 0);
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sies-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn restarted_run_matches_uninterrupted_run_exactly() {
+        let dep = sies(16);
+        let topo = Topology::complete_tree(16, 4);
+        let cfg = ChaosConfig {
+            seed: 42,
+            epochs: 200,
+            ..ChaosConfig::default()
+        };
+        let baseline = run_chaos(&dep, &topo, &cfg);
+
+        let kills = RestartConfig::seeded_kills(7, cfg.epochs, 3);
+        assert_eq!(kills.len(), 3);
+        let rcfg = RestartConfig {
+            journal_path: tmp("restart-identity.journal"),
+            journal: JournalConfig::default(),
+            kill_epochs: kills,
+        };
+        let out = run_chaos_with_restarts(&dep, &topo, &cfg, &rcfg).unwrap();
+        assert_eq!(out.restarts, 3);
+        assert!(out.replayed_receipts > 0);
+        assert_eq!(
+            out.metrics, baseline,
+            "journal-only recovery must land on the uninterrupted run's state"
+        );
+        assert!(out.metrics.sound());
+        std::fs::remove_file(&rcfg.journal_path).unwrap();
+    }
+
+    #[test]
+    fn restarted_run_is_thread_count_invariant() {
+        let dep = sies(16);
+        let topo = Topology::complete_tree(16, 4);
+        let base_cfg = ChaosConfig {
+            seed: 13,
+            epochs: 60,
+            ..ChaosConfig::default()
+        };
+        let rcfg = RestartConfig {
+            journal_path: tmp("restart-threads.journal"),
+            journal: JournalConfig::default(),
+            kill_epochs: RestartConfig::seeded_kills(5, base_cfg.epochs, 2),
+        };
+        let base = run_chaos_with_restarts(&dep, &topo, &base_cfg, &rcfg).unwrap();
+        for threads in [2usize, 8] {
+            let cfg = ChaosConfig {
+                threads: Threads::fixed(threads),
+                ..base_cfg
+            };
+            let out = run_chaos_with_restarts(&dep, &topo, &cfg, &rcfg).unwrap();
+            assert_eq!(out, base, "threads = {threads}");
+        }
+        std::fs::remove_file(&rcfg.journal_path).unwrap();
+    }
+
+    #[test]
+    fn seeded_kills_are_deterministic_distinct_and_in_range() {
+        let a = RestartConfig::seeded_kills(3, 100, 5);
+        let b = RestartConfig::seeded_kills(3, 100, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert!(a.iter().all(|&e| (1..100).contains(&e)));
+        // Asking for more kills than restartable epochs saturates.
+        assert_eq!(RestartConfig::seeded_kills(3, 4, 10).len(), 3);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! accounting plus failure and attack injection.
 
 use crate::energy::RadioModel;
+use crate::journal::ReceiptJournal;
 use crate::radio::LossyRadio;
 use crate::recovery::{
     RecoveryConfig, RecoveryReport, UplinkTally, ACK_BYTES, FAILURE_REPORT_BYTES, NACK_BYTES,
@@ -13,6 +14,7 @@ use crate::topology::{NodeId, RepairPlan, Role, Topology};
 use rand::RngCore;
 use serde::{Content, Serialize};
 use sies_core::{parallel, Epoch, SourceId, Threads};
+use sies_receipts::{EpochReceipt, Verdict as ReceiptVerdict};
 use sies_telemetry as tel;
 use sies_telemetry::{Counter, EventKind, FloatCounter, Registry, Snapshot};
 use std::collections::HashSet;
@@ -404,6 +406,55 @@ pub struct EpochOutcome {
     pub stats: EpochStats,
 }
 
+/// Builds the durable-journal receipt skeleton for one epoch outcome:
+/// verdict, exact sum bits, contributor set, byte totals, and the
+/// ground-truth sum check (an accepted, verified sum is compared against
+/// the plain sum of `values` over the reported contributors). The
+/// session id and μTesla stamp are filled in by
+/// [`crate::journal::ReceiptJournal::record`]; recovery counters by the
+/// caller that has a [`RecoveryReport`].
+fn receipt_base(
+    epoch: Epoch,
+    result: &Result<EvaluatedSum, SchemeError>,
+    stats: &EpochStats,
+    values: &[u64],
+    corrupted: bool,
+) -> EpochReceipt {
+    let (verdict, integrity_checked, sum_bits, sum_mismatch) = match result {
+        Ok(sum) => {
+            let mismatch = !corrupted && sum.integrity_checked && {
+                let expected: u64 = stats
+                    .contributors
+                    .iter()
+                    .map(|&sid| values[sid as usize])
+                    .sum();
+                sum.sum != expected as f64
+            };
+            (
+                ReceiptVerdict::Accepted,
+                sum.integrity_checked,
+                sum.sum.to_bits(),
+                mismatch,
+            )
+        }
+        Err(SchemeError::VerificationFailed(_)) => (ReceiptVerdict::Rejected, false, 0, false),
+        Err(SchemeError::Malformed(_)) => (ReceiptVerdict::Lost, false, 0, false),
+    };
+    EpochReceipt {
+        epoch,
+        verdict,
+        integrity_checked,
+        corrupted,
+        sum_mismatch,
+        sum_bits,
+        data_bytes: stats.bytes.data_total(),
+        retransmit_bytes: stats.bytes.retransmit,
+        control_bytes: stats.bytes.control,
+        contributors: stats.contributors.clone(),
+        ..EpochReceipt::default()
+    }
+}
+
 /// The outcome of one epoch run under the recovery protocol
 /// ([`Engine::run_epoch_recovering`]).
 #[derive(Debug, Clone)]
@@ -420,6 +471,40 @@ pub struct RecoveredEpoch {
     /// subtree was honestly lost anyway has no effect). A verifying
     /// scheme must reject exactly when this is true.
     pub aggregate_corrupted: bool,
+}
+
+impl RecoveredEpoch {
+    /// Builds this epoch's durable-journal receipt: the verdict, exact
+    /// sum bits, ground-truth corruption and sum-mismatch checks, the
+    /// contributor set, and every recovery-protocol counter. The harness
+    /// supplies its injection flags; the journal stamps session id and
+    /// μTesla position when the receipt is recorded.
+    pub fn receipt(
+        &self,
+        epoch: Epoch,
+        values: &[u64],
+        crash_injected: bool,
+        attack_injected: bool,
+    ) -> EpochReceipt {
+        let mut r = receipt_base(
+            epoch,
+            &self.outcome.result,
+            &self.outcome.stats,
+            values,
+            self.aggregate_corrupted,
+        );
+        r.crash_injected = crash_injected;
+        r.attack_injected = attack_injected;
+        r.delivered_links = self.report.delivered_links;
+        r.lost_links = self.report.lost_links;
+        r.recovered_by_resolicit = self.report.recovered_by_resolicit;
+        r.resolicitations = self.report.resolicitations;
+        r.adoptions = self.report.adoptions;
+        r.init_failures = self.report.init_failures;
+        r.merge_failures = self.report.merge_failures;
+        r.backoff_ms = self.report.backoff_ms;
+        r
+    }
 }
 
 /// Reusable per-epoch working buffers. Every epoch clears them (capacity
@@ -477,6 +562,9 @@ pub struct Engine<'a, S: AggregationScheme> {
     meter: EpochMeter,
     /// Reusable journal-event buffer for the per-uplink hot loop.
     evbuf: tel::EventBuf,
+    /// Durable receipt journal: when attached, every epoch run through
+    /// [`run_epoch_with`](Self::run_epoch_with) commits a signed receipt.
+    journal: Option<ReceiptJournal>,
 }
 
 impl<'a, S: AggregationScheme> Engine<'a, S> {
@@ -491,7 +579,29 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             scratch: EpochScratch::new(),
             meter: EpochMeter::new(),
             evbuf: tel::EventBuf::new(),
+            journal: None,
         }
+    }
+
+    /// Attaches a durable receipt journal: every subsequent
+    /// [`run_epoch`](Self::run_epoch) / [`run_epoch_with`](Self::run_epoch_with)
+    /// commits one signed receipt per epoch. Harness-driven flows
+    /// ([`run_epoch_recovering`](Self::run_epoch_recovering)) journal
+    /// explicitly via [`RecoveredEpoch::receipt`] instead, because only
+    /// the harness knows its injection flags.
+    pub fn attach_journal(&mut self, journal: ReceiptJournal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&ReceiptJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Detaches and returns the journal (callers should
+    /// [`ReceiptJournal::finish`] it).
+    pub fn take_journal(&mut self) -> Option<ReceiptJournal> {
+        self.journal.take()
     }
 
     /// Overrides the radio model.
@@ -564,7 +674,29 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
     /// `attacks` (covert).
     ///
     /// `values[i]` is source `i`'s reading this epoch.
+    ///
+    /// When a journal is attached ([`Self::attach_journal`]), one signed
+    /// receipt is committed per call — covering every exit path,
+    /// including early aborts (rejected reading, failed merge, empty
+    /// root).
     pub fn run_epoch_with(
+        &mut self,
+        epoch: Epoch,
+        values: &[u64],
+        failed: &HashSet<NodeId>,
+        attacks: &[Attack],
+    ) -> EpochOutcome {
+        let out = self.run_epoch_inner(epoch, values, failed, attacks);
+        if let Some(journal) = self.journal.as_mut() {
+            let mut receipt = receipt_base(epoch, &out.result, &out.stats, values, false);
+            receipt.crash_injected = !failed.is_empty();
+            receipt.attack_injected = !attacks.is_empty();
+            journal.record(&mut receipt);
+        }
+        out
+    }
+
+    fn run_epoch_inner(
         &mut self,
         epoch: Epoch,
         values: &[u64],
@@ -1022,6 +1154,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                         report.acks += uplink.acks as u64;
                         report.nacks += uplink.nacks as u64;
                         report.resolicitations += uplink.resolicit_rounds_used as u64;
+                        report.backoff_ms += uplink.backoff_ms;
                         if uplink.nacks > 0 {
                             self.evbuf.push(
                                 epoch,

@@ -32,6 +32,7 @@ pub mod chaos;
 pub mod deploy;
 pub mod energy;
 pub mod engine;
+pub mod journal;
 pub mod query_engine;
 pub mod radio;
 pub mod recovery;
@@ -39,12 +40,16 @@ pub mod scheme;
 pub mod topology;
 pub mod wire;
 
-pub use chaos::{ChaosConfig, ChaosMetrics};
+pub use chaos::{
+    absorb, run_chaos, run_chaos_with_restarts, ChaosConfig, ChaosMetrics, RestartConfig,
+    RestartOutcome,
+};
 pub use deploy::SiesDeployment;
 pub use energy::RadioModel;
 pub use engine::{Attack, EdgeBytes, Engine, EpochOutcome, EpochStats, RecoveredEpoch};
+pub use journal::{fold_receipt, replay, JournalConfig, ReceiptJournal, ReplayedState};
 pub use query_engine::{QueryEngine, QueryOutcome};
-pub use recovery::{RecoveryConfig, RecoveryReport, UplinkOutcome, UplinkTally};
+pub use recovery::{BackoffConfig, RecoveryConfig, RecoveryReport, UplinkOutcome, UplinkTally};
 pub use scheme::{AggregationScheme, EvaluatedSum, SchemeError};
 pub use sies_core::Threads;
 pub use topology::{Node, NodeId, RepairPlan, Role, Topology};

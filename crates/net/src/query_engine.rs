@@ -10,6 +10,7 @@
 
 use crate::deploy::SiesDeployment;
 use crate::engine::{Attack, Engine, EpochStats};
+use crate::journal::ReceiptJournal;
 use crate::scheme::SchemeError;
 use crate::topology::{NodeId, Topology};
 use sies_core::query::{Query, QueryPlan, QueryResult, SensorReading};
@@ -47,6 +48,27 @@ impl<'a> QueryEngine<'a> {
     /// The compiled plan.
     pub fn plan(&self) -> &QueryPlan {
         &self.plan
+    }
+
+    /// Attaches a durable receipt journal to the underlying engine:
+    /// every sub-query round commits one signed receipt, keyed by its
+    /// sub-epoch (`epoch · STRIDE + term`), so a restarted querier can
+    /// tell exactly which terms of which logical epoch were verified.
+    pub fn attach_journal(&mut self, journal: ReceiptJournal) {
+        self.engine.attach_journal(journal);
+    }
+
+    /// Detaches the journal, flushing and fsyncing it first. I/O errors
+    /// from the final sync are returned; the journal is detached either
+    /// way.
+    pub fn finish_journal(&mut self) -> std::io::Result<Option<ReceiptJournal>> {
+        match self.engine.take_journal() {
+            Some(mut journal) => {
+                journal.finish()?;
+                Ok(Some(journal))
+            }
+            None => Ok(None),
+        }
     }
 
     /// Runs one logical epoch: every source contributes its reading, the
@@ -214,6 +236,48 @@ mod tests {
         let b = engine.run_epoch(1, &rs).unwrap();
         assert_eq!(a.result, b.result, "same data, same answer");
         assert_eq!(a.rounds.len(), 3, "stddev needs 3 sub-queries");
+    }
+
+    #[test]
+    fn journaled_query_run_replays_per_sub_epoch_receipts() {
+        use crate::journal::{replay, JournalConfig, ReceiptJournal};
+        use sies_receipts::Verdict;
+
+        let path = std::env::temp_dir().join(format!(
+            "sies-query-journal-{}-replays.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let cfg = JournalConfig {
+            session: 9,
+            ..JournalConfig::default()
+        };
+
+        let (dep, topo) = fixture(8);
+        let q = Query {
+            aggregate: Aggregate::Avg(Attribute::Temperature),
+            predicate: Predicate::True,
+            epoch_duration_ms: 1000,
+        };
+        let mut engine = QueryEngine::new(&dep, &topo, &q);
+        engine.attach_journal(ReceiptJournal::create(&path, &cfg).unwrap());
+        let rs = readings(8);
+        engine.run_epoch(0, &rs).unwrap();
+        engine.run_epoch(1, &rs).unwrap();
+        engine.finish_journal().unwrap();
+
+        // AVG is 2 sub-queries per logical epoch: 4 receipts at the
+        // stride-mapped sub-epochs, all verified.
+        let state = replay(&path, &cfg).unwrap();
+        let epochs: Vec<u64> = state.summary.receipts.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![0, 1, EPOCH_STRIDE, EPOCH_STRIDE + 1]);
+        assert!(state
+            .summary
+            .receipts
+            .iter()
+            .all(|r| r.verdict == Verdict::Accepted && r.integrity_checked && r.session == 9));
+        assert_eq!(state.next_epoch, EPOCH_STRIDE + 2);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

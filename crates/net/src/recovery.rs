@@ -51,6 +51,65 @@ pub const REATTACH_BYTES: usize = FRAME_OVERHEAD + 4;
 /// Wire size of a failure report (payload: the failed node id).
 pub const FAILURE_REPORT_BYTES: usize = FRAME_OVERHEAD + 4;
 
+/// Bounded exponential backoff with seeded jitter, governing how long a
+/// child waits before each retransmission and how long the querier
+/// waits before each re-solicitation round.
+///
+/// The schedule for exponent `k` is `min(base_ms · 2^k, cap_ms)` plus a
+/// uniformly drawn jitter of up to `jitter_pct` percent of that value.
+/// Jitter comes from the caller's seeded RNG, so a fixed seed pins the
+/// entire retry schedule — chaos runs stay replayable while synchronized
+/// retry bursts (every child timing out in lockstep) are broken up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Delay before the first retransmission (exponent 0), in modeled
+    /// milliseconds. `0` disables the backoff model entirely (and draws
+    /// nothing from the RNG).
+    pub base_ms: u32,
+    /// Upper bound on the exponential, in modeled milliseconds.
+    pub cap_ms: u32,
+    /// Jitter span as a percentage of the backed-off delay (0–100).
+    pub jitter_pct: u32,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base_ms: 8,
+            cap_ms: 512,
+            jitter_pct: 50,
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// Creates a config with validation.
+    pub fn new(base_ms: u32, cap_ms: u32, jitter_pct: u32) -> Self {
+        assert!(jitter_pct <= 100, "jitter percentage must be in [0,100]");
+        assert!(cap_ms >= base_ms, "cap must be at least the base delay");
+        BackoffConfig {
+            base_ms,
+            cap_ms,
+            jitter_pct,
+        }
+    }
+
+    /// The modeled delay for retry exponent `k`: the capped exponential
+    /// plus seeded jitter. Draws exactly one value from `rng` when a
+    /// non-zero jitter span applies, zero otherwise.
+    pub fn delay_ms(&self, exponent: u32, rng: &mut dyn RngCore) -> u64 {
+        let capped = (self.base_ms as u64)
+            .saturating_mul(1u64.checked_shl(exponent).unwrap_or(u64::MAX))
+            .min(self.cap_ms as u64);
+        let span = capped * self.jitter_pct as u64 / 100;
+        if span == 0 {
+            capped
+        } else {
+            capped + rng.random_range(0..=span)
+        }
+    }
+}
+
 /// Recovery-protocol policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryConfig {
@@ -61,6 +120,8 @@ pub struct RecoveryConfig {
     /// Fraction of lost frames that arrive *corrupted* (CRC caught, so
     /// the parent NACKs immediately) rather than vanishing (timeout).
     pub nack_fraction: f64,
+    /// Retry pacing: bounded exponential backoff with seeded jitter.
+    pub backoff: BackoffConfig,
 }
 
 impl Default for RecoveryConfig {
@@ -68,12 +129,13 @@ impl Default for RecoveryConfig {
         RecoveryConfig {
             resolicit_rounds: 2,
             nack_fraction: 0.5,
+            backoff: BackoffConfig::default(),
         }
     }
 }
 
 impl RecoveryConfig {
-    /// Creates a config with validation.
+    /// Creates a config with validation (default backoff pacing).
     pub fn new(resolicit_rounds: u32, nack_fraction: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&nack_fraction),
@@ -82,7 +144,14 @@ impl RecoveryConfig {
         RecoveryConfig {
             resolicit_rounds,
             nack_fraction,
+            backoff: BackoffConfig::default(),
         }
+    }
+
+    /// Overrides the backoff schedule.
+    pub fn with_backoff(mut self, backoff: BackoffConfig) -> Self {
+        self.backoff = backoff;
+        self
     }
 }
 
@@ -100,6 +169,9 @@ pub struct UplinkOutcome {
     pub nacks: u32,
     /// Re-solicitation rounds consumed.
     pub resolicit_rounds_used: u32,
+    /// Modeled backoff delay spent waiting between retries and before
+    /// re-solicitation rounds (milliseconds, jitter included).
+    pub backoff_ms: u64,
 }
 
 impl RecoveryConfig {
@@ -108,6 +180,15 @@ impl RecoveryConfig {
     /// `1 + radio.max_retries` data frames. Duplicate deliveries (data
     /// got through but the ACK back was lost) are ACKed again and
     /// deduplicated by the parent — they cost bytes, never correctness.
+    ///
+    /// Retry pacing follows [`RecoveryConfig::backoff`]: retransmission
+    /// `k` within a phase waits out exponent `k - 1`, and re-solicited
+    /// phase `p` waits out exponent `budget + p - 1` (the querier's
+    /// deadline keeps climbing past the retransmission ladder). The
+    /// waits are modeled time, accumulated in
+    /// [`UplinkOutcome::backoff_ms`]; they gate nothing — delivery is
+    /// still decided by the loss draws (jitter shares the same seeded
+    /// stream, so a fixed seed pins the whole interleaving).
     pub fn simulate_uplink(&self, radio: &LossyRadio, rng: &mut dyn RngCore) -> UplinkOutcome {
         let budget = radio.max_retries + 1;
         let mut out = UplinkOutcome::default();
@@ -117,11 +198,17 @@ impl RecoveryConfig {
             }
             if phase > 0 {
                 out.resolicit_rounds_used += 1;
+                if self.backoff.base_ms > 0 {
+                    out.backoff_ms += self.backoff.delay_ms(budget + phase - 1, rng);
+                }
             }
             let mut heard_ack = false;
-            for _ in 0..budget {
+            for attempt in 0..budget {
                 if heard_ack {
                     break;
+                }
+                if attempt > 0 && self.backoff.base_ms > 0 {
+                    out.backoff_ms += self.backoff.delay_ms(attempt - 1, rng);
                 }
                 out.data_attempts += 1;
                 let r = rng.random_range(0.0..1.0);
@@ -160,6 +247,7 @@ pub struct UplinkTally {
     data_attempts: u64,
     delivered: u64,
     lost: u64,
+    backoff_ms: u64,
 }
 
 impl UplinkTally {
@@ -170,6 +258,7 @@ impl UplinkTally {
         self.nacks += out.nacks as u64;
         self.resolicitations += out.resolicit_rounds_used as u64;
         self.data_attempts += out.data_attempts as u64;
+        self.backoff_ms += out.backoff_ms;
         if out.delivered {
             self.delivered += 1;
         } else {
@@ -191,6 +280,7 @@ impl UplinkTally {
         );
         tel::count!("recovery.delivered", self.delivered);
         tel::count!("recovery.lost", self.lost);
+        tel::count!("recovery.backoff_ms", self.backoff_ms);
     }
 }
 
@@ -226,6 +316,9 @@ pub struct RecoveryReport {
     /// Total control-plane bytes (ACK + NACK + re-solicit + re-attach +
     /// failure reports).
     pub control_bytes: u64,
+    /// Modeled backoff delay accumulated across all uplinks this epoch
+    /// (milliseconds, jitter included).
+    pub backoff_ms: u64,
 }
 
 impl RecoveryReport {
@@ -259,9 +352,55 @@ mod tests {
                 data_attempts: 1,
                 acks: 1,
                 nacks: 0,
-                resolicit_rounds_used: 0
+                resolicit_rounds_used: 0,
+                backoff_ms: 0
             }
         );
+    }
+
+    #[test]
+    fn backoff_schedule_is_pinned_for_a_known_seed() {
+        // The capped exponential without jitter: 8, 16, 32, ..., 512, 512.
+        let quiet = BackoffConfig::new(8, 512, 0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let bare: Vec<u64> = (0..8).map(|k| quiet.delay_ms(k, &mut rng)).collect();
+        assert_eq!(bare, vec![8, 16, 32, 64, 128, 256, 512, 512]);
+
+        // With 50% jitter from a fixed seed the whole schedule is pinned:
+        // each delay is the capped exponential plus one seeded draw from
+        // [0, delay/2].
+        let cfg = BackoffConfig::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let jittered: Vec<u64> = (0..8).map(|k| cfg.delay_ms(k, &mut rng)).collect();
+        for (k, (&j, &b)) in jittered.iter().zip(bare.iter()).enumerate() {
+            assert!(
+                j >= b && j <= b + b / 2,
+                "exponent {k}: {j} outside [{b}, {}]",
+                b + b / 2
+            );
+        }
+        let mut again = StdRng::seed_from_u64(42);
+        let replay: Vec<u64> = (0..8).map(|k| cfg.delay_ms(k, &mut again)).collect();
+        assert_eq!(jittered, replay, "same seed must pin the schedule");
+        // Pin the exact values so any change to the draw order or the
+        // jitter arithmetic is caught, not silently absorbed.
+        assert_eq!(jittered, vec![12, 18, 48, 87, 179, 331, 544, 667]);
+    }
+
+    #[test]
+    fn zero_base_disables_backoff_and_draws_nothing() {
+        let cfg = RecoveryConfig::new(2, 0.5).with_backoff(BackoffConfig::new(0, 0, 0));
+        let radio = LossyRadio::new(0.7, 3);
+        // Same seed with and without backoff: identical delivery outcomes
+        // when backoff is off proves delay_ms draws nothing at base 0.
+        let mut a = StdRng::seed_from_u64(77);
+        let mut b = StdRng::seed_from_u64(77);
+        for _ in 0..200 {
+            let off = cfg.simulate_uplink(&radio, &mut a);
+            let off2 = cfg.simulate_uplink(&radio, &mut b);
+            assert_eq!(off, off2);
+            assert_eq!(off.backoff_ms, 0);
+        }
     }
 
     #[test]

@@ -108,6 +108,14 @@ pub enum WireError {
     BadLength,
     /// CRC mismatch (radio corruption).
     BadCrc,
+    /// The packet decoded fine but is not the type the caller needs
+    /// (e.g. [`Packet::to_psr`] on an ACK).
+    WrongType {
+        /// The type byte the caller required.
+        expected: u8,
+        /// The type byte the packet carries.
+        found: u8,
+    },
 }
 
 impl core::fmt::Display for WireError {
@@ -119,6 +127,9 @@ impl core::fmt::Display for WireError {
             WireError::BadType(t) => write!(f, "unknown packet type {t}"),
             WireError::BadLength => write!(f, "length mismatch"),
             WireError::BadCrc => write!(f, "CRC mismatch"),
+            WireError::WrongType { expected, found } => {
+                write!(f, "expected packet type {expected}, found {found}")
+            }
         }
     }
 }
@@ -213,7 +224,10 @@ impl Packet {
     /// Recovers a SIES PSR from a [`PacketType::Psr`] packet.
     pub fn to_psr(&self) -> Result<sies_core::Psr, WireError> {
         if self.packet_type != PacketType::Psr {
-            return Err(WireError::BadLength);
+            return Err(WireError::WrongType {
+                expected: PacketType::Psr.to_byte(),
+                found: self.packet_type.to_byte(),
+            });
         }
         let bytes: [u8; 32] = self
             .payload
@@ -344,5 +358,73 @@ mod tests {
             payload: vec![],
         };
         assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn non_psr_packet_reports_wrong_type_not_length() {
+        let p = Packet {
+            packet_type: PacketType::Ack,
+            epoch: 0,
+            sender: 0,
+            payload: vec![0; 32],
+        };
+        assert_eq!(
+            p.to_psr(),
+            Err(WireError::WrongType {
+                expected: 1,
+                found: 5
+            })
+        );
+        // A PSR packet with the wrong payload size is still a length
+        // error.
+        let short = Packet {
+            packet_type: PacketType::Psr,
+            epoch: 0,
+            sender: 0,
+            payload: vec![0; 16],
+        };
+        assert_eq!(short.to_psr(), Err(WireError::BadLength));
+    }
+
+    mod never_panics {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// Arbitrary garbage must decode to a typed error or a
+            /// packet — never a panic. This is the frame the radio hands
+            /// us; an adversary controls every byte of it.
+            #[test]
+            fn decode_is_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = Packet::decode(&bytes);
+            }
+
+            /// Single-byte corruption of a well-formed frame is always a
+            /// typed error (the CRC or a later check catches it), and
+            /// to_psr on whatever decodes is panic-free too.
+            #[test]
+            fn flipped_frames_degrade_to_typed_errors(
+                payload in proptest::collection::vec(any::<u8>(), 0..64),
+                epoch in any::<u64>(),
+                sender in any::<u32>(),
+                idx in any::<usize>(),
+                bit in 0u8..8,
+            ) {
+                let mut bytes = Packet {
+                    packet_type: PacketType::Psr,
+                    epoch,
+                    sender,
+                    payload,
+                }
+                .encode();
+                let i = idx % bytes.len();
+                bytes[i] ^= 1 << bit;
+                if let Ok(p) = Packet::decode(&bytes) {
+                    let _ = p.to_psr();
+                }
+            }
+        }
     }
 }

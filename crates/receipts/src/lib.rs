@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # sies-receipts — durable signed epoch receipts
+//!
+//! The SIES querier's verification state is tiny (a verdict, a sum, a
+//! contributor set per epoch) but *losing* it is expensive: a crashed
+//! querier forgets which epochs verified, where the μTesla key chain
+//! stood, and every per-session counter. This crate makes that state
+//! durable with a deliberately boring file format:
+//!
+//! * **Append-only journal** — one length-prefixed, CRC-framed record
+//!   per epoch ([`frame`]), written by a [`Recorder`] that accumulates
+//!   off the data path and flushes once per epoch with a configurable
+//!   [`FsyncPolicy`] (every epoch / every N epochs).
+//! * **Signed receipts** — each record carries a 32-byte MAC over its
+//!   payload. Signing is pluggable (the caller injects a closure, e.g.
+//!   HMAC-SHA256 keyed by the querier), so this crate stays
+//!   dependency-free and the journal stays self-authenticating.
+//! * **Torn-tail-tolerant replay** — a [`Replayer`] scan accepts a
+//!   journal whose *final* record was cut mid-write at any byte offset
+//!   (the crash case) and reports it as a [`TornTail`], while a corrupt
+//!   record *followed by more data* is a hard [`ReceiptError`] — silent
+//!   skipping would hide tampering.
+//!
+//! What goes in a receipt ([`EpochReceipt`]) is exactly what the chaos
+//! harness folds into its result digest plus the recovery-protocol
+//! counters, so a restarted querier rebuilds byte-identical state from
+//! the journal alone. See DESIGN.md §13 for the format and invariants.
+
+pub mod frame;
+pub mod receipt;
+pub mod recorder;
+pub mod replay;
+
+pub use frame::{crc32, Frame, RecordKind, FRAME_OVERHEAD, JOURNAL_MAGIC, JOURNAL_VERSION};
+pub use receipt::{EpochReceipt, ReceiptError, SessionHeader, Signature, Verdict};
+pub use recorder::{FsyncPolicy, Recorder, RecorderStats, Signer};
+pub use replay::{ReplaySummary, Replayer, TornTail, Verifier};

@@ -1,0 +1,476 @@
+//! The receipt payload codec and the journal's typed error.
+//!
+//! An [`EpochReceipt`] captures everything the querier needs to rebuild
+//! its verification state for one epoch — and nothing it could derive
+//! elsewhere. The fields mirror what the chaos harness folds into its
+//! result digest (verdict tag, sum bits, corruption flag, contributor
+//! set) plus the recovery-protocol counters, so replaying a journal
+//! reproduces the live run's fingerprint byte for byte.
+//!
+//! The codec is fixed-layout little-endian with one variable-length
+//! tail (the contributor list). Decoding never panics: every short or
+//! inconsistent payload becomes a typed [`ReceiptError`].
+
+/// A record MAC (32 bytes; all-zero when the journal is unsigned).
+pub type Signature = [u8; 32];
+
+/// The querier's verdict for one epoch, as recorded in the journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Verdict {
+    /// The epoch produced an accepted (verified) sum.
+    Accepted,
+    /// Integrity verification rejected the aggregate.
+    Rejected,
+    /// No aggregate reached the querier (availability loss).
+    #[default]
+    Lost,
+}
+
+impl Verdict {
+    /// The digest tag for this verdict — identical to the tag the chaos
+    /// harness hashes (`1` accepted, `2` rejected, `3` lost), so a
+    /// replayed digest can be rebuilt from receipts alone.
+    pub fn digest_tag(self) -> u8 {
+        match self {
+            Verdict::Accepted => 1,
+            Verdict::Rejected => 2,
+            Verdict::Lost => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Verdict::Accepted),
+            1 => Some(Verdict::Rejected),
+            2 => Some(Verdict::Lost),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            Verdict::Accepted => 0,
+            Verdict::Rejected => 1,
+            Verdict::Lost => 2,
+        }
+    }
+}
+
+/// Everything that can go wrong reading a journal. Offsets are absolute
+/// file offsets so an operator can inspect the damage with `xxd`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReceiptError {
+    /// An I/O error (message retained; `std::io::Error` is not `Eq`).
+    Io(String),
+    /// A record does not start with the journal magic.
+    BadMagic {
+        /// File offset of the offending record.
+        offset: u64,
+    },
+    /// A record declares an unknown format version.
+    BadVersion {
+        /// File offset of the offending record.
+        offset: u64,
+        /// The version byte found.
+        version: u8,
+    },
+    /// A record declares an unknown kind tag.
+    BadKind {
+        /// File offset of the offending record.
+        offset: u64,
+        /// The kind byte found.
+        kind: u8,
+    },
+    /// A record's CRC does not match its bytes and the record is *not*
+    /// the file's final one — mid-file corruption is reported, never
+    /// silently skipped.
+    CorruptRecord {
+        /// File offset of the offending record.
+        offset: u64,
+    },
+    /// A record's length field exceeds the format's ceiling.
+    OversizeRecord {
+        /// File offset of the offending record.
+        offset: u64,
+        /// The declared payload length.
+        len: u64,
+    },
+    /// A record's signature failed the caller's verifier.
+    BadSignature {
+        /// File offset of the offending record.
+        offset: u64,
+    },
+    /// A CRC-clean payload that does not decode (truncated field,
+    /// inconsistent counts, bad enum tag).
+    Malformed {
+        /// File offset of the offending record.
+        offset: u64,
+        /// What the codec rejected.
+        reason: &'static str,
+    },
+    /// The journal's first record is not a session header, or a second
+    /// header appeared mid-file.
+    BadLayout {
+        /// File offset of the offending record.
+        offset: u64,
+        /// What the scan expected.
+        reason: &'static str,
+    },
+}
+
+impl core::fmt::Display for ReceiptError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReceiptError::Io(m) => write!(f, "journal i/o error: {m}"),
+            ReceiptError::BadMagic { offset } => write!(f, "bad magic at offset {offset}"),
+            ReceiptError::BadVersion { offset, version } => {
+                write!(f, "unknown version {version} at offset {offset}")
+            }
+            ReceiptError::BadKind { offset, kind } => {
+                write!(f, "unknown record kind {kind} at offset {offset}")
+            }
+            ReceiptError::CorruptRecord { offset } => {
+                write!(f, "CRC mismatch at offset {offset} (mid-file corruption)")
+            }
+            ReceiptError::OversizeRecord { offset, len } => {
+                write!(f, "absurd record length {len} at offset {offset}")
+            }
+            ReceiptError::BadSignature { offset } => {
+                write!(f, "signature verification failed at offset {offset}")
+            }
+            ReceiptError::Malformed { offset, reason } => {
+                write!(f, "malformed payload at offset {offset}: {reason}")
+            }
+            ReceiptError::BadLayout { offset, reason } => {
+                write!(f, "bad journal layout at offset {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReceiptError {}
+
+impl From<std::io::Error> for ReceiptError {
+    fn from(e: std::io::Error) -> Self {
+        ReceiptError::Io(e.to_string())
+    }
+}
+
+/// The once-per-journal session header: identifies the run and pins the
+/// μTesla bootstrap so a restarted querier can resume the broadcast
+/// chain from the journal alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionHeader {
+    /// Caller-chosen session identifier (ties receipts to a deployment).
+    pub session: u64,
+    /// The μTesla chain commitment `K_0` distributed at bootstrap
+    /// (all-zero when the session runs without broadcast auth).
+    pub mutesla_commitment: [u8; 32],
+    /// The μTesla disclosure delay `d` (0 when unused).
+    pub mutesla_delay: u64,
+}
+
+impl SessionHeader {
+    /// Encodes the header payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        out.extend_from_slice(&self.session.to_le_bytes());
+        out.extend_from_slice(&self.mutesla_commitment);
+        out.extend_from_slice(&self.mutesla_delay.to_le_bytes());
+        out
+    }
+
+    /// Decodes a header payload (offset is for error reporting only).
+    pub fn decode(payload: &[u8], offset: u64) -> Result<Self, ReceiptError> {
+        if payload.len() != 48 {
+            return Err(ReceiptError::Malformed {
+                offset,
+                reason: "session header must be exactly 48 bytes",
+            });
+        }
+        let mut commitment = [0u8; 32];
+        commitment.copy_from_slice(&payload[8..40]);
+        Ok(SessionHeader {
+            session: u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")),
+            mutesla_commitment: commitment,
+            mutesla_delay: u64::from_le_bytes(payload[40..48].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+/// Flag bits packed into the receipt's `flags` byte.
+mod flag {
+    pub const INTEGRITY_CHECKED: u8 = 1 << 0;
+    pub const CORRUPTED: u8 = 1 << 1;
+    pub const CRASH_INJECTED: u8 = 1 << 2;
+    pub const ATTACK_INJECTED: u8 = 1 << 3;
+    pub const SUM_MISMATCH: u8 = 1 << 4;
+}
+
+/// Fixed-layout byte size of a receipt payload before the contributor
+/// list.
+pub const RECEIPT_FIXED_LEN: usize = 8 + 8 + 1 + 1 + 8 + 8 + 32 + 8 * 11 + 4;
+
+/// One epoch's signed receipt.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochReceipt {
+    /// Session the epoch belongs to (must match the session header).
+    pub session: u64,
+    /// The epoch id.
+    pub epoch: u64,
+    /// The querier's verdict.
+    pub verdict: Verdict,
+    /// Whether the scheme cryptographically verified integrity (false
+    /// for accept-without-verify baselines).
+    pub integrity_checked: bool,
+    /// Ground truth (harness runs only): whether a covert attack
+    /// actually corrupted the aggregate this epoch.
+    pub corrupted: bool,
+    /// Whether the harness injected node crashes this epoch.
+    pub crash_injected: bool,
+    /// Whether the harness injected a covert attack this epoch.
+    pub attack_injected: bool,
+    /// Whether an accepted, verified sum disagreed with the ground-truth
+    /// sum over the reported contributors (live harness check; must be
+    /// false for exact schemes).
+    pub sum_mismatch: bool,
+    /// The accepted sum's `f64` bit pattern (0 for rejected/lost).
+    pub sum_bits: u64,
+    /// μTesla: the receiver's last authenticated interval after this
+    /// epoch (0 when broadcast auth is not in use).
+    pub mutesla_interval: u64,
+    /// μTesla: the last authenticated chain key. Disclosed keys are
+    /// public, so journaling one leaks nothing; the signature keeps it
+    /// tamper-evident, and replay resumes the chain position from it.
+    pub mutesla_key: [u8; 32],
+    /// Uplink transfers delivered under the recovery protocol.
+    pub delivered_links: u64,
+    /// Uplink transfers lost after all re-solicitation rounds.
+    pub lost_links: u64,
+    /// Transfers that only succeeded in a re-solicited phase.
+    pub recovered_by_resolicit: u64,
+    /// Re-solicitation rounds run.
+    pub resolicitations: u64,
+    /// Orphans re-homed to backup parents.
+    pub adoptions: u64,
+    /// Sources excluded by a fallible `source_init`.
+    pub init_failures: u64,
+    /// Subtrees excluded by a fallible `merge`.
+    pub merge_failures: u64,
+    /// First-copy data bytes this epoch.
+    pub data_bytes: u64,
+    /// Retransmitted data bytes this epoch.
+    pub retransmit_bytes: u64,
+    /// Control-plane bytes this epoch.
+    pub control_bytes: u64,
+    /// Modeled backoff delay accumulated by the recovery protocol (ms).
+    pub backoff_ms: u64,
+    /// Sources that contributed to the accepted aggregate, ascending.
+    pub contributors: Vec<u32>,
+}
+
+impl EpochReceipt {
+    /// Encoded payload size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        RECEIPT_FIXED_LEN + 4 * self.contributors.len()
+    }
+
+    /// Encodes the receipt payload, appending to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        out.extend_from_slice(&self.session.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.push(self.verdict.tag());
+        let mut flags = 0u8;
+        if self.integrity_checked {
+            flags |= flag::INTEGRITY_CHECKED;
+        }
+        if self.corrupted {
+            flags |= flag::CORRUPTED;
+        }
+        if self.crash_injected {
+            flags |= flag::CRASH_INJECTED;
+        }
+        if self.attack_injected {
+            flags |= flag::ATTACK_INJECTED;
+        }
+        if self.sum_mismatch {
+            flags |= flag::SUM_MISMATCH;
+        }
+        out.push(flags);
+        out.extend_from_slice(&self.sum_bits.to_le_bytes());
+        out.extend_from_slice(&self.mutesla_interval.to_le_bytes());
+        out.extend_from_slice(&self.mutesla_key);
+        for v in [
+            self.delivered_links,
+            self.lost_links,
+            self.recovered_by_resolicit,
+            self.resolicitations,
+            self.adoptions,
+            self.init_failures,
+            self.merge_failures,
+            self.data_bytes,
+            self.retransmit_bytes,
+            self.control_bytes,
+            self.backoff_ms,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.contributors.len() as u32).to_le_bytes());
+        for &sid in &self.contributors {
+            out.extend_from_slice(&sid.to_le_bytes());
+        }
+    }
+
+    /// Encodes the receipt payload into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a receipt payload (offset is for error reporting only).
+    pub fn decode(payload: &[u8], offset: u64) -> Result<Self, ReceiptError> {
+        let malformed = |reason| ReceiptError::Malformed { offset, reason };
+        if payload.len() < RECEIPT_FIXED_LEN {
+            return Err(malformed("payload shorter than the fixed layout"));
+        }
+        let u64_at = |pos: usize| u64::from_le_bytes(payload[pos..pos + 8].try_into().expect("8"));
+        let session = u64_at(0);
+        let epoch = u64_at(8);
+        let verdict =
+            Verdict::from_tag(payload[16]).ok_or_else(|| malformed("unknown verdict tag"))?;
+        let flags = payload[17];
+        let known = flag::INTEGRITY_CHECKED
+            | flag::CORRUPTED
+            | flag::CRASH_INJECTED
+            | flag::ATTACK_INJECTED
+            | flag::SUM_MISMATCH;
+        if flags & !known != 0 {
+            return Err(malformed("unknown flag bits set"));
+        }
+        let sum_bits = u64_at(18);
+        let mutesla_interval = u64_at(26);
+        let mut mutesla_key = [0u8; 32];
+        mutesla_key.copy_from_slice(&payload[34..66]);
+        let counters: Vec<u64> = (0..11).map(|i| u64_at(66 + 8 * i)).collect();
+        let n_pos = 66 + 88;
+        let n = u32::from_le_bytes(payload[n_pos..n_pos + 4].try_into().expect("4")) as usize;
+        let tail = &payload[n_pos + 4..];
+        if tail.len() != 4 * n {
+            return Err(malformed("contributor count disagrees with payload length"));
+        }
+        let contributors: Vec<u32> = tail
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4")))
+            .collect();
+        Ok(EpochReceipt {
+            session,
+            epoch,
+            verdict,
+            integrity_checked: flags & flag::INTEGRITY_CHECKED != 0,
+            corrupted: flags & flag::CORRUPTED != 0,
+            crash_injected: flags & flag::CRASH_INJECTED != 0,
+            attack_injected: flags & flag::ATTACK_INJECTED != 0,
+            sum_mismatch: flags & flag::SUM_MISMATCH != 0,
+            sum_bits,
+            mutesla_interval,
+            mutesla_key,
+            delivered_links: counters[0],
+            lost_links: counters[1],
+            recovered_by_resolicit: counters[2],
+            resolicitations: counters[3],
+            adoptions: counters[4],
+            init_failures: counters[5],
+            merge_failures: counters[6],
+            data_bytes: counters[7],
+            retransmit_bytes: counters[8],
+            control_bytes: counters[9],
+            backoff_ms: counters[10],
+            contributors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EpochReceipt {
+        EpochReceipt {
+            session: 0xDEAD_BEEF,
+            epoch: 42,
+            verdict: Verdict::Accepted,
+            integrity_checked: true,
+            corrupted: false,
+            crash_injected: true,
+            attack_injected: false,
+            sum_mismatch: false,
+            sum_bits: 12345.5f64.to_bits(),
+            mutesla_interval: 43,
+            mutesla_key: [9u8; 32],
+            delivered_links: 80,
+            lost_links: 1,
+            recovered_by_resolicit: 2,
+            resolicitations: 3,
+            adoptions: 1,
+            init_failures: 0,
+            merge_failures: 0,
+            data_bytes: 4096,
+            retransmit_bytes: 128,
+            control_bytes: 512,
+            backoff_ms: 77,
+            contributors: vec![0, 1, 2, 5, 63],
+        }
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let r = sample();
+        let bytes = r.encode();
+        assert_eq!(bytes.len(), r.encoded_len());
+        assert_eq!(EpochReceipt::decode(&bytes, 0).unwrap(), r);
+    }
+
+    #[test]
+    fn every_truncation_is_malformed_not_panic() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                EpochReceipt::decode(&bytes[..cut], 0).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_verdict_and_flags_are_typed() {
+        let mut bytes = sample().encode();
+        bytes[16] = 7;
+        assert!(matches!(
+            EpochReceipt::decode(&bytes, 5),
+            Err(ReceiptError::Malformed { offset: 5, .. })
+        ));
+        let mut bytes = sample().encode();
+        bytes[17] |= 0x80;
+        assert!(EpochReceipt::decode(&bytes, 0).is_err());
+    }
+
+    #[test]
+    fn session_header_round_trip() {
+        let h = SessionHeader {
+            session: 7,
+            mutesla_commitment: [3u8; 32],
+            mutesla_delay: 2,
+        };
+        assert_eq!(SessionHeader::decode(&h.encode(), 0).unwrap(), h);
+        assert!(SessionHeader::decode(&[0u8; 47], 0).is_err());
+    }
+
+    #[test]
+    fn digest_tags_match_chaos_fold() {
+        assert_eq!(Verdict::Accepted.digest_tag(), 1);
+        assert_eq!(Verdict::Rejected.digest_tag(), 2);
+        assert_eq!(Verdict::Lost.digest_tag(), 3);
+    }
+}

@@ -1,0 +1,273 @@
+//! The journal writer: off-data-path accumulation, one flush per epoch,
+//! configurable fsync cadence.
+//!
+//! The epoch engine's hot path never touches the file: [`Recorder::append`]
+//! only encodes into an in-memory buffer, and [`Recorder::commit_epoch`]
+//! writes the whole buffer with a single `write` at the epoch boundary,
+//! then fsyncs per [`FsyncPolicy`]. Durability is therefore bounded by
+//! policy: `EveryEpoch` loses at most the record being written when the
+//! process dies (the torn tail replay tolerates); `EveryN(n)` trades up
+//! to `n - 1` fsynced epochs for fewer synchronous flushes.
+
+use crate::frame::{self, RecordKind};
+use crate::receipt::{EpochReceipt, SessionHeader, Signature};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// How often the recorder fsyncs the journal file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every committed epoch: at most the in-flight record
+    /// is lost on power failure.
+    EveryEpoch,
+    /// Fsync after every `n` committed epochs (`n ≥ 1`): cheaper, loses
+    /// at most `n - 1` whole epochs plus the in-flight record.
+    EveryN(u32),
+    /// Never fsync explicitly; the OS decides. Fastest, weakest.
+    Never,
+}
+
+/// A pluggable record signer: MACs the payload bytes. Injected by the
+/// caller so the journal crate never depends on a crypto library.
+pub type Signer = Box<dyn Fn(&[u8]) -> Signature + Send>;
+
+/// Running totals for one recorder (feed these to telemetry upstream).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Receipt records appended.
+    pub records: u64,
+    /// Epochs committed (buffer flushes attempted).
+    pub commits: u64,
+    /// Bytes written to the file, framing included.
+    pub bytes_written: u64,
+    /// Explicit fsyncs issued.
+    pub fsyncs: u64,
+    /// Write or fsync failures (the recorder keeps running; durability
+    /// degrades, the data path never does).
+    pub io_errors: u64,
+}
+
+/// Appends signed, framed epoch receipts to a journal file.
+pub struct Recorder {
+    file: File,
+    /// Frames encoded but not yet written (the off-data-path buffer).
+    pending: Vec<u8>,
+    policy: FsyncPolicy,
+    since_sync: u32,
+    signer: Option<Signer>,
+    stats: RecorderStats,
+}
+
+impl Recorder {
+    /// Creates (truncating) a journal at `path` and writes its session
+    /// header — immediately flushed and fsynced so even an empty journal
+    /// identifies its session after a crash.
+    pub fn create(
+        path: &Path,
+        header: &SessionHeader,
+        policy: FsyncPolicy,
+        signer: Option<Signer>,
+    ) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut rec = Recorder {
+            file,
+            pending: Vec::new(),
+            policy,
+            since_sync: 0,
+            signer,
+            stats: RecorderStats::default(),
+        };
+        let payload = header.encode();
+        let sig = rec.sign(&payload);
+        frame::encode_into(&mut rec.pending, RecordKind::SessionHeader, &payload, &sig);
+        rec.write_pending()?;
+        rec.file.sync_data()?;
+        rec.stats.fsyncs += 1;
+        Ok(rec)
+    }
+
+    /// Reopens an existing journal for appending — the crash-restart
+    /// path. No header is written (the original one is already on disk);
+    /// the caller is expected to have replayed the file first (and to
+    /// have truncated any torn tail it chose not to keep).
+    pub fn resume(
+        path: &Path,
+        policy: FsyncPolicy,
+        signer: Option<Signer>,
+    ) -> std::io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Recorder {
+            file,
+            pending: Vec::new(),
+            policy,
+            since_sync: 0,
+            signer,
+            stats: RecorderStats::default(),
+        })
+    }
+
+    /// Running totals.
+    pub fn stats(&self) -> RecorderStats {
+        self.stats
+    }
+
+    fn sign(&self, payload: &[u8]) -> Signature {
+        match &self.signer {
+            Some(s) => s(payload),
+            None => [0u8; 32],
+        }
+    }
+
+    /// Encodes one receipt into the in-memory buffer. No I/O happens
+    /// here — this is the call that is safe on the data path.
+    pub fn append(&mut self, receipt: &EpochReceipt) {
+        let payload = receipt.encode();
+        let sig = self.sign(&payload);
+        frame::encode_into(&mut self.pending, RecordKind::Receipt, &payload, &sig);
+        self.stats.records += 1;
+    }
+
+    fn write_pending(&mut self) -> std::io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.pending)?;
+        self.stats.bytes_written += self.pending.len() as u64;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Flushes everything appended since the last commit in one write,
+    /// then fsyncs per policy. I/O failures are absorbed into
+    /// [`RecorderStats::io_errors`] — a dying disk must degrade
+    /// durability, not crash the querier mid-epoch.
+    pub fn commit_epoch(&mut self) {
+        self.stats.commits += 1;
+        if let Err(_e) = self.write_pending() {
+            self.stats.io_errors += 1;
+            self.pending.clear();
+            return;
+        }
+        let sync_now = match self.policy {
+            FsyncPolicy::EveryEpoch => true,
+            FsyncPolicy::EveryN(n) => {
+                self.since_sync += 1;
+                self.since_sync >= n.max(1)
+            }
+            FsyncPolicy::Never => false,
+        };
+        if sync_now {
+            self.since_sync = 0;
+            match self.file.sync_data() {
+                Ok(()) => self.stats.fsyncs += 1,
+                Err(_) => self.stats.io_errors += 1,
+            }
+        }
+    }
+
+    /// Forces any buffered frames and an fsync (end-of-run barrier).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.write_pending()?;
+        self.file.sync_data()?;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::Replayer;
+    use crate::Verdict;
+
+    fn header() -> SessionHeader {
+        SessionHeader {
+            session: 11,
+            mutesla_commitment: [0u8; 32],
+            mutesla_delay: 0,
+        }
+    }
+
+    fn receipt(epoch: u64) -> EpochReceipt {
+        EpochReceipt {
+            session: 11,
+            epoch,
+            verdict: Verdict::Accepted,
+            integrity_checked: true,
+            sum_bits: (epoch as f64).to_bits(),
+            contributors: vec![1, 2, 3],
+            ..EpochReceipt::default()
+        }
+    }
+
+    #[test]
+    fn append_is_buffered_until_commit() {
+        let dir = std::env::temp_dir().join(format!("sies-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("buffered.journal");
+        let mut rec = Recorder::create(&path, &header(), FsyncPolicy::EveryEpoch, None).unwrap();
+        let header_len = std::fs::metadata(&path).unwrap().len();
+        rec.append(&receipt(0));
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            header_len,
+            "append must not touch the file"
+        );
+        rec.commit_epoch();
+        assert!(std::fs::metadata(&path).unwrap().len() > header_len);
+        let stats = rec.stats();
+        assert_eq!(stats.records, 1);
+        assert_eq!(stats.commits, 1);
+        // create() fsyncs the header, commit fsyncs the record.
+        assert_eq!(stats.fsyncs, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_n_policy_batches_fsyncs() {
+        let dir = std::env::temp_dir().join(format!("sies-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("every_n.journal");
+        let mut rec = Recorder::create(&path, &header(), FsyncPolicy::EveryN(4), None).unwrap();
+        for e in 0..8 {
+            rec.append(&receipt(e));
+            rec.commit_epoch();
+        }
+        // 1 header fsync + 2 batched fsyncs (after epochs 3 and 7).
+        assert_eq!(rec.stats().fsyncs, 3);
+        let summary = Replayer::scan_path(&path, None).unwrap();
+        assert_eq!(summary.receipts.len(), 8);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_appends_after_the_existing_records() {
+        let dir = std::env::temp_dir().join(format!("sies-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.journal");
+        let mut rec = Recorder::create(&path, &header(), FsyncPolicy::EveryEpoch, None).unwrap();
+        for e in 0..3 {
+            rec.append(&receipt(e));
+            rec.commit_epoch();
+        }
+        drop(rec);
+
+        let mut rec = Recorder::resume(&path, FsyncPolicy::EveryEpoch, None).unwrap();
+        for e in 3..5 {
+            rec.append(&receipt(e));
+            rec.commit_epoch();
+        }
+        rec.sync().unwrap();
+
+        let summary = Replayer::scan_path(&path, None).unwrap();
+        assert_eq!(summary.header.session, 11, "original header survives");
+        assert_eq!(summary.receipts.len(), 5);
+        assert_eq!(summary.last_epoch(), Some(4));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

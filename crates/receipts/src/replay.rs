@@ -1,0 +1,258 @@
+//! Journal replay: the crash-restart scan.
+//!
+//! [`Replayer::scan`] walks a journal front to back and rebuilds the
+//! receipt sequence. Its error discipline is the whole point:
+//!
+//! * **Torn tail tolerated.** A record cut mid-write at any byte offset
+//!   — the signature a process death with an in-flight `write` leaves
+//!   behind — ends the scan cleanly; the prefix is intact state and the
+//!   damage is reported as a [`TornTail`], not an error. A final record
+//!   that is frame-complete but CRC-dirty is classified the same way
+//!   (a torn sector write inside the last record).
+//! * **Mid-file corruption is an error.** A CRC-dirty or unparseable
+//!   record *followed by more data* cannot be a crash artifact of an
+//!   append-only writer; it is bit rot or tampering, and skipping it
+//!   silently would let an auditor read a journal that lies. The scan
+//!   returns the typed [`ReceiptError`] instead.
+//! * **Signatures checked when a verifier is supplied.** A receipt
+//!   whose MAC fails is reported with its offset; an all-or-nothing
+//!   discipline again, never a skip.
+
+use crate::frame::{read_frame, FrameRead, RecordKind};
+use crate::receipt::{EpochReceipt, ReceiptError, SessionHeader, Signature};
+use std::path::Path;
+
+/// A pluggable signature verifier: `(payload, signature) -> valid?`.
+pub type Verifier<'v> = &'v dyn Fn(&[u8], &Signature) -> bool;
+
+/// Evidence of a torn final record (process death mid-write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// File offset where the torn record starts.
+    pub offset: u64,
+    /// Bytes of the torn record present in the file.
+    pub bytes: u64,
+}
+
+/// Everything a scan recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// The session header (first record of every journal).
+    pub header: SessionHeader,
+    /// Every intact receipt, in append order.
+    pub receipts: Vec<EpochReceipt>,
+    /// The torn final record, when the journal ends mid-write.
+    pub torn_tail: Option<TornTail>,
+    /// Total bytes scanned (file size).
+    pub bytes_scanned: u64,
+}
+
+impl ReplaySummary {
+    /// The last journaled epoch, if any receipt survived.
+    pub fn last_epoch(&self) -> Option<u64> {
+        self.receipts.last().map(|r| r.epoch)
+    }
+
+    /// The μTesla chain position to resume from: the newest receipt
+    /// with a non-zero authenticated interval.
+    pub fn mutesla_position(&self) -> Option<(u64, [u8; 32])> {
+        self.receipts
+            .iter()
+            .rev()
+            .find(|r| r.mutesla_interval > 0)
+            .map(|r| (r.mutesla_interval, r.mutesla_key))
+    }
+}
+
+/// The journal scanner.
+pub struct Replayer;
+
+impl Replayer {
+    /// Scans `bytes` as a journal. `verify` (when supplied) is applied
+    /// to every record's `(payload, signature)`.
+    pub fn scan(bytes: &[u8], verify: Option<Verifier<'_>>) -> Result<ReplaySummary, ReceiptError> {
+        let mut offset = 0usize;
+        let mut header: Option<SessionHeader> = None;
+        let mut receipts: Vec<EpochReceipt> = Vec::new();
+        let mut torn_tail = None;
+
+        while offset < bytes.len() {
+            match read_frame(bytes, offset) {
+                FrameRead::Ok { frame, next } => {
+                    if let Some(v) = verify {
+                        if !v(&frame.payload, &frame.signature) {
+                            return Err(ReceiptError::BadSignature {
+                                offset: offset as u64,
+                            });
+                        }
+                    }
+                    match frame.kind {
+                        RecordKind::SessionHeader => {
+                            if header.is_some() || offset != 0 {
+                                return Err(ReceiptError::BadLayout {
+                                    offset: offset as u64,
+                                    reason: "session header must be the first and only one",
+                                });
+                            }
+                            header = Some(SessionHeader::decode(&frame.payload, offset as u64)?);
+                        }
+                        RecordKind::Receipt => {
+                            if header.is_none() {
+                                return Err(ReceiptError::BadLayout {
+                                    offset: offset as u64,
+                                    reason: "journal must start with a session header",
+                                });
+                            }
+                            receipts.push(EpochReceipt::decode(&frame.payload, offset as u64)?);
+                        }
+                    }
+                    offset = next;
+                }
+                FrameRead::Incomplete { remaining } => {
+                    // Only reachable with `remaining` bytes left at end
+                    // of file: the torn-tail crash signature.
+                    torn_tail = Some(TornTail {
+                        offset: offset as u64,
+                        bytes: remaining as u64,
+                    });
+                    break;
+                }
+                FrameRead::Corrupt { error, next } => {
+                    // A CRC-dirty record that is the file's *last* frame
+                    // is a torn in-place write; anything mid-file is a
+                    // hard error.
+                    if matches!(error, ReceiptError::CorruptRecord { .. })
+                        && next == Some(bytes.len())
+                    {
+                        torn_tail = Some(TornTail {
+                            offset: offset as u64,
+                            bytes: (bytes.len() - offset) as u64,
+                        });
+                        break;
+                    }
+                    return Err(error);
+                }
+            }
+        }
+
+        let header = header.ok_or(ReceiptError::BadLayout {
+            offset: 0,
+            reason: "journal has no session header",
+        })?;
+        Ok(ReplaySummary {
+            header,
+            receipts,
+            torn_tail,
+            bytes_scanned: bytes.len() as u64,
+        })
+    }
+
+    /// Reads and scans the journal at `path`.
+    pub fn scan_path(
+        path: &Path,
+        verify: Option<Verifier<'_>>,
+    ) -> Result<ReplaySummary, ReceiptError> {
+        let bytes = std::fs::read(path)?;
+        Self::scan(&bytes, verify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::encode_into;
+    use crate::receipt::Verdict;
+
+    fn header_bytes() -> Vec<u8> {
+        let mut out = Vec::new();
+        let h = SessionHeader {
+            session: 3,
+            mutesla_commitment: [1u8; 32],
+            mutesla_delay: 2,
+        };
+        encode_into(&mut out, RecordKind::SessionHeader, &h.encode(), &[0u8; 32]);
+        out
+    }
+
+    fn receipt(epoch: u64, interval: u64) -> EpochReceipt {
+        EpochReceipt {
+            session: 3,
+            epoch,
+            verdict: Verdict::Accepted,
+            integrity_checked: true,
+            mutesla_interval: interval,
+            mutesla_key: [interval as u8; 32],
+            contributors: vec![epoch as u32],
+            ..EpochReceipt::default()
+        }
+    }
+
+    fn journal(epochs: u64) -> Vec<u8> {
+        let mut buf = header_bytes();
+        for e in 0..epochs {
+            encode_into(
+                &mut buf,
+                RecordKind::Receipt,
+                &receipt(e, e + 1).encode(),
+                &[0u8; 32],
+            );
+        }
+        buf
+    }
+
+    #[test]
+    fn clean_journal_replays_fully() {
+        let buf = journal(5);
+        let s = Replayer::scan(&buf, None).unwrap();
+        assert_eq!(s.header.session, 3);
+        assert_eq!(s.receipts.len(), 5);
+        assert_eq!(s.last_epoch(), Some(4));
+        assert_eq!(s.mutesla_position(), Some((5, [5u8; 32])));
+        assert!(s.torn_tail.is_none());
+        assert_eq!(s.bytes_scanned, buf.len() as u64);
+    }
+
+    #[test]
+    fn missing_header_is_a_layout_error() {
+        let mut buf = Vec::new();
+        encode_into(
+            &mut buf,
+            RecordKind::Receipt,
+            &receipt(0, 0).encode(),
+            &[0u8; 32],
+        );
+        assert!(matches!(
+            Replayer::scan(&buf, None),
+            Err(ReceiptError::BadLayout { offset: 0, .. })
+        ));
+        assert!(matches!(
+            Replayer::scan(&[], None),
+            Err(ReceiptError::BadLayout { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_header_is_a_layout_error() {
+        let mut buf = journal(1);
+        buf.extend_from_slice(&header_bytes());
+        assert!(matches!(
+            Replayer::scan(&buf, None),
+            Err(ReceiptError::BadLayout { .. })
+        ));
+    }
+
+    #[test]
+    fn signature_verifier_is_enforced() {
+        let buf = journal(2);
+        let accept: Verifier<'_> = &|_p, _s| true;
+        assert_eq!(
+            Replayer::scan(&buf, Some(accept)).unwrap().receipts.len(),
+            2
+        );
+        let reject: Verifier<'_> = &|_p, s| s != &[0u8; 32];
+        assert!(matches!(
+            Replayer::scan(&buf, Some(reject)),
+            Err(ReceiptError::BadSignature { offset: 0 })
+        ));
+    }
+}

@@ -50,6 +50,11 @@ pub enum EventKind {
     KeyDisclosed,
     /// A multi-lane kernel pass chose a dispatch width. `(width, n_lanes)`
     LaneDispatch,
+    /// Receipts: one epoch's receipt was committed to the durable
+    /// journal. `(records, bytes_written)`
+    ReceiptCommitted,
+    /// Receipts: a journal was replayed at startup. `(records, torn_tail)`
+    JournalReplayed,
 }
 
 impl EventKind {
@@ -73,6 +78,8 @@ impl EventKind {
             EventKind::RekeyRetry => "rekey_retry",
             EventKind::KeyDisclosed => "key_disclosed",
             EventKind::LaneDispatch => "lane_dispatch",
+            EventKind::ReceiptCommitted => "receipt_committed",
+            EventKind::JournalReplayed => "journal_replayed",
         }
     }
 }
