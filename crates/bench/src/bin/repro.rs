@@ -61,6 +61,7 @@ fn main() {
     let mut use_paper_costs = false;
     let mut chaos_epochs = 2_000u64;
     let mut threads = Threads::Auto;
+    let mut max_n: u64 = 1_000_000;
     let mut baseline: Option<PathBuf> = None;
     let mut requested: Vec<String> = Vec::new();
 
@@ -111,6 +112,12 @@ fn main() {
                         .map(PathBuf::from)
                         .unwrap_or_else(|| usage("--baseline needs a path")),
                 );
+            }
+            "--max-n" => {
+                max_n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max-n needs a number"));
             }
             "--paper-costs" => use_paper_costs = true,
             "--help" | "-h" => {
@@ -169,7 +176,7 @@ fn main() {
             "security" => security(),
             "lifetime" => lifetime(&opts, &out_dir),
             "reliability" => reliability(&opts, chaos_epochs, threads, &out_dir),
-            "throughput" => throughput_exp(&opts, threads, &out_dir),
+            "throughput" => throughput_exp(&opts, threads, max_n, &out_dir),
             "micro" => micro(&opts, baseline.as_deref(), &out_dir),
             "trace" => trace(&opts, chaos_epochs, threads, &out_dir),
             "recovery" => recovery_exp(&opts, chaos_epochs, threads, &out_dir),
@@ -181,7 +188,11 @@ fn main() {
 const HELP: &str = "repro - regenerate the SIES paper's tables and figures
 
 usage: repro [--fast] [--epochs E] [--secoa-epochs E] [--seed S] [--chaos-epochs E]
-             [--threads T] [--paper-costs] [--baseline FILE] [--out DIR] <experiment>...
+             [--threads T] [--max-n N] [--paper-costs] [--baseline FILE] [--out DIR]
+             <experiment>...
+
+`--max-n N` caps the struct-of-arrays scale sweep of the throughput
+experiment (default 1000000).
 
 experiments: table2 table3 table5 fig4 fig5 fig6a fig6b params security lifetime
              reliability throughput micro trace recovery all";
@@ -474,7 +485,34 @@ fn reliability(opts: &Options, chaos_epochs: u64, threads: Threads, out: &Path) 
     let _ = write_json_seeded(Path::new("."), "BENCH_reliability", opts.seed, &points);
 }
 
-fn throughput_exp(opts: &Options, threads: Threads, out: &Path) {
+/// Environment header of `BENCH_throughput.json`: detected cores and
+/// peak RSS make a 1.0x speedup on a 1-core container self-explaining
+/// and the memory budget machine-checkable.
+#[derive(serde::Serialize)]
+struct ThroughputHeader {
+    /// Detected CPU cores (`std::thread::available_parallelism`); on a
+    /// 1-core host every multi-thread speedup is expected to be ~1.0x.
+    cpu_cores: usize,
+    /// Peak resident set size of this process after the sweep, bytes
+    /// (`VmHWM`); `null` when procfs is unavailable.
+    peak_rss_bytes: Option<u64>,
+    /// Hash lane width the sweep ran at (after the lane oracle).
+    lane_width: usize,
+    /// Largest population the scale sweep ran (`--max-n` cap applied).
+    scale_max_n: u64,
+    note: String,
+}
+
+/// The full `BENCH_throughput.json` payload.
+#[derive(serde::Serialize)]
+struct ThroughputArtifact {
+    header: ThroughputHeader,
+    sweep: Vec<throughput::ThroughputPoint>,
+    scale: Vec<throughput::ScalePoint>,
+    soa_vs_legacy: Option<throughput::SoaComparison>,
+}
+
+fn throughput_exp(opts: &Options, threads: Threads, max_n: u64, out: &Path) {
     // Sweep 1..=resolved threads in powers of two, always including the
     // requested count, so `--threads 8` on an 8-core host measures
     // 1, 2, 4 and 8 workers.
@@ -529,9 +567,102 @@ fn throughput_exp(opts: &Options, threads: Threads, out: &Path) {
          and across hash lane widths 1/4/8 (asserted at N={})",
         throughput::THROUGHPUT_N[0]
     );
-    let _ = write_json_seeded(out, "throughput", opts.seed, &points);
+
+    // Struct-of-arrays scale sweep: legacy serial reference vs the flat
+    // pipeline at 1/2/8 threads × streaming off/on, digest-asserted.
+    let scale_ns: Vec<u64> = throughput::SCALE_N
+        .iter()
+        .copied()
+        .filter(|&n| n <= max_n)
+        .collect();
+    let mut scale = Vec::new();
+    let mut comparison = None;
+    if scale_ns.is_empty() {
+        println!("scale sweep skipped (--max-n {max_n} below the smallest population)");
+    } else {
+        println!(
+            "\n-- Scale: struct-of-arrays pipeline, N up to {} --",
+            scale_ns.last().unwrap()
+        );
+        // Epoch budget shrinks with N so the 1M point stays minutes, not
+        // hours, on a 1-core host; every point still runs >= 2 epochs so
+        // the streaming overlap path is exercised.
+        let epoch_budget = move |n: u64| epochs.min((200_000 / n).max(2));
+        scale = throughput::scale_suite(opts.seed, &scale_ns, epoch_budget);
+        let rows: Vec<Vec<String>> = scale
+            .iter()
+            .map(|p| {
+                vec![
+                    p.n.to_string(),
+                    p.layout.clone(),
+                    p.threads.to_string(),
+                    if p.streaming { "on" } else { "off" }.to_string(),
+                    p.epochs.to_string(),
+                    format!("{:.2}", p.epochs_per_sec),
+                    fmt_ms(p.wall_ms),
+                    if p.layout == "soa" {
+                        format!("{:.0}", p.bytes_per_node)
+                    } else {
+                        "-".to_string()
+                    },
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["N", "layout", "threads", "stream", "epochs", "epochs/s", "wall", "B/node"],
+                &rows
+            )
+        );
+        println!(
+            "serial-equivalence digest asserted: every SoA configuration \
+             (threads 1/2/8 x streaming off/on) matches the legacy engine per N"
+        );
+        // The largest SoA point's footprint feeds the telemetry gauge the
+        // CI budget gate reads.
+        if let Some(p) = scale.iter().rev().find(|p| p.layout == "soa") {
+            sies_telemetry::record_bytes_per_node(
+                (p.arena_bytes + p.state_bytes) as usize,
+                p.nodes as usize,
+            );
+        }
+
+        // Paired layout comparison at N=10k, same estimator as `repro micro`.
+        if max_n >= 10_000 {
+            let cmp = throughput::soa_vs_legacy(opts.seed, 10_000, 4, 5);
+            println!(
+                "SoA vs legacy layout at N=10000 (serial, paired-ratio median of \
+                 {} rounds x {} epochs): legacy {} soa {} -> {:.2}x",
+                cmp.rounds,
+                cmp.epochs_per_round,
+                fmt_ms(cmp.legacy_median_ms),
+                fmt_ms(cmp.soa_median_ms),
+                cmp.speedup
+            );
+            comparison = Some(cmp);
+        }
+    }
+
+    let cpu_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let artifact = ThroughputArtifact {
+        header: ThroughputHeader {
+            cpu_cores,
+            peak_rss_bytes: sies_telemetry::record_peak_rss(),
+            lane_width: sies_crypto::lanes::lane_width(),
+            scale_max_n: scale_ns.last().copied().unwrap_or(0),
+            note: "speedup_vs_serial ~1.0 is expected when cpu_cores is 1; \
+                   bytes_per_node covers the flat arena plus both epoch buffers"
+                .to_string(),
+        },
+        sweep: points,
+        scale,
+        soa_vs_legacy: comparison,
+    };
+    println!("detected {cpu_cores} CPU core(s)");
+    let _ = write_json_seeded(out, "throughput", opts.seed, &artifact);
     // The canonical artifact lives at the repo root for the paper repro.
-    let _ = write_json_seeded(Path::new("."), "BENCH_throughput", opts.seed, &points);
+    let _ = write_json_seeded(Path::new("."), "BENCH_throughput", opts.seed, &artifact);
 }
 
 fn micro(opts: &Options, baseline: Option<&Path>, out: &Path) {

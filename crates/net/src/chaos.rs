@@ -249,15 +249,16 @@ impl<'a, S: AggregationScheme> ChaosDriver<'a, S> {
     fn new(scheme: &'a S, topology: &'a Topology, cfg: &ChaosConfig) -> Self {
         // Non-root nodes are fair game for crashes and attacks; the sink
         // staying up keeps availability attributable to the protocol
-        // under test (sink crash is covered by unit tests).
-        let candidates: Vec<NodeId> = topology
-            .nodes()
-            .iter()
-            .map(|n| n.id)
-            .filter(|&id| id != topology.root())
+        // under test (sink crash is covered by unit tests). Drawn from
+        // the engine's struct-of-arrays arena (dense ids, same numbering
+        // as the legacy node list).
+        let engine = Engine::new(scheme, topology).with_threads(cfg.threads);
+        let root = engine.flat().root();
+        let candidates: Vec<NodeId> = (0..engine.flat().num_nodes())
+            .filter(|&id| id != root)
             .collect();
         ChaosDriver {
-            engine: Engine::new(scheme, topology).with_threads(cfg.threads),
+            engine,
             rng: StdRng::seed_from_u64(cfg.seed),
             radio: LossyRadio::new(cfg.loss_rate, cfg.max_retries),
             candidates,

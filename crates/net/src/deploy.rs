@@ -117,6 +117,21 @@ impl AggregationScheme for SiesDeployment {
             .collect()
     }
 
+    fn batch_source_init_into(
+        &self,
+        epoch: Epoch,
+        jobs: &[(SourceId, u64)],
+        out: &mut Vec<Result<Psr, SchemeError>>,
+    ) {
+        // Keep the lane-batched fast path. The batched kernels build
+        // intermediate vectors internally, so this override trades the
+        // trait default's zero-allocation property for SIES' ~4x PRF
+        // speedup; the reused `out` buffer still absorbs the outer
+        // allocation.
+        out.clear();
+        out.extend(self.batch_source_init(epoch, jobs));
+    }
+
     fn merge(&self, psrs: &[Psr]) -> Psr {
         self.aggregator
             .merge(psrs)

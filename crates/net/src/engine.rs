@@ -3,6 +3,7 @@
 //! accounting plus failure and attack injection.
 
 use crate::energy::RadioModel;
+use crate::flat::FlatTopology;
 use crate::journal::ReceiptJournal;
 use crate::radio::LossyRadio;
 use crate::recovery::{
@@ -10,7 +11,7 @@ use crate::recovery::{
     REATTACH_BYTES, RESOLICIT_BYTES,
 };
 use crate::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
-use crate::topology::{NodeId, RepairPlan, Role, Topology};
+use crate::topology::{NodeId, RepairPlan, Topology};
 use rand::RngCore;
 use serde::{Content, Serialize};
 use sies_core::{parallel, Epoch, SourceId, Threads};
@@ -520,6 +521,9 @@ struct EpochScratch<P> {
     precomputed: Vec<Option<Result<P, SchemeError>>>,
     /// Per-node outgoing PSR queues (the duplicate attack deposits two).
     outputs: Vec<Vec<P>>,
+    /// Gathered child PSRs for the aggregator currently merging —
+    /// reused so the merge loop does not allocate once warmed up.
+    merge_inputs: Vec<P>,
 }
 
 impl<P> EpochScratch<P> {
@@ -529,6 +533,7 @@ impl<P> EpochScratch<P> {
             job_nodes: Vec::new(),
             precomputed: Vec::new(),
             outputs: Vec::new(),
+            merge_inputs: Vec::new(),
         }
     }
 
@@ -543,6 +548,7 @@ impl<P> EpochScratch<P> {
         }
         self.outputs.resize_with(n_nodes, Vec::new);
         self.outputs.truncate(n_nodes);
+        self.merge_inputs.clear();
     }
 }
 
@@ -550,6 +556,10 @@ impl<P> EpochScratch<P> {
 pub struct Engine<'a, S: AggregationScheme> {
     scheme: &'a S,
     topology: &'a Topology,
+    /// Struct-of-arrays view of `topology`, built once: the per-epoch
+    /// walks read its cached post-order and dense child ranges instead
+    /// of re-deriving them from the pointer-based node list.
+    flat: FlatTopology,
     radio: RadioModel,
     /// Worker count for the sharded source phase (1 = fully serial).
     threads: usize,
@@ -573,6 +583,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         Engine {
             scheme,
             topology,
+            flat: FlatTopology::from_topology(topology),
             radio: RadioModel::default(),
             threads: 1,
             prev_final: None,
@@ -628,6 +639,11 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
     /// The topology in use.
     pub fn topology(&self) -> &Topology {
         self.topology
+    }
+
+    /// The struct-of-arrays arena the per-epoch walks actually use.
+    pub fn flat(&self) -> &FlatTopology {
+        &self.flat
     }
 
     /// The final PSR of the most recent epoch (what the querier saw) —
@@ -728,7 +744,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         // Honest failures remove whole subtrees from the contributor set.
         let mut excluded: HashSet<SourceId> = HashSet::new();
         for &node in failed {
-            for s in self.topology.sources_under(node) {
+            for s in self.flat.sources_under(node) {
                 excluded.insert(s);
             }
         }
@@ -738,18 +754,20 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
 
         // Per-node buffers come from the reusable scratch: cleared, not
         // reallocated (the `outputs` queues model the duplicate attack).
-        let n_nodes = self.topology.nodes().len();
+        let n_nodes = self.flat.num_nodes();
         self.scratch.reset(n_nodes);
 
         // Source phase, sharded: every live source's PSR is precomputed
         // across the worker pool before the (serial) tree walk consumes
-        // them in post-order. `source_cpu` therefore covers the whole
+        // them in post-order (the arena's cached order — nothing is
+        // re-derived per epoch). `source_cpu` therefore covers the whole
         // population even when a rejected reading aborts the walk early.
-        for id in self.topology.post_order() {
+        for &id32 in self.flat.post_order() {
+            let id = id32 as usize;
             if failed.contains(&id) {
                 continue;
             }
-            if let Role::Source(sid) = self.topology.node(id).role {
+            if let Some(sid) = self.flat.source_id(id) {
                 self.scratch.job_nodes.push(id);
                 self.scratch.jobs.push((sid, values[sid as usize]));
             }
@@ -767,52 +785,51 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             self.scratch.precomputed[id] = Some(res);
         }
 
-        for id in self.topology.post_order() {
+        for &id32 in self.flat.post_order() {
+            let id = id32 as usize;
             if failed.contains(&id) {
                 continue;
             }
-            let node = self.topology.node(id);
-            let produced: Option<S::Psr> = match node.role {
-                Role::Source(_) => {
-                    let psr = self.scratch.precomputed[id]
-                        .take()
-                        .expect("every live source was precomputed");
-                    self.meter.sources_run.incr();
-                    match psr {
-                        Ok(psr) => Some(psr),
-                        // A rejected reading aborts the epoch as a
-                        // malformed outcome rather than panicking.
+            let is_source = self.flat.is_source(id);
+            let produced: Option<S::Psr> = if is_source {
+                let psr = self.scratch.precomputed[id]
+                    .take()
+                    .expect("every live source was precomputed");
+                self.meter.sources_run.incr();
+                match psr {
+                    Ok(psr) => Some(psr),
+                    // A rejected reading aborts the epoch as a
+                    // malformed outcome rather than panicking.
+                    Err(e) => {
+                        verdict_event(epoch, EventKind::EpochLost, id as u64);
+                        return EpochOutcome {
+                            result: Err(e),
+                            stats: self.meter.finish(epoch, contributors, &q0),
+                        };
+                    }
+                }
+            } else {
+                let inputs = &mut self.scratch.merge_inputs;
+                inputs.clear();
+                for &c in self.flat.children(id) {
+                    inputs.append(&mut self.scratch.outputs[c as usize]);
+                }
+                if inputs.is_empty() {
+                    None
+                } else {
+                    let t0 = Instant::now();
+                    let merged = self.scheme.try_merge(inputs);
+                    self.meter.aggregator_cpu_ns.add(ns(t0.elapsed()));
+                    self.meter.aggregators_run.incr();
+                    tel::event(epoch, EventKind::PsrMerged, id as u64, inputs.len() as u64);
+                    match merged {
+                        Ok(merged) => Some(merged),
                         Err(e) => {
                             verdict_event(epoch, EventKind::EpochLost, id as u64);
                             return EpochOutcome {
                                 result: Err(e),
                                 stats: self.meter.finish(epoch, contributors, &q0),
                             };
-                        }
-                    }
-                }
-                Role::Aggregator => {
-                    let mut inputs: Vec<S::Psr> = Vec::new();
-                    for &c in &node.children {
-                        inputs.append(&mut self.scratch.outputs[c]);
-                    }
-                    if inputs.is_empty() {
-                        None
-                    } else {
-                        let t0 = Instant::now();
-                        let merged = self.scheme.try_merge(&inputs);
-                        self.meter.aggregator_cpu_ns.add(ns(t0.elapsed()));
-                        self.meter.aggregators_run.incr();
-                        tel::event(epoch, EventKind::PsrMerged, id as u64, inputs.len() as u64);
-                        match merged {
-                            Ok(merged) => Some(merged),
-                            Err(e) => {
-                                verdict_event(epoch, EventKind::EpochLost, id as u64);
-                                return EpochOutcome {
-                                    result: Err(e),
-                                    stats: self.meter.finish(epoch, contributors, &q0),
-                                };
-                            }
                         }
                     }
                 }
@@ -823,7 +840,8 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             // The sink's extra pass (e.g. SECOA same-position SEAL
             // folding) happens before the aggregator→querier edge and is
             // charged to aggregator CPU.
-            if node.parent.is_none() {
+            let parent = self.flat.parent(id);
+            if parent.is_none() {
                 let t0 = Instant::now();
                 psr = self.scheme.sink_finalize(psr);
                 self.meter.aggregator_cpu_ns.add(ns(t0.elapsed()));
@@ -848,17 +866,14 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             // node deposits its outgoing PSR(s) in its own slot; the
             // parent drains its children's slots when it runs.
             let size = self.scheme.psr_wire_size(&psr) * copies;
-            match node.parent {
+            match parent {
                 Some(_) => {
-                    match node.role {
-                        Role::Source(_) => {
-                            self.meter.sa_bytes.add(size as u64);
-                            self.meter.sa_edges.incr();
-                        }
-                        Role::Aggregator => {
-                            self.meter.aa_bytes.add(size as u64);
-                            self.meter.aa_edges.incr();
-                        }
+                    if is_source {
+                        self.meter.sa_bytes.add(size as u64);
+                        self.meter.sa_edges.incr();
+                    } else {
+                        self.meter.aa_bytes.add(size as u64);
+                        self.meter.aa_edges.incr();
                     }
                     self.meter.energy_tx.add(self.radio.tx_energy(size));
                     self.meter.energy_rx.add(self.radio.rx_energy(size));
@@ -970,7 +985,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         );
         let mut report = RecoveryReport::default();
         let mut tally = UplinkTally::default();
-        let repairs = self.topology.repair_plan(crashed);
+        let repairs = self.flat.repair_plan(crashed);
         report.adoptions = repairs.adoptions.len() as u64;
         report.stranded = repairs.stranded.len() as u64;
 
@@ -998,24 +1013,25 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         }
 
         // Effective topology: surviving children plus adopted orphans.
-        let n_nodes = self.topology.nodes().len();
+        let n_nodes = self.flat.num_nodes();
         let mut eff_children: Vec<Vec<NodeId>> = vec![Vec::new(); n_nodes];
-        for node in self.topology.nodes() {
-            if crashed.contains(&node.id) {
+        for (id, eff) in eff_children.iter_mut().enumerate() {
+            if crashed.contains(&id) {
                 continue;
             }
-            for &c in &node.children {
+            for &c in self.flat.children(id) {
+                let c = c as usize;
                 if crashed.contains(&c) {
                     // A live parent noticed its child never transmitted
                     // and reports the failure up to the querier, one
                     // frame per hop.
-                    let cost = FAILURE_REPORT_BYTES as u64 * (node.depth as u64 + 1);
+                    let cost = FAILURE_REPORT_BYTES as u64 * (self.flat.depth(id) as u64 + 1);
                     report.failure_reports += 1;
                     report.control_bytes += cost;
                     self.meter.control_bytes.add(cost);
-                    tel::event(epoch, EventKind::FailureReport, c as u64, node.id as u64);
+                    tel::event(epoch, EventKind::FailureReport, c as u64, id as u64);
                 } else {
-                    eff_children[node.id].push(c);
+                    eff.push(c);
                 }
             }
         }
@@ -1054,7 +1070,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         // by the thread count.
         self.scratch.reset(n_nodes);
         for &id in &order {
-            if let Role::Source(sid) = self.topology.node(id).role {
+            if let Some(sid) = self.flat.source_id(id) {
                 self.scratch.job_nodes.push(id);
                 self.scratch.jobs.push((sid, values[sid as usize]));
             }
@@ -1073,9 +1089,9 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         }
 
         for &id in &order {
-            let node = self.topology.node(id);
-            match node.role {
-                Role::Source(sid) => {
+            let depth = self.flat.depth(id);
+            match self.flat.source_id(id) {
+                Some(sid) => {
                     let produced = self.scratch.precomputed[id]
                         .take()
                         .expect("every live source was precomputed");
@@ -1092,7 +1108,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                         }
                     }
                 }
-                Role::Aggregator => {
+                None => {
                     let mut inputs: Vec<S::Psr> = Vec::new();
                     let mut contrib: Vec<SourceId> = Vec::new();
                     let mut poisoned = false;
@@ -1100,8 +1116,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                         let Some(child_psr) = psr_slot[c].take() else {
                             // Silent child (crashed source or an empty
                             // subtree): report the failure upward.
-                            let cost = FAILURE_REPORT_BYTES as u64
-                                * (self.topology.node(id).depth as u64 + 1);
+                            let cost = FAILURE_REPORT_BYTES as u64 * (depth as u64 + 1);
                             report.failure_reports += 1;
                             report.control_bytes += cost;
                             self.meter.control_bytes.add(cost);
@@ -1115,15 +1130,12 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
 
                         // Accounting: first copy in the Table V classes,
                         // retransmissions and control separately.
-                        match self.topology.node(c).role {
-                            Role::Source(_) => {
-                                self.meter.sa_bytes.add(size as u64);
-                                self.meter.sa_edges.incr();
-                            }
-                            Role::Aggregator => {
-                                self.meter.aa_bytes.add(size as u64);
-                                self.meter.aa_edges.incr();
-                            }
+                        if self.flat.is_source(c) {
+                            self.meter.sa_bytes.add(size as u64);
+                            self.meter.sa_edges.incr();
+                        } else {
+                            self.meter.aa_bytes.add(size as u64);
+                            self.meter.aa_edges.incr();
                         }
                         self.meter
                             .retransmit_bytes
@@ -1132,7 +1144,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                             + uplink.nacks as u64 * NACK_BYTES as u64
                             + uplink.resolicit_rounds_used as u64
                                 * RESOLICIT_BYTES as u64
-                                * (node.depth as u64 + 1);
+                                * (depth as u64 + 1);
                         report.control_bytes += ctl;
                         self.meter.control_bytes.add(ctl);
                         for _ in 0..uplink.data_attempts {
@@ -1177,7 +1189,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                             // and tell the querier.
                             report.link.failed_links += 1;
                             report.lost_links += 1;
-                            let cost = FAILURE_REPORT_BYTES as u64 * (node.depth as u64 + 1);
+                            let cost = FAILURE_REPORT_BYTES as u64 * (depth as u64 + 1);
                             report.failure_reports += 1;
                             report.control_bytes += cost;
                             self.meter.control_bytes.add(cost);
@@ -1340,6 +1352,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Role;
 
     /// A transparent scheme for engine-level tests: the PSR is the plain
     /// sum plus a contribution count, so every engine behaviour is

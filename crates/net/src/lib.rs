@@ -32,7 +32,9 @@ pub mod chaos;
 pub mod deploy;
 pub mod energy;
 pub mod engine;
+pub mod flat;
 pub mod journal;
+pub mod pipeline;
 pub mod query_engine;
 pub mod radio;
 pub mod recovery;
@@ -47,7 +49,9 @@ pub use chaos::{
 pub use deploy::SiesDeployment;
 pub use energy::RadioModel;
 pub use engine::{Attack, EdgeBytes, Engine, EpochOutcome, EpochStats, RecoveredEpoch};
+pub use flat::FlatTopology;
 pub use journal::{fold_receipt, replay, JournalConfig, ReceiptJournal, ReplayedState};
+pub use pipeline::{EpochPipeline, EpochReport};
 pub use query_engine::{QueryEngine, QueryOutcome};
 pub use recovery::{BackoffConfig, RecoveryConfig, RecoveryReport, UplinkOutcome, UplinkTally};
 pub use scheme::{AggregationScheme, EvaluatedSum, SchemeError};

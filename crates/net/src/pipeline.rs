@@ -1,0 +1,810 @@
+//! Streamed struct-of-arrays epoch pipeline for million-sensor
+//! populations.
+//!
+//! [`EpochPipeline`] is the clean-path (no failures, no attacks)
+//! counterpart of [`crate::engine::Engine`], rebuilt around the
+//! [`FlatTopology`] arena for scale:
+//!
+//! * **Subtree sharding.** The sink's child subtrees are contiguous
+//!   segments of the arena's post-order, so the tree splits into at most
+//!   `threads` contiguous shards. Each worker walks its segment exactly
+//!   as the serial engine would — batched source init, then a stack
+//!   merge in post-order — and the main thread fuses the shard results
+//!   in deterministic tree order. The final PSR is bit-identical for
+//!   every thread count.
+//! * **Epoch streaming.** With `streaming` enabled, two epoch buffers
+//!   alternate through a one-producer hand-off: while the main thread
+//!   merges/evaluates epoch `t`, a producer thread runs source init for
+//!   epoch `t+1` in the other buffer. Results are identical with
+//!   streaming on or off because the phases of one epoch never reorder —
+//!   only phases of *different* epochs overlap.
+//! * **Zero steady-state allocation.** All per-epoch state (values,
+//!   jobs, init results, merge stacks, shard outputs) lives in the two
+//!   reused [`EpochBuf`]s; schemes write init results through
+//!   [`AggregationScheme::batch_source_init_into`]. After a warm-up
+//!   epoch per buffer, a `threads = 1` run performs no heap allocation
+//!   per epoch (the `alloc_free` integration test pins this down with a
+//!   counting allocator). With `threads > 1` the scoped-worker spawn is
+//!   the one remaining O(threads) allocation per epoch.
+//!
+//! ## Digest identity with the serial engine
+//!
+//! The merge inputs seen by every aggregator are byte-identical to the
+//! engine's: a post-order walk pushes child results on a stack in
+//! *reverse child order* (post-order visits subtrees last-child-first),
+//! so each merge window is reversed before the scheme sees it, and the
+//! sink's shard remnants are concatenated in shard order then reversed
+//! into child order. The `flat_equivalence` and `soa_determinism` tests
+//! assert the resulting SHA-256 digests match the legacy engine across
+//! thread counts and streaming modes.
+
+use crate::flat::FlatTopology;
+use crate::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
+use sies_core::{parallel, Epoch, SourceId, Threads};
+use std::ops::Range;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One contiguous run of sink-child subtrees in the post-order array,
+/// walked serially by one worker.
+#[derive(Debug, Clone)]
+struct Shard {
+    /// Post-order positions this shard covers.
+    range: Range<usize>,
+    /// Sources inside the range (pre-sizes the job buffers).
+    sources: usize,
+}
+
+/// Reusable per-shard working state.
+struct ShardState<P> {
+    /// `(source, value)` jobs in shard post-order.
+    jobs: Vec<(SourceId, u64)>,
+    /// Per-job init results, aligned with `jobs`.
+    inits: Vec<Result<P, SchemeError>>,
+    /// The post-order merge stack.
+    stack: Vec<P>,
+    /// Subtree-root PSRs left on the stack, in shard post-order.
+    out: Vec<P>,
+    /// First scheme error hit in the walk (aborts the epoch exactly
+    /// where the serial engine would).
+    err: Option<SchemeError>,
+    source_ns: u64,
+    merge_ns: u64,
+}
+
+impl<P> ShardState<P> {
+    fn with_capacity(shard: &Shard) -> Self {
+        ShardState {
+            jobs: Vec::with_capacity(shard.sources),
+            inits: Vec::with_capacity(shard.sources),
+            stack: Vec::new(),
+            out: Vec::new(),
+            err: None,
+            source_ns: 0,
+            merge_ns: 0,
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.jobs.capacity() * size_of::<(SourceId, u64)>()
+            + self.inits.capacity() * size_of::<Result<P, SchemeError>>()
+            + (self.stack.capacity() + self.out.capacity()) * size_of::<P>()
+    }
+}
+
+/// One epoch's worth of reusable buffers. The pipeline owns two and
+/// alternates them when streaming.
+struct EpochBuf<P> {
+    /// `values[i]` is source `i`'s reading, filled by the caller.
+    values: Vec<u64>,
+    /// One state block per shard, written by the producer.
+    shards: Vec<ShardState<P>>,
+    /// Shard remnants gathered for the sink merge.
+    root_inputs: Vec<P>,
+}
+
+impl<P> EpochBuf<P> {
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.values.capacity() * size_of::<u64>()
+            + self.root_inputs.capacity() * size_of::<P>()
+            + self.shards.iter().map(ShardState::bytes).sum::<usize>()
+    }
+}
+
+/// Per-epoch CPU breakdown handed to the sink callback, mirroring the
+/// engine's source/aggregator/querier split.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochReport {
+    /// The epoch this report covers.
+    pub epoch: Epoch,
+    /// Summed in-worker source-init CPU time.
+    pub source_cpu_ns: u64,
+    /// Summed merge (+ sink finalize) CPU time.
+    pub merge_cpu_ns: u64,
+    /// Evaluation CPU time at the querier.
+    pub querier_cpu_ns: u64,
+}
+
+/// A single-slot rendezvous channel: `Mutex<Option<T>>` + condvars, so
+/// buffer hand-off moves values without allocating or spinning.
+struct Mailbox<T> {
+    slot: Mutex<MailSlot<T>>,
+    cv: Condvar,
+}
+
+struct MailSlot<T> {
+    item: Option<T>,
+    closed: bool,
+}
+
+impl<T> Mailbox<T> {
+    fn new() -> Self {
+        Mailbox {
+            slot: Mutex::new(MailSlot {
+                item: None,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deposits `item`, blocking while the slot is full. Dropped
+    /// silently if the mailbox closed (only happens during unwinding).
+    fn send(&self, item: T) {
+        let mut slot = self.slot.lock().expect("mailbox poisoned");
+        while slot.item.is_some() && !slot.closed {
+            slot = self.cv.wait(slot).expect("mailbox poisoned");
+        }
+        if slot.closed {
+            return;
+        }
+        slot.item = Some(item);
+        self.cv.notify_all();
+    }
+
+    /// Takes the next item, blocking while the slot is empty; `None`
+    /// once the mailbox is closed and drained.
+    fn recv(&self) -> Option<T> {
+        let mut slot = self.slot.lock().expect("mailbox poisoned");
+        loop {
+            if let Some(item) = slot.item.take() {
+                self.cv.notify_all();
+                return Some(item);
+            }
+            if slot.closed {
+                return None;
+            }
+            slot = self.cv.wait(slot).expect("mailbox poisoned");
+        }
+    }
+
+    /// Closes the mailbox: blocked and future `recv`s drain then return
+    /// `None`; future `send`s become no-ops.
+    fn close(&self) {
+        let mut slot = self.slot.lock().expect("mailbox poisoned");
+        slot.closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Closes a mailbox when dropped, so a panicking thread can never leave
+/// its peer blocked forever.
+struct CloseOnDrop<'m, T>(&'m Mailbox<T>);
+
+impl<T> Drop for CloseOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// The immutable execution view shared between the main thread and the
+/// streaming producer.
+struct Exec<'a, S: AggregationScheme> {
+    scheme: &'a S,
+    flat: &'a FlatTopology,
+    shards: &'a [Shard],
+    contributors: &'a [SourceId],
+    threads: usize,
+}
+
+fn now_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos() as u64
+}
+
+impl<S: AggregationScheme> Exec<'_, S> {
+    /// Source init + in-shard merges for one epoch, sharded across the
+    /// scoped pool. Allocation-free once the buffers are warm.
+    fn produce(&self, epoch: Epoch, buf: &mut EpochBuf<S::Psr>) {
+        let EpochBuf { values, shards, .. } = buf;
+        let values: &[u64] = values;
+        parallel::for_each_pair_mut(self.threads, self.shards, shards, |i, shard, state| {
+            let _ = i;
+            Self::produce_shard(self.scheme, self.flat, epoch, shard, values, state);
+        });
+    }
+
+    fn produce_shard(
+        scheme: &S,
+        flat: &FlatTopology,
+        epoch: Epoch,
+        shard: &Shard,
+        values: &[u64],
+        st: &mut ShardState<S::Psr>,
+    ) {
+        st.err = None;
+        st.out.clear();
+        st.stack.clear();
+        st.jobs.clear();
+        let post = &flat.post_order()[shard.range.clone()];
+        for &id in post {
+            if let Some(sid) = flat.source_id(id as usize) {
+                st.jobs.push((sid, values[sid as usize]));
+            }
+        }
+
+        let t0 = Instant::now();
+        scheme.batch_source_init_into(epoch, &st.jobs, &mut st.inits);
+        st.source_ns = now_ns(t0);
+        debug_assert_eq!(st.inits.len(), st.jobs.len(), "one result per job");
+
+        let t1 = Instant::now();
+        let mut next_init = 0usize;
+        for &id in post {
+            let id = id as usize;
+            if flat.is_source(id) {
+                match &st.inits[next_init] {
+                    Ok(psr) => st.stack.push(psr.clone()),
+                    Err(e) => {
+                        st.err = Some(e.clone());
+                        st.merge_ns = now_ns(t1);
+                        return;
+                    }
+                }
+                next_init += 1;
+            } else {
+                let k = flat.children(id).len();
+                debug_assert!(st.stack.len() >= k, "stack underflow at node {id}");
+                let base = st.stack.len() - k;
+                // Post-order visits subtrees last-child-first, so the
+                // children's results sit on the stack in reverse child
+                // order; restore child order so the scheme merges the
+                // exact input sequence the serial engine produces.
+                st.stack[base..].reverse();
+                match scheme.try_merge(&st.stack[base..]) {
+                    Ok(merged) => {
+                        st.stack.truncate(base);
+                        st.stack.push(merged);
+                    }
+                    Err(e) => {
+                        st.err = Some(e);
+                        st.merge_ns = now_ns(t1);
+                        return;
+                    }
+                }
+            }
+        }
+        st.merge_ns = now_ns(t1);
+        st.out.append(&mut st.stack);
+    }
+
+    /// Sink merge + finalize + evaluation for one produced epoch.
+    /// `last_final` mirrors the engine's replay cache: set *before*
+    /// evaluation, left stale on early aborts.
+    fn consume<F>(
+        &self,
+        epoch: Epoch,
+        buf: &mut EpochBuf<S::Psr>,
+        last_final: &mut Option<S::Psr>,
+        sink: &mut F,
+    ) where
+        F: FnMut(&EpochReport, Option<&S::Psr>, &Result<EvaluatedSum, SchemeError>, &[SourceId]),
+    {
+        let EpochBuf {
+            shards,
+            root_inputs,
+            ..
+        } = buf;
+        let mut report = EpochReport {
+            epoch,
+            ..EpochReport::default()
+        };
+        for st in shards.iter() {
+            report.source_cpu_ns += st.source_ns;
+            report.merge_cpu_ns += st.merge_ns;
+        }
+        // The first error in shard order is the first the serial walk
+        // would have hit (shards partition the post-order in order).
+        for st in shards.iter_mut() {
+            if let Some(e) = st.err.take() {
+                sink(&report, last_final.as_ref(), &Err(e), self.contributors);
+                return;
+            }
+        }
+
+        root_inputs.clear();
+        for st in shards.iter_mut() {
+            root_inputs.append(&mut st.out);
+        }
+        // Shard remnants arrive in post order = reverse child order;
+        // the sink's merge expects child order (engine gather loop).
+        root_inputs.reverse();
+
+        let t0 = Instant::now();
+        let merged = match self.scheme.try_merge(root_inputs) {
+            Ok(m) => m,
+            Err(e) => {
+                report.merge_cpu_ns += now_ns(t0);
+                sink(&report, last_final.as_ref(), &Err(e), self.contributors);
+                return;
+            }
+        };
+        let final_psr = self.scheme.sink_finalize(merged);
+        report.merge_cpu_ns += now_ns(t0);
+        *last_final = Some(final_psr);
+
+        let t1 = Instant::now();
+        let result = self.scheme.evaluate_par(
+            last_final.as_ref().expect("just set"),
+            epoch,
+            self.contributors,
+            self.threads,
+        );
+        report.querier_cpu_ns = now_ns(t1);
+        sink(&report, last_final.as_ref(), &result, self.contributors);
+    }
+}
+
+/// Splits the sink's child subtrees (contiguous post-order segments)
+/// into at most `threads` contiguous, size-balanced shards.
+fn plan_shards(flat: &FlatTopology, threads: usize) -> Vec<Shard> {
+    let root = flat.root();
+    let mut segments: Vec<Range<usize>> = flat
+        .children(root)
+        .iter()
+        .map(|&c| flat.subtree_range(c as usize))
+        .collect();
+    segments.sort_by_key(|r| r.start);
+    if segments.is_empty() {
+        return Vec::new();
+    }
+    let total: usize = segments.iter().map(Range::len).sum();
+    let workers = threads.max(1).min(segments.len());
+    let mut ranges: Vec<Range<usize>> = Vec::with_capacity(workers);
+    let mut iter = segments.into_iter();
+    let mut consumed = 0usize;
+    for w in 0..workers {
+        let goal = total * (w + 1) / workers;
+        let Some(first) = iter.next() else { break };
+        let mut range = first;
+        consumed += range.len();
+        while consumed < goal {
+            let Some(next) = iter.next() else { break };
+            debug_assert_eq!(next.start, range.end, "segments must be contiguous");
+            consumed += next.len();
+            range.end = next.end;
+        }
+        ranges.push(range);
+    }
+    // Rounding leftovers join the last shard.
+    if let (Some(last), rest) = (ranges.last_mut(), iter) {
+        for next in rest {
+            last.end = next.end;
+        }
+    }
+    ranges
+        .into_iter()
+        .map(|range| {
+            let sources = flat.post_order()[range.clone()]
+                .iter()
+                .filter(|&&id| flat.is_source(id as usize))
+                .count();
+            Shard { range, sources }
+        })
+        .collect()
+}
+
+/// The streamed clean-path epoch runner over a [`FlatTopology`] arena.
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use sies_core::{SystemParams, Threads};
+/// use sies_net::deploy::SiesDeployment;
+/// use sies_net::flat::FlatTopology;
+/// use sies_net::pipeline::EpochPipeline;
+/// use sies_net::topology::Topology;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let deployment = SiesDeployment::new(&mut rng, SystemParams::new(16).unwrap());
+/// let topology = Topology::complete_tree(16, 4);
+/// let flat = FlatTopology::from_topology(&topology);
+/// let mut pipeline = EpochPipeline::new(&deployment, &flat, Threads::serial(), false);
+/// let mut sums = Vec::new();
+/// pipeline.run(0, 2, |_, values| values.fill(3), |_, _, result, _| {
+///     sums.push(result.as_ref().unwrap().sum);
+/// });
+/// assert_eq!(sums, [48.0, 48.0]);
+/// ```
+pub struct EpochPipeline<'a, S: AggregationScheme> {
+    scheme: &'a S,
+    flat: &'a FlatTopology,
+    threads: usize,
+    streaming: bool,
+    shards: Vec<Shard>,
+    contributors: Vec<SourceId>,
+    /// The two alternating epoch buffers ("front" and "back"); `None`
+    /// only transiently inside [`run`](Self::run).
+    bufs: Option<BufPair<S::Psr>>,
+    last_final: Option<S::Psr>,
+}
+
+/// The pipeline's double buffer: one `EpochBuf` per in-flight epoch.
+type BufPair<P> = (EpochBuf<P>, EpochBuf<P>);
+
+impl<'a, S: AggregationScheme> EpochPipeline<'a, S> {
+    /// Builds a pipeline over `flat` with the given worker count.
+    /// `streaming` overlaps epoch `t+1`'s source phase with epoch `t`'s
+    /// merge/evaluate on a dedicated producer thread.
+    pub fn new(scheme: &'a S, flat: &'a FlatTopology, threads: Threads, streaming: bool) -> Self {
+        let threads = threads.resolve();
+        let shards = plan_shards(flat, threads);
+        let n_sources = flat.num_sources() as usize;
+        let root_children = flat.children(flat.root()).len();
+        let mk_buf = |shards: &[Shard]| EpochBuf {
+            values: vec![0u64; n_sources],
+            shards: shards.iter().map(ShardState::with_capacity).collect(),
+            root_inputs: Vec::with_capacity(root_children),
+        };
+        let bufs = Some((mk_buf(&shards), mk_buf(&shards)));
+        EpochPipeline {
+            scheme,
+            flat,
+            threads,
+            streaming,
+            shards,
+            contributors: (0..n_sources as SourceId).collect(),
+            bufs,
+            last_final: None,
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether epoch streaming is enabled.
+    pub fn streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// How many subtree shards the tree was split into (≤ threads).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The final PSR of the most recent completed epoch (what the
+    /// querier saw) — the engine's `last_final_psr` counterpart.
+    pub fn last_final_psr(&self) -> Option<&S::Psr> {
+        self.last_final.as_ref()
+    }
+
+    /// Heap bytes held by the pipeline's reusable epoch state (both
+    /// buffers plus shard bookkeeping), the pipeline's share of the
+    /// bytes-per-node budget. Excludes the arena — add
+    /// [`FlatTopology::bytes`] — and the scheme's key material.
+    pub fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let bufs = match &self.bufs {
+            Some((a, b)) => a.bytes() + b.bytes(),
+            None => 0,
+        };
+        bufs + self.shards.capacity() * size_of::<Shard>()
+            + self.contributors.capacity() * size_of::<SourceId>()
+    }
+
+    /// Runs `epochs` consecutive epochs starting at `first_epoch`.
+    ///
+    /// Per epoch, `fill(epoch, values)` populates the readings (one slot
+    /// per source), then `sink(report, final_psr, result, contributors)`
+    /// observes the outcome — `final_psr` follows the engine's replay
+    /// cache semantics (set before evaluation, stale on early aborts).
+    /// Both callbacks run on the calling thread, in epoch order, even
+    /// when streaming.
+    pub fn run<F, G>(&mut self, first_epoch: Epoch, epochs: u64, mut fill: F, mut sink: G)
+    where
+        F: FnMut(Epoch, &mut [u64]),
+        G: FnMut(&EpochReport, Option<&S::Psr>, &Result<EvaluatedSum, SchemeError>, &[SourceId]),
+    {
+        if epochs == 0 {
+            return;
+        }
+        let (front, back) = self.bufs.take().expect("buffers present between runs");
+        let mut last_final = self.last_final.take();
+        let exec = Exec {
+            scheme: self.scheme,
+            flat: self.flat,
+            shards: &self.shards,
+            contributors: &self.contributors,
+            threads: self.threads,
+        };
+        let last = first_epoch + epochs - 1;
+
+        if !self.streaming {
+            let mut front = front;
+            for epoch in first_epoch..=last {
+                fill(epoch, &mut front.values);
+                exec.produce(epoch, &mut front);
+                exec.consume(epoch, &mut front, &mut last_final, &mut sink);
+            }
+            self.bufs = Some((front, back));
+            self.last_final = last_final;
+            return;
+        }
+
+        // Streaming: a scoped producer runs `produce` for epoch t+1
+        // while this thread consumes epoch t. `pool` holds idle buffers;
+        // the mailboxes move them by value (three Vec pointers).
+        let mut pool: Vec<EpochBuf<S::Psr>> = Vec::with_capacity(2);
+        let to_producer: Mailbox<(Epoch, EpochBuf<S::Psr>)> = Mailbox::new();
+        let to_consumer: Mailbox<(Epoch, EpochBuf<S::Psr>)> = Mailbox::new();
+        std::thread::scope(|scope| {
+            let exec = &exec;
+            let tp = &to_producer;
+            let tc = &to_consumer;
+            scope.spawn(move || {
+                // Closing on exit (or panic) unblocks the consumer.
+                let _close = CloseOnDrop(tc);
+                while let Some((epoch, mut buf)) = tp.recv() {
+                    exec.produce(epoch, &mut buf);
+                    tc.send((epoch, buf));
+                }
+            });
+            // Symmetric guard: a panicking consumer unblocks the producer.
+            let _close = CloseOnDrop(tp);
+
+            let mut front = front;
+            fill(first_epoch, &mut front.values);
+            tp.send((first_epoch, front));
+            pool.push(back);
+            for epoch in first_epoch..=last {
+                if epoch < last {
+                    let mut next = pool.pop().expect("a spare buffer is always free");
+                    fill(epoch + 1, &mut next.values);
+                    tp.send((epoch + 1, next));
+                }
+                let (produced_epoch, mut buf) = tc
+                    .recv()
+                    .expect("producer terminated before the last epoch");
+                debug_assert_eq!(produced_epoch, epoch, "epochs hand off in order");
+                exec.consume(epoch, &mut buf, &mut last_final, &mut sink);
+                pool.push(buf);
+            }
+            tp.close();
+        });
+        let b = pool.pop().expect("both buffers return to the pool");
+        let a = pool.pop().expect("both buffers return to the pool");
+        self.bufs = Some((a, b));
+        self.last_final = last_final;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::topology::Topology;
+
+    /// A transparent scheme (plain sum + contribution count) mirroring
+    /// the engine's test scheme, so pipeline behaviour is observable
+    /// without cryptography.
+    struct PlainSum;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    struct PlainPsr {
+        sum: u64,
+        count: u64,
+    }
+
+    impl AggregationScheme for PlainSum {
+        type Psr = PlainPsr;
+
+        fn name(&self) -> &'static str {
+            "PLAIN"
+        }
+
+        fn source_init(&self, _source: SourceId, _epoch: Epoch, value: u64) -> PlainPsr {
+            PlainPsr {
+                sum: value,
+                count: 1,
+            }
+        }
+
+        fn merge(&self, psrs: &[PlainPsr]) -> PlainPsr {
+            PlainPsr {
+                sum: psrs.iter().map(|p| p.sum).sum(),
+                count: psrs.iter().map(|p| p.count).sum(),
+            }
+        }
+
+        fn evaluate(
+            &self,
+            final_psr: &PlainPsr,
+            _epoch: Epoch,
+            contributors: &[SourceId],
+        ) -> Result<EvaluatedSum, SchemeError> {
+            if final_psr.count != contributors.len() as u64 {
+                return Err(SchemeError::VerificationFailed(format!(
+                    "count {} != contributors {}",
+                    final_psr.count,
+                    contributors.len()
+                )));
+            }
+            Ok(EvaluatedSum {
+                sum: final_psr.sum as f64,
+                integrity_checked: true,
+            })
+        }
+
+        fn psr_wire_size(&self, _psr: &PlainPsr) -> usize {
+            16
+        }
+
+        fn tamper(&self, psr: &mut PlainPsr) {
+            psr.sum += 1;
+        }
+    }
+
+    fn run_collect(
+        topo: &Topology,
+        threads: usize,
+        streaming: bool,
+        epochs: u64,
+    ) -> Vec<(Option<PlainPsr>, Result<EvaluatedSum, SchemeError>)> {
+        let flat = FlatTopology::from_topology(topo);
+        let mut pipeline = EpochPipeline::new(&PlainSum, &flat, Threads::fixed(threads), streaming);
+        let mut seen = Vec::new();
+        pipeline.run(
+            0,
+            epochs,
+            |epoch, values| {
+                for (i, v) in values.iter_mut().enumerate() {
+                    *v = epoch * 1000 + i as u64;
+                }
+            },
+            |_, final_psr, result, _| {
+                seen.push((final_psr.copied(), result.clone()));
+            },
+        );
+        seen
+    }
+
+    #[test]
+    fn matches_engine_for_every_config() {
+        let topo = Topology::complete_tree(64, 4);
+        let mut engine = Engine::new(&PlainSum, &topo);
+        let mut expected = Vec::new();
+        for epoch in 0..4u64 {
+            let values: Vec<u64> = (0..64).map(|i| epoch * 1000 + i).collect();
+            let out = engine.run_epoch(epoch, &values);
+            expected.push((engine.last_final_psr().copied(), out.result));
+        }
+        for threads in [1, 2, 3, 8] {
+            for streaming in [false, true] {
+                let got = run_collect(&topo, threads, streaming, 4);
+                assert_eq!(got, expected, "threads={threads} streaming={streaming}");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_trees_shard_correctly() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = Topology::random_tree(&mut rng, 37 + seed * 11, 5);
+            let serial = run_collect(&topo, 1, false, 3);
+            for threads in [2, 4, 16] {
+                for streaming in [false, true] {
+                    let got = run_collect(&topo, threads, streaming, 3);
+                    assert_eq!(got, serial, "seed={seed} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_source_tree() {
+        let topo = Topology::complete_tree(1, 2);
+        let seen = run_collect(&topo, 4, true, 2);
+        assert_eq!(seen[0].1.as_ref().unwrap().sum, 0.0);
+        assert_eq!(seen[1].1.as_ref().unwrap().sum, 1000.0);
+    }
+
+    #[test]
+    fn buffers_survive_across_runs() {
+        let topo = Topology::complete_tree(16, 4);
+        let flat = FlatTopology::from_topology(&topo);
+        let mut pipeline = EpochPipeline::new(&PlainSum, &flat, Threads::serial(), true);
+        let mut count = 0usize;
+        pipeline.run(0, 3, |_, v| v.fill(1), |_, _, _, _| count += 1);
+        let bytes = pipeline.state_bytes();
+        assert!(bytes > 0);
+        pipeline.run(3, 3, |_, v| v.fill(2), |_, _, _, _| count += 1);
+        assert_eq!(count, 6);
+        // Warm buffers: a second run must not have grown the state.
+        assert_eq!(pipeline.state_bytes(), bytes);
+        assert_eq!(
+            pipeline.last_final_psr(),
+            Some(&PlainPsr { sum: 32, count: 16 })
+        );
+    }
+
+    #[test]
+    fn stale_last_final_on_abort_matches_engine() {
+        // count mismatch via a scheme error: use merge of zero inputs —
+        // instead drive a verification failure by lying about epochs.
+        struct Rejecting;
+        impl AggregationScheme for Rejecting {
+            type Psr = u64;
+            fn name(&self) -> &'static str {
+                "REJ"
+            }
+            fn source_init(&self, _s: SourceId, _e: Epoch, v: u64) -> u64 {
+                v
+            }
+            fn try_source_init(
+                &self,
+                _s: SourceId,
+                epoch: Epoch,
+                v: u64,
+            ) -> Result<u64, SchemeError> {
+                if epoch == 1 {
+                    Err(SchemeError::Malformed("reading rejected".into()))
+                } else {
+                    Ok(v)
+                }
+            }
+            fn merge(&self, psrs: &[u64]) -> u64 {
+                psrs.iter().sum()
+            }
+            fn evaluate(
+                &self,
+                f: &u64,
+                _e: Epoch,
+                _c: &[SourceId],
+            ) -> Result<EvaluatedSum, SchemeError> {
+                Ok(EvaluatedSum {
+                    sum: *f as f64,
+                    integrity_checked: false,
+                })
+            }
+            fn psr_wire_size(&self, _p: &u64) -> usize {
+                8
+            }
+            fn tamper(&self, p: &mut u64) {
+                *p += 1;
+            }
+        }
+        let topo = Topology::complete_tree(8, 2);
+        let flat = FlatTopology::from_topology(&topo);
+        let mut pipeline = EpochPipeline::new(&Rejecting, &flat, Threads::serial(), false);
+        let mut finals = Vec::new();
+        pipeline.run(
+            0,
+            3,
+            |_, v| v.fill(5),
+            |report, final_psr, result, _| {
+                finals.push((report.epoch, final_psr.copied(), result.is_ok()));
+            },
+        );
+        // Epoch 1 aborts early: the final PSR stays epoch 0's (stale),
+        // exactly like the engine's prev_final cache.
+        assert_eq!(finals[0], (0, Some(40), true));
+        assert_eq!(finals[1], (1, Some(40), false));
+        assert_eq!(finals[2], (2, Some(40), true));
+    }
+}

@@ -90,6 +90,32 @@ pub trait AggregationScheme: Sync {
             .collect()
     }
 
+    /// Allocation-aware variant of
+    /// [`batch_source_init`](Self::batch_source_init): writes the results
+    /// into `out` (cleared first, capacity retained) instead of returning
+    /// a fresh vector. The streamed epoch pipeline calls this every epoch
+    /// with a reused buffer, so once `out` has grown to the shard size the
+    /// default implementation allocates nothing in steady state.
+    ///
+    /// Must leave `out` element-wise equal to what
+    /// [`batch_source_init`](Self::batch_source_init) returns for the
+    /// same jobs. Schemes whose batched path inherently allocates (SIES'
+    /// lane-batched kernels build intermediate vectors) may still
+    /// override this for the epoch-shared-work hoist; the buffer then
+    /// only saves the outer allocation.
+    fn batch_source_init_into(
+        &self,
+        epoch: Epoch,
+        jobs: &[(SourceId, u64)],
+        out: &mut Vec<Result<Self::Psr, SchemeError>>,
+    ) {
+        out.clear();
+        out.reserve(jobs.len());
+        for &(source, value) in jobs {
+            out.push(self.try_source_init(source, epoch, value));
+        }
+    }
+
     /// Merging phase `M` at an aggregator: fuse children's PSRs.
     /// `psrs` is non-empty.
     fn merge(&self, psrs: &[Self::Psr]) -> Self::Psr;

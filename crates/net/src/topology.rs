@@ -177,9 +177,8 @@ impl Topology {
         let mut stack = vec![(self.root, 0usize)];
         while let Some((id, depth)) = stack.pop() {
             self.nodes[id].depth = depth;
-            let children = self.nodes[id].children.clone();
-            for c in children {
-                stack.push((c, depth + 1));
+            for i in 0..self.nodes[id].children.len() {
+                stack.push((self.nodes[id].children[i], depth + 1));
             }
         }
     }

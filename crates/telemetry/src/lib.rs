@@ -52,11 +52,13 @@
 
 pub mod journal;
 pub mod metric;
+pub mod process;
 pub mod registry;
 pub mod span;
 
 pub use journal::{Event, EventKind, Journal};
 pub use metric::{Counter, FloatCounter, Gauge, Histogram, HistogramSnapshot, HIST_BUCKETS};
+pub use process::{peak_rss_bytes, record_bytes_per_node, record_peak_rss};
 pub use registry::{global, Registry, Snapshot};
 pub use span::{current_depth, current_path, Span};
 
