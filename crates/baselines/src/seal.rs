@@ -30,6 +30,23 @@ impl Seal {
         }
     }
 
+    /// Creates SEALs for many `(seed, position)` pairs at once: the
+    /// ragged chains are bucketed by position and run W lanes at a time
+    /// through the batch rolling kernel
+    /// ([`RsaPublicKey::encrypt_repeated_ragged`]). Identical bytes to
+    /// mapping [`Seal::new`].
+    pub fn new_many(pk: &RsaPublicKey, items: &[(BigUint, u64)]) -> Vec<Seal> {
+        let values = pk.encrypt_repeated_ragged(items);
+        items
+            .iter()
+            .zip(values)
+            .map(|((_, x), value)| Seal {
+                position: *x,
+                value,
+            })
+            .collect()
+    }
+
     /// Rolls the SEAL forward to `target` (≥ current position).
     ///
     /// # Panics

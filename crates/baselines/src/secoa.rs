@@ -24,6 +24,7 @@ use crate::seal::{derive_seed_with, seed_from_digest, seed_message, Seal};
 use crate::sketch::FmSketch;
 use rand::RngCore;
 use sies_core::{Epoch, SourceId};
+use sies_crypto::biguint::BigUint;
 use sies_crypto::hmac::ct_eq;
 use sies_crypto::prf::{self, KeyedPrf};
 use sies_crypto::rsa::{RsaKeyPair, RsaPublicKey};
@@ -150,13 +151,14 @@ impl SecoaSum {
                 cert,
             })
             .collect();
-        let seals = xs
+        // All J ragged SEAL chains in one batch: bucketed by position,
+        // rolled W lanes at a time.
+        let seed_items: Vec<(BigUint, u64)> = xs
             .iter()
             .zip(&seed_digests)
-            .map(|(&x, digest)| {
-                Seal::new(&self.rsa, &seed_from_digest(digest, &self.rsa), x as u64)
-            })
+            .map(|(&x, digest)| (seed_from_digest(digest, &self.rsa), x as u64))
             .collect();
+        let seals = Seal::new_many(&self.rsa, &seed_items);
         SecoaPsr {
             slots,
             seals: SealBundle::PerSketch(seals),
@@ -185,28 +187,39 @@ impl SecoaSum {
     ) -> SecoaPsr {
         use rand::Rng as _;
         assert!(!contributors.is_empty());
+        // Pass 1: sample the J sketch maxima and owners (rng order
+        // unchanged), certificates per owner key.
         let mut slots = Vec::with_capacity(self.j);
-        let mut seals = Vec::with_capacity(self.j);
         for jj in 0..self.j {
             let x = FmSketch::sample(rng, total_value).value();
             let owner = contributors[rng.random_range(0..contributors.len())];
             let cert = self.mac_prfs[owner as usize].hm1(&cert_message(x, jj as u32, epoch));
-            // Product of every contributor's seed for this sketch (one
-            // lane-batched HMAC pass), folded through the key's shared
-            // Montgomery context.
-            let msg = seed_message(jj as u32, epoch);
-            let seeds: Vec<_> = prf::hm1_many(
-                contributors
-                    .iter()
-                    .map(|&i| (&self.seed_prfs[i as usize], msg)),
-            )
-            .iter()
-            .map(|digest| seed_from_digest(digest, &self.rsa))
-            .collect();
-            let product = self.rsa.fold_product(seeds.iter());
-            seals.push(Seal::new(&self.rsa, &product, x as u64));
             slots.push(SketchSlot { x, owner, cert });
         }
+        // Pass 2: each sketch's contributor seeds (one lane-batched HMAC
+        // pass per sketch), then all J seed products through the W-lane
+        // fold kernel and all J ragged SEAL chains in one batch.
+        let seed_lists: Vec<Vec<BigUint>> = (0..self.j)
+            .map(|jj| {
+                let msg = seed_message(jj as u32, epoch);
+                prf::hm1_many(
+                    contributors
+                        .iter()
+                        .map(|&i| (&self.seed_prfs[i as usize], msg)),
+                )
+                .iter()
+                .map(|digest| seed_from_digest(digest, &self.rsa))
+                .collect()
+            })
+            .collect();
+        let refs: Vec<&[BigUint]> = seed_lists.iter().map(|v| v.as_slice()).collect();
+        let products = self.rsa.fold_product_many(&refs);
+        let items: Vec<(BigUint, u64)> = products
+            .into_iter()
+            .zip(&slots)
+            .map(|(product, slot)| (product, slot.x as u64))
+            .collect();
+        let seals = Seal::new_many(&self.rsa, &items);
         SecoaPsr {
             slots,
             seals: SealBundle::PerSketch(seals),
@@ -255,10 +268,12 @@ impl AggregationScheme for SecoaSum {
     /// Equation 5).
     fn merge(&self, psrs: &[SecoaPsr]) -> SecoaPsr {
         assert!(!psrs.is_empty());
-        let mut slots = Vec::with_capacity(self.j);
-        let mut seals = Vec::with_capacity(self.j);
+        // Pass 1: pick each sketch's winner and collect every child
+        // SEAL's (value, roll distance) into one ragged batch, so all
+        // J·F rolls run W chains at a time instead of one by one.
+        let mut winners = Vec::with_capacity(self.j);
+        let mut items: Vec<(BigUint, u64)> = Vec::with_capacity(self.j * psrs.len());
         for jj in 0..self.j {
-            // Winner: the child with the maximal sketch value.
             let mut winner = 0usize;
             for (c, psr) in psrs.iter().enumerate() {
                 if psr.slots[jj].x > psrs[winner].slots[jj].x {
@@ -266,20 +281,35 @@ impl AggregationScheme for SecoaSum {
                 }
             }
             let target = psrs[winner].slots[jj].x as u64;
-            let mut agg_seal: Option<Seal> = None;
             for psr in psrs {
                 let SealBundle::PerSketch(child_seals) = &psr.seals else {
                     panic!("merge expects unfolded PSRs");
                 };
-                let mut s = child_seals[jj].clone();
-                s.roll_to(&self.rsa, target);
-                match &mut agg_seal {
-                    None => agg_seal = Some(s),
-                    Some(acc) => acc.fold_with(&self.rsa, &s),
-                }
+                let s = &child_seals[jj];
+                assert!(
+                    target >= s.position,
+                    "cannot roll a SEAL backward ({} -> {target})",
+                    s.position
+                );
+                items.push((s.value.clone(), target - s.position));
+            }
+            winners.push((winner, target));
+        }
+        let rolled = self.rsa.encrypt_repeated_ragged(&items);
+        // Pass 2: fold the rolled SEALs per sketch, in child order.
+        let mut slots = Vec::with_capacity(self.j);
+        let mut seals = Vec::with_capacity(self.j);
+        for (jj, &(winner, target)) in winners.iter().enumerate() {
+            let row = &rolled[jj * psrs.len()..(jj + 1) * psrs.len()];
+            let mut value = row[0].clone();
+            for v in &row[1..] {
+                value = self.rsa.fold(&value, v);
             }
             slots.push(psrs[winner].slots[jj].clone());
-            seals.push(agg_seal.expect("non-empty children"));
+            seals.push(Seal {
+                position: target,
+                value,
+            });
         }
         SecoaPsr {
             slots,
@@ -408,13 +438,13 @@ impl AggregationScheme for SecoaSum {
         // bundles, each distinct position contributed one SEAL per sketch
         // at that position, so the reference is the product over all
         // (contributor, sketch) seeds — identical in both representations.
-        // The N·J-element product runs through the key's shared Montgomery
-        // context (one division-free multiply per seed) instead of N·J
-        // generic mul-then-divide steps.
-        let mut folder = match self.rsa.mont_ctx() {
-            Some(ctx) => ctx.accumulator(),
-            None => return Err(SchemeError::Malformed("degenerate RSA modulus".into())),
-        };
+        // The N·J-element product is lane-split across W partial products
+        // through the key's shared Montgomery context (one division-free
+        // multiply per seed, W seeds per pass) instead of N·J generic
+        // mul-then-divide steps.
+        if self.rsa.mont_ctx().is_none() {
+            return Err(SchemeError::Malformed("degenerate RSA modulus".into()));
+        }
         let mut prfs = Vec::with_capacity(contributors.len());
         for &i in contributors {
             match self.seed_prfs.get(i as usize) {
@@ -428,10 +458,11 @@ impl AggregationScheme for SecoaSum {
             prfs.iter()
                 .flat_map(|&p| (0..self.j).map(move |jj| (p, seed_message(jj as u32, epoch)))),
         );
-        for digest in &digests {
-            folder.mul(&seed_from_digest(digest, &self.rsa));
-        }
-        let reference = Seal::new(&self.rsa, &folder.finish(), x_max);
+        let seeds: Vec<BigUint> = digests
+            .iter()
+            .map(|digest| seed_from_digest(digest, &self.rsa))
+            .collect();
+        let reference = Seal::new(&self.rsa, &self.rsa.fold_product_wide(&seeds), x_max);
         if reference.value != collected.value {
             return Err(SchemeError::VerificationFailed(
                 "aggregate SEAL mismatch (deflation or tampering)".into(),

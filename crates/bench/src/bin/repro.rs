@@ -509,6 +509,7 @@ struct ThroughputArtifact {
     header: ThroughputHeader,
     sweep: Vec<throughput::ThroughputPoint>,
     scale: Vec<throughput::ScalePoint>,
+    prewarm: Vec<throughput::PrewarmPoint>,
     soa_vs_legacy: Option<throughput::SoaComparison>,
 }
 
@@ -564,8 +565,51 @@ fn throughput_exp(opts: &Options, threads: Threads, max_n: u64, out: &Path) {
     );
     println!(
         "result digests identical across all thread counts (asserted per N) \
-         and across hash lane widths 1/4/8 (asserted at N={})",
+         and across hash lane widths 1/4/8/16 (asserted at N={})",
         throughput::THROUGHPUT_N[0]
+    );
+
+    // Prewarm on/off digest sweep: the precompute-ahead key pool must
+    // change no result byte at any thread count or streaming mode.
+    println!(
+        "\n-- Prewarm: precompute-ahead epoch crypto on/off, N={}, threads {:?} --",
+        throughput::THROUGHPUT_N[0],
+        throughput::PREWARM_THREADS
+    );
+    let prewarm = throughput::prewarm_suite(opts.seed, throughput::THROUGHPUT_N[0], epochs);
+    let rows: Vec<Vec<String>> = prewarm
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                if p.streaming { "on" } else { "off" }.to_string(),
+                if p.prewarmed { "on" } else { "off" }.to_string(),
+                format!("{:.1}", p.epochs_per_sec),
+                fmt_ms(p.wall_ms),
+                p.derived.to_string(),
+                p.pool_hits.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "threads",
+                "stream",
+                "prewarm",
+                "epochs/s",
+                "wall",
+                "derived",
+                "pool hits"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "prewarm digest oracle passed: warm and cold runs bit-identical at \
+         threads {:?} x streaming off/on",
+        throughput::PREWARM_THREADS
     );
 
     // Struct-of-arrays scale sweep: legacy serial reference vs the flat
@@ -657,6 +701,7 @@ fn throughput_exp(opts: &Options, threads: Threads, max_n: u64, out: &Path) {
         },
         sweep: points,
         scale,
+        prewarm,
         soa_vs_legacy: comparison,
     };
     println!("detected {cpu_cores} CPU core(s)");
@@ -672,7 +717,7 @@ fn micro(opts: &Options, baseline: Option<&Path>, out: &Path) {
     println!("\n== Micro: modular-exponentiation and batched-PRF kernels vs generic oracles ==");
     println!(
         "running differential oracles at {ORACLE_THREADS:?} thread(s) and \
-         lane widths 1/4/8, then timing medians..."
+         lane widths 1/4/8/16, then timing medians..."
     );
     let report = micro_suite(11, &ORACLE_THREADS);
     let rows: Vec<Vec<String>> = report

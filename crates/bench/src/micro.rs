@@ -14,18 +14,27 @@
 //! * batch modular inversion (Montgomery's trick vs per-element Euclid);
 //! * the lane-batched epoch PRFs (`hm1_epoch_many`, `hm256_epoch_many`,
 //!   `derive_mod_p_many` at x4/x8 lanes with cached HMAC pads) vs the
-//!   scalar free-function loop that re-derives the pad blocks per call.
+//!   scalar free-function loop that re-derives the pad blocks per call;
+//! * the W-lane Montgomery batch kernels (`pow_mod_many`,
+//!   `chain_pow_mod_many`, `fold_many` over the 1024-bit fixture
+//!   modulus, lane-interleaved CIOS) vs the scalar `BigMontCtx` loop;
+//! * the prewarmed source-init path (`batch_source_init` hitting a
+//!   pre-filled epoch-key pool) vs the derive-on-demand deployment.
 //!
 //! Keys are built from fixed 1024-bit prime fixtures (`p, q ≡ 2 (mod 3)`,
 //! generated once with the in-tree Miller–Rabin) so runs are reproducible
 //! and start instantly. Before timing anything the differential oracles
-//! run at 1, 2 and 8 worker threads, and the lane oracle replays every
-//! batched PRF at widths 1, 4 and 8 against the scalar path; a mismatch
-//! aborts the suite.
+//! run at 1, 2 and 8 worker threads, and the lane oracles replay every
+//! batched PRF and Montgomery batch kernel at widths 1, 4, 8 and 16
+//! against the scalar path; a mismatch aborts the suite.
 
 use crate::timing::time_median_us;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use sies_core::parallel;
+use sies_core::{parallel, SystemParams};
+use sies_crypto::bigmont::BigMontCtx;
+use sies_crypto::bigmontxn;
 use sies_crypto::biguint::BigUint;
 use sies_crypto::lanes;
 use sies_crypto::mont::MontgomeryCtx;
@@ -34,6 +43,8 @@ use sies_crypto::prf::{self, KeyedPrf};
 use sies_crypto::rsa::RsaKeyPair;
 use sies_crypto::u256::U256;
 use sies_crypto::DEFAULT_PRIME_256;
+use sies_net::scheme::AggregationScheme;
+use sies_net::{PrewarmPolicy, SiesDeployment};
 
 /// Fixed 1024-bit primes, `≡ 2 (mod 3)`, found by seeded search with the
 /// in-tree prime generator. P0·P1 is the RSA-2048 fixture modulus, P2·P3
@@ -49,11 +60,16 @@ const CHAIN_LEN: u64 = 16;
 /// Elements in the fold / batch-inversion kernels.
 const FOLD_LEN: usize = 256;
 const BATCH_LEN: usize = 64;
-/// Batch sizes for the lane-parallel PRF kernels (the largest matches
-/// the paper's default source population).
+/// Batch sizes for the lane-parallel PRF, Montgomery-batch, and prewarm
+/// kernels (the largest matches the paper's default source population).
 const PRF_BATCH: [usize; 3] = [64, 256, 1000];
-/// Lane widths the PRF oracle verifies (every kernel instantiation).
-const LANE_WIDTHS: [usize; 3] = [1, 4, 8];
+/// Lane widths the PRF and Montgomery-batch oracles verify (every
+/// kernel instantiation, including the AVX-512 x16 request that falls
+/// back gracefully on narrower hardware).
+const LANE_WIDTHS: [usize; 4] = [1, 4, 8, 16];
+/// Rolling-chain depth of the `chain_pow_mod_many` kernel (SEAL's
+/// per-merge roll shape at a batch scale).
+const MONT_CHAIN_K: u64 = 4;
 
 /// One kernel's generic-vs-fast medians.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -200,6 +216,42 @@ pub fn run_lane_oracle() -> Result<(), String> {
     Ok(())
 }
 
+/// Differential oracle for the W-lane Montgomery batch kernels: every
+/// explicit width (including the x16 request that clamps to the widest
+/// compiled kernel) must reproduce the scalar `BigMontCtx` loop exactly
+/// over the 1024-bit fixture modulus.
+pub fn run_mont_batch_oracle() -> Result<(), String> {
+    let m = from_hex(P0);
+    let ctx = BigMontCtx::new(&m);
+    let bases = stream_below(&m, 0xB16, 21);
+    let exp = BigUint::from_u64(0xD6E8_FEB8_6659_FD93);
+    let e3 = BigUint::from_u64(3);
+    // Ragged per-lane lists for the fold entry point.
+    let lists: Vec<Vec<BigUint>> = (0..9)
+        .map(|i| stream_below(&m, 0xF0_1D ^ i as u64, 1 + (i * 3) % 7))
+        .collect();
+    let list_refs: Vec<&[BigUint]> = lists.iter().map(|l| l.as_slice()).collect();
+    for width in LANE_WIDTHS {
+        let pows = bigmontxn::pow_mod_many_with(width, &ctx, &bases, &exp);
+        let chains = bigmontxn::chain_pow_mod_many_with(width, &ctx, &bases, &e3, MONT_CHAIN_K);
+        let folds = bigmontxn::fold_many_with(width, &ctx, &list_refs);
+        for (i, base) in bases.iter().enumerate() {
+            if pows[i] != ctx.pow_mod(base, &exp) {
+                return Err(format!("pow_mod_many mismatch (W={width}, lane {i})"));
+            }
+            if chains[i] != ctx.chain_pow_mod(base, &e3, MONT_CHAIN_K) {
+                return Err(format!("chain_pow_mod_many mismatch (W={width}, lane {i})"));
+            }
+        }
+        for (i, list) in lists.iter().enumerate() {
+            if folds[i] != ctx.product_mod(list.iter()) {
+                return Err(format!("fold_many mismatch (W={width}, lane {i})"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs every differential oracle sharded over `threads` workers;
 /// returns the first mismatch description, if any.
 pub fn run_oracles(threads: usize) -> Result<(), String> {
@@ -296,6 +348,9 @@ pub fn micro_suite(runs: usize, oracle_threads: &[usize]) -> MicroReport {
     }
     if let Err(e) = run_lane_oracle() {
         panic!("lane-width PRF oracle failed: {e}");
+    }
+    if let Err(e) = run_mont_batch_oracle() {
+        panic!("Montgomery batch oracle failed: {e}");
     }
 
     let rsa = rsa_fixture();
@@ -467,6 +522,97 @@ pub fn micro_suite(runs: usize, oracle_threads: &[usize]) -> MicroReport {
     ));
     lanes::clear_lane_width();
 
+    // W-lane Montgomery batch kernels over the 1024-bit fixture modulus:
+    // lane-interleaved CIOS (one limb pass drives W independent carry
+    // chains) vs the scalar `BigMontCtx` loop over the same bases. The
+    // exponent is a shared 64-bit word — the SEAL/SECOA shape where
+    // every lane walks the same square-and-multiply schedule.
+    let bm = from_hex(P0);
+    let bctx = BigMontCtx::new(&bm);
+    let bexp = BigUint::from_u64(0xD6E8_FEB8_6659_FD93);
+    let be3 = BigUint::from_u64(3);
+    let bbases = stream_below(&bm, 0xB00, nmax);
+    for &n in &PRF_BATCH {
+        kernels.push(KernelResult::measure(
+            &format!("mont_batch_pow_n{n}"),
+            runs,
+            || {
+                bbases[..n]
+                    .iter()
+                    .map(|b| bctx.pow_mod(b, &bexp))
+                    .collect::<Vec<_>>()
+            },
+            || bigmontxn::pow_mod_many(&bctx, &bbases[..n], &bexp),
+        ));
+        kernels.push(KernelResult::measure(
+            &format!("mont_batch_chain_n{n}"),
+            runs,
+            || {
+                bbases[..n]
+                    .iter()
+                    .map(|b| bctx.chain_pow_mod(b, &be3, MONT_CHAIN_K))
+                    .collect::<Vec<_>>()
+            },
+            || bigmontxn::chain_pow_mod_many(&bctx, &bbases[..n], &be3, MONT_CHAIN_K),
+        ));
+    }
+    // Per-lane fold: 8-element products per lane (the SECOA verifier's
+    // seed-product shape fanned out across sources).
+    let fold_lists: Vec<Vec<BigUint>> = (0..nmax)
+        .map(|i| stream_below(&bm, 0xF0_1D ^ i as u64, 8))
+        .collect();
+    for &n in &PRF_BATCH {
+        let refs: Vec<&[BigUint]> = fold_lists[..n].iter().map(|l| l.as_slice()).collect();
+        kernels.push(KernelResult::measure(
+            &format!("mont_batch_fold_n{n}"),
+            runs,
+            || {
+                refs.iter()
+                    .map(|l| bctx.product_mod(l.iter()))
+                    .collect::<Vec<_>>()
+            },
+            || bigmontxn::fold_many(&bctx, &refs),
+        ));
+    }
+
+    // Prewarmed source init: `batch_source_init` hitting a pool that
+    // already holds the epoch's key material (table lookup + encode +
+    // one CIOS multiply per job) vs the derive-on-demand batched path
+    // on a pool-disabled deployment. The ciphertexts are identical
+    // either way — the prewarm digest-identity contract — so the delta
+    // is exactly the PRF work moved off the critical path.
+    let mut rng = StdRng::seed_from_u64(0x51E5);
+    let cold_dep = SiesDeployment::new(&mut rng, SystemParams::new(nmax as u64).unwrap());
+    let mut rng = StdRng::seed_from_u64(0x51E5);
+    let warm_dep = SiesDeployment::new(&mut rng, SystemParams::new(nmax as u64).unwrap())
+        .with_prewarm(PrewarmPolicy::default());
+    let prewarm_epoch = 41u64;
+    assert!(
+        warm_dep.prewarm_derive(prewarm_epoch),
+        "prewarm pool must hold the measured epoch"
+    );
+    let jobs: Vec<(u32, u64)> = (0..nmax as u32).map(|i| (i, 1000 + i as u64)).collect();
+    // Pre-flight identity check: every pooled ciphertext must equal the
+    // on-demand one before the timings mean anything.
+    for (cold, warm) in cold_dep
+        .batch_source_init(prewarm_epoch, &jobs)
+        .iter()
+        .zip(&warm_dep.batch_source_init(prewarm_epoch, &jobs))
+    {
+        match (cold, warm) {
+            (Ok(a), Ok(b)) if a.to_bytes() == b.to_bytes() => {}
+            _ => panic!("prewarmed source init diverged from the on-demand path"),
+        }
+    }
+    for &n in &PRF_BATCH {
+        kernels.push(KernelResult::measure(
+            &format!("prewarm_source_init_n{n}"),
+            runs,
+            || cold_dep.batch_source_init(prewarm_epoch, &jobs[..n]),
+            || warm_dep.batch_source_init(prewarm_epoch, &jobs[..n]),
+        ));
+    }
+
     MicroReport {
         kernels,
         oracle_threads: oracle_threads.to_vec(),
@@ -564,6 +710,11 @@ mod tests {
     #[test]
     fn lane_oracle_passes() {
         run_lane_oracle().unwrap();
+    }
+
+    #[test]
+    fn mont_batch_oracle_passes() {
+        run_mont_batch_oracle().unwrap();
     }
 
     #[test]

@@ -12,8 +12,15 @@
 //!
 //! The same digest doubles as the lane-width oracle: before the thread
 //! sweep the suite replays the smallest population serially at every
-//! multi-lane hash width (W ∈ {1, 4, 8}) and asserts the digests agree,
-//! so neither worker count nor hash lane width can change a result byte.
+//! multi-lane hash width (W ∈ {1, 4, 8, 16}) and asserts the digests
+//! agree, so neither worker count nor hash lane width can change a
+//! result byte.
+//!
+//! The prewarm sweep ([`prewarm_suite`]) runs the same seeded epoch
+//! sequence through the struct-of-arrays pipeline with the
+//! precompute-ahead key pool off and on at 1, 2 and 8 worker threads
+//! and asserts every configuration produces the identical digest — the
+//! whole-system proof that prewarmed epochs change no result byte.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,7 +32,7 @@ use sies_crypto::sha256::Sha256;
 use sies_net::engine::Engine;
 use sies_net::pipeline::EpochPipeline;
 use sies_net::scheme::SchemeError;
-use sies_net::{FlatTopology, SiesDeployment, Threads, Topology};
+use sies_net::{FlatTopology, PrewarmPolicy, SiesDeployment, Threads, Topology};
 use std::time::Instant;
 
 /// The population sizes the throughput sweep covers.
@@ -228,7 +235,7 @@ fn run_config(seed: u64, n: u64, threads: usize, epochs: u64) -> ThroughputPoint
 /// # Panics
 /// Panics when any width's digest diverges from W = 1.
 pub fn lane_width_sweep(seed: u64, epochs: u64) -> Vec<(usize, String)> {
-    let digests: Vec<(usize, String)> = [1usize, 4, 8]
+    let digests: Vec<(usize, String)> = [1usize, 4, 8, 16]
         .iter()
         .map(|&w| {
             lanes::set_lane_width(w);
@@ -404,6 +411,98 @@ pub fn scale_suite(seed: u64, ns: &[u64], epochs_for: impl Fn(u64) -> u64) -> Ve
     points
 }
 
+/// Thread counts the prewarm sweep digest-asserts with the pool off
+/// and on (the acceptance matrix of the precompute-ahead layer).
+pub const PREWARM_THREADS: [usize; 3] = [1, 2, 8];
+
+/// One configuration of the prewarm on/off digest sweep, ready for the
+/// `prewarm` section of `BENCH_throughput.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct PrewarmPoint {
+    /// Worker threads.
+    pub threads: usize,
+    /// Whether the precompute-ahead key pool was enabled.
+    pub prewarmed: bool,
+    /// Whether epoch streaming (double-buffered overlap) was on.
+    pub streaming: bool,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Wall-clock time for the whole run, ms.
+    pub wall_ms: f64,
+    /// Epochs completed per wall-clock second.
+    pub epochs_per_sec: f64,
+    /// Epoch key-material derivations the warmer ran ahead of time.
+    pub derived: u64,
+    /// Source-init batches that found their epoch already pooled.
+    pub pool_hits: u64,
+    /// Same serial-equivalence digest as the thread sweep; equal across
+    /// every row by assertion.
+    pub result_digest: String,
+}
+
+/// Runs the prewarm on/off digest sweep: the same seeded epoch sequence
+/// through the struct-of-arrays pipeline at every thread count in
+/// [`PREWARM_THREADS`], streaming off and on, with the precompute-ahead
+/// pool disabled and then enabled — and asserts every configuration's
+/// digest equals the cold serial reference's. A completed sweep is
+/// itself the proof that prewarmed epoch crypto changes no result byte.
+///
+/// # Panics
+/// Panics when any warm configuration's digest diverges from the cold
+/// serial run, or when a warm run derived nothing ahead of time.
+pub fn prewarm_suite(seed: u64, n: u64, epochs: u64) -> Vec<PrewarmPoint> {
+    let topo = Topology::complete_tree(n, 4);
+    let flat = FlatTopology::from_topology(&topo);
+    let mut points = Vec::new();
+    let mut reference: Option<String> = None;
+    for &threads in &PREWARM_THREADS {
+        for streaming in [false, true] {
+            for prewarmed in [false, true] {
+                // Fresh deployment per configuration: identical seeding
+                // keeps the digests comparable while guaranteeing each
+                // run starts from an empty pool.
+                let mut rng = StdRng::seed_from_u64(seed ^ n);
+                let dep = SiesDeployment::new(&mut rng, SystemParams::new(n).unwrap());
+                if prewarmed {
+                    dep.set_prewarm_policy(PrewarmPolicy::default());
+                }
+                let mut pipeline =
+                    EpochPipeline::new(&dep, &flat, Threads::fixed(threads), streaming);
+                let m = run_pipeline_measured(&mut pipeline, seed, n, 0, epochs);
+                match &reference {
+                    None => reference = Some(m.digest.clone()),
+                    Some(r) => assert_eq!(
+                        &m.digest, r,
+                        "prewarm oracle violated: threads={threads} streaming={streaming} \
+                         prewarmed={prewarmed} changed the results"
+                    ),
+                }
+                let stats = dep.prewarm_stats();
+                if prewarmed {
+                    assert!(
+                        stats.derived > 0,
+                        "warm run derived nothing ahead of time (threads={threads})"
+                    );
+                } else {
+                    assert_eq!(stats.derived, 0, "cold run must not touch the pool");
+                }
+                points.push(PrewarmPoint {
+                    threads,
+                    prewarmed,
+                    streaming,
+                    epochs,
+                    wall_ms: m.wall_ms,
+                    epochs_per_sec: epochs as f64 / (m.wall_ms / 1e3),
+                    derived: stats.derived,
+                    pool_hits: stats.hits,
+                    result_digest: m.digest,
+                });
+            }
+        }
+    }
+    points
+}
+
 /// Paired comparison of the committed baseline layout (legacy engine)
 /// against the SoA pipeline, ready for `BENCH_throughput.json`.
 #[derive(Debug, Clone, Serialize)]
@@ -543,7 +642,8 @@ mod tests {
     #[test]
     fn lane_widths_do_not_change_results() {
         let digests = lane_width_sweep(3, 2);
-        assert_eq!(digests.len(), 3);
+        assert_eq!(digests.len(), 4);
+        assert_eq!(digests[3].0, 16, "the AVX-512 request is swept too");
         assert!(digests.iter().all(|(_, d)| d == &digests[0].1));
     }
 
@@ -564,6 +664,23 @@ mod tests {
                 "implausible bytes/node {}",
                 p.bytes_per_node
             );
+        }
+    }
+
+    #[test]
+    fn prewarm_suite_digests_agree_on_and_off() {
+        // The internal assert_eq! is the oracle; shape checks are
+        // bookkeeping. Small n/epochs — the full matrix runs 12 configs.
+        let points = prewarm_suite(17, 48, 3);
+        assert_eq!(points.len(), PREWARM_THREADS.len() * 2 * 2);
+        for p in &points {
+            assert_eq!(p.result_digest, points[0].result_digest);
+            if p.prewarmed {
+                assert!(p.derived > 0, "warm runs must precompute");
+            } else {
+                assert_eq!(p.derived, 0);
+                assert_eq!(p.pool_hits, 0);
+            }
         }
     }
 

@@ -64,6 +64,12 @@ pub struct Broadcaster {
     chain: Vec<ChainKey>,
     /// Disclosure lag `d` in intervals.
     delay: u64,
+    /// Precomputed `(interval, K'_i)` MAC keys, ascending by interval.
+    /// Populated ahead of use by [`Broadcaster::prewarm_mac_window`]
+    /// during idle gaps; [`Broadcaster::broadcast`] consults it before
+    /// falling back to on-demand derivation. Purely a cache: the MAC key
+    /// for an interval is the same bytes either way.
+    prewarmed: Vec<(u64, [u8; 32])>,
 }
 
 impl Broadcaster {
@@ -77,7 +83,11 @@ impl Broadcaster {
         for i in (0..n - 1).rev() {
             chain[i] = chain_step(&chain[i + 1]);
         }
-        Broadcaster { chain, delay }
+        Broadcaster {
+            chain,
+            delay,
+            prewarmed: Vec::new(),
+        }
     }
 
     /// The public commitment `K_0`, distributed authentically at bootstrap.
@@ -90,13 +100,62 @@ impl Broadcaster {
         self.delay
     }
 
+    /// Derives and caches the MAC keys `K'_i` for intervals
+    /// `from..=to` (clamped to the chain, interval 0 excluded) in one
+    /// pass through the multi-lane batched HMAC. Intended to run during
+    /// the inter-interval idle gap so the per-packet HMAC in
+    /// [`Broadcaster::broadcast`] becomes a table lookup. Returns how
+    /// many keys were freshly derived; already-cached intervals are
+    /// skipped, so calling with an overlapping window is cheap.
+    pub fn prewarm_mac_window(&mut self, from: u64, to: u64) -> usize {
+        let hi = to.min(self.chain.len() as u64 - 1);
+        let fresh: Vec<u64> = (from.max(1)..=hi)
+            .filter(|i| !self.prewarmed.iter().any(|(j, _)| j == i))
+            .collect();
+        if fresh.is_empty() {
+            return 0;
+        }
+        let chain_keys: Vec<&[u8]> = fresh
+            .iter()
+            .map(|&i| self.chain[i as usize].as_slice())
+            .collect();
+        for (&i, mk) in fresh
+            .iter()
+            .zip(hmac_many::<Sha256>(&chain_keys, b"mutesla-mac"))
+        {
+            self.prewarmed
+                .push((i, mk.try_into().expect("SHA-256 output is 32 bytes")));
+        }
+        self.prewarmed.sort_by_key(|(i, _)| *i);
+        tel::count!("core.mutesla.prewarmed_keys", fresh.len() as u64);
+        fresh.len()
+    }
+
+    /// Drops cached MAC keys for intervals at or below `interval`
+    /// (their disclosure makes the cache entries dead weight).
+    pub fn retire_prewarmed(&mut self, interval: u64) {
+        self.prewarmed.retain(|(i, _)| *i > interval);
+    }
+
     /// MACs a payload with interval `i`'s key. Panics when the chain is
     /// exhausted or `interval` is 0 (interval 0 is the commitment).
+    ///
+    /// Uses the prewarmed MAC key when
+    /// [`Broadcaster::prewarm_mac_window`] covered this interval;
+    /// otherwise derives it on the spot. The packet bytes are identical
+    /// either way.
     pub fn broadcast(&self, interval: u64, payload: &[u8]) -> Packet {
-        let key = &self.chain[interval as usize];
-        let mac = hmac::<Sha256>(&mac_key(key), payload)
-            .try_into()
-            .expect("32 bytes");
+        let mk = match self.prewarmed.binary_search_by_key(&interval, |(i, _)| *i) {
+            Ok(idx) => {
+                tel::count!("core.mutesla.prewarm_hits");
+                self.prewarmed[idx].1
+            }
+            Err(_) => {
+                tel::count!("core.mutesla.prewarm_misses");
+                mac_key(&self.chain[interval as usize])
+            }
+        };
+        let mac = hmac::<Sha256>(&mk, payload).try_into().expect("32 bytes");
         Packet {
             payload: payload.to_vec(),
             mac,
@@ -553,6 +612,41 @@ mod tests {
         let (b, _r) = setup(5, 1);
         let r = Receiver::resume(b.commitment(), 1, 0, b.commitment()).unwrap();
         assert_eq!(r.auth_interval(), 0);
+    }
+
+    #[test]
+    fn prewarmed_broadcast_is_bit_identical_to_cold() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let cold = Broadcaster::new(&mut rng, 10, 2);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut warm = Broadcaster::new(&mut rng, 10, 2);
+        assert_eq!(warm.prewarm_mac_window(1, 6), 6);
+        // Overlapping re-warm derives nothing new.
+        assert_eq!(warm.prewarm_mac_window(3, 8), 2);
+        for i in 1..=10 {
+            let payload = format!("query {i}");
+            assert_eq!(
+                warm.broadcast(i, payload.as_bytes()),
+                cold.broadcast(i, payload.as_bytes()),
+                "prewarmed packet differs at interval {i}"
+            );
+        }
+        // Retiring the cache changes nothing observable.
+        warm.retire_prewarmed(8);
+        assert_eq!(warm.broadcast(5, b"x"), cold.broadcast(5, b"x"));
+        // Clamped past the chain end: nothing to derive.
+        assert_eq!(warm.prewarm_mac_window(11, 20), 0);
+    }
+
+    #[test]
+    fn prewarmed_packets_verify_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = Broadcaster::new(&mut rng, 10, 2);
+        let mut r = Receiver::new(b.commitment(), 2);
+        b.prewarm_mac_window(1, 10);
+        r.receive(1, b.broadcast(1, b"warm query")).unwrap();
+        let msgs = r.on_disclosure(b.disclose(1)).unwrap();
+        assert_eq!(msgs, vec![b"warm query".to_vec()]);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Quick width-tuning harness for the W-lane Montgomery batch kernels.
+//! Not part of the repro suite — `repro micro` is the canonical
+//! measurement; this exists to compare chunk widths while tuning.
+
+use sies_crypto::bigmont::BigMontCtx;
+use sies_crypto::bigmontxn;
+use sies_crypto::biguint::BigUint;
+use std::time::Instant;
+
+fn stream_below(m: &BigUint, tag: u64, count: usize) -> Vec<BigUint> {
+    let nbytes = m.bit_len().div_ceil(8) + 8;
+    (0..count)
+        .map(|i| {
+            let mut state = tag
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64 + 1);
+            let mut bytes = Vec::with_capacity(nbytes);
+            while bytes.len() < nbytes {
+                state = state
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(27)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                bytes.extend_from_slice(&state.to_be_bytes());
+            }
+            BigUint::from_be_bytes(&bytes).rem(m)
+        })
+        .collect()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn time_us(rounds: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    median(samples)
+}
+
+fn main() {
+    let mut mbytes = vec![0xE4u8; 128];
+    mbytes[127] |= 1;
+    let m = BigUint::from_be_bytes(&mbytes);
+    let ctx = BigMontCtx::new(&m);
+    let n = 64usize;
+    let bases = stream_below(&m, 0xB00, n);
+    let exp = BigUint::from_u64(0xD6E8_FEB8_6659_FD93);
+    let rounds = 31;
+
+    let scalar = time_us(rounds, || {
+        std::hint::black_box(
+            bases
+                .iter()
+                .map(|b| ctx.pow_mod(b, &exp))
+                .collect::<Vec<_>>(),
+        );
+    });
+    println!("scalar pow loop  n={n}: {scalar:10.1} us");
+    for w in [4usize, 8] {
+        let t = time_us(rounds, || {
+            std::hint::black_box(bigmontxn::pow_mod_many_with(w, &ctx, &bases, &exp));
+        });
+        println!(
+            "pow_mod_many w={w} n={n}: {t:10.1} us  ({:.2}x)",
+            scalar / t
+        );
+    }
+}

@@ -30,10 +30,10 @@ use core::cmp::Ordering;
 use sies_telemetry as tel;
 
 /// Window width for fixed-window exponentiation.
-const WINDOW_BITS: usize = 4;
+pub(crate) const WINDOW_BITS: usize = 4;
 /// Exponents at or below this bit length skip the window table: for tiny
 /// exponents (RSA's `e = 3`) the table build costs more than it saves.
-const SMALL_EXP_BITS: usize = 2 * WINDOW_BITS;
+pub(crate) const SMALL_EXP_BITS: usize = 2 * WINDOW_BITS;
 
 /// Precomputed Montgomery context for a fixed odd modulus of any width.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,7 +97,7 @@ impl BigMontCtx {
     /// chains (`a·b_i` and `u·m`) carried in registers. For `a, b < m`
     /// the running value stays below `2m`, so the overflow beyond the
     /// `n` stored limbs is a single bit (`t_hi`).
-    fn cios(&self, a: &[u64], b: &[u64], t: &mut [u64], out: &mut [u64]) {
+    pub(crate) fn cios(&self, a: &[u64], b: &[u64], t: &mut [u64], out: &mut [u64]) {
         let n = self.m.len();
         debug_assert!(a.len() == n && b.len() == n && t.len() >= n && out.len() == n);
         let m = &self.m[..n];
@@ -131,7 +131,7 @@ impl BigMontCtx {
     }
 
     /// Reduces `a` mod `m` and pads to the fixed width.
-    fn reduce(&self, a: &BigUint) -> Vec<u64> {
+    pub(crate) fn reduce(&self, a: &BigUint) -> Vec<u64> {
         let n = self.m.len();
         if limbs::cmp(a.limbs(), &self.m) == Ordering::Less {
             to_width(a, n)
@@ -142,7 +142,7 @@ impl BigMontCtx {
 
     /// Converts into the Montgomery domain: `a·R mod m` (reducing first
     /// when `a ≥ m`).
-    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+    pub(crate) fn to_mont(&self, a: &BigUint) -> Vec<u64> {
         let a = self.reduce(a);
         let n = self.m.len();
         let mut t = vec![0u64; n + 2];
@@ -155,7 +155,7 @@ impl BigMontCtx {
     // Named for symmetry with `to_mont` (and `MontgomeryCtx::from_mont`):
     // it converts *out of* a representation, not *from* a source type.
     #[allow(clippy::wrong_self_convention)]
-    fn from_mont(&self, a: &[u64]) -> BigUint {
+    pub(crate) fn from_mont(&self, a: &[u64]) -> BigUint {
         let n = self.m.len();
         let one = one_limbs(n);
         let mut t = vec![0u64; n + 2];
@@ -294,10 +294,31 @@ impl BigMontCtx {
         acc.finish()
     }
 
+    /// View of the fixed-width modulus limbs (for the lane-interleaved
+    /// batch kernels in [`crate::bigmontxn`]).
+    pub(crate) fn m_limbs(&self) -> &[u64] {
+        &self.m
+    }
+
+    /// `-m^{-1} mod 2^64` (see [`crate::bigmontxn`]).
+    pub(crate) fn n_prime(&self) -> u64 {
+        self.n_prime
+    }
+
+    /// `R mod m` — the Montgomery form of 1 (see [`crate::bigmontxn`]).
+    pub(crate) fn r1_limbs(&self) -> &[u64] {
+        &self.r1
+    }
+
+    /// `R² mod m` (see [`crate::bigmontxn`]).
+    pub(crate) fn r2_limbs(&self) -> &[u64] {
+        &self.r2
+    }
+
     /// `R^(j+1) mod m` in the sense of the accumulator fix-up: returns
     /// the limb vector `X` with `X = R^(j+1) mod m`, computed with
     /// `O(log j)` CIOS multiplies. `j = 0` gives `R mod m` (= `r1`).
-    fn r_power(&self, j: u64) -> Vec<u64> {
+    pub(crate) fn r_power(&self, j: u64) -> Vec<u64> {
         // Under CIOS multiplication, R^a ∘ R^b = R^(a+b-1): exponents
         // shifted by one form a monoid with identity r1 = R^1. Classic
         // square-and-multiply over that monoid computes R^(j+1).
@@ -374,7 +395,7 @@ impl MontAccumulator<'_> {
 }
 
 /// Pads `a`'s limbs to exactly `width` (a must fit).
-fn to_width(a: &BigUint, width: usize) -> Vec<u64> {
+pub(crate) fn to_width(a: &BigUint, width: usize) -> Vec<u64> {
     let mut out = vec![0u64; width];
     out[..a.limbs().len()].copy_from_slice(a.limbs());
     out
@@ -388,7 +409,7 @@ fn one_limbs(width: usize) -> Vec<u64> {
 }
 
 /// The `w`-th 4-bit window of `exp` (window 0 is least significant).
-fn window_of(exp: &BigUint, w: usize) -> usize {
+pub(crate) fn window_of(exp: &BigUint, w: usize) -> usize {
     let mut nibble = 0usize;
     for b in 0..WINDOW_BITS {
         if exp.bit(w * WINDOW_BITS + b) {

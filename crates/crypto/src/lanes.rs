@@ -1,15 +1,27 @@
 //! Runtime lane-width selection for the multi-lane hash kernels.
 //!
 //! [`sha1xn`](crate::sha1xn) and [`sha256xn`](crate::sha256xn) interleave
-//! W independent single-block compressions per round-loop pass. The width
-//! actually used is chosen at runtime so the same binary can be pinned to
-//! W ∈ {1, 4, 8} by CI's lane-width determinism matrix:
+//! W independent single-block compressions per round-loop pass, and
+//! [`bigmontxn`](crate::bigmontxn) does the same for CIOS Montgomery
+//! multiplication. The width actually used is chosen at runtime so the
+//! same binary can be pinned to W ∈ {1, 4, 8, 16} by CI's lane-width
+//! determinism matrix:
 //!
-//! * `SIES_LANES=1|4|8` in the environment selects the width at startup;
+//! * `SIES_LANES=1|4|8|16` in the environment selects the width at
+//!   startup;
 //! * [`set_lane_width`] overrides it in-process (benches and the
 //!   throughput suite's lane sweep use this);
 //! * the default is 8 — on targets without wide vectors the x8 kernel
 //!   still wins on instruction-level parallelism alone.
+//!
+//! [`lane_width`] reports the *requested* width — that is what the
+//! engine's `lane_dispatch` telemetry events and CI's matrix greps pin.
+//! Kernels that cannot profit from the requested width clamp it
+//! themselves via [`effective_lane_width`]: x16 hash passes only pay off
+//! with AVX-512, so on narrower hardware a request for 16 runs as two x8
+//! passes (counted in `crypto.lanes.fallbacks`), and the bignum kernels
+//! cap at [`bigmontxn`](crate::bigmontxn)'s own widest instantiation.
+//! The clamp changes scheduling only, never bytes.
 //!
 //! Every width produces bit-identical digests (the kernels are plain
 //! integer arithmetic, differential-tested lane-by-lane against the
@@ -20,11 +32,16 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use sies_telemetry as tel;
+
 /// Widest kernel instantiation available.
-pub const MAX_LANES: usize = 8;
+pub const MAX_LANES: usize = 16;
 
 /// In-process override; 0 means "consult `SIES_LANES` / the default".
 static FORCED: AtomicUsize = AtomicUsize::new(0);
+
+/// Default width when `SIES_LANES` is unset or unparsable.
+const DEFAULT_LANES: usize = 8;
 
 fn env_width() -> usize {
     static ENV: OnceLock<usize> = OnceLock::new();
@@ -33,13 +50,13 @@ fn env_width() -> usize {
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
         {
-            Some(w @ (1 | 4 | 8)) => w,
-            _ => MAX_LANES,
+            Some(w @ (1 | 4 | 8 | 16)) => w,
+            _ => DEFAULT_LANES,
         }
     })
 }
 
-/// The lane width the batch schedulers use right now (1, 4, or 8).
+/// The lane width the batch schedulers use right now (1, 4, 8, or 16).
 pub fn lane_width() -> usize {
     match FORCED.load(Ordering::Relaxed) {
         0 => env_width(),
@@ -47,15 +64,46 @@ pub fn lane_width() -> usize {
     }
 }
 
+/// The widest hash pass worth running on this hardware: 16 only with
+/// AVX-512F (one x16 pass per round-loop iteration), 8 everywhere else —
+/// without 512-bit registers an x16 pass spills and loses to two x8
+/// passes.
+pub fn hw_max_lanes() -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return 16;
+        }
+    }
+    8
+}
+
+/// The requested width clamped to what the hardware profits from
+/// ([`hw_max_lanes`]). When the clamp bites, the fallback is counted in
+/// `crypto.lanes.fallbacks` — the `lane_dispatch` telemetry event the
+/// engine emits per epoch carries both the requested and the effective
+/// width, so traces show the degradation without the digests changing.
+pub fn effective_lane_width() -> usize {
+    let requested = lane_width();
+    let hw = hw_max_lanes();
+    if requested > hw {
+        tel::count!("crypto.lanes.fallbacks");
+        hw
+    } else {
+        requested
+    }
+}
+
 /// Forces the lane width in-process, overriding `SIES_LANES`.
 ///
-/// Only 1, 4, and 8 are kernel widths. The setting is global: it is meant
-/// for benches and determinism sweeps, not for concurrent fine-grained
-/// toggling (a race can only change scheduling, never output bytes).
+/// Only 1, 4, 8, and 16 are kernel widths. The setting is global: it is
+/// meant for benches and determinism sweeps, not for concurrent
+/// fine-grained toggling (a race can only change scheduling, never
+/// output bytes).
 pub fn set_lane_width(width: usize) {
     assert!(
-        matches!(width, 1 | 4 | 8),
-        "lane width must be 1, 4 or 8, got {width}"
+        matches!(width, 1 | 4 | 8 | 16),
+        "lane width must be 1, 4, 8 or 16, got {width}"
     );
     FORCED.store(width, Ordering::Relaxed);
 }
@@ -77,14 +125,26 @@ mod tests {
         assert_eq!(lane_width(), 4);
         set_lane_width(1);
         assert_eq!(lane_width(), 1);
+        set_lane_width(16);
+        assert_eq!(lane_width(), 16);
         set_lane_width(8);
         assert_eq!(lane_width(), 8);
         clear_lane_width();
-        assert!(matches!(lane_width(), 1 | 4 | 8));
+        assert!(matches!(lane_width(), 1 | 4 | 8 | 16));
     }
 
     #[test]
-    #[should_panic(expected = "lane width must be 1, 4 or 8")]
+    fn effective_width_clamps_to_hardware() {
+        set_lane_width(16);
+        let eff = effective_lane_width();
+        assert_eq!(eff, 16.min(hw_max_lanes()));
+        set_lane_width(1);
+        assert_eq!(effective_lane_width(), 1);
+        clear_lane_width();
+    }
+
+    #[test]
+    #[should_panic(expected = "lane width must be 1, 4, 8 or 16")]
     fn rejects_unsupported_width() {
         set_lane_width(3);
     }

@@ -16,8 +16,11 @@
 //!   generation) backing RSA and prime setup;
 //! * [`sha1::Sha1`] / [`sha256::Sha256`] — FIPS 180-4 hashes;
 //! * [`sha1xn`] / [`sha256xn`] — multi-lane compression kernels (W ∈
-//!   {1, 4, 8} interleaved single-block compressions, runtime width via
-//!   [`lanes`]) behind the batched HMAC/PRF fan-out;
+//!   {1, 4, 8, 16} interleaved single-block compressions, runtime width
+//!   via [`lanes`]) behind the batched HMAC/PRF fan-out;
+//! * [`bigmontxn`] — W-lane Montgomery batch kernels (lane-interleaved
+//!   CIOS: `pow_mod_many` / `chain_pow_mod_many` / `fold_many`) behind
+//!   the RSA/Paillier batch paths and the SECOA seed products;
 //! * [`mod@hmac`] — RFC 2104 HMAC generic over the hash, the paper's
 //!   `HM1(·)`/`HM256(·)`, with cached-pad states and the lane-batched
 //!   [`hmac::HmacState::finalize_many`] / [`hmac::hmac_many`];
@@ -49,6 +52,8 @@
 //! ```
 
 pub mod bigmont;
+mod bigmont52;
+pub mod bigmontxn;
 pub mod biguint;
 pub mod hash;
 pub mod hmac;

@@ -21,6 +21,7 @@
 //! differential-test oracle.
 
 use crate::bigmont::BigMontCtx;
+use crate::bigmontxn;
 use crate::biguint::BigUint;
 use rand::RngCore;
 
@@ -140,6 +141,76 @@ impl RsaPublicKey {
                 }
                 acc
             }
+        }
+    }
+
+    /// Batch raw RSA encryption: [`Self::encrypt`] mapped over `ms`, W
+    /// bases at a time through the lane-interleaved CIOS kernel
+    /// ([`crate::bigmontxn::pow_mod_many`]). Identical bytes to the
+    /// scalar loop.
+    pub fn encrypt_many(&self, ms: &[BigUint]) -> Vec<BigUint> {
+        match &self.ctx {
+            Some(ctx) => bigmontxn::pow_mod_many(ctx, ms, &self.e),
+            None => ms.iter().map(|m| self.encrypt(m)).collect(),
+        }
+    }
+
+    /// Batch SEAL rolling with one shared roll count:
+    /// [`Self::encrypt_repeated`] mapped over `ms`, whole chains
+    /// in-domain across W lanes.
+    pub fn encrypt_repeated_many(&self, ms: &[BigUint], times: u64) -> Vec<BigUint> {
+        match &self.ctx {
+            Some(ctx) => bigmontxn::chain_pow_mod_many(ctx, ms, &self.e, times),
+            None => ms.iter().map(|m| self.encrypt_repeated(m, times)).collect(),
+        }
+    }
+
+    /// Batch *ragged* rolling — `(value, times)` pairs with differing
+    /// chain lengths, as SECOA's per-sketch positions are. Pairs are
+    /// bucketed by chain length and each bucket runs through the W-lane
+    /// chain kernel; output order matches input order, bytes identical
+    /// to the scalar loop.
+    pub fn encrypt_repeated_ragged(&self, items: &[(BigUint, u64)]) -> Vec<BigUint> {
+        let Some(ctx) = &self.ctx else {
+            return items
+                .iter()
+                .map(|(m, k)| self.encrypt_repeated(m, *k))
+                .collect();
+        };
+        let mut buckets: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+        for (idx, (_, k)) in items.iter().enumerate() {
+            buckets.entry(*k).or_default().push(idx);
+        }
+        let mut out: Vec<Option<BigUint>> = vec![None; items.len()];
+        for (k, idxs) in buckets {
+            let bases: Vec<BigUint> = idxs.iter().map(|&i| items[i].0.clone()).collect();
+            let rolled = bigmontxn::chain_pow_mod_many(ctx, &bases, &self.e, k);
+            for (i, v) in idxs.into_iter().zip(rolled) {
+                out[i] = Some(v);
+            }
+        }
+        out.into_iter()
+            .map(|v| v.expect("every index bucketed exactly once"))
+            .collect()
+    }
+
+    /// Independent fold products, W product lanes at a time — SECOA's
+    /// per-sketch seed products. `out[i] = Π lists[i] mod n` (1 for an
+    /// empty list), identical bytes to a [`Self::fold_product`] loop.
+    pub fn fold_product_many(&self, lists: &[&[BigUint]]) -> Vec<BigUint> {
+        match &self.ctx {
+            Some(ctx) => bigmontxn::fold_many(ctx, lists),
+            None => lists.iter().map(|l| self.fold_product(l.iter())).collect(),
+        }
+    }
+
+    /// One big product lane-split into W partial lanes — the verifier's
+    /// `N·J` seed product. Identical bytes to [`Self::fold_product`]
+    /// over the same values.
+    pub fn fold_product_wide(&self, values: &[BigUint]) -> BigUint {
+        match &self.ctx {
+            Some(ctx) => bigmontxn::product_mod_wide(ctx, values),
+            None => self.fold_product(values.iter()),
         }
     }
 }

@@ -1,5 +1,5 @@
 //! Multi-lane SHA-1 compression: W independent single-block compressions
-//! per round-loop pass (W ∈ {1, 4, 8}).
+//! per round-loop pass (W ∈ {1, 4, 8, 16}).
 //!
 //! Same design as [`crate::sha256xn`] — plain `[u32; W]` lane arrays the
 //! compiler can autovectorize, one independent message per lane, output
@@ -7,7 +7,7 @@
 //! registers are `[u32; 8]` with only the first five words live, so the
 //! batched HMAC layer can treat both hashes uniformly.
 
-use crate::lanes::lane_width;
+use crate::lanes::effective_lane_width;
 use crate::sha1::H0;
 use sies_telemetry as tel;
 
@@ -146,6 +146,29 @@ mod avx2 {
     }
 }
 
+/// AVX-512F instantiation of the x16 kernel — see [`crate::sha256xn`]
+/// for the register-budget rationale.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use super::compress_w;
+
+    #[target_feature(enable = "avx512f")]
+    pub fn compress_w16(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+        compress_w::<16>(states, blocks);
+    }
+}
+
+/// NEON instantiation of the x4 kernel — see [`crate::sha256xn`].
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::compress_w;
+
+    #[target_feature(enable = "neon")]
+    pub fn compress_w4(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+        compress_w::<4>(states, blocks);
+    }
+}
+
 /// Four interleaved single-block compressions.
 pub fn compress_x4(states: &mut [[u32; 8]; 4], blocks: &[[u8; 64]; 4]) {
     dispatch_w4(&mut states[..], &blocks[..]);
@@ -156,12 +179,23 @@ pub fn compress_x8(states: &mut [[u32; 8]; 8], blocks: &[[u8; 64]; 8]) {
     dispatch_w8(&mut states[..], &blocks[..]);
 }
 
+/// Sixteen interleaved single-block compressions.
+pub fn compress_x16(states: &mut [[u32; 8]; 16], blocks: &[[u8; 64]; 16]) {
+    dispatch_w16(&mut states[..], &blocks[..]);
+}
+
 fn dispatch_w4(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: the AVX2 requirement is checked at runtime above; the
         // function body is the same safe Rust as `compress_w::<4>`.
         return unsafe { avx2::compress_w4(states, blocks) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: NEON availability is checked at runtime above; the
+        // function body is the same safe Rust as `compress_w::<4>`.
+        return unsafe { neon::compress_w4(states, blocks) };
     }
     compress_w::<4>(states, blocks);
 }
@@ -175,19 +209,30 @@ fn dispatch_w8(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
     compress_w::<8>(states, blocks);
 }
 
+fn dispatch_w16(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        // SAFETY: as in `dispatch_w4`.
+        return unsafe { avx512::compress_w16(states, blocks) };
+    }
+    compress_w::<16>(states, blocks);
+}
+
 /// Compresses any number of independent (state, block) lanes, scheduling
-/// x8 / x4 / scalar kernel passes capped at `width` and handling the
-/// ragged tail. Output is independent of `width`.
+/// x16 / x8 / x4 / scalar kernel passes capped at `width` and handling
+/// the ragged tail. Output is independent of `width`.
 pub fn compress_many_with(width: usize, states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
     assert_eq!(states.len(), blocks.len(), "one block per lane state");
     let total = states.len() as u64;
     // Pass counts accrue locally and flush once per call (no atomics in
     // the lane loop; telemetry off costs one load + branch per call).
-    let (mut p8, mut p4, mut p1) = (0u64, 0u64, 0u64);
+    let (mut p16, mut p8, mut p4, mut p1) = (0u64, 0u64, 0u64, 0u64);
     let (mut states, mut blocks) = (states, blocks);
     while !states.is_empty() {
         let n = states.len();
-        let take = if width >= 8 && n >= 8 {
+        let take = if width >= 16 && n >= 16 {
+            16
+        } else if width >= 8 && n >= 8 {
             8
         } else if width >= 4 && n >= 4 {
             4
@@ -197,6 +242,10 @@ pub fn compress_many_with(width: usize, states: &mut [[u32; 8]], blocks: &[[u8; 
         let (s, rest_s) = states.split_at_mut(take);
         let (b, rest_b) = blocks.split_at(take);
         match take {
+            16 => {
+                dispatch_w16(s, b);
+                p16 += 1;
+            }
             8 => {
                 dispatch_w8(s, b);
                 p8 += 1;
@@ -214,15 +263,16 @@ pub fn compress_many_with(width: usize, states: &mut [[u32; 8]], blocks: &[[u8; 
         blocks = rest_b;
     }
     tel::count!("crypto.sha1.compressions", total);
+    tel::count!("crypto.sha1.passes_x16", p16);
     tel::count!("crypto.sha1.passes_x8", p8);
     tel::count!("crypto.sha1.passes_x4", p4);
     tel::count!("crypto.sha1.passes_x1", p1);
 }
 
-/// [`compress_many_with`] at the runtime-selected width
-/// ([`crate::lanes::lane_width`]).
+/// [`compress_many_with`] at the hardware-clamped runtime width
+/// ([`crate::lanes::effective_lane_width`]).
 pub fn compress_many(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
-    compress_many_with(lane_width(), states, blocks);
+    compress_many_with(effective_lane_width(), states, blocks);
 }
 
 #[cfg(test)]
@@ -246,10 +296,12 @@ mod tests {
 
     #[test]
     fn every_lane_matches_scalar_at_every_width() {
-        let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![0xA0 | i; (i as usize) * 6]).collect();
+        let msgs: Vec<Vec<u8>> = (0..16u8)
+            .map(|i| vec![0xA0 | i; (i as usize) * 3])
+            .collect();
         let blocks: Vec<[u8; 64]> = msgs.iter().map(|m| single_block(m)).collect();
-        for width in [1usize, 4, 8] {
-            for n in 0..=8usize {
+        for width in [1usize, 4, 8, 16] {
+            for n in 0..=16usize {
                 let mut states = vec![initial_state(); n];
                 compress_many_with(width, &mut states, &blocks[..n]);
                 for (l, st) in states.iter().enumerate() {

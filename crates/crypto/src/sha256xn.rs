@@ -1,5 +1,5 @@
 //! Multi-lane SHA-256 compression: W independent single-block
-//! compressions per round-loop pass (W ∈ {1, 4, 8}).
+//! compressions per round-loop pass (W ∈ {1, 4, 8, 16}).
 //!
 //! The kernels operate on plain `[u32; W]` arrays so the compiler can
 //! autovectorize the lane dimension (or, failing that, extract
@@ -13,7 +13,7 @@
 //! bit-identical to [`crate::sha256::Sha256`]'s compression — pinned by
 //! the KAT suite against the FIPS 180-4 vectors lane by lane.
 
-use crate::lanes::lane_width;
+use crate::lanes::effective_lane_width;
 use crate::sha256::{H0, K};
 use sies_telemetry as tel;
 
@@ -148,6 +148,36 @@ mod avx2 {
     }
 }
 
+/// A third instantiation with AVX-512F codegen for the x16 kernel: with
+/// 512-bit registers a 16-lane `[u32; 16]` array is exactly one zmm
+/// vector, so the whole round state stays resident. Without AVX-512 an
+/// x16 pass spills and loses to two x8 passes, which is why the
+/// scheduler only picks width 16 when this module is dispatchable
+/// ([`crate::lanes::effective_lane_width`]).
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use super::compress_w;
+
+    #[target_feature(enable = "avx512f")]
+    pub fn compress_w16(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+        compress_w::<16>(states, blocks);
+    }
+}
+
+/// The x4 kernel compiled for NEON. AArch64 enables NEON in the baseline
+/// target, so this is less a recompile than an explicit statement that
+/// the 128-bit vector width fits `[u32; 4]` lanes exactly; the dispatch
+/// keeps the structure uniform with x86.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::compress_w;
+
+    #[target_feature(enable = "neon")]
+    pub fn compress_w4(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+        compress_w::<4>(states, blocks);
+    }
+}
+
 /// Four interleaved single-block compressions.
 pub fn compress_x4(states: &mut [[u32; 8]; 4], blocks: &[[u8; 64]; 4]) {
     dispatch_w4(&mut states[..], &blocks[..]);
@@ -158,12 +188,23 @@ pub fn compress_x8(states: &mut [[u32; 8]; 8], blocks: &[[u8; 64]; 8]) {
     dispatch_w8(&mut states[..], &blocks[..]);
 }
 
+/// Sixteen interleaved single-block compressions.
+pub fn compress_x16(states: &mut [[u32; 8]; 16], blocks: &[[u8; 64]; 16]) {
+    dispatch_w16(&mut states[..], &blocks[..]);
+}
+
 fn dispatch_w4(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: the AVX2 requirement is checked at runtime above; the
         // function body is the same safe Rust as `compress_w::<4>`.
         return unsafe { avx2::compress_w4(states, blocks) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: NEON availability is checked at runtime above; the
+        // function body is the same safe Rust as `compress_w::<4>`.
+        return unsafe { neon::compress_w4(states, blocks) };
     }
     compress_w::<4>(states, blocks);
 }
@@ -177,19 +218,30 @@ fn dispatch_w8(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
     compress_w::<8>(states, blocks);
 }
 
+fn dispatch_w16(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        // SAFETY: as in `dispatch_w4`.
+        return unsafe { avx512::compress_w16(states, blocks) };
+    }
+    compress_w::<16>(states, blocks);
+}
+
 /// Compresses any number of independent (state, block) lanes, scheduling
-/// x8 / x4 / scalar kernel passes capped at `width` and handling the
-/// ragged tail. Output is independent of `width`.
+/// x16 / x8 / x4 / scalar kernel passes capped at `width` and handling
+/// the ragged tail. Output is independent of `width`.
 pub fn compress_many_with(width: usize, states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
     assert_eq!(states.len(), blocks.len(), "one block per lane state");
     let total = states.len() as u64;
     // Pass counts accrue locally and flush once per call, so the hot
     // loop sees no atomics (telemetry off: one load + branch per call).
-    let (mut p8, mut p4, mut p1) = (0u64, 0u64, 0u64);
+    let (mut p16, mut p8, mut p4, mut p1) = (0u64, 0u64, 0u64, 0u64);
     let (mut states, mut blocks) = (states, blocks);
     while !states.is_empty() {
         let n = states.len();
-        let take = if width >= 8 && n >= 8 {
+        let take = if width >= 16 && n >= 16 {
+            16
+        } else if width >= 8 && n >= 8 {
             8
         } else if width >= 4 && n >= 4 {
             4
@@ -199,6 +251,10 @@ pub fn compress_many_with(width: usize, states: &mut [[u32; 8]], blocks: &[[u8; 
         let (s, rest_s) = states.split_at_mut(take);
         let (b, rest_b) = blocks.split_at(take);
         match take {
+            16 => {
+                dispatch_w16(s, b);
+                p16 += 1;
+            }
             8 => {
                 dispatch_w8(s, b);
                 p8 += 1;
@@ -216,15 +272,17 @@ pub fn compress_many_with(width: usize, states: &mut [[u32; 8]], blocks: &[[u8; 
         blocks = rest_b;
     }
     tel::count!("crypto.sha256.compressions", total);
+    tel::count!("crypto.sha256.passes_x16", p16);
     tel::count!("crypto.sha256.passes_x8", p8);
     tel::count!("crypto.sha256.passes_x4", p4);
     tel::count!("crypto.sha256.passes_x1", p1);
 }
 
-/// [`compress_many_with`] at the runtime-selected width
-/// ([`crate::lanes::lane_width`]).
+/// [`compress_many_with`] at the hardware-clamped runtime width
+/// ([`crate::lanes::effective_lane_width`]): a 16-lane request without
+/// AVX-512 runs as x8 passes, with the fallback counted.
 pub fn compress_many(states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
-    compress_many_with(lane_width(), states, blocks);
+    compress_many_with(effective_lane_width(), states, blocks);
 }
 
 #[cfg(test)]
@@ -249,10 +307,10 @@ mod tests {
 
     #[test]
     fn every_lane_matches_scalar_at_every_width() {
-        let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; (i as usize) * 5]).collect();
+        let msgs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; (i as usize) * 3]).collect();
         let blocks: Vec<[u8; 64]> = msgs.iter().map(|m| single_block(m)).collect();
-        for width in [1usize, 4, 8] {
-            for n in 0..=8usize {
+        for width in [1usize, 4, 8, 16] {
+            for n in 0..=16usize {
                 let mut states = vec![initial_state(); n];
                 compress_many_with(width, &mut states, &blocks[..n]);
                 for (l, st) in states.iter().enumerate() {

@@ -415,6 +415,101 @@ proptest! {
         prop_assert_eq!(ctx.product_mod(values.iter()), expect);
     }
 
+    // ---- Lane-interleaved batch bignum vs the mapped scalar oracle ------
+    //
+    // The W-lane CIOS kernels (`bigmontxn`) must be element-wise
+    // identical to mapping the scalar `BigMontCtx` ops — for any odd
+    // modulus width, any batch size (including ragged tails where
+    // n % 4 and n % 8 ≠ 0), edge exponents 0 / 1 / 2^k − 1, and every
+    // scheduling width {1, 4, 8, 16}.
+
+    #[test]
+    fn batch_pow_matches_mapped_scalar(
+        bases in proptest::collection::vec(any_biguint(), 0..=19),
+        exp in any_biguint(),
+        m in odd_big_modulus(),
+        width_sel in 0usize..4,
+    ) {
+        use sies_crypto::bigmontxn;
+        let ctx = BigMontCtx::new(&m);
+        let width = [1usize, 4, 8, 16][width_sel];
+        let got = bigmontxn::pow_mod_many_with(width, &ctx, &bases, &exp);
+        prop_assert_eq!(got.len(), bases.len());
+        for (b, g) in bases.iter().zip(&got) {
+            prop_assert_eq!(g, &ctx.pow_mod(b, &exp));
+        }
+    }
+
+    #[test]
+    fn batch_pow_edge_exponents(
+        bases in proptest::collection::vec(any_biguint(), 1..=9),
+        k in 1usize..=320,
+        m in odd_big_modulus(),
+        width_sel in 0usize..4,
+    ) {
+        use sies_crypto::bigmontxn;
+        let ctx = BigMontCtx::new(&m);
+        let width = [1usize, 4, 8, 16][width_sel];
+        let ones = BigUint::one().shl(k).sub(&BigUint::one());
+        for exp in [BigUint::zero(), BigUint::one(), ones] {
+            let got = bigmontxn::pow_mod_many_with(width, &ctx, &bases, &exp);
+            for (b, g) in bases.iter().zip(&got) {
+                prop_assert_eq!(g, &ctx.pow_mod(b, &exp));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_chain_matches_mapped_scalar(
+        bases in proptest::collection::vec(any_biguint(), 0..=13),
+        e in 2u64..64,
+        k in 0u64..8,
+        m in odd_big_modulus(),
+        width_sel in 0usize..4,
+    ) {
+        use sies_crypto::bigmontxn;
+        let ctx = BigMontCtx::new(&m);
+        let width = [1usize, 4, 8, 16][width_sel];
+        let e = BigUint::from_u64(e);
+        let got = bigmontxn::chain_pow_mod_many_with(width, &ctx, &bases, &e, k);
+        prop_assert_eq!(got.len(), bases.len());
+        for (b, g) in bases.iter().zip(&got) {
+            prop_assert_eq!(g, &ctx.chain_pow_mod(b, &e, k));
+        }
+    }
+
+    #[test]
+    fn batch_fold_matches_mapped_scalar(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(any_biguint(), 0..=9), 0..=11
+        ),
+        m in odd_big_modulus(),
+        width_sel in 0usize..4,
+    ) {
+        use sies_crypto::bigmontxn;
+        let ctx = BigMontCtx::new(&m);
+        let width = [1usize, 4, 8, 16][width_sel];
+        let refs: Vec<&[BigUint]> = lists.iter().map(|l| l.as_slice()).collect();
+        let got = bigmontxn::fold_many_with(width, &ctx, &refs);
+        prop_assert_eq!(got.len(), lists.len());
+        for (list, g) in lists.iter().zip(&got) {
+            prop_assert_eq!(g, &ctx.product_mod(list.iter()));
+        }
+    }
+
+    #[test]
+    fn wide_product_matches_serial_product(
+        values in proptest::collection::vec(any_biguint(), 0..=40),
+        m in odd_big_modulus(),
+    ) {
+        use sies_crypto::bigmontxn;
+        let ctx = BigMontCtx::new(&m);
+        prop_assert_eq!(
+            bigmontxn::product_mod_wide(&ctx, &values),
+            ctx.product_mod(values.iter())
+        );
+    }
+
     // ---- CRT private-key ops vs the generic oracle ----------------------
 
     #[test]
@@ -501,10 +596,10 @@ proptest! {
     fn batched_epoch_prfs_match_scalar(
         keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..=80), 0..=19),
         epoch in any::<u64>(),
-        width_sel in 0usize..3,
+        width_sel in 0usize..4,
     ) {
         use sies_crypto::prf::{self, KeyedPrf};
-        let width = [1usize, 4, 8][width_sel];
+        let width = [1usize, 4, 8, 16][width_sel];
         sies_crypto::lanes::set_lane_width(width);
         let prfs: Vec<KeyedPrf> = keys.iter().map(|k| KeyedPrf::new(k)).collect();
         let hm1s = prf::hm1_epoch_many(&prfs, epoch);
@@ -523,13 +618,13 @@ proptest! {
     fn batched_hmac_matches_scalar(
         keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..=80), 0..=13),
         msg in proptest::collection::vec(any::<u8>(), 0..=120),
-        width_sel in 0usize..3,
+        width_sel in 0usize..4,
     ) {
         use sies_crypto::hmac::{hmac, hmac_many};
         use sies_crypto::sha1::Sha1;
         use sies_crypto::sha256::Sha256;
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
-        sies_crypto::lanes::set_lane_width([1usize, 4, 8][width_sel]);
+        sies_crypto::lanes::set_lane_width([1usize, 4, 8, 16][width_sel]);
         let got1 = hmac_many::<Sha1>(&refs, &msg);
         let got256 = hmac_many::<Sha256>(&refs, &msg);
         sies_crypto::lanes::clear_lane_width();

@@ -734,11 +734,14 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             self.topology.num_sources(),
             0,
         );
+        // a = requested lane width (what SIES_LANES asked for), b = the
+        // hardware-clamped width actually dispatched; they differ when a
+        // 16-lane request lands on a machine without AVX-512.
         tel::event(
             epoch,
             EventKind::LaneDispatch,
             sies_crypto::lanes::lane_width() as u64,
-            0,
+            sies_crypto::lanes::effective_lane_width() as u64,
         );
 
         // Honest failures remove whole subtrees from the contributor set.
@@ -977,17 +980,27 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             self.topology.num_sources(),
             0,
         );
+        // a = requested lane width (what SIES_LANES asked for), b = the
+        // hardware-clamped width actually dispatched; they differ when a
+        // 16-lane request lands on a machine without AVX-512.
         tel::event(
             epoch,
             EventKind::LaneDispatch,
             sies_crypto::lanes::lane_width() as u64,
-            0,
+            sies_crypto::lanes::effective_lane_width() as u64,
         );
         let mut report = RecoveryReport::default();
         let mut tally = UplinkTally::default();
         let repairs = self.flat.repair_plan(crashed);
         report.adoptions = repairs.adoptions.len() as u64;
         report.stranded = repairs.stranded.len() as u64;
+        if !repairs.adoptions.is_empty() || !repairs.stranded.is_empty() {
+            // The tree changed under us: drop any precomputed epoch
+            // material so the warmer re-plans against the repaired
+            // world. Safe unconditionally — correctness never depends
+            // on pool contents.
+            self.scheme.prewarm_cancel();
+        }
 
         // A crashed sink means nothing can reach the querier: the epoch
         // is an availability loss, never a false accept or reject.

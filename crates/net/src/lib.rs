@@ -35,6 +35,7 @@ pub mod engine;
 pub mod flat;
 pub mod journal;
 pub mod pipeline;
+pub mod prewarm;
 pub mod query_engine;
 pub mod radio;
 pub mod recovery;
@@ -52,6 +53,7 @@ pub use engine::{Attack, EdgeBytes, Engine, EpochOutcome, EpochStats, RecoveredE
 pub use flat::FlatTopology;
 pub use journal::{fold_receipt, replay, JournalConfig, ReceiptJournal, ReplayedState};
 pub use pipeline::{EpochPipeline, EpochReport};
+pub use prewarm::{PrewarmPolicy, PrewarmPool, PrewarmStats};
 pub use query_engine::{QueryEngine, QueryOutcome};
 pub use recovery::{BackoffConfig, RecoveryConfig, RecoveryReport, UplinkOutcome, UplinkTally};
 pub use scheme::{AggregationScheme, EvaluatedSum, SchemeError};

@@ -18,6 +18,13 @@
 //!   epoch `t+1` in the other buffer. Results are identical with
 //!   streaming on or off because the phases of one epoch never reorder —
 //!   only phases of *different* epochs overlap.
+//! * **Precompute-ahead.** When the scheme opts in
+//!   ([`AggregationScheme::prewarm_enabled`]), a scoped warmer thread
+//!   derives upcoming epochs' key material during the inter-epoch idle
+//!   gap, paced by the consumer's progress watermark (no polling).
+//!   Digests cannot change: the scheme's pool contract requires pooled
+//!   material to reproduce on-demand derivation bit-for-bit, so the
+//!   warmer may lag, race, or be absent without observable effect.
 //! * **Zero steady-state allocation.** All per-epoch state (values,
 //!   jobs, init results, merge stacks, shard outputs) lives in the two
 //!   reused [`EpochBuf`]s; schemes write init results through
@@ -196,6 +203,88 @@ struct CloseOnDrop<'m, T>(&'m Mailbox<T>);
 impl<T> Drop for CloseOnDrop<'_, T> {
     fn drop(&mut self) {
         self.0.close();
+    }
+}
+
+/// Pacing gate for the background prewarm warmer: the main loop
+/// publishes its progress watermark (last fully consumed epoch) and the
+/// warmer blocks here between re-planning passes, so precomputation
+/// runs exactly during the inter-epoch gaps instead of polling.
+struct WarmGate {
+    state: Mutex<(Option<Epoch>, bool)>,
+    cv: Condvar,
+}
+
+impl WarmGate {
+    fn new() -> Self {
+        WarmGate {
+            state: Mutex::new((None, false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publishes that `epoch` is fully consumed.
+    fn advance(&self, epoch: Epoch) {
+        let mut st = self.state.lock().expect("warm gate poisoned");
+        st.0 = Some(epoch);
+        self.cv.notify_all();
+    }
+
+    /// Shuts the warmer down (idempotent).
+    fn close(&self) {
+        let mut st = self.state.lock().expect("warm gate poisoned");
+        st.1 = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the watermark moves past `seen` (returning the new
+    /// watermark) or the gate closes (returning `None`).
+    fn wait_past(&self, seen: Option<Epoch>) -> Option<Epoch> {
+        let mut st = self.state.lock().expect("warm gate poisoned");
+        loop {
+            if st.1 {
+                return None;
+            }
+            if st.0 != seen {
+                return st.0;
+            }
+            st = self.cv.wait(st).expect("warm gate poisoned");
+        }
+    }
+}
+
+/// Closes a [`WarmGate`] when dropped — a panicking main loop never
+/// leaves the warmer blocked.
+struct WarmGateGuard<'g>(&'g WarmGate);
+
+impl Drop for WarmGateGuard<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// The warmer thread body: precompute key material ahead of the main
+/// loop's watermark, re-planning each time it advances. Runs on a spare
+/// thread during the inter-epoch idle gap; the scheme guarantees pooled
+/// material is bit-identical to on-demand derivation, so this thread
+/// can lag, race, or die without affecting any digest.
+fn warm_loop<S: AggregationScheme>(scheme: &S, gate: &WarmGate, first_epoch: Epoch, last: Epoch) {
+    let fill_ahead = |watermark: Epoch| {
+        for e in scheme.prewarm_plan(watermark) {
+            if e > last {
+                break;
+            }
+            scheme.prewarm_epoch(e);
+        }
+    };
+    // Epoch `first_epoch` is already in flight when the warmer starts,
+    // so it paces as if that epoch were the watermark.
+    fill_ahead(first_epoch);
+    let mut seen = None;
+    while let Some(watermark) = gate.wait_past(seen) {
+        seen = Some(watermark);
+        scheme.prewarm_retire(watermark);
+        fill_ahead(watermark);
     }
 }
 
@@ -532,12 +621,32 @@ impl<'a, S: AggregationScheme> EpochPipeline<'a, S> {
         };
         let last = first_epoch + epochs - 1;
 
+        let prewarm = self.scheme.prewarm_enabled();
+        let gate = WarmGate::new();
+
         if !self.streaming {
             let mut front = front;
-            for epoch in first_epoch..=last {
-                fill(epoch, &mut front.values);
-                exec.produce(epoch, &mut front);
-                exec.consume(epoch, &mut front, &mut last_final, &mut sink);
+            if prewarm {
+                // The scoped warmer (and the scope itself) only exist
+                // when the scheme opted in — the prewarm-off serial path
+                // must stay allocation-free per epoch.
+                std::thread::scope(|scope| {
+                    let (scheme, g) = (self.scheme, &gate);
+                    scope.spawn(move || warm_loop(scheme, g, first_epoch, last));
+                    let _close = WarmGateGuard(&gate);
+                    for epoch in first_epoch..=last {
+                        fill(epoch, &mut front.values);
+                        exec.produce(epoch, &mut front);
+                        exec.consume(epoch, &mut front, &mut last_final, &mut sink);
+                        gate.advance(epoch);
+                    }
+                });
+            } else {
+                for epoch in first_epoch..=last {
+                    fill(epoch, &mut front.values);
+                    exec.produce(epoch, &mut front);
+                    exec.consume(epoch, &mut front, &mut last_final, &mut sink);
+                }
             }
             self.bufs = Some((front, back));
             self.last_final = last_final;
@@ -562,8 +671,14 @@ impl<'a, S: AggregationScheme> EpochPipeline<'a, S> {
                     tc.send((epoch, buf));
                 }
             });
-            // Symmetric guard: a panicking consumer unblocks the producer.
+            if prewarm {
+                let (scheme, g) = (self.scheme, &gate);
+                scope.spawn(move || warm_loop(scheme, g, first_epoch, last));
+            }
+            // Symmetric guards: a panicking consumer unblocks the
+            // producer and the warmer.
             let _close = CloseOnDrop(tp);
+            let _close_gate = WarmGateGuard(&gate);
 
             let mut front = front;
             fill(first_epoch, &mut front.values);
@@ -580,6 +695,7 @@ impl<'a, S: AggregationScheme> EpochPipeline<'a, S> {
                     .expect("producer terminated before the last epoch");
                 debug_assert_eq!(produced_epoch, epoch, "epochs hand off in order");
                 exec.consume(epoch, &mut buf, &mut last_final, &mut sink);
+                gate.advance(epoch);
                 pool.push(buf);
             }
             tp.close();
@@ -741,6 +857,58 @@ mod tests {
             pipeline.last_final_psr(),
             Some(&PlainPsr { sum: 32, count: 16 })
         );
+    }
+
+    #[test]
+    fn prewarm_pipeline_digests_match_cold() {
+        use crate::deploy::SiesDeployment;
+        use crate::prewarm::PrewarmPolicy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sies_core::SystemParams;
+
+        let topo = Topology::complete_tree(32, 4);
+        let flat = FlatTopology::from_topology(&topo);
+        let run = |policy: Option<PrewarmPolicy>, threads: usize, streaming: bool| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let dep = SiesDeployment::new(&mut rng, SystemParams::new(32).unwrap());
+            if let Some(p) = policy {
+                dep.set_prewarm_policy(p);
+            }
+            let mut pipeline = EpochPipeline::new(&dep, &flat, Threads::fixed(threads), streaming);
+            let mut outs = Vec::new();
+            pipeline.run(
+                0,
+                6,
+                |epoch, values| {
+                    for (i, v) in values.iter_mut().enumerate() {
+                        *v = epoch * 3 + i as u64;
+                    }
+                },
+                |_, final_psr, result, _| {
+                    outs.push((final_psr.map(|p| p.to_bytes()), result.clone()));
+                },
+            );
+            (outs, dep.prewarm_stats())
+        };
+        let (cold, cold_stats) = run(None, 1, false);
+        assert_eq!(cold_stats.derived, 0, "disabled pool stays inert");
+        for threads in [1, 2, 8] {
+            for streaming in [false, true] {
+                let (warm, stats) = run(Some(PrewarmPolicy::default()), threads, streaming);
+                assert_eq!(
+                    warm, cold,
+                    "prewarm changed results at threads={threads} streaming={streaming}"
+                );
+                // The warmer's initial fill-ahead (epochs 1 and 2) runs
+                // unconditionally before the gate can close; later
+                // derivations race the main loop and may or may not land.
+                assert!(
+                    stats.derived >= 2,
+                    "warmer never derived (threads={threads} streaming={streaming}): {stats:?}"
+                );
+            }
+        }
     }
 
     #[test]

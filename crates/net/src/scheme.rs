@@ -116,6 +116,39 @@ pub trait AggregationScheme: Sync {
         }
     }
 
+    /// Whether this scheme can precompute upcoming epochs' key material
+    /// during idle gaps. When `true`, epoch drivers (the streamed
+    /// pipeline) pace a background warmer that calls
+    /// [`prewarm_epoch`](Self::prewarm_epoch) ahead of the engine's
+    /// watermark. Default: `false` (no prewarm support).
+    fn prewarm_enabled(&self) -> bool {
+        false
+    }
+
+    /// Precompute-ahead hook: derive and pool `epoch`'s key material so
+    /// a later [`batch_source_init`](Self::batch_source_init) for the
+    /// same epoch skips the derivation. MUST NOT change any observable
+    /// result — pooled material has to reproduce the on-demand path
+    /// bit-for-bit, making this purely a latency optimization. Default:
+    /// no-op.
+    fn prewarm_epoch(&self, _epoch: Epoch) {}
+
+    /// The epochs a warmer thread should derive next (ascending), given
+    /// the last epoch the driver finished. Default: none.
+    fn prewarm_plan(&self, _watermark: Epoch) -> Vec<Epoch> {
+        Vec::new()
+    }
+
+    /// Drops precomputed state at or below the engine's progress
+    /// `watermark` (those epochs already ran). Default: no-op.
+    fn prewarm_retire(&self, _watermark: Epoch) {}
+
+    /// Cancels all pending precomputed state — called when the world
+    /// changes under the pool (topology repair re-planning upcoming
+    /// epochs). Safe to call at any time because correctness never
+    /// depends on pool contents. Default: no-op.
+    fn prewarm_cancel(&self) {}
+
     /// Merging phase `M` at an aggregator: fuse children's PSRs.
     /// `psrs` is non-empty.
     fn merge(&self, psrs: &[Self::Psr]) -> Self::Psr;

@@ -48,7 +48,10 @@ pub enum EventKind {
     RekeyRetry,
     /// muTesla: an interval key was disclosed. `(interval, 0)`
     KeyDisclosed,
-    /// A multi-lane kernel pass chose a dispatch width. `(width, n_lanes)`
+    /// A multi-lane kernel pass chose a dispatch width.
+    /// `(requested_width, effective_width)` — the two differ when the
+    /// requested lane count exceeds what the hardware supports and the
+    /// dispatcher falls back (e.g. 16 lanes without AVX-512).
     LaneDispatch,
     /// Receipts: one epoch's receipt was committed to the durable
     /// journal. `(records, bytes_written)`
