@@ -32,7 +32,19 @@
 //!            -off overhead benchmark on the chaos workload, with
 //!            digest-checked determinism across the kill-switch and
 //!            across 1/2/8 threads (also writes
-//!            BENCH_observability.json)
+//!            BENCH_observability.json); `--forensics` additionally
+//!            runs a journaled chaos run and correlates the telemetry
+//!            event stream with the replayed signed receipt journal
+//!            into per-epoch incident reports (forensics.json)
+//!   profile  continuous sampling profiler on the chaos workload:
+//!            folded stacks (profile.folded) + Chrome trace-event
+//!            timeline (profile_trace.json), the profiler-on vs -off
+//!            overhead benchmark (CI gates at 3%), digest-checked
+//!            determinism across the profiler switch and 1/2/8
+//!            threads, and the SLO alert detection oracle — every
+//!            injected fault class must raise its mapped alert, a
+//!            clean seeded run must raise zero (also writes
+//!            BENCH_profile.json)
 //!   recovery durable receipt journal: seeded kill-restart chaos run
 //!            recovered from the journal alone, digest-checked against
 //!            the uninterrupted run at 1/2/8 threads, plus cold-replay
@@ -63,6 +75,7 @@ fn main() {
     let mut threads = Threads::Auto;
     let mut max_n: u64 = 1_000_000;
     let mut baseline: Option<PathBuf> = None;
+    let mut forensics = false;
     let mut requested: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -120,6 +133,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--max-n needs a number"));
             }
             "--paper-costs" => use_paper_costs = true,
+            "--forensics" => forensics = true,
             "--help" | "-h" => {
                 println!("{HELP}");
                 return;
@@ -148,6 +162,7 @@ fn main() {
             "throughput",
             "micro",
             "trace",
+            "profile",
             "recovery",
         ]
         .iter()
@@ -178,7 +193,8 @@ fn main() {
             "reliability" => reliability(&opts, chaos_epochs, threads, &out_dir),
             "throughput" => throughput_exp(&opts, threads, max_n, &out_dir),
             "micro" => micro(&opts, baseline.as_deref(), &out_dir),
-            "trace" => trace(&opts, chaos_epochs, threads, &out_dir),
+            "trace" => trace(&opts, chaos_epochs, threads, forensics, &out_dir),
+            "profile" => profile_exp(&opts, chaos_epochs, threads, &out_dir),
             "recovery" => recovery_exp(&opts, chaos_epochs, threads, &out_dir),
             other => eprintln!("skipping unknown experiment '{other}'"),
         }
@@ -188,14 +204,16 @@ fn main() {
 const HELP: &str = "repro - regenerate the SIES paper's tables and figures
 
 usage: repro [--fast] [--epochs E] [--secoa-epochs E] [--seed S] [--chaos-epochs E]
-             [--threads T] [--max-n N] [--paper-costs] [--baseline FILE] [--out DIR]
-             <experiment>...
+             [--threads T] [--max-n N] [--paper-costs] [--baseline FILE]
+             [--forensics] [--out DIR] <experiment>...
 
 `--max-n N` caps the struct-of-arrays scale sweep of the throughput
-experiment (default 1000000).
+experiment (default 1000000). `--forensics` makes the trace experiment
+also correlate telemetry events with the replayed signed receipt
+journal into per-epoch incident reports (forensics.json).
 
 experiments: table2 table3 table5 fig4 fig5 fig6a fig6b params security lifetime
-             reliability throughput micro trace recovery all";
+             reliability throughput micro trace profile recovery all";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n\n{HELP}");
@@ -783,7 +801,7 @@ fn micro(opts: &Options, baseline: Option<&Path>, out: &Path) {
     }
 }
 
-fn trace(opts: &Options, chaos_epochs: u64, threads: Threads, out: &Path) {
+fn trace(opts: &Options, chaos_epochs: u64, threads: Threads, forensics: bool, out: &Path) {
     use sies_bench::observability::{capture_trace, overhead_suite};
 
     // Phase 1: a short traced run — enough epochs to show every event
@@ -876,6 +894,178 @@ fn trace(opts: &Options, chaos_epochs: u64, threads: Threads, out: &Path) {
     let _ = write_json_seeded(out, "observability", opts.seed, &report);
     // The canonical artifact lives at the repo root for the paper repro.
     let _ = write_json_seeded(Path::new("."), "BENCH_observability", opts.seed, &report);
+
+    // Phase 3 (opt-in): the forensic attack timeline.
+    if forensics {
+        use sies_bench::forensics::forensic_timeline;
+        let fepochs = chaos_epochs.clamp(1, 500);
+        println!(
+            "\n== Forensics: receipt journal × telemetry event correlation (seed {}, {} epochs) ==",
+            opts.seed, fepochs
+        );
+        let _ = std::fs::create_dir_all(out);
+        let journal_path = out.join("forensics.journal");
+        let freport = forensic_timeline(opts.seed, fepochs, threads, &journal_path);
+        let _ = std::fs::remove_file(&journal_path);
+        println!(
+            "{} receipts replayed, {} telemetry events correlated, {} incident epoch(s)",
+            freport.receipts_replayed,
+            freport.events_correlated,
+            freport.incidents.len()
+        );
+        let rows: Vec<Vec<String>> = freport
+            .incidents
+            .iter()
+            .take(12)
+            .map(|i| {
+                vec![
+                    i.epoch.to_string(),
+                    i.verdict.clone(),
+                    i.crash_injected.to_string(),
+                    i.attack_injected.to_string(),
+                    i.adoptions.to_string(),
+                    i.lost_links.to_string(),
+                    i.anomalies.len().to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "epoch",
+                    "verdict",
+                    "crash",
+                    "attack",
+                    "adoptions",
+                    "lost links",
+                    "anomalies"
+                ],
+                &rows
+            )
+        );
+        println!(
+            "digest live == replayed: {} | evidence streams consistent: {}",
+            freport.digests_match, freport.consistent
+        );
+        let _ = write_json_seeded(out, "forensics", opts.seed, &freport);
+    }
+}
+
+fn profile_exp(opts: &Options, chaos_epochs: u64, threads: Threads, out: &Path) {
+    use sies_bench::profile::{detection_oracle, profile_overhead, profiled_run, ProfileReport};
+
+    // Phase 1 oversamples (997 Hz) so even a short run yields a dense
+    // flamegraph; the overhead gate runs at the production default rate
+    // (97 Hz — what a deployment would leave on continuously), where
+    // the sampler's wakeups are an order of magnitude sparser.
+    const HZ: u32 = 997;
+    const GATE_HZ: u32 = 97;
+
+    // Phase 1: one profiled run → flamegraph + timeline artifacts.
+    let prof_epochs = chaos_epochs.clamp(1, 400);
+    println!(
+        "\n== Profile: sampling profiler on the chaos workload (seed {}, {} epochs, {} Hz, {} worker thread(s)) ==",
+        opts.seed,
+        prof_epochs,
+        HZ,
+        threads.resolve()
+    );
+    let cap = profiled_run(opts.seed, prof_epochs, threads, HZ);
+    println!(
+        "{} samples ({} idle), {} distinct stacks, {} timeline events ({} dropped)",
+        cap.data.samples,
+        cap.data.idle_samples,
+        cap.data.distinct_stacks(),
+        cap.timeline.events.len(),
+        cap.timeline.dropped
+    );
+    let mut top: Vec<(&String, &u64)> = cap.data.stacks.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(a.1));
+    let rows: Vec<Vec<String>> = top
+        .iter()
+        .take(10)
+        .map(|(s, n)| vec![s.to_string(), n.to_string()])
+        .collect();
+    println!("{}", render_table(&["stack", "samples"], &rows));
+
+    let _ = std::fs::create_dir_all(out);
+    for (name, body) in [
+        ("profile.folded", &cap.folded),
+        ("profile_trace.json", &cap.trace_json),
+    ] {
+        let path = out.join(name);
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("written: {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+
+    // Phase 2: the profiler's own overhead, paired and gated.
+    println!(
+        "\n== Profiler overhead: sampler on vs off (chaos workload, {} epochs/run, {} Hz) ==",
+        chaos_epochs, GATE_HZ
+    );
+    let overhead = profile_overhead(opts.seed, chaos_epochs, threads, GATE_HZ, 7);
+    println!(
+        "off median {} | on median {} | overhead (median of {} paired ratios): {:+.2}% | digest identical across profiler: {} | across threads 1/2/8: {}",
+        fmt_ms(overhead.off_median_ms),
+        fmt_ms(overhead.on_median_ms),
+        overhead.runs_per_mode,
+        overhead.overhead_pct,
+        overhead.digests_match,
+        overhead.threads_invariant
+    );
+
+    // Phase 3: the alert detection oracle.
+    let clean_epochs = chaos_epochs.max(100);
+    println!(
+        "\n== Alert oracle: every fault class must raise its alert; {} clean epochs must raise none ==",
+        clean_epochs
+    );
+    let oracle = detection_oracle(opts.seed, clean_epochs, threads);
+    let rows: Vec<Vec<String>> = oracle
+        .scenarios
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                s.expected_alert.clone(),
+                format!("{:?}", s.raised),
+                if s.detected {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["scenario", "expected alert", "raised", "detected"], &rows)
+    );
+    println!(
+        "clean run: {} epochs, {} alert(s) | oracle passed: {}",
+        oracle.clean_epochs, oracle.clean_alerts, oracle.passed
+    );
+    assert!(
+        oracle.passed,
+        "alert oracle failed: clean_alerts={} scenarios={:?}",
+        oracle.clean_alerts, oracle.scenarios
+    );
+
+    let report = ProfileReport {
+        samples: cap.data.samples,
+        idle_samples: cap.data.idle_samples,
+        distinct_stacks: cap.data.distinct_stacks() as u64,
+        timeline_events: cap.timeline.events.len() as u64,
+        timeline_dropped: cap.timeline.dropped,
+        overhead,
+        oracle,
+    };
+    let _ = write_json_seeded(out, "profile", opts.seed, &report);
+    // The canonical artifact lives at the repo root for the paper repro.
+    let _ = write_json_seeded(Path::new("."), "BENCH_profile", opts.seed, &report);
 }
 
 fn recovery_exp(opts: &Options, chaos_epochs: u64, threads: Threads, out: &Path) {

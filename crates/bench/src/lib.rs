@@ -18,6 +18,12 @@
 //! * [`observability`] — structured per-epoch traces from the telemetry
 //!   stack and the telemetry-on vs -off overhead benchmark, with a CI
 //!   regression gate;
+//! * [`profile`] — the continuous sampling profiler on the chaos
+//!   workload (folded stacks + Chrome trace-event timeline), its paired
+//!   on/off overhead gate, and the chaos-verified SLO alert detection
+//!   oracle;
+//! * [`forensics`] — per-epoch incident reports correlating the
+//!   telemetry event journal with the replayed signed receipt journal;
 //! * [`recovery`] — crash-restart recovery from the durable receipt
 //!   journal: kill-restart digest identity at 1/2/8 threads plus cold
 //!   replay throughput;
@@ -28,8 +34,10 @@ pub mod calibrate;
 pub mod chart;
 pub mod cost_model;
 pub mod experiments;
+pub mod forensics;
 pub mod micro;
 pub mod observability;
+pub mod profile;
 pub mod recovery;
 pub mod report;
 pub mod throughput;
@@ -38,7 +46,9 @@ pub mod timing;
 pub use calibrate::{PrimitiveCosts, WireSizes};
 pub use cost_model::{CostModel, ModelParams, Range};
 pub use experiments::{Options, SeriesPoint};
+pub use forensics::{forensic_timeline, ForensicsReport};
 pub use micro::{micro_suite, MicroReport};
 pub use observability::{capture_trace, overhead_suite, ObservabilityReport};
+pub use profile::{detection_oracle, profile_overhead, profiled_run, ProfileReport};
 pub use recovery::{recovery_suite, RecoveryReport};
 pub use throughput::{throughput_suite, ThroughputPoint};

@@ -268,6 +268,7 @@ impl<'a, S: AggregationScheme> ChaosDriver<'a, S> {
     }
 
     fn step(&mut self, epoch: u64) -> EpochReceipt {
+        let _step_span = tel::span!("chaos.step");
         let values: Vec<u64> = (0..self.num_sources)
             .map(|_| self.rng.random_range(0..=self.cfg.max_value))
             .collect();

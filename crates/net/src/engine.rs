@@ -257,6 +257,44 @@ pub mod metric {
     pub const EPOCHS_REJECTED: &str = "engine.epochs_rejected";
     /// Epochs with no result (availability loss / malformed input).
     pub const EPOCHS_LOST: &str = "engine.epochs_lost";
+    /// Wall-clock histogram (ns) of whole epochs — fed by the
+    /// `engine.epoch` root span, so it is also the profiler's outermost
+    /// frame. The `epoch_latency_p99` alert rule reads its quantiles.
+    pub const EPOCH_SPAN: &str = "engine.epoch";
+    /// Orphans adopted by backup parents during in-epoch repair (the
+    /// detection-side crash signal the `crash_churn` alert rule reads).
+    pub const ADOPTIONS: &str = "engine.adoptions";
+    /// Child-failure reports escalated to the querier.
+    pub const FAILURE_REPORTS: &str = "engine.failure_reports";
+
+    /// Registers `# HELP` text for the engine's key exported metrics
+    /// (surfaces on the `/metrics` endpoint). Idempotent.
+    pub fn describe_all() {
+        use sies_telemetry::describe;
+        describe(EPOCHS_ACCEPTED, "Epochs the querier accepted");
+        describe(
+            EPOCHS_REJECTED,
+            "Epochs the querier rejected (integrity failure)",
+        );
+        describe(EPOCHS_LOST, "Epochs with no verifiable result");
+        describe(EPOCH_SPAN, "Wall-clock epoch latency in nanoseconds");
+        describe(
+            ADOPTIONS,
+            "Orphans adopted by backup parents during in-epoch repair",
+        );
+        describe(
+            FAILURE_REPORTS,
+            "Child-failure reports escalated to the querier",
+        );
+        describe(
+            RETRANSMIT_BYTES,
+            "Extra data bytes spent on retransmissions",
+        );
+        describe(
+            CONTROL_BYTES,
+            "Control-plane bytes (ACK/NACK, re-solicit, re-attach)",
+        );
+    }
 }
 
 /// The engine's private always-on metric registry plus cached handles
@@ -726,8 +764,12 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         );
 
         // Everything recorded from here on is this epoch's activity; the
-        // stats structs handed back below are diffs against `q0`.
+        // stats structs handed back below are diffs against `q0`. The
+        // RAII span covers every exit path (including early aborts), so
+        // `engine.epoch` is a complete wall-clock latency histogram and
+        // the profiler's outermost stack frame.
         let q0 = self.meter.begin();
+        let _epoch_span = tel::span!("engine.epoch");
         tel::event(
             epoch,
             EventKind::QueryDisseminated,
@@ -775,8 +817,10 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                 self.scratch.jobs.push((sid, values[sid as usize]));
             }
         }
-        let (results, source_cpu) =
-            Self::shard_source_init(self.scheme, self.threads, epoch, &self.scratch.jobs);
+        let (results, source_cpu) = {
+            let _phase = tel::span!("engine.source_phase");
+            Self::shard_source_init(self.scheme, self.threads, epoch, &self.scratch.jobs)
+        };
         self.meter.source_cpu_ns.add(ns(source_cpu));
         tel::event(
             epoch,
@@ -788,6 +832,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
             self.scratch.precomputed[id] = Some(res);
         }
 
+        let merge_span = tel::span!("engine.merge_phase");
         for &id32 in self.flat.post_order() {
             let id = id32 as usize;
             if failed.contains(&id) {
@@ -891,6 +936,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                 self.scratch.outputs[id].push(psr.clone());
             }
         }
+        drop(merge_span);
 
         // Collect the final PSR at the root.
         let root = self.topology.root();
@@ -916,9 +962,11 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         self.prev_final = Some(final_psr.clone());
 
         let t0 = Instant::now();
-        let result = self
-            .scheme
-            .evaluate_par(&final_psr, epoch, &contributors, self.threads);
+        let result = {
+            let _phase = tel::span!("engine.evaluate");
+            self.scheme
+                .evaluate_par(&final_psr, epoch, &contributors, self.threads)
+        };
         self.meter.querier_cpu_ns.add(ns(t0.elapsed()));
         match &result {
             Ok(_) => verdict_event(epoch, EventKind::EpochAccepted, contributors.len() as u64),
@@ -974,6 +1022,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         );
 
         let q0 = self.meter.begin();
+        let _epoch_span = tel::span!("engine.epoch");
         tel::event(
             epoch,
             EventKind::QueryDisseminated,
@@ -994,6 +1043,9 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
         let repairs = self.flat.repair_plan(crashed);
         report.adoptions = repairs.adoptions.len() as u64;
         report.stranded = repairs.stranded.len() as u64;
+        // Detection-side churn signal: the `crash_churn` alert rule
+        // fires on any nonzero delta of this counter.
+        tel::count!("engine.adoptions", report.adoptions);
         if !repairs.adoptions.is_empty() || !repairs.stranded.is_empty() {
             // The tree changed under us: drop any precomputed epoch
             // material so the warmer re-plans against the repaired
@@ -1042,6 +1094,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                     report.failure_reports += 1;
                     report.control_bytes += cost;
                     self.meter.control_bytes.add(cost);
+                    tel::count!("engine.failure_reports");
                     tel::event(epoch, EventKind::FailureReport, c as u64, id as u64);
                 } else {
                     eff.push(c);
@@ -1088,8 +1141,10 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                 self.scratch.jobs.push((sid, values[sid as usize]));
             }
         }
-        let (results, source_cpu) =
-            Self::shard_source_init(self.scheme, self.threads, epoch, &self.scratch.jobs);
+        let (results, source_cpu) = {
+            let _phase = tel::span!("engine.source_phase");
+            Self::shard_source_init(self.scheme, self.threads, epoch, &self.scratch.jobs)
+        };
         self.meter.source_cpu_ns.add(ns(source_cpu));
         tel::event(
             epoch,
@@ -1133,6 +1188,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                             report.failure_reports += 1;
                             report.control_bytes += cost;
                             self.meter.control_bytes.add(cost);
+                            tel::count!("engine.failure_reports");
                             self.evbuf
                                 .push(epoch, EventKind::FailureReport, c as u64, id as u64);
                             continue;
@@ -1206,6 +1262,7 @@ impl<'a, S: AggregationScheme> Engine<'a, S> {
                             report.failure_reports += 1;
                             report.control_bytes += cost;
                             self.meter.control_bytes.add(cost);
+                            tel::count!("engine.failure_reports");
                             self.evbuf
                                 .push(epoch, EventKind::FailureReport, c as u64, id as u64);
                             continue;

@@ -23,9 +23,12 @@ use sies_crypto::hmac::{ct_eq, hmac};
 use sies_crypto::sha256::Sha256;
 use sies_crypto::HashFunction;
 use sies_receipts::{
-    EpochReceipt, FsyncPolicy, ReceiptError, Recorder, RecorderStats, ReplaySummary, Replayer,
-    SessionHeader,
+    EpochReceipt, ReceiptError, Recorder, RecorderStats, ReplaySummary, Replayer, SessionHeader,
 };
+// Re-exported so downstream crates (the bench harness drives fsync-lag
+// scenarios) can configure journals and build receipts without a
+// sies-receipts dependency.
+pub use sies_receipts::{EpochReceipt as Receipt, FsyncPolicy};
 use sies_telemetry as tel;
 use sies_telemetry::EventKind;
 use std::path::Path;
@@ -195,6 +198,10 @@ pub struct ReceiptJournal {
     /// interval per journaled receipt).
     next_interval: u64,
     capacity: u64,
+    /// Recorder state at the last observed fsync, for the
+    /// `journal.fsync_lag` gauge (records appended but not yet durable).
+    fsyncs_seen: u64,
+    records_at_last_fsync: u64,
 }
 
 impl ReceiptJournal {
@@ -213,6 +220,8 @@ impl ReceiptJournal {
             chain,
             next_interval: 1,
             capacity: cfg.capacity,
+            fsyncs_seen: 0,
+            records_at_last_fsync: 0,
         })
     }
 
@@ -235,6 +244,8 @@ impl ReceiptJournal {
             chain: cfg.chain(),
             next_interval: state.summary.receipts.len() as u64 + 1,
             capacity: cfg.capacity,
+            fsyncs_seen: 0,
+            records_at_last_fsync: 0,
         };
         Ok((journal, state))
     }
@@ -268,6 +279,18 @@ impl ReceiptJournal {
         self.recorder.append(receipt);
         self.recorder.commit_epoch();
         let stats = self.recorder.stats();
+        // Durability lag: receipts appended since the last fsync the
+        // recorder performed. Under `FsyncPolicy::EveryEpoch` this stays
+        // 0; a lazy policy lets it climb until the `fsync_lag` alert
+        // rule fires.
+        if stats.fsyncs != self.fsyncs_seen {
+            self.fsyncs_seen = stats.fsyncs;
+            self.records_at_last_fsync = stats.records;
+        }
+        tel::set_gauge!(
+            "journal.fsync_lag",
+            stats.records - self.records_at_last_fsync
+        );
         tel::count!("journal.receipts");
         tel::event(
             receipt.epoch,

@@ -48,6 +48,7 @@
 use crate::flat::FlatTopology;
 use crate::scheme::{AggregationScheme, EvaluatedSum, SchemeError};
 use sies_core::{parallel, Epoch, SourceId, Threads};
+use sies_telemetry as tel;
 use std::ops::Range;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -270,6 +271,9 @@ impl Drop for WarmGateGuard<'_> {
 /// can lag, race, or die without affecting any digest.
 fn warm_loop<S: AggregationScheme>(scheme: &S, gate: &WarmGate, first_epoch: Epoch, last: Epoch) {
     let fill_ahead = |watermark: Epoch| {
+        // The span makes the warmer visible to the sampling profiler as
+        // its own thread lane (`pipeline.prewarm` frames).
+        let _warm = tel::span!("pipeline.prewarm");
         for e in scheme.prewarm_plan(watermark) {
             if e > last {
                 break;
@@ -322,6 +326,7 @@ impl<S: AggregationScheme> Exec<'_, S> {
         values: &[u64],
         st: &mut ShardState<S::Psr>,
     ) {
+        let _shard_span = tel::span!("pipeline.shard");
         st.err = None;
         st.out.clear();
         st.stack.clear();
@@ -390,6 +395,7 @@ impl<S: AggregationScheme> Exec<'_, S> {
     ) where
         F: FnMut(&EpochReport, Option<&S::Psr>, &Result<EvaluatedSum, SchemeError>, &[SourceId]),
     {
+        let _consume_span = tel::span!("pipeline.consume");
         let EpochBuf {
             shards,
             root_inputs,

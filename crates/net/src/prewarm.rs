@@ -166,6 +166,9 @@ impl<T> PrewarmPool<T> {
         if !self.policy.enabled {
             return None;
         }
+        // Denominator for the `prewarm_miss_rate` alert rule (hits and
+        // misses alone can't give the engine a stable rate window).
+        tel::count!("net.prewarm.lookups");
         match self.entries.get(&epoch) {
             Some(v) => {
                 self.stats.hits += 1;

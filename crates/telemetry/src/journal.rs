@@ -8,7 +8,24 @@
 //! without bound.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// Global counter advanced whenever a bounded telemetry buffer (the
+/// event ring here, or the trace-event timeline) silently discards an
+/// entry. Exported so the alert engine can turn silent truncation into
+/// a visible `events_dropped` alert.
+pub const EVENTS_DROPPED: &str = "telemetry.events_dropped";
+
+/// Bumps [`EVENTS_DROPPED`] in the global registry. The counter handle
+/// is cached after the first call, so steady-state cost is one atomic
+/// add — safe to call with a ring mutex held (the registry lock is
+/// only taken once, and never takes the ring lock).
+pub(crate) fn note_events_dropped(n: u64) {
+    static HANDLE: OnceLock<std::sync::Arc<crate::metric::Counter>> = OnceLock::new();
+    HANDLE
+        .get_or_init(|| crate::registry::global().counter(EVENTS_DROPPED))
+        .add(n);
+}
 
 /// What happened. Payload word meanings are listed per variant as
 /// `(a, b)`.
@@ -58,6 +75,11 @@ pub enum EventKind {
     ReceiptCommitted,
     /// Receipts: a journal was replayed at startup. `(records, torn_tail)`
     JournalReplayed,
+    /// SLO alerting: a rule fired over a snapshot window.
+    /// `(rule_id, observed_value)` — `rule_id` indexes the engine's
+    /// rule list; `observed_value` is the triggering value rounded to
+    /// u64.
+    AlertRaised,
 }
 
 impl EventKind {
@@ -83,6 +105,7 @@ impl EventKind {
             EventKind::LaneDispatch => "lane_dispatch",
             EventKind::ReceiptCommitted => "receipt_committed",
             EventKind::JournalReplayed => "journal_replayed",
+            EventKind::AlertRaised => "alert_raised",
         }
     }
 }
@@ -163,6 +186,7 @@ impl Journal {
         if r.buf.len() == r.cap {
             r.buf.pop_front();
             r.dropped += 1;
+            note_events_dropped(1);
         }
         r.buf.push_back(Event {
             seq,
@@ -188,6 +212,7 @@ impl Journal {
             if r.buf.len() == r.cap {
                 r.buf.pop_front();
                 r.dropped += 1;
+                note_events_dropped(1);
             }
             r.buf.push_back(Event {
                 seq,
@@ -207,6 +232,7 @@ impl Journal {
         while r.buf.len() > r.cap {
             r.buf.pop_front();
             r.dropped += 1;
+            note_events_dropped(1);
         }
     }
 
@@ -291,6 +317,21 @@ mod tests {
         j.set_capacity(4);
         assert_eq!(j.len(), 4);
         assert_eq!(j.dropped(), 6);
+    }
+
+    #[test]
+    fn eviction_bumps_global_events_dropped_counter() {
+        let counter = crate::registry::global().counter(EVENTS_DROPPED);
+        let before = counter.get();
+        let j = Journal::with_capacity(2);
+        for i in 0..5 {
+            j.record(0, EventKind::NackSent, i, 0);
+        }
+        j.set_capacity(1);
+        // 3 record-time evictions + 1 shrink eviction. Other tests may
+        // evict concurrently, so assert a lower bound.
+        assert!(counter.get() - before >= 4);
+        assert_eq!(j.dropped(), 4);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Process-level memory gauges: peak RSS and per-node footprint.
+//! Process-level gauges: peak RSS, per-node footprint, and cpu time.
 //!
 //! The million-sensor throughput experiment promises a *stated* memory
 //! budget, so the budget has to be machine-readable: `repro throughput`
@@ -7,6 +7,13 @@
 //! `/proc/self/status`), which covers everything the process ever held —
 //! key material and allocator slack included — while the bytes-per-node
 //! gauge is the engine's own accounting of its reusable epoch state.
+//! Cpu time (scheduler on-cpu nanoseconds from `/proc/self/schedstat`)
+//! lets the `/metrics` endpoint expose utilisation without any wall
+//! clock arithmetic in-process.
+//!
+//! Everything procfs-backed degrades gracefully off Linux: the readers
+//! return `None`, the recorders record nothing, and callers treat the
+//! value as *unknown*, never zero.
 
 use crate::registry::global;
 
@@ -16,6 +23,9 @@ pub const PEAK_RSS_GAUGE: &str = "process.peak_rss_bytes";
 /// Gauge name for the epoch engine's per-node state footprint, in bytes
 /// (arena + double-buffered epoch state, excluding scheme key material).
 pub const BYTES_PER_NODE_GAUGE: &str = "engine.bytes_per_node";
+
+/// Gauge name for cumulative scheduler on-cpu time, in nanoseconds.
+pub const CPU_TIME_GAUGE: &str = "process.cpu_time_ns";
 
 /// Reads the process's peak resident set size in bytes from
 /// `/proc/self/status` (`VmHWM`). Returns `None` on platforms without
@@ -48,6 +58,42 @@ pub fn record_peak_rss() -> Option<u64> {
         global().gauge(PEAK_RSS_GAUGE).set(bytes);
     }
     Some(bytes)
+}
+
+/// Reads cumulative on-cpu time for this process in nanoseconds from
+/// `/proc/self/schedstat` (first field: time spent on the cpu). The
+/// value is scheduler-accounted, so it needs no `USER_HZ` conversion.
+/// Returns `None` on platforms without procfs (or with `schedstat`
+/// compiled out) — callers must treat cpu time as unknown, not zero.
+pub fn cpu_time_ns() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let stat = std::fs::read_to_string("/proc/self/schedstat").ok()?;
+        stat.split_whitespace().next()?.parse().ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Samples [`cpu_time_ns`] and records it into the global
+/// [`CPU_TIME_GAUGE`] (when telemetry is enabled), returning the sample
+/// so callers can also report it out-of-band.
+pub fn record_cpu_time() -> Option<u64> {
+    let ns = cpu_time_ns()?;
+    if crate::enabled() {
+        global().gauge(CPU_TIME_GAUGE).set(ns);
+    }
+    Some(ns)
+}
+
+/// Samples every procfs-backed process gauge that is available on this
+/// platform (peak RSS, cpu time). Intended for periodic calls from the
+/// metrics endpoint or epoch loop; missing sources are skipped.
+pub fn record_process_gauges() {
+    let _ = record_peak_rss();
+    let _ = record_cpu_time();
 }
 
 /// Records the engine's bytes-per-node footprint into the global
@@ -83,5 +129,26 @@ mod tests {
     fn bytes_per_node_rounds_up_and_handles_zero() {
         assert_eq!(record_bytes_per_node(0, 0), 0);
         assert_eq!(record_bytes_per_node(100, 3), 34);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn cpu_time_is_monotone_and_plausible() {
+        let a = cpu_time_ns().expect("schedstat available on linux");
+        // Burn a little cpu so the second sample can only be >=.
+        let mut x = 0u64;
+        for i in 0..200_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = cpu_time_ns().unwrap();
+        assert!(b >= a, "cpu time went backwards: {a} -> {b}");
+        // A running test process has burned under an hour of cpu.
+        assert!(b < 3_600_000_000_000_000, "cpu time {b} implausible");
+    }
+
+    #[test]
+    fn record_process_gauges_never_panics() {
+        record_process_gauges();
     }
 }

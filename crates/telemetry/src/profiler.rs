@@ -1,0 +1,196 @@
+//! Zero-dependency in-process sampling profiler.
+//!
+//! A watcher thread wakes at a configurable frequency and snapshots
+//! every registered thread's live-span stack
+//! ([`crate::span::sample_stacks`]), folding each observed stack into a
+//! `outer;inner → count` table. [`ProfileData::to_folded`] serialises
+//! that table in the *folded stacks* format consumed by
+//! `flamegraph.pl`, inferno, and speedscope.
+//!
+//! Because the profiler only ever *reads* span names pushed by the
+//! instrumented threads, the workload is untouched apart from the span
+//! mutexes it already pays for — the determinism oracle (chaos result
+//! digest identical with the profiler on and off) holds by
+//! construction, and the wall-clock overhead is gated at 3% in CI
+//! (`repro profile`).
+//!
+//! Sampling bias note: span stacks cover *instrumented phases*, not
+//! arbitrary native frames — this is a phase profiler, not a
+//! frame-pointer unwinder. Samples landing outside any span are
+//! counted as idle so the denominator stays honest.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::span::sample_stacks;
+
+/// Default sampling frequency. Prime, so the sampler cannot phase-lock
+/// with millisecond-periodic workload structure.
+pub const DEFAULT_HZ: u32 = 97;
+
+/// Aggregated samples from one profiling session.
+#[derive(Debug, Default, Clone)]
+pub struct ProfileData {
+    /// Folded stack (`"outer;inner"`) → number of samples observed.
+    pub stacks: BTreeMap<String, u64>,
+    /// Total per-thread stack observations, including idle ones.
+    pub samples: u64,
+    /// Observations of threads with no live span.
+    pub idle_samples: u64,
+    /// Sampling ticks performed (each tick observes every thread).
+    pub ticks: u64,
+}
+
+impl ProfileData {
+    /// Number of distinct folded stacks observed.
+    pub fn distinct_stacks(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// Serialises in the folded-stacks format (`stack count\n` lines,
+    /// semicolon-separated frames, outermost first) understood by
+    /// `flamegraph.pl`, inferno, and speedscope.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::with_capacity(self.stacks.len() * 48);
+        for (stack, count) in &self.stacks {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Merges another session's samples into this one.
+    pub fn absorb(&mut self, other: &ProfileData) {
+        for (k, v) in &other.stacks {
+            *self.stacks.entry(k.clone()).or_insert(0) += v;
+        }
+        self.samples += other.samples;
+        self.idle_samples += other.idle_samples;
+        self.ticks += other.ticks;
+    }
+}
+
+/// A running sampling session. Construct with [`Profiler::start`],
+/// harvest with [`Profiler::stop`]. Dropping without `stop` terminates
+/// the watcher and discards its samples.
+pub struct Profiler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<ProfileData>>,
+}
+
+impl Profiler {
+    /// Spawns the watcher thread sampling all span stacks at `hz`
+    /// (clamped to `[1, 10_000]`).
+    pub fn start(hz: u32) -> Profiler {
+        let hz = hz.clamp(1, 10_000);
+        let period = Duration::from_nanos(1_000_000_000 / hz as u64);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("sies-profiler".into())
+            .spawn(move || {
+                let mut data = ProfileData::default();
+                while !stop2.load(Ordering::Relaxed) {
+                    data.ticks += 1;
+                    for (_tid, stack) in sample_stacks() {
+                        data.samples += 1;
+                        if stack.is_empty() {
+                            data.idle_samples += 1;
+                        } else {
+                            *data.stacks.entry(stack.join(";")).or_insert(0) += 1;
+                        }
+                    }
+                    std::thread::sleep(period);
+                }
+                data
+            })
+            .expect("spawn profiler watcher thread");
+        Profiler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the watcher and returns everything it sampled.
+    pub fn stop(mut self) -> ProfileData {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.handle.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => ProfileData::default(),
+        }
+    }
+}
+
+impl Drop for Profiler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Histogram;
+    use crate::Span;
+    use std::sync::OnceLock;
+
+    fn hist() -> &'static Histogram {
+        static H: OnceLock<Histogram> = OnceLock::new();
+        H.get_or_init(Histogram::new)
+    }
+
+    #[test]
+    fn samples_a_held_span() {
+        let prof = Profiler::start(2000);
+        {
+            let _outer = Span::enter("prof_outer", hist());
+            let _inner = Span::enter("prof_inner", hist());
+            // Hold the stack open long enough for many ticks even on a
+            // heavily loaded test machine.
+            std::thread::sleep(Duration::from_millis(120));
+        }
+        let data = prof.stop();
+        assert!(data.ticks > 0, "watcher never ticked");
+        assert!(data.samples > 0, "no thread stacks observed");
+        let folded = data.to_folded();
+        assert!(
+            data.stacks.keys().any(|k| k == "prof_outer;prof_inner"),
+            "expected folded stack missing; got:\n{folded}"
+        );
+        // Folded lines are "frames count".
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("line has count");
+            assert!(!stack.is_empty());
+            assert!(count.parse::<u64>().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn absorb_merges_counts() {
+        let mut a = ProfileData::default();
+        a.stacks.insert("x".into(), 2);
+        a.samples = 3;
+        a.idle_samples = 1;
+        a.ticks = 3;
+        let mut b = ProfileData::default();
+        b.stacks.insert("x".into(), 1);
+        b.stacks.insert("y".into(), 4);
+        b.samples = 5;
+        b.ticks = 5;
+        a.absorb(&b);
+        assert_eq!(a.stacks["x"], 3);
+        assert_eq!(a.stacks["y"], 4);
+        assert_eq!(a.samples, 8);
+        assert_eq!(a.idle_samples, 1);
+        assert_eq!(a.ticks, 8);
+        assert_eq!(a.distinct_stacks(), 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Std-only TCP metrics endpoint.
+//!
+//! A background thread accepts connections and serves three read-only
+//! routes over minimal HTTP/1.1:
+//!
+//! | route       | body                                              |
+//! |-------------|---------------------------------------------------|
+//! | `/metrics`  | global registry in Prometheus text format         |
+//! | `/healthz`  | `ok\n`                                            |
+//! | `/snapshot` | global registry as the snapshot JSON document     |
+//!
+//! Anything else is a 404. Requests are parsed just enough to route:
+//! first line method + path, headers skipped. The server refreshes the
+//! procfs process gauges ([`crate::process`]) before each scrape so
+//! `/metrics` always carries current RSS / cpu time.
+//!
+//! # Security posture
+//!
+//! The endpoint is **read-only and unauthenticated** — it can leak
+//! operational metadata (timings, counters, never key material or
+//! sensor values, which are not in the registry by construction) but
+//! cannot change anything. Bind it to loopback
+//! ([`MetricsServer::start_local`]) unless the scrape network is
+//! trusted; there is deliberately no TLS/auth in a zero-dependency
+//! crate. Request reads are bounded (8 KiB, 2 s timeout) so a stuck
+//! peer cannot pin the accept loop; one connection is served at a time
+//! — a metrics scraper, not a web server.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Counter name for requests served, by any route.
+pub const HTTP_REQUESTS: &str = "telemetry.http_requests";
+
+/// A running metrics endpoint. Stop (and join the thread) with
+/// [`MetricsServer::shutdown`]; dropping also stops it.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free
+    /// port) and starts serving the global registry.
+    pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("sies-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // A bad peer only costs its own bounded read.
+                        let _ = serve_one(stream);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Binds loopback on an OS-assigned free port — the recommended
+    /// default (see the module's security posture).
+    pub fn start_local() -> std::io::Result<MetricsServer> {
+        MetricsServer::start("127.0.0.1:0")
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Reads one request (bounded), routes it, writes one response.
+fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 8192];
+    let mut used = 0;
+    // Read until the header terminator or the bound; a shutdown poke
+    // that sends nothing lands in the Ok(0) arm immediately.
+    loop {
+        if used == buf.len() {
+            break;
+        }
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                used += n;
+                if buf[..used].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..used]);
+    let mut first = request.lines().next().unwrap_or("").split_whitespace();
+    let method = first.next().unwrap_or("");
+    let path = first.next().unwrap_or("");
+    if method.is_empty() {
+        return Ok(()); // empty poke (shutdown), no response owed
+    }
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => {
+                crate::process::record_process_gauges();
+                (
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    crate::registry::global().snapshot().to_prometheus(),
+                )
+            }
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/snapshot" => {
+                crate::process::record_process_gauges();
+                (
+                    "200 OK",
+                    "application/json",
+                    crate::registry::global().snapshot().to_json(),
+                )
+            }
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        }
+    };
+    if crate::enabled() {
+        crate::registry::global().counter(HTTP_REQUESTS).incr();
+    }
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_all_routes_and_shuts_down() {
+        crate::registry::global()
+            .counter("servertest.counter")
+            .add(7);
+        let server = MetricsServer::start_local().unwrap();
+        let addr = server.local_addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let metrics = get(addr, "/metrics");
+        assert!(
+            metrics.contains("# TYPE servertest_counter counter"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("servertest_counter 7"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"), "{metrics}");
+
+        let snap = get(addr, "/snapshot");
+        assert!(snap.contains("application/json"), "{snap}");
+        assert!(snap.contains("\"servertest.counter\":7"), "{snap}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let server = MetricsServer::start_local().unwrap();
+        let addr = server.local_addr();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        let server = MetricsServer::start_local().unwrap();
+        let response = get(server.local_addr(), "/healthz");
+        let (headers, body) = response.split_once("\r\n\r\n").unwrap();
+        let len: usize = headers
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+        server.shutdown();
+    }
+}

@@ -1,18 +1,53 @@
-//! RAII span timers with a thread-local span stack.
+//! RAII span timers with a per-thread span stack that a profiler can
+//! sample from outside the thread.
 //!
 //! A span measures one wall-clock section and records its duration (in
 //! nanoseconds) into a histogram when dropped. Spans nest: each thread
 //! keeps a stack of the names of its live spans, so instrumentation can
 //! ask "where am I?" ([`current_path`]) without threading context
 //! through call signatures.
+//!
+//! The stack is *shared*, not thread-local-only: each thread registers
+//! an `Arc`-held mirror of its stack in a process-wide table, so the
+//! sampling profiler ([`crate::profiler`]) can walk every live thread's
+//! stack from its own watcher thread. The mirror is guarded by a plain
+//! `Mutex` — span enter/exit and profiler samples are both rare (spans
+//! wrap whole epoch phases, samples run at ~100 Hz), so the lock is
+//! effectively uncontended and costs ~20 ns per operation. A disabled
+//! span ([`Span::noop`]) still skips everything.
 
-use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
 use crate::metric::Histogram;
 
+/// One thread's live-span stack, shared with the sampling profiler.
+struct ThreadStack {
+    /// Small dense thread label (registration order, starting at 1) —
+    /// stable for the thread's lifetime, used as `tid` in trace events.
+    tid: u64,
+    names: Mutex<Vec<&'static str>>,
+}
+
+/// Process-wide table of all registered thread stacks. Holds weak refs
+/// so exited threads are pruned on the next sample instead of leaking.
+fn stack_table() -> &'static Mutex<Vec<Weak<ThreadStack>>> {
+    static TABLE: OnceLock<Mutex<Vec<Weak<ThreadStack>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static LOCAL_STACK: Arc<ThreadStack> = {
+        let stack = Arc::new(ThreadStack {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            names: Mutex::new(Vec::new()),
+        });
+        stack_table().lock().unwrap().push(Arc::downgrade(&stack));
+        stack
+    };
 }
 
 /// A live timed section. Created by [`Span::enter`] (usually via the
@@ -30,18 +65,21 @@ struct SpanInner {
     name: &'static str,
     start: Instant,
     hist: &'static Histogram,
+    stack: Arc<ThreadStack>,
 }
 
 impl Span {
     /// Starts a span that records its duration into `hist` on drop and
     /// appears on this thread's span stack while live.
     pub fn enter(name: &'static str, hist: &'static Histogram) -> Span {
-        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        let stack = LOCAL_STACK.with(Arc::clone);
+        stack.names.lock().unwrap().push(name);
         Span {
             inner: Some(SpanInner {
                 name,
                 start: Instant::now(),
                 hist,
+                stack,
             }),
         }
     }
@@ -60,28 +98,51 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
-            inner.hist.record_duration(inner.start.elapsed());
-            SPAN_STACK.with(|s| {
-                let mut stack = s.borrow_mut();
-                // Spans are RAII-scoped so LIFO order holds; defend
-                // against mem::forget-style misuse anyway.
-                if let Some(pos) = stack.iter().rposition(|&n| n == inner.name) {
-                    stack.remove(pos);
-                }
-            });
+            let elapsed = inner.start.elapsed();
+            inner.hist.record_duration(elapsed);
+            crate::timeline::record_complete(inner.name, inner.start, elapsed, inner.stack.tid);
+            let mut stack = inner.stack.names.lock().unwrap();
+            // Spans are RAII-scoped so LIFO order holds; defend
+            // against mem::forget-style misuse anyway.
+            if let Some(pos) = stack.iter().rposition(|&n| n == inner.name) {
+                stack.remove(pos);
+            }
         }
     }
 }
 
 /// Number of live spans on this thread.
 pub fn current_depth() -> usize {
-    SPAN_STACK.with(|s| s.borrow().len())
+    LOCAL_STACK.with(|s| s.names.lock().unwrap().len())
 }
 
 /// The names of this thread's live spans, outermost first, joined with
 /// `/` (empty string when no span is live).
 pub fn current_path() -> String {
-    SPAN_STACK.with(|s| s.borrow().join("/"))
+    LOCAL_STACK.with(|s| s.names.lock().unwrap().join("/"))
+}
+
+/// This thread's stable profiler/trace label (assigned on first span
+/// activity, registration order starting at 1).
+pub fn thread_tid() -> u64 {
+    LOCAL_STACK.with(|s| s.tid)
+}
+
+/// Snapshots every registered thread's live-span stack, outermost
+/// first: `(tid, names)` pairs. Exited threads are pruned in passing.
+/// This is the profiler's sampling primitive, but it is public so tests
+/// and ad-hoc tooling can observe cross-thread span state.
+pub fn sample_stacks() -> Vec<(u64, Vec<&'static str>)> {
+    let mut table = stack_table().lock().unwrap();
+    let mut out = Vec::with_capacity(table.len());
+    table.retain(|weak| match weak.upgrade() {
+        Some(stack) => {
+            out.push((stack.tid, stack.names.lock().unwrap().clone()));
+            true
+        }
+        None => false,
+    });
+    out
 }
 
 #[cfg(test)]
@@ -119,5 +180,31 @@ mod tests {
             assert_eq!(current_depth(), 0);
         }
         assert_eq!(hist().snapshot().count, before);
+    }
+
+    #[test]
+    fn sampler_sees_other_threads_stacks() {
+        use std::sync::mpsc;
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let worker = std::thread::spawn(move || {
+            let _outer = Span::enter("worker_outer", hist());
+            let _inner = Span::enter("worker_inner", hist());
+            let tid = thread_tid();
+            ready_tx.send(tid).unwrap();
+            done_rx.recv().unwrap();
+        });
+        let worker_tid = ready_rx.recv().unwrap();
+        let stacks = sample_stacks();
+        let seen = stacks
+            .iter()
+            .find(|(tid, _)| *tid == worker_tid)
+            .expect("worker stack registered");
+        assert_eq!(seen.1, vec!["worker_outer", "worker_inner"]);
+        done_tx.send(()).unwrap();
+        worker.join().unwrap();
+        // After the thread exits its stack is pruned on the next sample.
+        let stacks = sample_stacks();
+        assert!(stacks.iter().all(|(tid, _)| *tid != worker_tid));
     }
 }
